@@ -1,0 +1,229 @@
+package giant_test
+
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation section, plus throughput benches for the §5.1 deployment
+// numbers and the ablation studies indexed in DESIGN.md. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The shared environment (world, click log, trained models, built ontology)
+// is constructed once and reused; each benchmark measures the cost of
+// regenerating its experiment from that environment.
+
+import (
+	"testing"
+
+	"giant/internal/experiments"
+	"giant/internal/tagging"
+)
+
+func benchEnv(b *testing.B) *experiments.Env {
+	b.Helper()
+	scale := experiments.ScaleDefault
+	if testing.Short() {
+		scale = experiments.ScaleTiny
+	}
+	env, err := experiments.GetEnv(scale)
+	if err != nil {
+		b.Fatalf("build environment: %v", err)
+	}
+	return env
+}
+
+func BenchmarkTable1NodeCounts(b *testing.B) {
+	env := benchEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Table1(env)
+		if len(rows) != 5 {
+			b.Fatalf("expected 5 node-type rows, got %d", len(rows))
+		}
+	}
+}
+
+func BenchmarkTable2EdgeStats(b *testing.B) {
+	env := benchEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Table2(env)
+		if len(rows) != 3 {
+			b.Fatalf("expected 3 edge-type rows, got %d", len(rows))
+		}
+	}
+}
+
+func BenchmarkTable3ConceptShowcase(b *testing.B) {
+	env := benchEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.Table3(env, 6)
+	}
+}
+
+func BenchmarkTable4EventShowcase(b *testing.B) {
+	env := benchEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.Table4(env, 6)
+	}
+}
+
+func BenchmarkTable5ConceptMining(b *testing.B) {
+	env := benchEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Table5(env)
+		reportBest(b, rows, "GCTSP-Net")
+	}
+}
+
+func BenchmarkTable6EventMining(b *testing.B) {
+	env := benchEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Table6(env)
+		reportBest(b, rows, "GCTSP-Net")
+	}
+}
+
+func BenchmarkTable7KeyElements(b *testing.B) {
+	env := benchEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Table7(env)
+		if len(rows) != 3 {
+			b.Fatalf("expected 3 methods, got %d", len(rows))
+		}
+		b.ReportMetric(rows[len(rows)-1].Micro, "gctsp-f1micro")
+	}
+}
+
+func BenchmarkFigure5StoryTree(b *testing.B) {
+	env := benchEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.Figure5(env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure6CTRStrategies(b *testing.B) {
+	env := benchEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		series := experiments.Figure6(env)
+		if len(series) != 2 {
+			b.Fatal("expected 2 strategies")
+		}
+		b.ReportMetric(series[0].Mean, "allTagsCTR%")
+		b.ReportMetric(series[1].Mean, "catEntCTR%")
+	}
+}
+
+func BenchmarkFigure7CTRByTagType(b *testing.B) {
+	env := benchEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		series := experiments.Figure7(env)
+		if len(series) != 5 {
+			b.Fatal("expected 5 tag types")
+		}
+		b.ReportMetric(series[0].Mean, "topicCTR%")
+		b.ReportMetric(series[4].Mean, "categoryCTR%")
+	}
+}
+
+func BenchmarkMiningThroughput(b *testing.B) {
+	env := benchEnv(b)
+	b.ResetTimer()
+	mined := 0
+	for i := 0; i < b.N; i++ {
+		mined += len(env.Sys.Miner.Mine(env.Sys.Click))
+	}
+	b.ReportMetric(float64(mined)/b.Elapsed().Seconds(), "phrases/s")
+}
+
+func BenchmarkTaggingThroughput(b *testing.B) {
+	env := benchEnv(b)
+	ct := env.Sys.ConceptTagger()
+	docs := env.Sys.Log.Docs
+	b.ResetTimer()
+	n := 0
+	for i := 0; i < b.N; i++ {
+		d := &docs[i%len(docs)]
+		ents := make([]string, 0, len(d.Entities))
+		for _, id := range d.Entities {
+			ents = append(ents, env.World.Entities[id].Name)
+		}
+		ct.TagConcepts(&tagging.Document{ID: d.ID, Title: d.Title, Content: d.Content, Entities: ents})
+		n++
+	}
+	b.ReportMetric(float64(n)/b.Elapsed().Seconds(), "docs/s")
+}
+
+func BenchmarkDocTaggingPrecision(b *testing.B) {
+	env := benchEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// The log lists all concept docs before any event doc, so the cap
+		// must span both populations.
+		p := experiments.DocTaggingPrecision(env, 2000)
+		b.ReportMetric(100*p.ConceptPrecision, "concept%")
+		b.ReportMetric(100*p.EventPrecision, "event%")
+	}
+}
+
+func BenchmarkAblationKeepFirstEdge(b *testing.B) {
+	env := benchEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.AblationKeepFirstEdge(env)
+	}
+}
+
+func BenchmarkAblationEdgePreference(b *testing.B) {
+	env := benchEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.AblationEdgePreference(env)
+	}
+}
+
+func BenchmarkAblationATSPvsOrder(b *testing.B) {
+	env := benchEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.AblationATSP(env)
+	}
+}
+
+func BenchmarkAblationRGCNDepth(b *testing.B) {
+	env := benchEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.AblationRGCNDepth(env)
+	}
+}
+
+func BenchmarkAblationFeatures(b *testing.B) {
+	env := benchEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.AblationFeatures(env)
+	}
+}
+
+func reportBest(b *testing.B, rows []experiments.MethodScore, want string) {
+	b.Helper()
+	bestEM, bestName := -1.0, ""
+	for _, r := range rows {
+		if r.EM > bestEM {
+			bestEM, bestName = r.EM, r.Method
+		}
+	}
+	if bestName != want {
+		b.Logf("note: best EM method is %s (%.4f), paper expects %s to win", bestName, bestEM, want)
+	}
+	b.ReportMetric(bestEM, "bestEM")
+}

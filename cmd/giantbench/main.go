@@ -1,0 +1,104 @@
+// Command giantbench regenerates every table and figure of the paper's
+// evaluation section at the default (laptop) scale and prints them in the
+// paper's layout. Use -scale=tiny for a fast smoke run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"giant/internal/experiments"
+)
+
+func main() {
+	scaleFlag := flag.String("scale", "default", "experiment scale: tiny or default")
+	only := flag.String("only", "", "run a single experiment: table1..table7, fig5, fig6, fig7, tagging, ablations")
+	flag.Parse()
+
+	scale := experiments.ScaleDefault
+	if *scaleFlag == "tiny" {
+		scale = experiments.ScaleTiny
+	}
+	t0 := time.Now()
+	env, err := experiments.GetEnv(scale)
+	if err != nil {
+		log.Fatalf("giantbench: build environment: %v", err)
+	}
+	fmt.Printf("environment built in %v (scale=%s)\n\n", time.Since(t0).Round(time.Millisecond), *scaleFlag)
+
+	run := func(name string) bool { return *only == "" || *only == name }
+	w := os.Stdout
+
+	if run("table1") {
+		experiments.PrintTable1(w, experiments.Table1(env))
+		fmt.Fprintln(w)
+	}
+	if run("table2") {
+		experiments.PrintTable2(w, experiments.Table2(env))
+		fmt.Fprintln(w)
+	}
+	if run("table3") {
+		experiments.PrintShowcase(w, "Table 3: Concept showcases", experiments.Table3(env, 6))
+		fmt.Fprintln(w)
+	}
+	if run("table4") {
+		experiments.PrintShowcase(w, "Table 4: Event showcases", experiments.Table4(env, 6))
+		fmt.Fprintln(w)
+	}
+	if run("table5") {
+		experiments.PrintMethodScores(w, "Table 5: Concept mining", experiments.Table5(env))
+		fmt.Fprintln(w)
+	}
+	if run("table6") {
+		experiments.PrintMethodScores(w, "Table 6: Event mining", experiments.Table6(env))
+		fmt.Fprintln(w)
+	}
+	if run("table7") {
+		experiments.PrintKeyScores(w, experiments.Table7(env))
+		fmt.Fprintln(w)
+	}
+	if run("fig5") {
+		if _, s, err := experiments.Figure5(env); err == nil {
+			fmt.Fprintln(w, "Figure 5: Story tree")
+			fmt.Fprint(w, s)
+		} else {
+			fmt.Fprintf(w, "Figure 5 unavailable: %v\n", err)
+		}
+		fmt.Fprintln(w)
+	}
+	if run("fig6") {
+		experiments.PrintCTRSeries(w, "Figure 6: CTR with/without extracted tags", experiments.Figure6(env))
+		fmt.Fprintln(w)
+	}
+	if run("fig7") {
+		experiments.PrintCTRSeries(w, "Figure 7: CTR by tag type", experiments.Figure7(env))
+		fmt.Fprintln(w)
+	}
+	if run("tagging") {
+		p := experiments.DocTaggingPrecision(env, 2000)
+		fmt.Fprintf(w, "Document tagging (§5.3): concept precision %.0f%% (%d/%d docs tagged), event precision %.0f%% (%d/%d docs tagged)\n\n",
+			100*p.ConceptPrecision, p.ConceptTagged, p.ConceptDocs,
+			100*p.EventPrecision, p.EventTagged, p.EventDocs)
+		hit, total := experiments.QueryUnderstanding(env, 200)
+		fmt.Fprintf(w, "Query conceptualization: %d/%d concept queries recovered\n\n", hit, total)
+	}
+	if run("ablations") {
+		printAblations(w, "Ablation: QTIG keep-first-edge", experiments.AblationKeepFirstEdge(env))
+		printAblations(w, "Ablation: dependency edges", experiments.AblationEdgePreference(env))
+		printAblations(w, "Ablation: ATSP decoding", experiments.AblationATSP(env))
+		printAblations(w, "Ablation: R-GCN depth", experiments.AblationRGCNDepth(env))
+		printAblations(w, "Ablation: node features", experiments.AblationFeatures(env))
+	}
+	fmt.Printf("total time %v\n", time.Since(t0).Round(time.Millisecond))
+}
+
+func printAblations(w *os.File, title string, rows []experiments.AblationResult) {
+	fmt.Fprintln(w, title)
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-30s EM %.4f  F1 %.4f  COV %.4f\n", r.Name, r.Score.EM, r.Score.F1, r.Score.COV)
+	}
+	fmt.Fprintln(w)
+}

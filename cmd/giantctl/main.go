@@ -1,0 +1,195 @@
+// Command giantctl runs the GIANT pipeline end to end and interacts with the
+// resulting Attention Ontology:
+//
+//	giantctl build -out ao.json        build the ontology and save it
+//	giantctl stats -in ao.json         print node/edge statistics
+//	giantctl query -q "best ..."       conceptualize/rewrite a query
+//	giantctl tag -title "..."          tag a document
+//	giantctl story -seed "..."         print a story tree
+//
+// build runs the full pipeline (generate logs, train GCTSP-Net, mine, link);
+// the other subcommands rebuild the same deterministic system unless -in
+// points to a saved ontology.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	giant "giant"
+	"giant/internal/ontology"
+	"giant/internal/tagging"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("giantctl: ")
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "build":
+		err = runBuild(args)
+	case "stats":
+		err = runStats(args)
+	case "query":
+		err = runQuery(args)
+	case "tag":
+		err = runTag(args)
+	case "story":
+		err = runStory(args)
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: giantctl <build|stats|query|tag|story> [flags]")
+}
+
+func buildSystem(tiny bool) (*giant.System, error) {
+	cfg := giant.DefaultConfig()
+	if tiny {
+		cfg = giant.TinyConfig()
+	}
+	return giant.Build(cfg)
+}
+
+func runBuild(args []string) error {
+	fs := flag.NewFlagSet("build", flag.ExitOnError)
+	out := fs.String("out", "ao.json", "output path for the ontology JSON")
+	tiny := fs.Bool("tiny", false, "use the tiny configuration")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	sys, err := buildSystem(*tiny)
+	if err != nil {
+		return err
+	}
+	if err := sys.Ontology.SaveFile(*out); err != nil {
+		return err
+	}
+	st := sys.Ontology.ComputeStats()
+	fmt.Printf("built attention ontology: %v nodes, %v edges -> %s\n", st.NodesByType, st.EdgesByType, *out)
+	return nil
+}
+
+func runStats(args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	in := fs.String("in", "ao.json", "ontology JSON path")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	o, err := ontology.LoadFile(*in)
+	if err != nil {
+		return err
+	}
+	st := o.ComputeStats()
+	fmt.Println("nodes:")
+	for t, n := range st.NodesByType {
+		fmt.Printf("  %-10s %d\n", t, n)
+	}
+	fmt.Println("edges:")
+	for t, n := range st.EdgesByType {
+		fmt.Printf("  %-10s %d\n", t, n)
+	}
+	return nil
+}
+
+func runQuery(args []string) error {
+	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	q := fs.String("q", "", "query text")
+	tiny := fs.Bool("tiny", true, "use the tiny configuration")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *q == "" {
+		return fmt.Errorf("query: -q is required")
+	}
+	sys, err := buildSystem(*tiny)
+	if err != nil {
+		return err
+	}
+	a := sys.Query().Analyze(*q)
+	fmt.Printf("query:   %s\n", a.Query)
+	fmt.Printf("concept: %s\n", orNone(a.Concept))
+	fmt.Printf("entity:  %s\n", orNone(a.Entity))
+	for _, r := range a.Rewrites {
+		fmt.Printf("rewrite: %s\n", r)
+	}
+	for _, r := range a.Recommendations {
+		fmt.Printf("related: %s\n", r)
+	}
+	return nil
+}
+
+func runTag(args []string) error {
+	fs := flag.NewFlagSet("tag", flag.ExitOnError)
+	title := fs.String("title", "", "document title")
+	content := fs.String("content", "", "document content")
+	entities := fs.String("entities", "", "comma-separated key entities")
+	tiny := fs.Bool("tiny", true, "use the tiny configuration")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	sys, err := buildSystem(*tiny)
+	if err != nil {
+		return err
+	}
+	doc := &tagging.Document{Title: *title, Content: *content}
+	if *entities != "" {
+		doc.Entities = strings.Split(*entities, ",")
+	}
+	for _, t := range sys.ConceptTagger().TagConcepts(doc) {
+		fmt.Printf("concept tag: %-30s score %.3f\n", t.Phrase, t.Score)
+	}
+	for _, t := range sys.EventTagger().TagEvents(doc) {
+		fmt.Printf("%s tag: %-30s score %.3f\n", t.Type, t.Phrase, t.Score)
+	}
+	return nil
+}
+
+func runStory(args []string) error {
+	fs := flag.NewFlagSet("story", flag.ExitOnError)
+	seed := fs.String("seed", "", "seed event phrase (empty: first mined event)")
+	tiny := fs.Bool("tiny", true, "use the tiny configuration")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	sys, err := buildSystem(*tiny)
+	if err != nil {
+		return err
+	}
+	phrase := *seed
+	if phrase == "" {
+		for _, m := range sys.Mined {
+			if m.IsEvent {
+				phrase = m.Phrase
+				break
+			}
+		}
+	}
+	tree, ok := sys.StoryTree(phrase)
+	if !ok {
+		return fmt.Errorf("story: seed event %q not found among mined events", phrase)
+	}
+	tree.Render(os.Stdout)
+	return nil
+}
+
+func orNone(s string) string {
+	if s == "" {
+		return "(none)"
+	}
+	return s
+}

@@ -1,0 +1,53 @@
+// Storytree: the §4 story-tree application — mine events from the click
+// graph, pick a seed, retrieve correlated events, cluster them and print the
+// evolving story structure (the Figure 5 scenario).
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	giant "giant"
+)
+
+func main() {
+	sys, err := giant.Build(giant.TinyConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Group mined events by trigger and pick the busiest story.
+	byTrigger := map[string][]string{}
+	for _, m := range sys.Mined {
+		if m.IsEvent && m.Trigger != "" {
+			byTrigger[m.Trigger] = append(byTrigger[m.Trigger], m.Phrase)
+		}
+	}
+	var seed string
+	best := 0
+	for _, phrases := range byTrigger {
+		if len(phrases) > best {
+			best = len(phrases)
+			seed = phrases[0]
+		}
+	}
+	if seed == "" {
+		log.Fatal("no mined events with recognized triggers")
+	}
+
+	tree, ok := sys.StoryTree(seed)
+	if !ok {
+		log.Fatalf("seed event %q not found", seed)
+	}
+	fmt.Println("story tree (Figure 5 style):")
+	tree.Render(os.Stdout)
+
+	fmt.Println("\nfollow-up recommendation: a user who read about the first event would next see:")
+	events := tree.Events()
+	if len(events) > 0 {
+		for _, f := range tree.FollowUps(events[0].Day) {
+			fmt.Printf("  day %2d  %s\n", f.Day, f.Phrase)
+		}
+	}
+}

@@ -1,0 +1,553 @@
+// Package giant is the public facade of this reproduction of "GIANT:
+// Scalable Creation of a Web-scale Ontology" (SIGMOD 2020). It wires the
+// full pipeline end to end: generate (or ingest) a search click log, train
+// GCTSP-Net on automatically constructed datasets, mine attention phrases
+// from the click graph (Algorithm 1), link them into the Attention Ontology
+// (§3.2), and expose the applications of §4 — document tagging, story-tree
+// formation and query understanding.
+//
+// Quick start:
+//
+//	sys, err := giant.Build(giant.DefaultConfig())
+//	...
+//	stats := sys.Ontology.ComputeStats()
+//	tags := sys.ConceptTagger().TagConcepts(&tagging.Document{...})
+package giant
+
+import (
+	"fmt"
+	"strings"
+
+	"giant/internal/clickgraph"
+	"giant/internal/core"
+	"giant/internal/linking"
+	"giant/internal/nlp"
+	"giant/internal/ontology"
+	"giant/internal/phrase"
+	"giant/internal/queryund"
+	"giant/internal/storytree"
+	"giant/internal/synth"
+	"giant/internal/tagging"
+)
+
+// Config controls the end-to-end build.
+type Config struct {
+	World synth.Config
+	Log   synth.LogConfig
+	// TrainConcepts / TrainEvents are dataset sizes for GCTSP-Net training.
+	TrainConcepts int
+	TrainEvents   int
+	GCTSP         core.Options
+	// CategoryDelta is δg for attention-category isA edges (paper 0.3).
+	CategoryDelta float64
+	// SuffixMinFreq is the CSD support threshold.
+	SuffixMinFreq int
+	// PatternMinFreq / PatternMinSearch are the CPD thresholds.
+	PatternMinFreq   int
+	PatternMinSearch int
+	Seed             int64
+}
+
+// DefaultConfig is a laptop-scale end-to-end configuration.
+func DefaultConfig() Config {
+	return Config{
+		World:            synth.DefaultConfig(),
+		Log:              synth.DefaultLogConfig(),
+		TrainConcepts:    240,
+		TrainEvents:      200,
+		GCTSP:            core.Options{Epochs: 6, Fallback: true},
+		CategoryDelta:    0.3,
+		SuffixMinFreq:    3,
+		PatternMinFreq:   2,
+		PatternMinSearch: 2,
+		Seed:             42,
+	}
+}
+
+// TinyConfig is a fast configuration for tests.
+func TinyConfig() Config {
+	cfg := DefaultConfig()
+	cfg.World = synth.TinyConfig()
+	cfg.Log = synth.LogConfig{Seed: 5, QueriesPerAspect: 3, DocsPerAspect: 3, MaxClicks: 20, NumSessions: 80}
+	cfg.TrainConcepts = 40
+	cfg.TrainEvents = 40
+	cfg.GCTSP = core.Options{Epochs: 4, Layers: 3, Fallback: true}
+	return cfg
+}
+
+// System is a fully built GIANT instance.
+type System struct {
+	Cfg      Config
+	World    *synth.World
+	Log      *synth.Log
+	Click    *clickgraph.Graph
+	Miner    *core.Miner
+	Mined    []core.Mined
+	Ontology *ontology.Ontology
+	CEClf    *linking.CEClassifier
+	Embedder *linking.EntityEmbedder
+
+	conceptContext map[string][]string // concept phrase -> top titles
+}
+
+// Build runs the whole pipeline.
+func Build(cfg Config) (*System, error) {
+	sys := &System{Cfg: cfg}
+	sys.World = synth.GenWorld(cfg.World)
+	sys.Log = sys.World.GenerateLog(cfg.Log)
+
+	// Click graph.
+	sys.Click = clickgraph.New()
+	for _, r := range sys.Log.Records {
+		doc := sys.Log.Docs[r.DocID]
+		sys.Click.Add(r.Query, r.DocID, doc.Title, r.Clicks, r.Day)
+	}
+
+	// GCTSP-Net training on automatically constructed datasets.
+	lex := sys.World.Lexicon
+	conceptTrain := sys.World.ConceptExamples(cfg.TrainConcepts, cfg.Seed+1)
+	eventTrain := sys.World.EventExamples(cfg.TrainEvents, cfg.Seed+2)
+	phraseModel := core.NewPhraseModel(lex, cfg.GCTSP)
+	phraseModel.Train(append(append([]synth.MiningExample{}, conceptTrain...), eventTrain...))
+	keyModel := core.NewKeyElementModel(lex, cfg.GCTSP)
+	keyModel.Train(eventTrain)
+	sys.Miner = core.NewMiner(phraseModel, keyModel, lex)
+
+	// Algorithm 1: mine attentions.
+	sys.Mined = sys.Miner.Mine(sys.Click)
+
+	// Assemble ontology.
+	if err := sys.assemble(); err != nil {
+		return nil, fmt.Errorf("giant: assemble ontology: %w", err)
+	}
+	return sys, nil
+}
+
+// assemble builds the Attention Ontology from the mined attentions (§3.2).
+func (sys *System) assemble() error {
+	o := ontology.New()
+	cfg := sys.Cfg
+	w := sys.World
+
+	// Categories: the pre-defined hierarchy.
+	catNode := make([]ontology.NodeID, len(w.Categories))
+	for i, c := range w.Categories {
+		catNode[i] = o.AddNode(ontology.Category, c.Name)
+	}
+	for i, c := range w.Categories {
+		if c.Parent >= 0 {
+			if err := o.AddEdge(catNode[c.Parent], catNode[i], ontology.IsA, 1); err != nil {
+				return err
+			}
+		}
+	}
+	// Entities: the pre-existing knowledge-base inventory (the paper links
+	// against an existing entity catalogue; here the generative world plays
+	// that role).
+	for _, e := range w.Entities {
+		o.AddNode(ontology.Entity, e.Name)
+	}
+
+	// Mined concepts and events.
+	sys.conceptContext = map[string][]string{}
+	var conceptPhrases, eventPhrases []string
+	dayOf := map[string]int{}
+	for i := range sys.Mined {
+		m := &sys.Mined[i]
+		typ := ontology.Concept
+		if m.IsEvent {
+			typ = ontology.Event
+		}
+		id := o.AddNodeAt(typ, m.Phrase, maxDay(m.Day, 0))
+		for _, a := range m.Aliases {
+			o.AddAlias(id, a)
+		}
+		dayOf[m.Phrase] = m.Day
+		if m.IsEvent {
+			o.SetEventAttrs(id, m.Trigger, m.Location, m.Day)
+			eventPhrases = append(eventPhrases, m.Phrase)
+		} else {
+			conceptPhrases = append(conceptPhrases, m.Phrase)
+			sys.conceptContext[m.Phrase] = sys.Click.TopTitlesFor(m.Seed, 5)
+		}
+	}
+
+	// Attention derivation: CSD parents for concepts.
+	derived := phrase.CommonSuffixDiscovery(conceptPhrases, cfg.SuffixMinFreq, w.Lexicon)
+	for _, d := range derived {
+		pid := o.AddNode(ontology.Concept, d.Phrase)
+		for _, child := range d.Children {
+			if cn, ok := o.Find(ontology.Concept, child); ok {
+				if err := o.AddEdge(pid, cn.ID, ontology.IsA, 1); err != nil {
+					return err
+				}
+			}
+		}
+		conceptPhrases = append(conceptPhrases, d.Phrase)
+	}
+	// CPD topics from events.
+	cpdEvents := sys.eventsForCPD()
+	topics := phrase.CommonPatternDiscovery(cpdEvents, cfg.PatternMinFreq, cfg.PatternMinSearch)
+	topicMembers := map[string][]string{}
+	for _, t := range topics {
+		tid := o.AddNode(ontology.Topic, t.Phrase)
+		topicMembers[t.Phrase] = t.Children
+		for _, child := range t.Children {
+			if en, ok := o.Find(ontology.Event, child); ok {
+				if err := o.AddEdge(tid, en.ID, ontology.IsA, 1); err != nil {
+					return err
+				}
+			}
+		}
+	}
+
+	// Attention-category edges: P(g|p) over clicked docs.
+	byCat := map[string]map[int]int{}
+	for i := range sys.Mined {
+		m := &sys.Mined[i]
+		cats := map[int]int{}
+		for _, docID := range m.DocIDs {
+			if docID >= 0 && docID < len(sys.Log.Docs) {
+				cats[sys.Log.Docs[docID].Category]++
+			}
+		}
+		byCat[m.Phrase] = cats
+	}
+	for _, e := range linking.AttentionCategoryEdges(byCat, cfg.CategoryDelta) {
+		n, ok := o.FindAny(e.Phrase)
+		if !ok || e.Category >= len(catNode) {
+			continue
+		}
+		if err := o.AddEdge(catNode[e.Category], n.ID, ontology.IsA, e.P); err != nil {
+			return err
+		}
+	}
+
+	// Concept-concept suffix isA.
+	for _, pr := range linking.SuffixIsAEdges(conceptPhrases) {
+		p, ok1 := o.Find(ontology.Concept, pr.Parent)
+		c, ok2 := o.Find(ontology.Concept, pr.Child)
+		if ok1 && ok2 {
+			if err := o.AddEdge(p.ID, c.ID, ontology.IsA, 1); err != nil {
+				return err
+			}
+		}
+	}
+	// Event containment isA.
+	for _, pr := range linking.ContainmentIsAEdges(eventPhrases) {
+		p, ok1 := o.Find(ontology.Event, pr.Parent)
+		c, ok2 := o.Find(ontology.Event, pr.Child)
+		if ok1 && ok2 {
+			if err := o.AddEdge(p.ID, c.ID, ontology.IsA, 1); err != nil {
+				return err
+			}
+		}
+	}
+	// Concept -> topic involve.
+	topicPhrases := make([]string, 0, len(topicMembers))
+	for t := range topicMembers {
+		topicPhrases = append(topicPhrases, t)
+	}
+	for _, pr := range linking.ConceptTopicInvolveEdges(conceptPhrases, topicPhrases) {
+		t, ok1 := o.Find(ontology.Topic, pr.Parent)
+		c, ok2 := o.Find(ontology.Concept, pr.Child)
+		if ok1 && ok2 {
+			if err := o.AddEdge(t.ID, c.ID, ontology.Involve, 1); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Concept-entity isA via the learned classifier.
+	if err := sys.linkConceptEntities(o); err != nil {
+		return err
+	}
+
+	// Event -> entity involve edges from recognized key elements.
+	for i := range sys.Mined {
+		m := &sys.Mined[i]
+		if !m.IsEvent {
+			continue
+		}
+		en, ok := o.Find(ontology.Event, m.Phrase)
+		if !ok {
+			continue
+		}
+		for _, entTok := range m.Entities {
+			if ent, ok := sys.findEntityByToken(o, entTok); ok {
+				if err := o.AddEdge(en.ID, ent.ID, ontology.Involve, 1); err != nil {
+					return err
+				}
+			}
+		}
+	}
+
+	// Entity-entity correlate via hinge-loss embeddings.
+	sys.linkEntityCorrelates(o)
+
+	// Concept-concept correlate (the §3.2 extension the paper defers):
+	// concepts sharing a large fraction of instances correlate.
+	instances := map[string][]string{}
+	for _, c := range o.Nodes(ontology.Concept) {
+		for _, ch := range o.Children(c.ID, ontology.IsA) {
+			if ch.Type == ontology.Entity {
+				instances[c.Phrase] = append(instances[c.Phrase], ch.Phrase)
+			}
+		}
+	}
+	for _, pr := range linking.ConceptCorrelateEdges(instances, 0.5) {
+		a, ok1 := o.Find(ontology.Concept, pr.Parent)
+		b, ok2 := o.Find(ontology.Concept, pr.Child)
+		if ok1 && ok2 {
+			_ = o.AddEdge(a.ID, b.ID, ontology.Correlate, 1)
+		}
+	}
+
+	sys.Ontology = o
+	return nil
+}
+
+// eventsForCPD converts mined events into the CPD input view, mapping
+// recognized entity tokens to their concept via the world's lexicon-es...
+// (at mining time we only know surface tokens; the entity's concept comes
+// from the already-established concept-entity candidates, here the class
+// plural discovered via alignment of categories).
+func (sys *System) eventsForCPD() []phrase.EventForCPD {
+	var out []phrase.EventForCPD
+	for i := range sys.Mined {
+		m := &sys.Mined[i]
+		if !m.IsEvent {
+			continue
+		}
+		toks := nlp.Tokenize(m.Phrase)
+		spans := map[int]string{}
+		for ti, t := range toks {
+			for _, entTok := range m.Entities {
+				if t != entTok {
+					continue
+				}
+				if ent, ok := sys.World.EntityByName(entityNameOfToken(sys.World, t)); ok {
+					// Most fine-grained common concept ancestor: the class
+					// noun (shared by all the entity's concepts).
+					spans[ti] = sys.World.Classes[ent.Class].Noun
+				}
+			}
+		}
+		out = append(out, phrase.EventForCPD{
+			Tokens:      toks,
+			EntitySpans: spans,
+			SearchCount: len(m.Queries),
+		})
+	}
+	return out
+}
+
+// entityNameOfToken resolves a single token to the full entity name
+// containing it (entity names are multi-token).
+func entityNameOfToken(w *synth.World, tok string) string {
+	for _, e := range w.Entities {
+		for _, t := range nlp.Tokenize(e.Name) {
+			if t == tok {
+				return e.Name
+			}
+		}
+	}
+	return tok
+}
+
+func (sys *System) findEntityByToken(o *ontology.Ontology, tok string) (ontology.Node, bool) {
+	name := entityNameOfToken(sys.World, tok)
+	return o.Find(ontology.Entity, name)
+}
+
+// linkConceptEntities trains the Fig. 4 classifier from session data and
+// links concept-entity pairs observed in clicked documents.
+func (sys *System) linkConceptEntities(o *ontology.Ontology) error {
+	// Automatic dataset construction.
+	var positives []linking.CEExample
+	entityNames := make([]string, 0, len(sys.World.Entities))
+	for _, e := range sys.World.Entities {
+		entityNames = append(entityNames, e.Name)
+	}
+	for _, sess := range sys.Log.Sessions {
+		if len(sess.Queries) < 2 {
+			continue
+		}
+		conceptQ, entityQ := sess.Queries[0], sess.Queries[1]
+		// The clicked document after the concept query: any concept doc
+		// mentioning the entity.
+		ctx := sys.contextMentioning(conceptQ, entityQ)
+		if ctx == "" {
+			continue
+		}
+		positives = append(positives, linking.CEExample{
+			Concept: conceptQ, Entity: entityQ, Context: ctx,
+			ConsecutiveQuery: true, CoClicks: 3,
+		})
+	}
+	dataset := linking.BuildCEDataset(positives, entityNames, sys.Cfg.Seed+7)
+	if len(dataset) > 0 {
+		sys.CEClf = linking.TrainCEClassifier(dataset, 6, 0.3, sys.Cfg.Seed+8)
+	}
+
+	// Candidate links: mined concept × entities mentioned in its docs.
+	for i := range sys.Mined {
+		m := &sys.Mined[i]
+		if m.IsEvent {
+			continue
+		}
+		cn, ok := o.Find(ontology.Concept, m.Phrase)
+		if !ok {
+			continue
+		}
+		seen := map[int]bool{}
+		for _, docID := range m.DocIDs {
+			if docID < 0 || docID >= len(sys.Log.Docs) {
+				continue
+			}
+			doc := &sys.Log.Docs[docID]
+			for _, eid := range doc.Entities {
+				if seen[eid] {
+					continue
+				}
+				seen[eid] = true
+				entName := sys.World.Entities[eid].Name
+				ex := linking.CEExample{
+					Concept: m.Phrase, Entity: entName, Context: doc.Content,
+					CoClicks: 2,
+				}
+				if sys.CEClf == nil || sys.CEClf.Predict(&ex) {
+					en, _ := o.Find(ontology.Entity, entName)
+					if err := o.AddEdge(cn.ID, en.ID, ontology.IsA, 1); err != nil {
+						return err
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// contextMentioning finds a doc content for the concept query that mentions
+// the entity.
+func (sys *System) contextMentioning(conceptQ, entity string) string {
+	for _, title := range sys.Click.TopTitlesFor(conceptQ, 5) {
+		for _, d := range sys.Log.Docs {
+			if d.Title != title {
+				continue
+			}
+			if strings.Contains(" "+d.Content+" ", " "+entity+" ") {
+				return d.Content
+			}
+		}
+	}
+	return ""
+}
+
+// linkEntityCorrelates trains embeddings on co-occurrence pairs and adds
+// correlate edges.
+func (sys *System) linkEntityCorrelates(o *ontology.Ontology) {
+	var pairs [][2]string
+	for _, d := range sys.Log.Docs {
+		for i := 0; i < len(d.Entities); i++ {
+			for j := i + 1; j < len(d.Entities); j++ {
+				a := sys.World.Entities[d.Entities[i]].Name
+				b := sys.World.Entities[d.Entities[j]].Name
+				if a != b {
+					pairs = append(pairs, [2]string{a, b})
+				}
+			}
+		}
+	}
+	if len(pairs) == 0 {
+		return
+	}
+	sys.Embedder = linking.NewEntityEmbedder(16)
+	sys.Embedder.Train(pairs)
+	// Candidate pairs include random distractors so the learned filter — not
+	// the candidate source — decides correlation (keeps Table 2's accuracy
+	// measurement meaningful).
+	cands := append([][2]string(nil), pairs...)
+	nEnt := len(sys.World.Entities)
+	for i := 0; i < len(pairs)/2 && nEnt > 1; i++ {
+		a := sys.World.Entities[(i*7)%nEnt].Name
+		b := sys.World.Entities[(i*13+5)%nEnt].Name
+		if a != b {
+			cands = append(cands, [2]string{a, b})
+		}
+	}
+	for _, p := range sys.Embedder.CorrelatePairs(cands) {
+		a, ok1 := o.Find(ontology.Entity, p[0])
+		b, ok2 := o.Find(ontology.Entity, p[1])
+		if ok1 && ok2 {
+			// Correlate is symmetric; store one canonical direction.
+			_ = o.AddEdge(a.ID, b.ID, ontology.Correlate, 1)
+		}
+	}
+}
+
+// ConceptTagger builds the §4 concept tagger over the built ontology.
+func (sys *System) ConceptTagger() *tagging.ConceptTagger {
+	return tagging.NewConceptTagger(sys.Ontology, sys.conceptContext)
+}
+
+// EventTagger builds the §4 event tagger, training the Duet matcher on
+// mined (event, title) pairs.
+func (sys *System) EventTagger() *tagging.EventTagger {
+	duet := tagging.NewDuet(sys.Cfg.Seed + 9)
+	var examples []tagging.DuetExample
+	for i := range sys.Mined {
+		m := &sys.Mined[i]
+		if !m.IsEvent || len(m.Titles) == 0 {
+			continue
+		}
+		pt := nlp.Tokenize(m.Phrase)
+		examples = append(examples, tagging.DuetExample{Phrase: pt, Doc: nlp.Tokenize(m.Titles[0]), Label: true})
+		// Negative: unrelated title.
+		for j := range sys.Mined {
+			if j != i && len(sys.Mined[j].Titles) > 0 {
+				examples = append(examples, tagging.DuetExample{Phrase: pt, Doc: nlp.Tokenize(sys.Mined[j].Titles[0]), Label: false})
+				break
+			}
+		}
+	}
+	duet.Train(examples, 4, 0.05, sys.Cfg.Seed+10)
+	return tagging.NewEventTagger(sys.Ontology, duet)
+}
+
+// Query builds the §4 query understander.
+func (sys *System) Query() *queryund.Understander {
+	return queryund.New(sys.Ontology)
+}
+
+// StoryTree forms a story tree seeded at the given mined event phrase.
+func (sys *System) StoryTree(seedPhrase string) (*storytree.Tree, bool) {
+	var seed *storytree.EventNode
+	var candidates []*storytree.EventNode
+	for i := range sys.Mined {
+		m := &sys.Mined[i]
+		if !m.IsEvent {
+			continue
+		}
+		node := &storytree.EventNode{
+			Phrase: m.Phrase, Trigger: m.Trigger, Entities: m.Entities,
+			Location: m.Location, Day: m.Day, Docs: m.Titles,
+		}
+		if m.Phrase == seedPhrase {
+			seed = node
+		}
+		candidates = append(candidates, node)
+	}
+	if seed == nil {
+		return nil, false
+	}
+	enc := storytree.NewBagOfTokensEncoder(16, nil)
+	return storytree.Form(seed, candidates, enc, storytree.DefaultOptions()), true
+}
+
+func maxDay(d, min int) int {
+	if d < min {
+		return min
+	}
+	return d
+}

@@ -1,0 +1,203 @@
+// Package atsp solves the asymmetric traveling-salesman *path* problem used
+// by GCTSP-Net's decoding step (§3.1): find the cheapest route that starts at
+// the SOS node (index 0), visits every intermediate node exactly once, and
+// ends at the EOS node (index n-1), under an asymmetric distance matrix.
+//
+// Small instances (the common case — phrases have a handful of tokens) are
+// solved exactly with Held-Karp dynamic programming. Larger instances use a
+// nearest-neighbour construction refined by Or-opt segment moves, the
+// direction-preserving core of Lin-Kernighan-style improvement that remains
+// valid for asymmetric costs.
+package atsp
+
+// ExactLimit is the largest number of intermediate nodes solved exactly.
+const ExactLimit = 12
+
+// SolvePath returns the visiting order of ALL indices 0..n-1 where order[0]
+// == 0 and order[n-1] == n-1, minimizing the sum of dist[order[i]][order[i+1]].
+// dist must be n×n; dist values may be "infinite" (any large number) for
+// unreachable pairs.
+func SolvePath(dist [][]float64) []int {
+	n := len(dist)
+	switch n {
+	case 0:
+		return nil
+	case 1:
+		return []int{0}
+	case 2:
+		return []int{0, 1}
+	}
+	m := n - 2 // intermediate nodes: 1..n-2
+	if m <= ExactLimit {
+		return heldKarp(dist)
+	}
+	order := nearestNeighbour(dist)
+	orOpt(dist, order)
+	return order
+}
+
+// Cost returns the total path cost of an order under dist.
+func Cost(dist [][]float64, order []int) float64 {
+	c := 0.0
+	for i := 0; i+1 < len(order); i++ {
+		c += dist[order[i]][order[i+1]]
+	}
+	return c
+}
+
+// heldKarp solves the start→end path exactly: dp[S][j] = min cost reaching
+// intermediate j having visited intermediate set S.
+func heldKarp(dist [][]float64) []int {
+	n := len(dist)
+	m := n - 2
+	end := n - 1
+	const inf = 1e18
+	size := 1 << m
+	dp := make([][]float64, size)
+	par := make([][]int8, size)
+	for s := range dp {
+		dp[s] = make([]float64, m)
+		par[s] = make([]int8, m)
+		for j := range dp[s] {
+			dp[s][j] = inf
+			par[s][j] = -1
+		}
+	}
+	for j := 0; j < m; j++ {
+		dp[1<<j][j] = dist[0][j+1]
+	}
+	for s := 1; s < size; s++ {
+		for j := 0; j < m; j++ {
+			if s&(1<<j) == 0 || dp[s][j] >= inf {
+				continue
+			}
+			base := dp[s][j]
+			for k := 0; k < m; k++ {
+				if s&(1<<k) != 0 {
+					continue
+				}
+				ns := s | 1<<k
+				c := base + dist[j+1][k+1]
+				if c < dp[ns][k] {
+					dp[ns][k] = c
+					par[ns][k] = int8(j)
+				}
+			}
+		}
+	}
+	full := size - 1
+	best, arg := inf, 0
+	for j := 0; j < m; j++ {
+		c := dp[full][j] + dist[j+1][end]
+		if c < best {
+			best, arg = c, j
+		}
+	}
+	order := make([]int, 0, n)
+	order = append(order, end)
+	s, j := full, arg
+	for j >= 0 {
+		order = append(order, j+1)
+		pj := par[s][j]
+		s ^= 1 << j
+		j = int(pj)
+	}
+	order = append(order, 0)
+	reverse(order)
+	return order
+}
+
+func nearestNeighbour(dist [][]float64) []int {
+	n := len(dist)
+	visited := make([]bool, n)
+	order := make([]int, 0, n)
+	cur := 0
+	order = append(order, 0)
+	visited[0] = true
+	visited[n-1] = true // end is fixed
+	for len(order) < n-1 {
+		best, arg := 0.0, -1
+		for j := 1; j < n-1; j++ {
+			if visited[j] {
+				continue
+			}
+			if arg == -1 || dist[cur][j] < best {
+				best, arg = dist[cur][j], j
+			}
+		}
+		if arg == -1 {
+			break
+		}
+		visited[arg] = true
+		order = append(order, arg)
+		cur = arg
+	}
+	return append(order, n-1)
+}
+
+// orOpt relocates segments of length 1..3 to cheaper positions until no
+// improving move exists (asymmetric-safe: segments keep their direction).
+func orOpt(dist [][]float64, order []int) {
+	n := len(order)
+	improved := true
+	for iter := 0; improved && iter < 60; iter++ {
+		improved = false
+		for segLen := 1; segLen <= 3; segLen++ {
+			for i := 1; i+segLen < n; i++ {
+				// Segment order[i..i+segLen-1]; cannot move endpoints.
+				if i+segLen-1 >= n-1 {
+					continue
+				}
+				a, b := order[i-1], order[i]
+				c, d := order[i+segLen-1], order[i+segLen]
+				removed := dist[a][b] + dist[c][d] - dist[a][d]
+				for j := 0; j+1 < n; j++ {
+					if j >= i-1 && j <= i+segLen-1 {
+						continue
+					}
+					p, q := order[j], order[j+1]
+					added := dist[p][b] + dist[c][q] - dist[p][q]
+					if added < removed-1e-9 {
+						moveSegment(order, i, segLen, j)
+						improved = true
+						break
+					}
+				}
+				if improved {
+					break
+				}
+			}
+			if improved {
+				break
+			}
+		}
+	}
+}
+
+// moveSegment relocates order[i:i+segLen] to immediately after position j
+// (indices refer to the order BEFORE the move, with j outside the segment).
+func moveSegment(order []int, i, segLen, j int) {
+	seg := make([]int, segLen)
+	copy(seg, order[i:i+segLen])
+	rest := make([]int, 0, len(order)-segLen)
+	rest = append(rest, order[:i]...)
+	rest = append(rest, order[i+segLen:]...)
+	// Find the position of the node that was at index j.
+	var jNode int
+	if j < i {
+		jNode = j
+	} else {
+		jNode = j - segLen
+	}
+	out := make([]int, 0, len(order))
+	out = append(out, rest[:jNode+1]...)
+	out = append(out, seg...)
+	out = append(out, rest[jNode+1:]...)
+	copy(order, out)
+}
+
+func reverse(xs []int) {
+	for i, j := 0, len(xs)-1; i < j; i, j = i+1, j-1 {
+		xs[i], xs[j] = xs[j], xs[i]
+	}
+}

@@ -1,0 +1,156 @@
+package atsp
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func pathValid(order []int, n int) bool {
+	if len(order) != n || order[0] != 0 || order[n-1] != n-1 {
+		return false
+	}
+	seen := make([]bool, n)
+	for _, v := range order {
+		if v < 0 || v >= n || seen[v] {
+			return false
+		}
+		seen[v] = true
+	}
+	return true
+}
+
+func randDist(rng *rand.Rand, n int) [][]float64 {
+	d := make([][]float64, n)
+	for i := range d {
+		d[i] = make([]float64, n)
+		for j := range d[i] {
+			if i != j {
+				d[i][j] = 1 + rng.Float64()*9
+			}
+		}
+	}
+	return d
+}
+
+// bruteForce finds the optimal path cost by permutation enumeration.
+func bruteForce(dist [][]float64) float64 {
+	n := len(dist)
+	mid := make([]int, 0, n-2)
+	for i := 1; i < n-1; i++ {
+		mid = append(mid, i)
+	}
+	best := 1e18
+	var permute func(k int)
+	permute = func(k int) {
+		if k == len(mid) {
+			c := dist[0][mid[0]]
+			for i := 0; i+1 < len(mid); i++ {
+				c += dist[mid[i]][mid[i+1]]
+			}
+			c += dist[mid[len(mid)-1]][n-1]
+			if c < best {
+				best = c
+			}
+			return
+		}
+		for i := k; i < len(mid); i++ {
+			mid[k], mid[i] = mid[i], mid[k]
+			permute(k + 1)
+			mid[k], mid[i] = mid[i], mid[k]
+		}
+	}
+	if len(mid) == 0 {
+		return dist[0][n-1]
+	}
+	permute(0)
+	return best
+}
+
+func TestSolvePathTrivialSizes(t *testing.T) {
+	if got := SolvePath(nil); got != nil {
+		t.Fatal("empty")
+	}
+	if got := SolvePath([][]float64{{0}}); len(got) != 1 || got[0] != 0 {
+		t.Fatal("n=1")
+	}
+	got := SolvePath([][]float64{{0, 1}, {1, 0}})
+	if len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Fatal("n=2")
+	}
+}
+
+func TestHeldKarpOptimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 30; trial++ {
+		n := 3 + rng.Intn(6) // up to 8 nodes → exact solver
+		d := randDist(rng, n)
+		order := SolvePath(d)
+		if !pathValid(order, n) {
+			t.Fatalf("invalid path %v", order)
+		}
+		got := Cost(d, order)
+		want := bruteForce(d)
+		if got > want+1e-9 {
+			t.Fatalf("n=%d: Held-Karp cost %v > brute-force %v", n, got, want)
+		}
+	}
+}
+
+func TestHeuristicValidAndBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	n := ExactLimit + 5 // force the heuristic path
+	d := randDist(rng, n)
+	order := SolvePath(d)
+	if !pathValid(order, n) {
+		t.Fatalf("invalid heuristic path %v", order)
+	}
+	// The Or-opt improved path must not be worse than plain nearest
+	// neighbour.
+	nn := nearestNeighbour(d)
+	if Cost(d, order) > Cost(d, nn)+1e-9 {
+		t.Fatalf("heuristic worse than its own construction: %v > %v", Cost(d, order), Cost(d, nn))
+	}
+}
+
+func TestSolvePathAlwaysPermutation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(14)
+		d := randDist(rng, n)
+		return pathValid(SolvePath(d), n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAsymmetricCostsRespected(t *testing.T) {
+	// Chain 0 -> 1 -> 2 -> 3 with cheap forward, expensive backward arcs:
+	// the solver must output the forward order.
+	const big = 100.0
+	d := [][]float64{
+		{0, 1, big, big},
+		{big, 0, 1, big},
+		{big, big, 0, 1},
+		{big, big, big, 0},
+	}
+	order := SolvePath(d)
+	want := []int{0, 1, 2, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestMoveSegment(t *testing.T) {
+	order := []int{0, 1, 2, 3, 4, 5}
+	moveSegment(order, 1, 2, 4) // move [1,2] after node at index 4
+	want := []int{0, 3, 4, 1, 2, 5}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("moveSegment = %v, want %v", order, want)
+		}
+	}
+}

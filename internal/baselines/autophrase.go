@@ -1,0 +1,158 @@
+package baselines
+
+import (
+	"sort"
+	"strings"
+
+	"giant/internal/nlp"
+)
+
+// AutoPhrase is a lightweight reimplementation of the quality-phrase-mining
+// idea behind Shang et al.'s AutoPhrase: candidate n-grams are generated
+// under POS-guided segmentation (no phrase may cross a stop word or
+// punctuation), scored by frequency, completeness (how often the n-gram
+// appears as a maximal unit) and POS-shape quality, and the top phrases are
+// concatenated in input order. Its corpus is just the cluster at hand, which
+// is exactly why — like the original on short queries — it underperforms
+// here (Table 5).
+type AutoPhrase struct {
+	MaxN int
+	TopK int
+	Lex  *nlp.Lexicon
+}
+
+// NewAutoPhrase builds the baseline (lex may be nil).
+func NewAutoPhrase(lex *nlp.Lexicon) *AutoPhrase {
+	return &AutoPhrase{MaxN: 4, TopK: 5, Lex: lex}
+}
+
+type apCand struct {
+	gram  string
+	score float64
+}
+
+// Extract mines quality phrases from the cluster and returns the top-K
+// concatenated in appearance order.
+func (a *AutoPhrase) Extract(queries, titles []string) string {
+	texts := append(append([]string{}, queries...), titles...)
+	freq := map[string]int{}
+	longerFreq := map[string]int{}
+	for _, text := range texts {
+		toks := nlp.Tokenize(text)
+		segs := segment(toks)
+		for _, seg := range segs {
+			for n := 1; n <= a.MaxN; n++ {
+				for i := 0; i+n <= len(seg); i++ {
+					g := strings.Join(seg[i:i+n], " ")
+					freq[g]++
+					if n < a.MaxN && i+n < len(seg) {
+						longerFreq[g]++
+					}
+				}
+			}
+		}
+	}
+	var cands []apCand
+	for g, f := range freq {
+		toks := strings.Fields(g)
+		quality := posQuality(toks, a.Lex)
+		if quality == 0 {
+			continue
+		}
+		completeness := 1.0
+		if lf, ok := longerFreq[g]; ok && f > 0 {
+			completeness = 1 - float64(lf)/float64(f+1)
+		}
+		score := float64(f) * float64(len(toks)) * quality * completeness
+		cands = append(cands, apCand{g, score})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].score != cands[j].score {
+			return cands[i].score > cands[j].score
+		}
+		return cands[i].gram < cands[j].gram
+	})
+	k := a.TopK
+	if k > len(cands) {
+		k = len(cands)
+	}
+	// Keep top-K phrases but drop sub-grams of already selected phrases.
+	var kept []string
+	for _, c := range cands {
+		if len(kept) >= k {
+			break
+		}
+		sub := false
+		for _, s := range kept {
+			if strings.Contains(" "+s+" ", " "+c.gram+" ") {
+				sub = true
+				break
+			}
+		}
+		if !sub {
+			kept = append(kept, c.gram)
+		}
+	}
+	var words []string
+	seen := map[string]bool{}
+	for _, p := range kept {
+		for _, w := range strings.Fields(p) {
+			if !seen[w] {
+				seen[w] = true
+				words = append(words, w)
+			}
+		}
+	}
+	return orderByAppearance(words, texts)
+}
+
+// segment splits a token sequence at stop words and punctuation (POS-guided
+// segmentation).
+func segment(toks []string) [][]string {
+	var segs [][]string
+	var cur []string
+	for _, t := range toks {
+		if nlp.IsStopWord(t) || nlp.GuessPOS(t) == nlp.PosPunct {
+			if len(cur) > 0 {
+				segs = append(segs, cur)
+				cur = nil
+			}
+			continue
+		}
+		cur = append(cur, t)
+	}
+	if len(cur) > 0 {
+		segs = append(segs, cur)
+	}
+	return segs
+}
+
+// posQuality scores the POS shape: noun-ended n-grams with adjective/noun
+// bodies score highest; anything containing a verb or punctuation scores 0.
+func posQuality(toks []string, lex *nlp.Lexicon) float64 {
+	posOf := nlp.GuessPOS
+	if lex != nil {
+		posOf = lex.POSOf
+	}
+	q := 1.0
+	for i, t := range toks {
+		p := posOf(t)
+		switch p {
+		case nlp.PosPunct, nlp.PosVerb:
+			return 0
+		case nlp.PosNoun, nlp.PosPropn:
+			// fine anywhere
+		case nlp.PosAdj:
+			if i == len(toks)-1 {
+				q *= 0.5 // adjective-final phrases are lower quality
+			}
+		default:
+			q *= 0.3
+		}
+	}
+	last := posOf(toks[len(toks)-1])
+	if last != nlp.PosNoun && last != nlp.PosPropn {
+		q *= 0.4
+	}
+	return q
+}

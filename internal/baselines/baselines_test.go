@@ -1,0 +1,173 @@
+package baselines
+
+import (
+	"strings"
+	"testing"
+
+	"giant/internal/synth"
+)
+
+func TestTextRankKeywords(t *testing.T) {
+	tr := NewTextRank()
+	texts := []string{
+		"economy cars for families",
+		"best economy cars this year",
+		"economy cars roundup",
+	}
+	kws := tr.Keywords(texts)
+	if len(kws) == 0 {
+		t.Fatal("no keywords")
+	}
+	// "economy" and "cars" dominate the co-occurrence graph.
+	top2 := map[string]bool{kws[0]: true, kws[1]: true}
+	if !top2["economy"] || !top2["cars"] {
+		t.Fatalf("top keywords = %v", kws)
+	}
+	if tr.Keywords(nil) != nil {
+		t.Fatal("empty corpus")
+	}
+}
+
+func TestTextRankExtractOrdersByAppearance(t *testing.T) {
+	tr := NewTextRank()
+	out := tr.Extract([]string{"economy cars list"}, []string{"economy cars guide"})
+	if !strings.HasPrefix(out, "economy cars") {
+		t.Fatalf("Extract = %q", out)
+	}
+}
+
+func TestAutoPhraseSegmentation(t *testing.T) {
+	segs := segment([]string{"best", "economy", "cars", ",", "really"})
+	// "best" is a stop word and "," punctuation → two segments.
+	if len(segs) != 2 || segs[0][0] != "economy" {
+		t.Fatalf("segments = %v", segs)
+	}
+}
+
+func TestAutoPhraseExtract(t *testing.T) {
+	ap := NewAutoPhrase(nil)
+	out := ap.Extract(
+		[]string{"economy cars list", "best economy cars"},
+		[]string{"economy cars roundup for buyers"},
+	)
+	if !strings.Contains(out, "economy") || !strings.Contains(out, "cars") {
+		t.Fatalf("AutoPhrase Extract = %q", out)
+	}
+}
+
+func TestBIOLabelsAndDecode(t *testing.T) {
+	seq := []string{"best", "economy", "cars", "today"}
+	labels := BIOLabels(seq, []string{"economy", "cars"})
+	want := []int{TagO, TagB, TagI, TagO}
+	for i := range want {
+		if labels[i] != want[i] {
+			t.Fatalf("labels = %v", labels)
+		}
+	}
+	if got := DecodeBIO(seq, labels); got != "economy cars" {
+		t.Fatalf("DecodeBIO = %q", got)
+	}
+	// Duplicate tokens decoded once.
+	if got := DecodeBIO([]string{"a", "a"}, []int{TagB, TagI}); got != "a" {
+		t.Fatalf("dedup decode = %q", got)
+	}
+}
+
+func TestSeqTaggerLearnsToggle(t *testing.T) {
+	cfg := DefaultSeqTaggerConfig(NumBIOTags, true)
+	cfg.Epochs = 12
+	tg := NewSeqTagger(cfg)
+	// Tiny synthetic rule: token "x" is always B, everything else O.
+	var seqs [][]string
+	var labels [][]int
+	for i := 0; i < 30; i++ {
+		seqs = append(seqs, []string{"a", "x", "b"})
+		labels = append(labels, []int{TagO, TagB, TagO})
+		seqs = append(seqs, []string{"x", "c"})
+		labels = append(labels, []int{TagB, TagO})
+	}
+	tg.Train(seqs, labels)
+	got := tg.Predict([]string{"b", "x", "a"})
+	if got[1] != TagB || got[0] != TagO {
+		t.Fatalf("tagger failed to learn: %v", got)
+	}
+}
+
+func TestExtractorsOnDataset(t *testing.T) {
+	w := synth.GenWorld(synth.TinyConfig())
+	train := w.ConceptExamples(24, 1)
+	test := w.ConceptExamples(6, 2)
+	match := NewMatchExtractor(train)
+	if len(match.Patterns) < 5 {
+		t.Fatalf("patterns = %d", len(match.Patterns))
+	}
+	extractors := []PhraseExtractor{
+		&TextRankExtractor{TR: NewTextRank()},
+		&AutoPhraseExtractor{AP: NewAutoPhrase(w.Lexicon)},
+		match,
+		&AlignExtractor{},
+		&MatchAlignExtractor{Patterns: match.Patterns},
+		NewCoverRankExtractor(),
+	}
+	for _, e := range extractors {
+		if e.Name() == "" {
+			t.Fatal("empty extractor name")
+		}
+		nonEmpty := 0
+		for i := range test {
+			if e.Extract(&test[i]) != "" {
+				nonEmpty++
+			}
+		}
+		if nonEmpty == 0 && e.Name() != "Match" {
+			t.Fatalf("%s produced no output at all", e.Name())
+		}
+	}
+}
+
+func TestLSTMCRFExtractorEndToEnd(t *testing.T) {
+	w := synth.GenWorld(synth.TinyConfig())
+	train := w.ConceptExamples(24, 3)
+	test := w.ConceptExamples(4, 4)
+	ex := NewLSTMCRFExtractorWithEpochs(train, ModeQuery, true, "Q-LSTM-CRF", 3)
+	if ex.Name() != "Q-LSTM-CRF" {
+		t.Fatal("name")
+	}
+	for i := range test {
+		_ = ex.Extract(&test[i]) // must not panic; quality checked in experiments
+	}
+}
+
+func TestTextSummaryExtractorRuns(t *testing.T) {
+	w := synth.GenWorld(synth.TinyConfig())
+	train := w.EventExamples(10, 5)
+	test := w.EventExamples(2, 6)
+	ts := NewTextSummaryExtractor(train, 1, 7)
+	for i := range test {
+		out := ts.Extract(&test[i])
+		if strings.Contains(out, "<sos>") || strings.Contains(out, "<eos>") {
+			t.Fatalf("reserved tokens leaked: %q", out)
+		}
+	}
+}
+
+func TestKeyTaggerCoverage(t *testing.T) {
+	w := synth.GenWorld(synth.TinyConfig())
+	train := w.EventExamples(20, 8)
+	test := w.EventExamples(3, 9)
+	tg := NewLSTMKeyTaggerWithEpochs(train, true, "LSTM-CRF", 2)
+	for i := range test {
+		ex := &test[i]
+		classes := tg.TagKeyElements(ex)
+		toks := KeyElementTokens(ex)
+		if len(toks) == 0 {
+			t.Fatal("no evaluation tokens")
+		}
+		// Every input-visible token must get a class.
+		for _, tok := range keyElementInput(ex) {
+			if _, ok := classes[tok]; !ok {
+				t.Fatalf("token %q unclassified", tok)
+			}
+		}
+	}
+}

@@ -1,0 +1,140 @@
+// Package baselines implements every comparison method from Tables 5–7:
+// TextRank, AutoPhrase(-lite), Match, Align, MatchAlign, LSTM-CRF (query and
+// title variants), CoverRank, TextSummary (attention seq2seq) and a plain
+// LSTM tagger. Each exposes the same Extract-style interface the experiment
+// harness drives.
+package baselines
+
+import (
+	"sort"
+	"strings"
+
+	"giant/internal/nlp"
+)
+
+// TextRank extracts keywords by PageRank over a token co-occurrence window
+// graph (Mihalcea & Tarau), then — following the paper's protocol — the top
+// K keywords are concatenated in the order they appear in the query/title to
+// form the output phrase.
+type TextRank struct {
+	Window     int
+	Damping    float64
+	Iterations int
+	TopK       int
+}
+
+// NewTextRank returns the configuration used in the experiments.
+func NewTextRank() *TextRank {
+	return &TextRank{Window: 3, Damping: 0.85, Iterations: 30, TopK: 5}
+}
+
+// Keywords ranks unique non-stop tokens of the texts.
+func (t *TextRank) Keywords(texts []string) []string {
+	idx := map[string]int{}
+	var words []string
+	adj := map[int]map[int]float64{}
+	add := func(w string) int {
+		if i, ok := idx[w]; ok {
+			return i
+		}
+		i := len(words)
+		idx[w] = i
+		words = append(words, w)
+		adj[i] = map[int]float64{}
+		return i
+	}
+	for _, text := range texts {
+		toks := nlp.Tokenize(text)
+		var content []int
+		for _, tok := range toks {
+			if nlp.IsStopWord(tok) || len(tok) == 0 {
+				content = append(content, -1)
+				continue
+			}
+			content = append(content, add(tok))
+		}
+		for i, a := range content {
+			if a < 0 {
+				continue
+			}
+			for j := i + 1; j < len(content) && j <= i+t.Window; j++ {
+				b := content[j]
+				if b < 0 || b == a {
+					continue
+				}
+				adj[a][b]++
+				adj[b][a]++
+			}
+		}
+	}
+	n := len(words)
+	if n == 0 {
+		return nil
+	}
+	rank := make([]float64, n)
+	for i := range rank {
+		rank[i] = 1 / float64(n)
+	}
+	for it := 0; it < t.Iterations; it++ {
+		next := make([]float64, n)
+		for v := 0; v < n; v++ {
+			next[v] = (1 - t.Damping) / float64(n)
+		}
+		for v := 0; v < n; v++ {
+			var out float64
+			for _, w := range adj[v] {
+				out += w
+			}
+			if out == 0 {
+				continue
+			}
+			for u, w := range adj[v] {
+				next[u] += t.Damping * rank[v] * w / out
+			}
+		}
+		rank = next
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if rank[order[i]] != rank[order[j]] {
+			return rank[order[i]] > rank[order[j]]
+		}
+		return words[order[i]] < words[order[j]]
+	})
+	k := t.TopK
+	if k > n {
+		k = n
+	}
+	out := make([]string, 0, k)
+	for _, i := range order[:k] {
+		out = append(out, words[i])
+	}
+	return out
+}
+
+// Extract returns the top-K keywords re-ordered by first appearance in the
+// concatenated inputs (paper: "concatenate them in the same order with the
+// query/title").
+func (t *TextRank) Extract(queries, titles []string) string {
+	texts := append(append([]string{}, queries...), titles...)
+	kws := t.Keywords(texts)
+	return orderByAppearance(kws, texts)
+}
+
+func orderByAppearance(words []string, texts []string) string {
+	pos := map[string]int{}
+	p := 0
+	for _, text := range texts {
+		for _, tok := range nlp.Tokenize(text) {
+			if _, ok := pos[tok]; !ok {
+				pos[tok] = p
+			}
+			p++
+		}
+	}
+	sort.SliceStable(words, func(i, j int) bool { return pos[words[i]] < pos[words[j]] })
+	return strings.Join(words, " ")
+}

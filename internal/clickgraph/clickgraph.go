@@ -1,0 +1,301 @@
+// Package clickgraph implements the bipartite search click graph of §3.1:
+// queries on one side, documents on the other, edge weights equal to click
+// counts. It provides the transport probabilities of Eq. (1)–(2) and the
+// random-walk clustering that turns a seed query into an ordered query-doc
+// cluster for phrase mining.
+package clickgraph
+
+import (
+	"sort"
+	"strings"
+
+	"giant/internal/nlp"
+)
+
+// Graph is a weighted bipartite click graph. Zero value is not usable; call
+// New.
+type Graph struct {
+	queries   []string
+	queryIdx  map[string]int
+	docTitles []string
+	docIdx    map[int]int // external doc ID -> internal index
+	docIDs    []int       // internal index -> external doc ID
+	docDays   []int
+
+	qEdges [][]edge // per query: edges to docs
+	dEdges [][]edge // per doc: edges to queries
+
+	qOut []float64 // total clicks per query
+	dOut []float64 // total clicks per doc
+}
+
+type edge struct {
+	to     int
+	clicks float64
+}
+
+// New returns an empty click graph.
+func New() *Graph {
+	return &Graph{queryIdx: make(map[string]int), docIdx: make(map[int]int)}
+}
+
+// Add records clicks click-throughs from query to the document (docID,
+// title). Repeated observations accumulate.
+func (g *Graph) Add(query string, docID int, title string, clicks int, day int) {
+	if clicks <= 0 {
+		clicks = 1
+	}
+	qi, ok := g.queryIdx[query]
+	if !ok {
+		qi = len(g.queries)
+		g.queryIdx[query] = qi
+		g.queries = append(g.queries, query)
+		g.qEdges = append(g.qEdges, nil)
+		g.qOut = append(g.qOut, 0)
+	}
+	di, ok := g.docIdx[docID]
+	if !ok {
+		di = len(g.docTitles)
+		g.docIdx[docID] = di
+		g.docTitles = append(g.docTitles, title)
+		g.docIDs = append(g.docIDs, docID)
+		g.docDays = append(g.docDays, day)
+		g.dEdges = append(g.dEdges, nil)
+		g.dOut = append(g.dOut, 0)
+	}
+	c := float64(clicks)
+	g.qEdges[qi] = addEdge(g.qEdges[qi], di, c)
+	g.dEdges[di] = addEdge(g.dEdges[di], qi, c)
+	g.qOut[qi] += c
+	g.dOut[di] += c
+}
+
+func addEdge(es []edge, to int, c float64) []edge {
+	for i := range es {
+		if es[i].to == to {
+			es[i].clicks += c
+			return es
+		}
+	}
+	return append(es, edge{to, c})
+}
+
+// NumQueries returns the number of distinct queries.
+func (g *Graph) NumQueries() int { return len(g.queries) }
+
+// NumDocs returns the number of distinct documents.
+func (g *Graph) NumDocs() int { return len(g.docTitles) }
+
+// Queries returns all distinct queries (shared slice; do not mutate).
+func (g *Graph) Queries() []string { return g.queries }
+
+// PDocGivenQuery is Eq. (1): P(d|q) = c(q,d) / Σ_k c(q,k).
+func (g *Graph) PDocGivenQuery(query string, docID int) float64 {
+	qi, ok := g.queryIdx[query]
+	if !ok || g.qOut[qi] == 0 {
+		return 0
+	}
+	di, ok := g.docIdx[docID]
+	if !ok {
+		return 0
+	}
+	for _, e := range g.qEdges[qi] {
+		if e.to == di {
+			return e.clicks / g.qOut[qi]
+		}
+	}
+	return 0
+}
+
+// PQueryGivenDoc is Eq. (2): P(q|d) = c(q,d) / Σ_k c(k,d).
+func (g *Graph) PQueryGivenDoc(query string, docID int) float64 {
+	di, ok := g.docIdx[docID]
+	if !ok || g.dOut[di] == 0 {
+		return 0
+	}
+	qi, ok := g.queryIdx[query]
+	if !ok {
+		return 0
+	}
+	for _, e := range g.dEdges[di] {
+		if e.to == qi {
+			return e.clicks / g.dOut[di]
+		}
+	}
+	return 0
+}
+
+// Weighted is a text item (query or title) with its random-walk visiting
+// probability.
+type Weighted struct {
+	Text   string
+	Weight float64
+	DocID  int // external doc ID for titles; -1 for queries
+	Day    int
+}
+
+// Cluster is a query-doc cluster: the seed query's correlated queries and
+// document titles, each ordered by descending walk weight (§3.1:
+// "the queries and documents are sorted by the weights calculated during the
+// random walk").
+type Cluster struct {
+	Seed    string
+	Queries []Weighted
+	Titles  []Weighted
+}
+
+// WalkConfig tunes the random-walk clustering.
+type WalkConfig struct {
+	Steps     int     // power-iteration steps of the two-hop walk
+	Threshold float64 // δv: minimum visiting probability to keep a node
+	MaxItems  int     // cap on queries/titles kept per cluster
+}
+
+// DefaultWalkConfig mirrors the paper's behaviour at laptop scale.
+func DefaultWalkConfig() WalkConfig {
+	return WalkConfig{Steps: 3, Threshold: 0.02, MaxItems: 8}
+}
+
+// ClusterFor runs the random walk from seed and returns its cluster, or
+// ok=false if the seed query is unknown. The walk is computed exactly by
+// power iteration over the transport probabilities (no sampling), so results
+// are deterministic.
+func (g *Graph) ClusterFor(seed string, cfg WalkConfig) (Cluster, bool) {
+	qi, ok := g.queryIdx[seed]
+	if !ok {
+		return Cluster{}, false
+	}
+	qProb := map[int]float64{qi: 1}
+	dProb := map[int]float64{}
+	for s := 0; s < cfg.Steps; s++ {
+		// Query -> doc hop.
+		nd := map[int]float64{}
+		for q, p := range qProb {
+			if g.qOut[q] == 0 {
+				continue
+			}
+			for _, e := range g.qEdges[q] {
+				nd[e.to] += p * e.clicks / g.qOut[q]
+			}
+		}
+		for d, p := range nd {
+			dProb[d] += p
+		}
+		// Doc -> query hop.
+		nq := map[int]float64{}
+		for d, p := range nd {
+			if g.dOut[d] == 0 {
+				continue
+			}
+			for _, e := range g.dEdges[d] {
+				nq[e.to] += p * e.clicks / g.dOut[d]
+			}
+		}
+		qProb = nq
+		qProb[qi] += 0.0 // keep seed key present
+	}
+	// Accumulate final query visiting probabilities (seed always kept).
+	qProb[qi] += 1
+
+	cl := Cluster{Seed: seed}
+	for q, p := range qProb {
+		if q != qi && p < cfg.Threshold {
+			continue
+		}
+		// §3.1: keep a visited query only if it shares more than half of the
+		// seed's non-stop words.
+		if q != qi && !sharesMajorityNonStop(seed, g.queries[q]) {
+			continue
+		}
+		cl.Queries = append(cl.Queries, Weighted{Text: g.queries[q], Weight: p, DocID: -1})
+	}
+	for d, p := range dProb {
+		if p < cfg.Threshold {
+			continue
+		}
+		cl.Titles = append(cl.Titles, Weighted{Text: g.docTitles[d], Weight: p, DocID: g.docIDs[d], Day: g.docDays[d]})
+	}
+	sortWeighted(cl.Queries)
+	sortWeighted(cl.Titles)
+	if cfg.MaxItems > 0 {
+		if len(cl.Queries) > cfg.MaxItems {
+			cl.Queries = cl.Queries[:cfg.MaxItems]
+		}
+		if len(cl.Titles) > cfg.MaxItems {
+			cl.Titles = cl.Titles[:cfg.MaxItems]
+		}
+	}
+	return cl, true
+}
+
+// Clusters enumerates a cluster for every distinct query.
+func (g *Graph) Clusters(cfg WalkConfig) []Cluster {
+	out := make([]Cluster, 0, len(g.queries))
+	for _, q := range g.queries {
+		if c, ok := g.ClusterFor(q, cfg); ok {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func sortWeighted(ws []Weighted) {
+	sort.Slice(ws, func(i, j int) bool {
+		if ws[i].Weight != ws[j].Weight {
+			return ws[i].Weight > ws[j].Weight
+		}
+		return ws[i].Text < ws[j].Text
+	})
+}
+
+func sharesMajorityNonStop(seed, other string) bool {
+	st := map[string]bool{}
+	n := 0
+	for _, t := range nlp.Tokenize(seed) {
+		if !nlp.IsStopWord(t) {
+			st[t] = true
+			n++
+		}
+	}
+	if n == 0 {
+		return true
+	}
+	hit := 0
+	seen := map[string]bool{}
+	for _, t := range nlp.Tokenize(other) {
+		if st[t] && !seen[t] {
+			hit++
+			seen[t] = true
+		}
+	}
+	return hit*2 > n
+}
+
+// TopTitlesFor returns up to k clicked titles for a query, by click count —
+// the "context-enriched representation" source for phrase normalization.
+func (g *Graph) TopTitlesFor(query string, k int) []string {
+	qi, ok := g.queryIdx[query]
+	if !ok {
+		return nil
+	}
+	es := append([]edge(nil), g.qEdges[qi]...)
+	sort.Slice(es, func(i, j int) bool { return es[i].clicks > es[j].clicks })
+	if len(es) > k {
+		es = es[:k]
+	}
+	out := make([]string, 0, len(es))
+	for _, e := range es {
+		out = append(out, g.docTitles[e.to])
+	}
+	return out
+}
+
+// ContainsQuery reports whether the graph has seen the exact query.
+func (g *Graph) ContainsQuery(q string) bool {
+	_, ok := g.queryIdx[strings.ToLower(q)]
+	if ok {
+		return true
+	}
+	_, ok = g.queryIdx[q]
+	return ok
+}

@@ -1,0 +1,136 @@
+package clickgraph
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func sample() *Graph {
+	g := New()
+	g.Add("best cars", 1, "the best cars of 2019", 10, 0)
+	g.Add("best cars", 2, "cars roundup review", 5, 0)
+	g.Add("cars roundup", 2, "cars roundup review", 15, 1)
+	g.Add("best cars", 1, "the best cars of 2019", 2, 0) // repeat accumulates
+	return g
+}
+
+func TestTransportProbabilities(t *testing.T) {
+	g := sample()
+	// c(best cars, 1) = 12, c(best cars, 2) = 5 → P(1|q) = 12/17.
+	if got, want := g.PDocGivenQuery("best cars", 1), 12.0/17.0; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("PDocGivenQuery = %v, want %v", got, want)
+	}
+	// c(*, 2): best cars 5, cars roundup 15 → P(best cars|2) = 5/20.
+	if got, want := g.PQueryGivenDoc("best cars", 2), 0.25; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("PQueryGivenDoc = %v, want %v", got, want)
+	}
+	if g.PDocGivenQuery("missing", 1) != 0 || g.PQueryGivenDoc("best cars", 99) != 0 {
+		t.Fatal("missing nodes should have probability 0")
+	}
+}
+
+func TestProbabilitiesSumToOne(t *testing.T) {
+	g := sample()
+	s := g.PDocGivenQuery("best cars", 1) + g.PDocGivenQuery("best cars", 2)
+	if math.Abs(s-1) > 1e-12 {
+		t.Fatalf("P(d|q) sums to %v", s)
+	}
+}
+
+func TestClusterForSeedKept(t *testing.T) {
+	g := sample()
+	cl, ok := g.ClusterFor("best cars", DefaultWalkConfig())
+	if !ok {
+		t.Fatal("seed not found")
+	}
+	if len(cl.Queries) == 0 || cl.Queries[0].Text != "best cars" {
+		t.Fatalf("seed should rank first: %+v", cl.Queries)
+	}
+	if len(cl.Titles) == 0 {
+		t.Fatal("no titles in cluster")
+	}
+	// Weights must be non-increasing.
+	for i := 1; i < len(cl.Titles); i++ {
+		if cl.Titles[i].Weight > cl.Titles[i-1].Weight {
+			t.Fatal("titles not sorted by weight")
+		}
+	}
+}
+
+func TestClusterSharesMajorityFilter(t *testing.T) {
+	g := New()
+	g.Add("alpha beta", 1, "doc one", 10, 0)
+	g.Add("gamma delta", 1, "doc one", 10, 0) // co-clicked but unrelated text
+	cl, _ := g.ClusterFor("alpha beta", WalkConfig{Steps: 3, Threshold: 0.0, MaxItems: 10})
+	for _, q := range cl.Queries {
+		if q.Text == "gamma delta" {
+			t.Fatal("unrelated query leaked into cluster (majority non-stop filter)")
+		}
+	}
+}
+
+func TestClusterUnknownSeed(t *testing.T) {
+	g := sample()
+	if _, ok := g.ClusterFor("nope", DefaultWalkConfig()); ok {
+		t.Fatal("unknown seed should fail")
+	}
+}
+
+func TestClustersEnumeratesAllQueries(t *testing.T) {
+	g := sample()
+	cs := g.Clusters(DefaultWalkConfig())
+	if len(cs) != g.NumQueries() {
+		t.Fatalf("clusters = %d, queries = %d", len(cs), g.NumQueries())
+	}
+}
+
+func TestTopTitlesOrderedByClicks(t *testing.T) {
+	g := sample()
+	titles := g.TopTitlesFor("best cars", 5)
+	if len(titles) != 2 || titles[0] != "the best cars of 2019" {
+		t.Fatalf("TopTitlesFor = %v", titles)
+	}
+	if got := g.TopTitlesFor("best cars", 1); len(got) != 1 {
+		t.Fatalf("k cap not applied: %v", got)
+	}
+}
+
+func TestMaxItemsCap(t *testing.T) {
+	g := New()
+	for i := 0; i < 20; i++ {
+		g.Add("common query", i, "shared title words", 1+i, 0)
+	}
+	cl, _ := g.ClusterFor("common query", WalkConfig{Steps: 2, Threshold: 0, MaxItems: 3})
+	if len(cl.Titles) > 3 {
+		t.Fatalf("MaxItems not applied: %d titles", len(cl.Titles))
+	}
+}
+
+func TestAddNonPositiveClicks(t *testing.T) {
+	g := New()
+	g.Add("q", 1, "t", 0, 0) // should be clamped to 1
+	if got := g.PDocGivenQuery("q", 1); got != 1 {
+		t.Fatalf("clamped click weight: P = %v", got)
+	}
+}
+
+func TestWalkDeterministic(t *testing.T) {
+	f := func(seed uint8) bool {
+		g := sample()
+		a, _ := g.ClusterFor("best cars", DefaultWalkConfig())
+		b, _ := g.ClusterFor("best cars", DefaultWalkConfig())
+		if len(a.Queries) != len(b.Queries) || len(a.Titles) != len(b.Titles) {
+			return false
+		}
+		for i := range a.Queries {
+			if a.Queries[i] != b.Queries[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

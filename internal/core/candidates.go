@@ -1,0 +1,304 @@
+package core
+
+import (
+	"sort"
+	"strings"
+
+	"giant/internal/nlp"
+)
+
+// seedPatterns are the bootstrap seeds for pattern-concept duality (§3.1,
+// "Training Dataset Construction"). "X" marks the concept slot.
+var seedPatterns = []string{
+	"best X",
+	"what are the X ?",
+	"top 10 X",
+	"X list",
+	"recommended X",
+}
+
+// Bootstrapper mines concepts from queries by pattern-concept duality:
+// patterns extract concepts, and queries containing known concepts yield new
+// patterns, iterating until a fixed point (or maxRounds).
+type Bootstrapper struct {
+	Patterns  []string
+	Concepts  map[string]bool
+	MaxRounds int
+	// MinPatternSupport is how many distinct concepts a candidate pattern
+	// must extract before it is adopted.
+	MinPatternSupport int
+}
+
+// NewBootstrapper starts from the seed patterns.
+func NewBootstrapper() *Bootstrapper {
+	return &Bootstrapper{
+		Patterns:          append([]string(nil), seedPatterns...),
+		Concepts:          make(map[string]bool),
+		MaxRounds:         4,
+		MinPatternSupport: 2,
+	}
+}
+
+// matchPattern returns the concept extracted from query under pattern, or
+// "" on no match. Both are token sequences; "X" greedily matches >=1 token.
+func matchPattern(pattern, query string) string {
+	pt := strings.Fields(pattern)
+	qt := nlp.Tokenize(query)
+	xi := -1
+	for i, t := range pt {
+		if t == "X" {
+			xi = i
+			break
+		}
+	}
+	if xi < 0 {
+		return ""
+	}
+	prefix, suffix := pt[:xi], pt[xi+1:]
+	if len(qt) < len(prefix)+len(suffix)+1 {
+		return ""
+	}
+	for i, t := range prefix {
+		if qt[i] != t {
+			return ""
+		}
+	}
+	for i, t := range suffix {
+		if qt[len(qt)-len(suffix)+i] != t {
+			return ""
+		}
+	}
+	x := qt[len(prefix) : len(qt)-len(suffix)]
+	if len(x) == 0 {
+		return ""
+	}
+	for _, t := range x {
+		if nlp.IsStopWord(t) && len(x) == 1 {
+			return ""
+		}
+	}
+	return strings.Join(x, " ")
+}
+
+// Run iterates pattern→concept and concept→pattern extraction over the
+// query stream and returns all discovered concepts.
+func (b *Bootstrapper) Run(queries []string) []string {
+	for round := 0; round < b.MaxRounds; round++ {
+		grewConcepts := false
+		for _, q := range queries {
+			for _, p := range b.Patterns {
+				if c := matchPattern(p, q); c != "" && !b.Concepts[c] {
+					b.Concepts[c] = true
+					grewConcepts = true
+				}
+			}
+		}
+		// Learn new patterns: replace a known concept inside a query by X.
+		candidate := map[string]map[string]bool{}
+		for _, q := range queries {
+			qt := nlp.Tokenize(q)
+			qs := strings.Join(qt, " ")
+			for c := range b.Concepts {
+				if i := strings.Index(" "+qs+" ", " "+c+" "); i >= 0 {
+					pat := strings.TrimSpace(strings.Replace(" "+qs+" ", " "+c+" ", " X ", 1))
+					if pat == "X" {
+						continue
+					}
+					if candidate[pat] == nil {
+						candidate[pat] = map[string]bool{}
+					}
+					candidate[pat][c] = true
+				}
+			}
+		}
+		grewPatterns := false
+		have := map[string]bool{}
+		for _, p := range b.Patterns {
+			have[p] = true
+		}
+		for pat, support := range candidate {
+			if len(support) >= b.MinPatternSupport && !have[pat] {
+				b.Patterns = append(b.Patterns, pat)
+				grewPatterns = true
+			}
+		}
+		if !grewConcepts && !grewPatterns {
+			break
+		}
+	}
+	out := make([]string, 0, len(b.Concepts))
+	for c := range b.Concepts {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// MatchExtract is the "Match" baseline: extract a concept from a single
+// cluster with bootstrapped patterns (most frequent result across queries).
+func MatchExtract(patterns []string, queries []string) string {
+	counts := map[string]int{}
+	for _, q := range queries {
+		for _, p := range patterns {
+			if c := matchPattern(p, q); c != "" {
+				counts[c]++
+			}
+		}
+	}
+	return mostFrequent(counts)
+}
+
+// AlignExtract is the query-title alignment strategy (§3.1): find a chunk of
+// a clicked title that contains the query's non-stop tokens in order,
+// possibly with extra tokens inside the span; the chunk is the candidate
+// concept. Titles should be ordered by click weight; the first match wins.
+func AlignExtract(query string, titles []string) string {
+	qt := contentTokens(nlp.Tokenize(query))
+	if len(qt) == 0 {
+		return ""
+	}
+	for _, title := range titles {
+		tt := nlp.Tokenize(title)
+		if chunk := alignChunk(qt, tt); chunk != "" {
+			return chunk
+		}
+	}
+	return ""
+}
+
+// alignChunk returns the smallest title span containing all query tokens in
+// order.
+func alignChunk(queryTokens, titleTokens []string) string {
+	n := len(titleTokens)
+	for start := 0; start < n; start++ {
+		if titleTokens[start] != queryTokens[0] {
+			continue
+		}
+		qi := 0
+		end := -1
+		for i := start; i < n && qi < len(queryTokens); i++ {
+			if titleTokens[i] == queryTokens[qi] {
+				qi++
+				end = i
+			}
+		}
+		if qi == len(queryTokens) {
+			span := titleTokens[start : end+1]
+			// A concept chunk should be noun-phrase-like: reject spans with
+			// sentence punctuation inside.
+			for _, t := range span {
+				if t == "." || t == "," || t == ":" || t == "?" {
+					return ""
+				}
+			}
+			return strings.Join(span, " ")
+		}
+	}
+	return ""
+}
+
+// MatchAlignExtract combines pattern matching and alignment, returning the
+// most frequent extraction (the "MatchAlign" baseline).
+func MatchAlignExtract(patterns []string, queries, titles []string) string {
+	counts := map[string]int{}
+	for _, q := range queries {
+		for _, p := range patterns {
+			if c := matchPattern(p, q); c != "" {
+				counts[c]++
+			}
+		}
+		if c := AlignExtract(q, titles); c != "" {
+			counts[c]++
+		}
+	}
+	return mostFrequent(counts)
+}
+
+// CoverRankExtract is the unsupervised event candidate strategy (§3.1 and
+// the CoverRank baseline of Table 6): split titles into subtitles at
+// punctuation, keep those with length in [minLen, maxLen] tokens, score by
+// the number of unique non-stop query tokens covered, tie-break by click
+// count, and return the top subtitle.
+func CoverRankExtract(queries, titles []string, clicks []int, minLen, maxLen int) string {
+	queryTokens := map[string]bool{}
+	for _, q := range queries {
+		for _, t := range nlp.Tokenize(q) {
+			if !nlp.IsStopWord(t) {
+				queryTokens[t] = true
+			}
+		}
+	}
+	best, bestScore, bestClicks := "", -1, -1
+	for ti, title := range titles {
+		c := 0
+		if ti < len(clicks) {
+			c = clicks[ti]
+		}
+		for _, sub := range SplitSubtitles(title) {
+			toks := nlp.Tokenize(sub)
+			if len(toks) < minLen || len(toks) > maxLen {
+				continue
+			}
+			seen := map[string]bool{}
+			score := 0
+			for _, t := range toks {
+				if queryTokens[t] && !seen[t] {
+					seen[t] = true
+					score++
+				}
+			}
+			if score > bestScore || (score == bestScore && c > bestClicks) {
+				best, bestScore, bestClicks = strings.Join(toks, " "), score, c
+			}
+		}
+	}
+	return best
+}
+
+// SplitSubtitles splits a document title into clause-level subtitles at
+// punctuation, mirroring the paper's subtitle segmentation.
+func SplitSubtitles(title string) []string {
+	seps := []string{":", ",", "—", "-", "|", "?", "!", ".", ";"}
+	parts := []string{title}
+	for _, sep := range seps {
+		var next []string
+		for _, p := range parts {
+			next = append(next, strings.Split(p, sep)...)
+		}
+		parts = next
+	}
+	out := parts[:0]
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func contentTokens(toks []string) []string {
+	out := make([]string, 0, len(toks))
+	for _, t := range toks {
+		if !nlp.IsStopWord(t) {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+func mostFrequent(counts map[string]int) string {
+	best, bestN := "", 0
+	keys := make([]string, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		// Prefer longer phrases on ties: alignment results extend matches.
+		if counts[k] > bestN || (counts[k] == bestN && len(k) > len(best)) {
+			best, bestN = k, counts[k]
+		}
+	}
+	return best
+}

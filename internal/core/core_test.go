@@ -1,0 +1,186 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"giant/internal/clickgraph"
+	"giant/internal/synth"
+)
+
+func tinyWorld() *synth.World { return synth.GenWorld(synth.TinyConfig()) }
+
+func TestBootstrapperDuality(t *testing.T) {
+	b := NewBootstrapper()
+	queries := []string{
+		"best economy cars",
+		"economy cars list",
+		"my favorite economy cars today", // pattern to learn
+		"my favorite luxury phones today",
+		"best luxury phones",
+		"my favorite detective novels today",
+		"detective novels list",
+	}
+	concepts := b.Run(queries)
+	has := func(c string) bool {
+		for _, x := range concepts {
+			if x == c {
+				return true
+			}
+		}
+		return false
+	}
+	if !has("economy cars") || !has("luxury phones") {
+		t.Fatalf("seed patterns failed: %v", concepts)
+	}
+	// "my favorite X today" must have been learned from two known concepts
+	// and then extract the third.
+	if !has("detective novels") {
+		t.Fatalf("pattern-concept duality failed: %v", concepts)
+	}
+}
+
+func TestMatchExtract(t *testing.T) {
+	got := MatchExtract([]string{"best X"}, []string{"best economy cars", "unrelated"})
+	if got != "economy cars" {
+		t.Fatalf("MatchExtract = %q", got)
+	}
+	if got := MatchExtract([]string{"best X"}, []string{"nothing here"}); got != "" {
+		t.Fatalf("MatchExtract on no match = %q", got)
+	}
+}
+
+func TestAlignExtractFindsDetailedChunk(t *testing.T) {
+	// The title contains the query tokens in order with an extra token
+	// inside the span — alignment must return the full chunk.
+	got := AlignExtract("miyazaki movies", []string{
+		"review of miyazaki animated movies tonight",
+	})
+	if got != "miyazaki animated movies" {
+		t.Fatalf("AlignExtract = %q", got)
+	}
+	// No in-order containment -> no result.
+	if got := AlignExtract("movies miyazaki", []string{"review of miyazaki animated movies"}); got != "" {
+		t.Fatalf("out-of-order aligned: %q", got)
+	}
+	// Spans crossing punctuation are rejected.
+	if got := AlignExtract("miyazaki movies", []string{"miyazaki retires : his movies remain"}); got != "" {
+		t.Fatalf("span across punctuation: %q", got)
+	}
+}
+
+func TestCoverRankExtract(t *testing.T) {
+	queries := []string{"acme release earnings"}
+	titles := []string{
+		"markets wobble : acme release earnings surprise , analysts react",
+		"acme stock moves",
+	}
+	got := CoverRankExtract(queries, titles, []int{10, 5}, 3, 8)
+	if !strings.Contains(got, "acme release earnings") {
+		t.Fatalf("CoverRankExtract = %q", got)
+	}
+}
+
+func TestSplitSubtitles(t *testing.T) {
+	subs := SplitSubtitles("breaking : acme release earnings , analysts react")
+	if len(subs) != 3 {
+		t.Fatalf("subs = %v", subs)
+	}
+}
+
+func TestFeaturizeDimensions(t *testing.T) {
+	w := tinyWorld()
+	ex := w.ConceptExamples(1, 1)[0]
+	m := NewPhraseModel(w.Lexicon, Options{Epochs: 1, Layers: 2})
+	g := m.BuildGraph(ex.Queries, ex.Titles)
+	data := Featurize(g, FeatureMask{})
+	if data.X.R != len(g.Nodes) || data.X.C != FeatureDim {
+		t.Fatalf("features %dx%d, nodes %d dim %d", data.X.R, data.X.C, len(g.Nodes), FeatureDim)
+	}
+	if len(data.Edges) != len(g.Edges) {
+		t.Fatal("edges lost in featurization")
+	}
+	// Masked features zero their block.
+	masked := Featurize(g, FeatureMask{NoPOS: true})
+	for v := 0; v < masked.X.R; v++ {
+		for j := 0; j < featPOS; j++ {
+			if masked.X.At(v, j) != 0 {
+				t.Fatal("NoPOS mask leaked")
+			}
+		}
+	}
+}
+
+func TestGCTSPLearnsConceptExtraction(t *testing.T) {
+	w := tinyWorld()
+	train := w.ConceptExamples(48, 2)
+	test := w.ConceptExamples(12, 99)
+	m := NewPhraseModel(w.Lexicon, Options{Epochs: 5, Layers: 3, Seed: 4, Fallback: true})
+	m.Train(train)
+	hits := 0
+	for i := range test {
+		if m.ExtractFromExample(&test[i]) == test[i].Gold() {
+			hits++
+		}
+	}
+	if hits < 7 {
+		t.Fatalf("GCTSP-Net learned poorly: %d/12 exact", hits)
+	}
+}
+
+func TestGCTSPKeyElements(t *testing.T) {
+	w := tinyWorld()
+	train := w.EventExamples(48, 3)
+	test := w.EventExamples(8, 98)
+	m := NewKeyElementModel(w.Lexicon, Options{Epochs: 5, Layers: 3, Seed: 5})
+	m.Train(train)
+	correct, total := 0, 0
+	for i := range test {
+		ex := &test[i]
+		classes := m.KeyElements(ex.Queries, ex.Titles)
+		for tok, cls := range classes {
+			if cls == ex.KeyLabelOf(tok) {
+				correct++
+			}
+			total++
+		}
+	}
+	if total == 0 || float64(correct)/float64(total) < 0.8 {
+		t.Fatalf("key element accuracy %d/%d", correct, total)
+	}
+}
+
+func TestMinerEndToEnd(t *testing.T) {
+	w := tinyWorld()
+	log := w.GenerateLog(synth.LogConfig{Seed: 7, QueriesPerAspect: 3, DocsPerAspect: 3, MaxClicks: 20, NumSessions: 20})
+	g := clickgraph.New()
+	for _, r := range log.Records {
+		g.Add(r.Query, r.DocID, log.Docs[r.DocID].Title, r.Clicks, r.Day)
+	}
+	pm := NewPhraseModel(w.Lexicon, Options{Epochs: 4, Layers: 3, Fallback: true})
+	pm.Train(append(w.ConceptExamples(30, 8), w.EventExamples(30, 9)...))
+	km := NewKeyElementModel(w.Lexicon, Options{Epochs: 4, Layers: 3})
+	km.Train(w.EventExamples(30, 10))
+	miner := NewMiner(pm, km, w.Lexicon)
+	mined := miner.Mine(g)
+	if len(mined) < len(w.Concepts)/2 {
+		t.Fatalf("mined only %d attentions", len(mined))
+	}
+	events, concepts := 0, 0
+	for _, m := range mined {
+		if m.Phrase == "" {
+			t.Fatal("empty mined phrase")
+		}
+		if m.IsEvent {
+			events++
+			if m.Trigger == "" && len(m.Entities) == 0 {
+				t.Logf("event without recognized attributes: %q", m.Phrase)
+			}
+		} else {
+			concepts++
+		}
+	}
+	if events == 0 || concepts == 0 {
+		t.Fatalf("mined %d events %d concepts; want both kinds", events, concepts)
+	}
+}

@@ -1,0 +1,122 @@
+// Package core implements the paper's primary contribution: GCTSP-Net
+// (Graph Convolution – Traveling Salesman Problem Network) and the
+// Algorithm 1 attention-mining pipeline built on it. A Query-Title
+// Interaction Graph is featurized per node (NER tag, POS tag, stop-word
+// flag, character count, insertion order — §3.1), encoded with a multi-layer
+// R-GCN (basis decomposition), classified per node, and the positive nodes
+// are ordered into a phrase by ATSP decoding. The same model, trained with
+// four classes and no decoding, recognizes event key elements (entities,
+// triggers, locations).
+package core
+
+import (
+	"math"
+
+	"giant/internal/nlp"
+	"giant/internal/nn"
+	"giant/internal/qtig"
+	"giant/internal/rgcn"
+)
+
+// Feature layout (one-hot and scalar blocks, concatenated):
+//
+//	POS one-hot | NER one-hot | stop | charlen scalar + buckets |
+//	seq-id scalar + sinusoids | SOS | EOS | input-frequency
+const (
+	featPOS     = nlp.NumPOS
+	featNER     = nlp.NumNER
+	featStop    = 1
+	featCharLen = 1 + 4 // scalar + 4 buckets
+	featSeqID   = 1 + 4 // scalar + sin/cos at two scales
+	featSpecial = 2     // SOS, EOS
+	featFreq    = 1     // fraction of inputs containing the token
+
+	// FeatureDim is the R-GCN input width.
+	FeatureDim = featPOS + featNER + featStop + featCharLen + featSeqID + featSpecial + featFreq
+)
+
+// FeatureMask disables feature blocks for ablation studies.
+type FeatureMask struct {
+	NoPOS   bool
+	NoNER   bool
+	NoSeqID bool
+}
+
+// Featurize converts a QTIG into R-GCN input features.
+func Featurize(g *qtig.Graph, mask FeatureMask) *rgcn.GraphData {
+	n := len(g.Nodes)
+	data := &rgcn.GraphData{N: n}
+	feats := make([]float64, 0, n*FeatureDim)
+
+	// Token -> number of inputs containing it.
+	freq := make(map[string]int)
+	for _, in := range g.Inputs {
+		seen := map[string]bool{}
+		for _, t := range in {
+			if !seen[t.Text] {
+				seen[t.Text] = true
+				freq[t.Text]++
+			}
+		}
+	}
+	numInputs := len(g.Inputs)
+	if numInputs == 0 {
+		numInputs = 1
+	}
+
+	for i, node := range g.Nodes {
+		row := make([]float64, FeatureDim)
+		off := 0
+		if !mask.NoPOS {
+			row[off+int(node.Token.POS)] = 1
+		}
+		off += featPOS
+		if !mask.NoNER {
+			row[off+int(node.Token.NER)] = 1
+		}
+		off += featNER
+		if node.Token.Stop {
+			row[off] = 1
+		}
+		off += featStop
+		cl := len(node.Token.Text)
+		row[off] = math.Min(float64(cl)/10, 1)
+		switch {
+		case cl <= 2:
+			row[off+1] = 1
+		case cl <= 5:
+			row[off+2] = 1
+		case cl <= 8:
+			row[off+3] = 1
+		default:
+			row[off+4] = 1
+		}
+		off += featCharLen
+		if !mask.NoSeqID {
+			id := float64(node.SeqID)
+			row[off] = id / float64(n)
+			row[off+1] = math.Sin(id / 4)
+			row[off+2] = math.Cos(id / 4)
+			row[off+3] = math.Sin(id / 16)
+			row[off+4] = math.Cos(id / 16)
+		}
+		off += featSeqID
+		if node.IsSOS {
+			row[off] = 1
+		}
+		if node.IsEOS {
+			row[off+1] = 1
+		}
+		off += featSpecial
+		row[off] = float64(freq[node.Token.Text]) / float64(numInputs)
+
+		feats = append(feats, row...)
+		_ = i
+	}
+	data.X = nn.NewMatFrom(n, FeatureDim, feats)
+	data.Edges = make([]rgcn.Edge, 0, len(g.Edges))
+	for _, e := range g.Edges {
+		data.Edges = append(data.Edges, rgcn.Edge{Src: e.Src, Dst: e.Dst, Rel: e.Rel})
+	}
+	return data
+}

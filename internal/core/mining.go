@@ -1,0 +1,168 @@
+package core
+
+import (
+	"sort"
+
+	"giant/internal/clickgraph"
+	"giant/internal/nlp"
+	"giant/internal/phrase"
+	"giant/internal/synth"
+)
+
+// Mined is one attention phrase mined from the click graph (Algorithm 1
+// output), before ontology assembly.
+type Mined struct {
+	Phrase  string
+	Aliases []string
+	IsEvent bool
+	Seed    string // the seed query of the cluster
+	Day     int    // earliest doc day in the cluster (event time proxy)
+
+	// Event attributes recognized by the 4-class model.
+	Entities []string
+	Trigger  string
+	Location string
+
+	Queries []string
+	Titles  []string
+	DocIDs  []int
+}
+
+// Miner runs Algorithm 1: random-walk clustering, GCTSP-Net phrase
+// extraction, key-element recognition and phrase normalization.
+type Miner struct {
+	Phrase *Model // 2-class phrase extractor
+	Keys   *Model // 4-class key-element recognizer
+	Lex    *nlp.Lexicon
+	// MergeThreshold is δm for normalization (TF-IDF context similarity).
+	MergeThreshold float64
+	Walk           clickgraph.WalkConfig
+}
+
+// NewMiner wires a trained phrase model and key-element model.
+func NewMiner(phraseModel, keyModel *Model, lex *nlp.Lexicon) *Miner {
+	walk := clickgraph.DefaultWalkConfig()
+	// Keep cluster sizes in the range the node classifier was trained on
+	// (the CMD/EMD examples carry 2-4 queries and 2-4 titles); larger
+	// clusters shift the feature distribution and hurt precision.
+	walk.MaxItems = 4
+	return &Miner{
+		Phrase:         phraseModel,
+		Keys:           keyModel,
+		Lex:            lex,
+		MergeThreshold: 0.35,
+		Walk:           walk,
+	}
+}
+
+// Mine runs the pipeline over every query cluster in the click graph and
+// returns deduplicated attention phrases.
+func (m *Miner) Mine(g *clickgraph.Graph) []Mined {
+	clusters := g.Clusters(m.Walk)
+	norm := phrase.NewNormalizer(m.Lex, m.MergeThreshold)
+
+	type cand struct {
+		mined Mined
+		ctx   []string
+	}
+	var cands []cand
+	for _, cl := range clusters {
+		queries := make([]string, 0, len(cl.Queries))
+		for _, q := range cl.Queries {
+			queries = append(queries, q.Text)
+		}
+		titles := make([]string, 0, len(cl.Titles))
+		docIDs := make([]int, 0, len(cl.Titles))
+		day := -1
+		for _, t := range cl.Titles {
+			titles = append(titles, t.Text)
+			docIDs = append(docIDs, t.DocID)
+			if day == -1 || t.Day < day {
+				day = t.Day
+			}
+		}
+		if len(queries) == 0 || len(titles) == 0 {
+			continue
+		}
+		p := m.Phrase.ExtractPhrase(queries, titles)
+		if p == "" {
+			continue
+		}
+		mined := Mined{
+			Phrase: p, Seed: cl.Seed, Day: day,
+			Queries: queries, Titles: titles, DocIDs: docIDs,
+		}
+		m.classify(&mined)
+		ctx := g.TopTitlesFor(cl.Seed, 5)
+		norm.Observe(p, ctx)
+		cands = append(cands, cand{mined, ctx})
+	}
+
+	// Normalization pass: merge near-duplicates into canonical nodes.
+	byCanon := map[string]*Mined{}
+	var order []string
+	for i := range cands {
+		c := &cands[i]
+		canonical, merged := norm.Add(c.mined.Phrase, c.ctx)
+		if existing, ok := byCanon[canonical]; ok && merged {
+			if c.mined.Phrase != canonical {
+				existing.Aliases = append(existing.Aliases, c.mined.Phrase)
+			}
+			if c.mined.Day >= 0 && (existing.Day < 0 || c.mined.Day < existing.Day) {
+				existing.Day = c.mined.Day
+			}
+			continue
+		}
+		mc := c.mined
+		byCanon[canonical] = &mc
+		order = append(order, canonical)
+	}
+	out := make([]Mined, 0, len(order))
+	for _, k := range order {
+		out = append(out, *byCanon[k])
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Phrase < out[j].Phrase })
+	return out
+}
+
+// classify decides concept-vs-event for a mined phrase and, for events,
+// recognizes key elements with the 4-class model. A phrase is an event when
+// it contains a non-stop verb (trigger) — concepts are noun phrases.
+func (m *Miner) classify(mined *Mined) {
+	toks := m.Lex.Annotate(mined.Phrase)
+	hasVerb := false
+	for _, t := range toks {
+		if t.POS == nlp.PosVerb && !t.Stop {
+			hasVerb = true
+			break
+		}
+	}
+	if !hasVerb {
+		return
+	}
+	mined.IsEvent = true
+	if m.Keys == nil {
+		return
+	}
+	classes := m.Keys.KeyElements(mined.Queries, mined.Titles)
+	seenEnt := map[string]bool{}
+	var locToks []string
+	for _, t := range toks {
+		switch classes[t.Text] {
+		case synth.KeyEntity:
+			if !seenEnt[t.Text] {
+				seenEnt[t.Text] = true
+				mined.Entities = append(mined.Entities, t.Text)
+			}
+		case synth.KeyTrigger:
+			if mined.Trigger == "" {
+				mined.Trigger = t.Text
+			}
+		case synth.KeyLocation:
+			locToks = append(locToks, t.Text)
+		}
+	}
+	if len(locToks) > 0 {
+		mined.Location = nlp.JoinTokens(locToks)
+	}
+}

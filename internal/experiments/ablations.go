@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"giant/internal/core"
+	"giant/internal/qtig"
+)
+
+// AblationResult is one ablation configuration's Table-5-style score.
+type AblationResult struct {
+	Name  string
+	Score MethodScore
+}
+
+// AblationKeepFirstEdge compares the paper's keep-first-edge QTIG rule
+// against the full multigraph (the paper reports keep-first performs
+// better).
+func AblationKeepFirstEdge(env *Env) []AblationResult {
+	return runAblations(env, []namedOpt{
+		{"keep-first-edge (paper)", core.Options{}},
+		{"all-edges multigraph", core.Options{Build: qtig.BuildOptions{KeepAllEdges: true}}},
+	})
+}
+
+// AblationEdgePreference drops dependency edges entirely, isolating the
+// contribution of syntactic structure.
+func AblationEdgePreference(env *Env) []AblationResult {
+	return runAblations(env, []namedOpt{
+		{"seq + dependency edges (paper)", core.Options{}},
+		{"seq edges only", core.Options{Build: qtig.BuildOptions{SkipDependencies: true}}},
+	})
+}
+
+// AblationATSP compares ATSP decoding against naive insertion-order
+// concatenation of the positive nodes.
+func AblationATSP(env *Env) []AblationResult {
+	return runAblations(env, []namedOpt{
+		{"ATSP decoding (paper)", core.Options{}},
+		{"insertion-order decoding", core.Options{DisableATSP: true}},
+	})
+}
+
+// AblationRGCNDepth sweeps the R-GCN layer count around the paper's 5.
+func AblationRGCNDepth(env *Env) []AblationResult {
+	var opts []namedOpt
+	for _, layers := range []int{1, 3, 5} {
+		opts = append(opts, namedOpt{
+			name: "layers=" + itoa(layers),
+			opt:  core.Options{Layers: layers},
+		})
+	}
+	return runAblations(env, opts)
+}
+
+// AblationFeatures removes feature blocks from the node featurizer.
+func AblationFeatures(env *Env) []AblationResult {
+	return runAblations(env, []namedOpt{
+		{"full features (paper)", core.Options{}},
+		{"no POS", core.Options{Mask: core.FeatureMask{NoPOS: true}}},
+		{"no NER", core.Options{Mask: core.FeatureMask{NoNER: true}}},
+		{"no seq-id", core.Options{Mask: core.FeatureMask{NoSeqID: true}}},
+	})
+}
+
+type namedOpt struct {
+	name string
+	opt  core.Options
+}
+
+func runAblations(env *Env, opts []namedOpt) []AblationResult {
+	out := make([]AblationResult, 0, len(opts))
+	for _, no := range opts {
+		m := trainGCTSP(env, env.CMDTrain, no.opt)
+		score := scoreExtractor(&gctspExtractor{model: m, name: no.name}, env.CMDTest)
+		out = append(out, AblationResult{Name: no.name, Score: score})
+	}
+	return out
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b []byte
+	for n > 0 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+		n /= 10
+	}
+	return string(b)
+}

@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"giant/internal/rec"
+	"giant/internal/storytree"
+)
+
+// Figure5 forms a story tree from the mined event with the most correlated
+// peers (the "China-US trade"-style example) and returns it with a rendered
+// text layout.
+func Figure5(env *Env) (*storytree.Tree, string, error) {
+	// Pick the mined event sharing a trigger with the most other events.
+	byTrigger := map[string]int{}
+	for i := range env.Sys.Mined {
+		m := &env.Sys.Mined[i]
+		if m.IsEvent && m.Trigger != "" {
+			byTrigger[m.Trigger]++
+		}
+	}
+	bestTrig, bestN := "", 0
+	for tr, n := range byTrigger {
+		if n > bestN || (n == bestN && tr < bestTrig) {
+			bestTrig, bestN = tr, n
+		}
+	}
+	var seed string
+	for i := range env.Sys.Mined {
+		m := &env.Sys.Mined[i]
+		if m.IsEvent && m.Trigger == bestTrig {
+			seed = m.Phrase
+			break
+		}
+	}
+	if seed == "" {
+		return nil, "", fmt.Errorf("experiments: no event with a recognized trigger")
+	}
+	tree, ok := env.Sys.StoryTree(seed)
+	if !ok {
+		return nil, "", fmt.Errorf("experiments: story tree seed %q not found", seed)
+	}
+	var b strings.Builder
+	tree.Render(&b)
+	return tree, b.String(), nil
+}
+
+// CTRSeries is one strategy's (or tag type's) daily CTR curve.
+type CTRSeries struct {
+	Label string
+	Stats []rec.DayStat
+	Mean  float64
+	Std   float64
+}
+
+// Figure6 compares recommendation with all five tag types against the
+// traditional category+entity baseline.
+func Figure6(env *Env) []CTRSeries {
+	cfg := rec.DefaultConfig()
+	if env.Scale == ScaleTiny {
+		cfg.NumUsers = 60
+	}
+	sim := rec.NewSimulator(env.World, cfg)
+	all := sim.RunStrategy([]rec.TagType{
+		rec.TagCategory, rec.TagEntity, rec.TagConcept, rec.TagEvent, rec.TagTopic,
+	})
+	base := sim.RunStrategy([]rec.TagType{rec.TagCategory, rec.TagEntity})
+	return []CTRSeries{
+		{Label: "all types of tags", Stats: all, Mean: rec.MeanCTR(all), Std: rec.StdCTR(all)},
+		{Label: "category + entity", Stats: base, Mean: rec.MeanCTR(base), Std: rec.StdCTR(base)},
+	}
+}
+
+// Figure7 reports per-tag-type CTR curves.
+func Figure7(env *Env) []CTRSeries {
+	cfg := rec.DefaultConfig()
+	if env.Scale == ScaleTiny {
+		cfg.NumUsers = 60
+	}
+	sim := rec.NewSimulator(env.World, cfg)
+	byType := sim.RunPerTagType()
+	order := []rec.TagType{rec.TagTopic, rec.TagEvent, rec.TagEntity, rec.TagConcept, rec.TagCategory}
+	out := make([]CTRSeries, 0, len(order))
+	for _, t := range order {
+		stats := byType[t]
+		out = append(out, CTRSeries{
+			Label: t.String(), Stats: stats,
+			Mean: rec.MeanCTR(stats), Std: rec.StdCTR(stats),
+		})
+	}
+	return out
+}
+
+// PrintCTRSeries renders Figure 6/7 as a table of daily CTRs plus summary.
+func PrintCTRSeries(w io.Writer, title string, series []CTRSeries) {
+	fmt.Fprintln(w, title)
+	for _, s := range series {
+		fmt.Fprintf(w, "  %-20s mean CTR %6.2f%%  (std %5.2f)\n", s.Label, s.Mean, s.Std)
+	}
+	if len(series) == 0 || len(series[0].Stats) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "  %-12s", "date")
+	for _, s := range series {
+		fmt.Fprintf(w, " %18s", s.Label)
+	}
+	fmt.Fprintln(w)
+	days := len(series[0].Stats)
+	step := 1
+	if days > 12 {
+		step = days / 12
+	}
+	for d := 0; d < days; d += step {
+		fmt.Fprintf(w, "  %-12s", series[0].Stats[d].Date)
+		for _, s := range series {
+			fmt.Fprintf(w, " %17.2f%%", s.Stats[d].CTR())
+		}
+		fmt.Fprintln(w)
+	}
+}

@@ -1,0 +1,182 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"giant/internal/baselines"
+	"giant/internal/core"
+	"giant/internal/eval"
+	"giant/internal/synth"
+)
+
+// MethodScore is one row of Table 5/6.
+type MethodScore struct {
+	Method string
+	EM     float64
+	F1     float64
+	COV    float64
+}
+
+// gctspExtractor adapts a trained GCTSP-Net to the PhraseExtractor
+// interface.
+type gctspExtractor struct {
+	model *core.Model
+	name  string
+}
+
+func (g *gctspExtractor) Name() string { return g.name }
+func (g *gctspExtractor) Extract(ex *synth.MiningExample) string {
+	return g.model.ExtractFromExample(ex)
+}
+
+// trainGCTSP trains a fresh phrase model for a dataset (options may carry
+// ablation switches).
+func trainGCTSP(env *Env, train []synth.MiningExample, opt core.Options) *core.Model {
+	if opt.Epochs == 0 {
+		if env.Scale == ScaleTiny {
+			opt.Epochs = 4
+			opt.Layers = 3
+		} else {
+			opt.Epochs = 8
+		}
+	}
+	opt.Fallback = true
+	m := core.NewPhraseModel(env.World.Lexicon, opt)
+	m.Train(train)
+	return m
+}
+
+func scoreExtractor(e baselines.PhraseExtractor, test []synth.MiningExample) MethodScore {
+	preds := make([]string, len(test))
+	golds := make([]string, len(test))
+	for i := range test {
+		preds[i] = e.Extract(&test[i])
+		golds[i] = test[i].Gold()
+	}
+	s := eval.EvaluatePhrases(preds, golds)
+	return MethodScore{Method: e.Name(), EM: s.EM, F1: s.F1, COV: s.COV}
+}
+
+// Table5 runs every concept-mining method of the paper on the CMD test set.
+func Table5(env *Env) []MethodScore {
+	train, test := env.CMDTrain, env.CMDTest
+	lstmEpochs := 6
+	if env.Scale == ScaleTiny {
+		lstmEpochs = 3
+	}
+	match := baselines.NewMatchExtractor(train)
+	extractors := []baselines.PhraseExtractor{
+		&baselines.TextRankExtractor{TR: baselines.NewTextRank()},
+		&baselines.AutoPhraseExtractor{AP: baselines.NewAutoPhrase(env.World.Lexicon)},
+		match,
+		&baselines.AlignExtractor{},
+		&baselines.MatchAlignExtractor{Patterns: match.Patterns},
+		newLSTMCRF(train, baselines.ModeQuery, lstmEpochs, "Q-LSTM-CRF"),
+		newLSTMCRF(train, baselines.ModeTitle, lstmEpochs, "T-LSTM-CRF"),
+		&gctspExtractor{model: trainGCTSP(env, train, core.Options{}), name: "GCTSP-Net"},
+	}
+	out := make([]MethodScore, 0, len(extractors))
+	for _, e := range extractors {
+		out = append(out, scoreExtractor(e, test))
+	}
+	return out
+}
+
+// Table6 runs every event-mining method on the EMD test set.
+func Table6(env *Env) []MethodScore {
+	train, test := env.EMDTrain, env.EMDTest
+	lstmEpochs := 6
+	s2sEpochs := 2
+	if env.Scale == ScaleTiny {
+		lstmEpochs, s2sEpochs = 3, 1
+	}
+	extractors := []baselines.PhraseExtractor{
+		&baselines.TextRankExtractor{TR: baselines.NewTextRank()},
+		baselines.NewCoverRankExtractor(),
+		baselines.NewTextSummaryExtractor(train, s2sEpochs, 31),
+		newLSTMCRF(train, baselines.ModeEventTitle, lstmEpochs, "LSTM-CRF"),
+		&gctspExtractor{model: trainGCTSP(env, train, core.Options{}), name: "GCTSP-Net"},
+	}
+	out := make([]MethodScore, 0, len(extractors))
+	for _, e := range extractors {
+		out = append(out, scoreExtractor(e, test))
+	}
+	return out
+}
+
+func newLSTMCRF(train []synth.MiningExample, mode baselines.LSTMCRFMode, epochs int, label string) *baselines.LSTMCRFExtractor {
+	// Re-train with the configured epoch budget.
+	ex := baselines.NewLSTMCRFExtractorWithEpochs(train, mode, true, label, epochs)
+	return ex
+}
+
+// KeyScore is one row of Table 7.
+type KeyScore struct {
+	Method   string
+	Macro    float64
+	Micro    float64
+	Weighted float64
+}
+
+// Table7 evaluates event key-element recognition: plain LSTM, LSTM-CRF and
+// GCTSP-Net, scored per unique cluster token.
+func Table7(env *Env) []KeyScore {
+	train, test := env.EMDTrain, env.EMDTest
+	epochs := 6
+	opt := core.Options{}
+	if env.Scale == ScaleTiny {
+		epochs = 3
+		opt.Epochs, opt.Layers = 4, 3
+	} else {
+		opt.Epochs = 8
+	}
+	gct := core.NewKeyElementModel(env.World.Lexicon, opt)
+	gct.Train(train)
+
+	taggers := []baselines.KeyElementTagger{
+		baselines.NewLSTMKeyTaggerWithEpochs(train, false, "LSTM", epochs),
+		baselines.NewLSTMKeyTaggerWithEpochs(train, true, "LSTM-CRF", epochs),
+		&gctspKeyTagger{gct},
+	}
+	out := make([]KeyScore, 0, len(taggers))
+	for _, tg := range taggers {
+		var pred, gold []int
+		for i := range test {
+			ex := &test[i]
+			classes := tg.TagKeyElements(ex)
+			for _, tok := range baselines.KeyElementTokens(ex) {
+				pred = append(pred, int(classes[tok]))
+				gold = append(gold, int(ex.KeyLabelOf(tok)))
+			}
+		}
+		s := eval.MultiClassF1(pred, gold, int(synth.NumKeyClasses))
+		out = append(out, KeyScore{Method: tg.Name(), Macro: s.Macro, Micro: s.Micro, Weighted: s.Weighted})
+	}
+	return out
+}
+
+type gctspKeyTagger struct{ m *core.Model }
+
+func (g *gctspKeyTagger) Name() string { return "GCTSP-Net" }
+func (g *gctspKeyTagger) TagKeyElements(ex *synth.MiningExample) map[string]synth.KeyClass {
+	return g.m.KeyElements(ex.Queries, ex.Titles)
+}
+
+// PrintMethodScores renders Table 5/6.
+func PrintMethodScores(w io.Writer, title string, rows []MethodScore) {
+	fmt.Fprintln(w, title)
+	fmt.Fprintf(w, "%-14s %8s %8s %8s\n", "Method", "EM", "F1", "COV")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-14s %8.4f %8.4f %8.4f\n", r.Method, r.EM, r.F1, r.COV)
+	}
+}
+
+// PrintKeyScores renders Table 7.
+func PrintKeyScores(w io.Writer, rows []KeyScore) {
+	fmt.Fprintln(w, "Table 7: Event key element recognition")
+	fmt.Fprintf(w, "%-14s %10s %10s %12s\n", "Method", "F1-macro", "F1-micro", "F1-weighted")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-14s %10.4f %10.4f %12.4f\n", r.Method, r.Macro, r.Micro, r.Weighted)
+	}
+}

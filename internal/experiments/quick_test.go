@@ -1,0 +1,30 @@
+package experiments
+
+import (
+	"os"
+	"testing"
+)
+
+func TestQuickTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	env, err := GetEnv(ScaleTiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	PrintTable1(os.Stdout, Table1(env))
+	PrintTable2(os.Stdout, Table2(env))
+	PrintMethodScores(os.Stdout, "Table 5 (tiny)", Table5(env))
+	PrintMethodScores(os.Stdout, "Table 6 (tiny)", Table6(env))
+	PrintKeyScores(os.Stdout, Table7(env))
+	_, s, err := Figure5(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout.WriteString(s)
+	PrintCTRSeries(os.Stdout, "Figure 6 (tiny)", Figure6(env))
+	PrintCTRSeries(os.Stdout, "Figure 7 (tiny)", Figure7(env))
+	p := DocTaggingPrecision(env, 150)
+	t.Logf("tagging precision: %+v", p)
+}

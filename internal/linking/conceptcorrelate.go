@@ -1,0 +1,52 @@
+package linking
+
+import "sort"
+
+// ConceptCorrelateEdges applies the correlate-discovery approach to concept
+// nodes — §3.2 notes "the same approach for correlate relationship discovery
+// can be applied to other types of nodes such as concepts. Currently, we
+// only constructed such relationships between entities"; this implements
+// that extension. Two concepts correlate when they share enough entity
+// instances (Jaccard over their ground-truth/linked instance sets), the
+// co-click analogue at concept granularity.
+func ConceptCorrelateEdges(instances map[string][]string, minJaccard float64) []PhrasePair {
+	concepts := make([]string, 0, len(instances))
+	for c := range instances {
+		concepts = append(concepts, c)
+	}
+	sort.Strings(concepts)
+	sets := make([]map[string]bool, len(concepts))
+	for i, c := range concepts {
+		s := make(map[string]bool, len(instances[c]))
+		for _, e := range instances[c] {
+			s[e] = true
+		}
+		sets[i] = s
+	}
+	var out []PhrasePair
+	for i := 0; i < len(concepts); i++ {
+		for j := i + 1; j < len(concepts); j++ {
+			if len(sets[i]) == 0 || len(sets[j]) == 0 {
+				continue
+			}
+			if jaccard(sets[i], sets[j]) >= minJaccard {
+				out = append(out, PhrasePair{Parent: concepts[i], Child: concepts[j]})
+			}
+		}
+	}
+	return out
+}
+
+func jaccard(a, b map[string]bool) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	inter := 0
+	for k := range a {
+		if b[k] {
+			inter++
+		}
+	}
+	union := len(a) + len(b) - inter
+	return float64(inter) / float64(union)
+}

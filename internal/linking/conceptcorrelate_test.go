@@ -1,0 +1,37 @@
+package linking
+
+import "testing"
+
+func TestConceptCorrelateEdges(t *testing.T) {
+	instances := map[string][]string{
+		"economy cars":        {"civic", "corolla", "focus"},
+		"fuel-efficient cars": {"civic", "corolla", "prius"},
+		"luxury watches":      {"rolex"},
+	}
+	edges := ConceptCorrelateEdges(instances, 0.4)
+	if len(edges) != 1 {
+		t.Fatalf("edges = %+v", edges)
+	}
+	if edges[0].Parent != "economy cars" || edges[0].Child != "fuel-efficient cars" {
+		t.Fatalf("edge = %+v", edges[0])
+	}
+	// Higher threshold filters it out.
+	if got := ConceptCorrelateEdges(instances, 0.9); len(got) != 0 {
+		t.Fatalf("threshold ignored: %+v", got)
+	}
+	// Empty instance sets never correlate.
+	if got := ConceptCorrelateEdges(map[string][]string{"a": {}, "b": {}}, 0.0); len(got) != 0 {
+		t.Fatalf("empty sets correlated: %+v", got)
+	}
+}
+
+func TestJaccard(t *testing.T) {
+	a := map[string]bool{"x": true, "y": true}
+	b := map[string]bool{"y": true, "z": true}
+	if got := jaccard(a, b); got != 1.0/3.0 {
+		t.Fatalf("jaccard = %v", got)
+	}
+	if jaccard(a, map[string]bool{}) != 0 {
+		t.Fatal("empty set jaccard")
+	}
+}

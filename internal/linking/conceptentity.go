@@ -1,0 +1,254 @@
+package linking
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+
+	"giant/internal/nlp"
+	"giant/internal/nn"
+)
+
+// CEExample is one (concept, entity, document-context) instance for the
+// isA classifier.
+type CEExample struct {
+	Concept string
+	Entity  string
+	Context string // document body the entity was observed in
+	// ConsecutiveQuery is signal (i) of Fig. 4: the entity was queried right
+	// after the concept by the same user.
+	ConsecutiveQuery bool
+	CoClicks         int
+	Label            bool
+}
+
+// ceFeatureDim is the feature width of the concept-entity classifier.
+const ceFeatureDim = 7
+
+// Features extracts the manual feature vector used by both classifiers:
+// entity mention count, concept-token coverage near the mention, an
+// "X is a <concept>" pattern indicator, minimal token distance between
+// entity and concept tokens, the consecutive-query flag, co-click count
+// (log-scaled) and a bias term.
+func (e *CEExample) Features() []float64 {
+	ctx := nlp.Tokenize(e.Context)
+	entToks := nlp.Tokenize(e.Entity)
+	conToks := nlp.Tokenize(e.Concept)
+
+	mentions := countSubseq(ctx, entToks)
+	// Concept token coverage in context.
+	ctxSet := map[string]bool{}
+	for _, t := range ctx {
+		ctxSet[t] = true
+	}
+	cov := 0.0
+	for _, t := range conToks {
+		if ctxSet[t] {
+			cov++
+		}
+	}
+	if len(conToks) > 0 {
+		cov /= float64(len(conToks))
+	}
+	// "is a" pattern: entity tokens followed within 6 tokens by "is a" and a
+	// concept token.
+	isaPat := 0.0
+	for i := 0; i+1 < len(ctx); i++ {
+		if ctx[i] == "is" && ctx[i+1] == "a" {
+			before := window(ctx, i-6, i)
+			after := window(ctx, i+2, i+8)
+			if containsAny(before, entToks) && containsAny(after, conToks) {
+				isaPat = 1
+				break
+			}
+		}
+	}
+	dist := minTokenDistance(ctx, entToks, conToks)
+	distFeat := 0.0
+	if dist >= 0 {
+		distFeat = 1 / (1 + float64(dist))
+	}
+	consec := 0.0
+	if e.ConsecutiveQuery {
+		consec = 1
+	}
+	return []float64{
+		math.Min(float64(mentions), 3) / 3,
+		cov,
+		isaPat,
+		distFeat,
+		consec,
+		math.Log1p(float64(e.CoClicks)) / 5,
+		1, // bias
+	}
+}
+
+// CEClassifier is the concept-entity isA relationship classifier: logistic
+// regression over the manual features, optionally stacked with a
+// gradient-boosted-stumps score (the paper's GBDT option).
+type CEClassifier struct {
+	w    []float64
+	gbdt *GBDT
+}
+
+// TrainCEClassifier fits logistic regression (SGD) and a GBDT on the
+// labelled examples.
+func TrainCEClassifier(examples []CEExample, epochs int, lr float64, seed int64) *CEClassifier {
+	rng := rand.New(rand.NewSource(seed))
+	c := &CEClassifier{w: make([]float64, ceFeatureDim)}
+	feats := make([][]float64, len(examples))
+	labels := make([]float64, len(examples))
+	for i := range examples {
+		feats[i] = examples[i].Features()
+		if examples[i].Label {
+			labels[i] = 1
+		}
+	}
+	idx := make([]int, len(examples))
+	for i := range idx {
+		idx[i] = i
+	}
+	for ep := 0; ep < epochs; ep++ {
+		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		for _, i := range idx {
+			z := nn.Dot(c.w, feats[i])
+			p := nn.Sigmoid(z)
+			g := p - labels[i]
+			for j, f := range feats[i] {
+				c.w[j] -= lr * g * f
+			}
+		}
+	}
+	c.gbdt = TrainGBDT(feats, labels, 20, 0.3)
+	return c
+}
+
+// Score returns the blended probability that the pair has an isA relation.
+func (c *CEClassifier) Score(e *CEExample) float64 {
+	f := e.Features()
+	lr := nn.Sigmoid(nn.Dot(c.w, f))
+	gb := nn.Sigmoid(c.gbdt.Raw(f))
+	return (lr + gb) / 2
+}
+
+// Predict applies a 0.5 threshold.
+func (c *CEClassifier) Predict(e *CEExample) bool { return c.Score(e) >= 0.5 }
+
+// BuildCEDataset performs Fig. 4's automatic dataset construction:
+// positives are (concept, entity) pairs observed as consecutive queries
+// whose clicked document mentions the entity; negatives take entities of the
+// same category and insert them at random positions in the document.
+func BuildCEDataset(positives []CEExample, distractorEntities []string, seed int64) []CEExample {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]CEExample, 0, 2*len(positives))
+	for _, p := range positives {
+		p.Label = true
+		out = append(out, p)
+		if len(distractorEntities) == 0 {
+			continue
+		}
+		neg := p
+		neg.Label = false
+		neg.Entity = distractorEntities[rng.Intn(len(distractorEntities))]
+		neg.ConsecutiveQuery = false
+		neg.CoClicks = 0
+		neg.Context = insertRandom(p.Context, neg.Entity, rng)
+		out = append(out, neg)
+	}
+	return out
+}
+
+func insertRandom(content, entity string, rng *rand.Rand) string {
+	toks := nlp.Tokenize(content)
+	pos := 0
+	if len(toks) > 0 {
+		pos = rng.Intn(len(toks) + 1)
+	}
+	var b []string
+	b = append(b, toks[:pos]...)
+	b = append(b, nlp.Tokenize(entity)...)
+	b = append(b, toks[pos:]...)
+	return strings.Join(b, " ")
+}
+
+func countSubseq(hay, needle []string) int {
+	if len(needle) == 0 {
+		return 0
+	}
+	n := 0
+	for i := 0; i+len(needle) <= len(hay); i++ {
+		ok := true
+		for j, t := range needle {
+			if hay[i+j] != t {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			n++
+		}
+	}
+	return n
+}
+
+func window(xs []string, lo, hi int) []string {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(xs) {
+		hi = len(xs)
+	}
+	if lo >= hi {
+		return nil
+	}
+	return xs[lo:hi]
+}
+
+func containsAny(hay []string, needles []string) bool {
+	set := map[string]bool{}
+	for _, h := range hay {
+		set[h] = true
+	}
+	for _, n := range needles {
+		if set[n] {
+			return true
+		}
+	}
+	return false
+}
+
+func minTokenDistance(ctx, a, b []string) int {
+	var ai, bi []int
+	aset := map[string]bool{}
+	for _, t := range a {
+		aset[t] = true
+	}
+	bset := map[string]bool{}
+	for _, t := range b {
+		bset[t] = true
+	}
+	for i, t := range ctx {
+		if aset[t] {
+			ai = append(ai, i)
+		}
+		if bset[t] {
+			bi = append(bi, i)
+		}
+	}
+	if len(ai) == 0 || len(bi) == 0 {
+		return -1
+	}
+	best := len(ctx)
+	for _, x := range ai {
+		for _, y := range bi {
+			d := x - y
+			if d < 0 {
+				d = -d
+			}
+			if d < best {
+				best = d
+			}
+		}
+	}
+	return best
+}

@@ -1,0 +1,117 @@
+package linking
+
+import "math"
+
+// GBDT is gradient boosting with decision stumps on a logistic loss — the
+// lightweight stand-in for the paper's GBDT concept-entity classifier.
+// Each round fits a one-split regression stump to the negative gradient.
+type GBDT struct {
+	Bias   float64
+	Stumps []Stump
+	Shrink float64
+}
+
+// Stump is a single-feature threshold split with leaf values.
+type Stump struct {
+	Feature     int
+	Threshold   float64
+	Left, Right float64 // value when f < threshold / otherwise
+}
+
+// Raw returns the additive raw score (pre-sigmoid).
+func (g *GBDT) Raw(f []float64) float64 {
+	s := g.Bias
+	for _, st := range g.Stumps {
+		if f[st.Feature] < st.Threshold {
+			s += g.Shrink * st.Left
+		} else {
+			s += g.Shrink * st.Right
+		}
+	}
+	return s
+}
+
+// TrainGBDT fits `rounds` stumps with the given shrinkage on features X and
+// {0,1} labels y using logistic loss.
+func TrainGBDT(x [][]float64, y []float64, rounds int, shrink float64) *GBDT {
+	n := len(x)
+	g := &GBDT{Shrink: shrink}
+	if n == 0 {
+		return g
+	}
+	// Initialize bias at log-odds of the base rate.
+	pos := 0.0
+	for _, v := range y {
+		pos += v
+	}
+	p := math.Min(math.Max(pos/float64(n), 1e-3), 1-1e-3)
+	g.Bias = math.Log(p / (1 - p))
+
+	raw := make([]float64, n)
+	for i := range raw {
+		raw[i] = g.Bias
+	}
+	dim := len(x[0])
+	resid := make([]float64, n)
+	for r := 0; r < rounds; r++ {
+		// Negative gradient of logistic loss: y - sigmoid(raw).
+		for i := range resid {
+			resid[i] = y[i] - 1/(1+math.Exp(-raw[i]))
+		}
+		st, ok := fitStump(x, resid, dim)
+		if !ok {
+			break
+		}
+		g.Stumps = append(g.Stumps, st)
+		for i := range raw {
+			if x[i][st.Feature] < st.Threshold {
+				raw[i] += shrink * st.Left
+			} else {
+				raw[i] += shrink * st.Right
+			}
+		}
+	}
+	return g
+}
+
+// fitStump finds the (feature, threshold) split minimizing squared error of
+// the residuals, with leaf values set to residual means.
+func fitStump(x [][]float64, resid []float64, dim int) (Stump, bool) {
+	n := len(x)
+	bestGain := -1.0
+	var best Stump
+	total := 0.0
+	for _, r := range resid {
+		total += r
+	}
+	for f := 0; f < dim; f++ {
+		// Candidate thresholds: unique midpoints over a coarse grid.
+		vals := map[float64]bool{}
+		for i := 0; i < n; i++ {
+			vals[x[i][f]] = true
+		}
+		if len(vals) < 2 {
+			continue
+		}
+		for t := range vals {
+			var sumL, cntL float64
+			for i := 0; i < n; i++ {
+				if x[i][f] < t {
+					sumL += resid[i]
+					cntL++
+				}
+			}
+			cntR := float64(n) - cntL
+			if cntL == 0 || cntR == 0 {
+				continue
+			}
+			sumR := total - sumL
+			gain := sumL*sumL/cntL + sumR*sumR/cntR
+			if gain > bestGain {
+				bestGain = gain
+				best = Stump{Feature: f, Threshold: t, Left: sumL / cntL, Right: sumR / cntR}
+			}
+		}
+	}
+	return best, bestGain > 0
+}

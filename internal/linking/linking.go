@@ -1,0 +1,185 @@
+// Package linking implements §3.2, "Linking User Attentions": the
+// action-driven strategies that connect the mined attention nodes into the
+// ontology — attention-category isA edges from click co-occurrence,
+// attention-attention isA/involve edges from suffix/pattern structure, a
+// learned concept-entity isA classifier (Fig. 4's automatic dataset
+// construction plus logistic regression and gradient-boosted stumps), and
+// entity-entity correlate edges from hinge-loss co-occurrence embeddings.
+package linking
+
+import (
+	"sort"
+	"strings"
+
+	"giant/internal/nlp"
+)
+
+// CategoryEdge links an attention phrase to a category (isA).
+type CategoryEdge struct {
+	Phrase   string
+	Category int
+	P        float64 // P(g|p)
+}
+
+// AttentionCategoryEdges estimates P(g|p) = n_p^g / n_p from per-phrase
+// clicked-document category counts and keeps pairs above delta (paper
+// δg = 0.3).
+func AttentionCategoryEdges(clicksByCategory map[string]map[int]int, delta float64) []CategoryEdge {
+	var out []CategoryEdge
+	phrases := make([]string, 0, len(clicksByCategory))
+	for p := range clicksByCategory {
+		phrases = append(phrases, p)
+	}
+	sort.Strings(phrases)
+	for _, p := range phrases {
+		cats := clicksByCategory[p]
+		total := 0
+		for _, n := range cats {
+			total += n
+		}
+		if total == 0 {
+			continue
+		}
+		catIDs := make([]int, 0, len(cats))
+		for g := range cats {
+			catIDs = append(catIDs, g)
+		}
+		sort.Ints(catIDs)
+		for _, g := range catIDs {
+			if prob := float64(cats[g]) / float64(total); prob > delta {
+				out = append(out, CategoryEdge{Phrase: p, Category: g, P: prob})
+			}
+		}
+	}
+	return out
+}
+
+// PhrasePair is a directed phrase-to-phrase edge proposal.
+type PhrasePair struct {
+	Parent, Child string
+}
+
+// SuffixIsAEdges links concept pairs where one concept is a strict token
+// suffix of the other ("animated films" isA-parent of "famous animated
+// films").
+func SuffixIsAEdges(concepts []string) []PhrasePair {
+	var out []PhrasePair
+	bySuffix := map[string][]string{}
+	set := map[string]bool{}
+	for _, c := range concepts {
+		set[c] = true
+	}
+	for _, c := range concepts {
+		toks := nlp.Tokenize(c)
+		for start := 1; start < len(toks); start++ {
+			suf := strings.Join(toks[start:], " ")
+			if set[suf] && suf != c {
+				bySuffix[suf] = append(bySuffix[suf], c)
+			}
+		}
+	}
+	parents := make([]string, 0, len(bySuffix))
+	for p := range bySuffix {
+		parents = append(parents, p)
+	}
+	sort.Strings(parents)
+	for _, p := range parents {
+		children := bySuffix[p]
+		sort.Strings(children)
+		for _, c := range children {
+			out = append(out, PhrasePair{Parent: p, Child: c})
+		}
+	}
+	return out
+}
+
+// ContainmentIsAEdges links event/topic pairs where the shorter phrase's
+// non-stop tokens are a subset of the longer's (§3.2: "if a topic/event
+// doesn't contain an element of another topic/event phrase, it also
+// indicates that they have isA relationship" — e.g. "Jay Chou will have a
+// concert" isA "have a concert").
+func ContainmentIsAEdges(phrases []string) []PhrasePair {
+	type tokset struct {
+		phrase string
+		toks   map[string]bool
+		n      int
+	}
+	sets := make([]tokset, 0, len(phrases))
+	for _, p := range phrases {
+		ts := map[string]bool{}
+		for _, t := range nlp.Tokenize(p) {
+			if !nlp.IsStopWord(t) {
+				ts[t] = true
+			}
+		}
+		sets = append(sets, tokset{p, ts, len(ts)})
+	}
+	var out []PhrasePair
+	for i := range sets {
+		for j := range sets {
+			if i == j || sets[i].n == 0 || sets[i].n >= sets[j].n {
+				continue
+			}
+			sub := true
+			for t := range sets[i].toks {
+				if !sets[j].toks[t] {
+					sub = false
+					break
+				}
+			}
+			if sub {
+				out = append(out, PhrasePair{Parent: sets[i].phrase, Child: sets[j].phrase})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Parent != out[j].Parent {
+			return out[i].Parent < out[j].Parent
+		}
+		return out[i].Child < out[j].Child
+	})
+	return out
+}
+
+// PatternIsAEdges links a derived topic pattern to the events that
+// instantiate it (same pattern, entity slot filled by a concept member).
+// patterns maps topic phrase -> member event phrases, as produced by Common
+// Pattern Discovery.
+func PatternIsAEdges(patterns map[string][]string) []PhrasePair {
+	var out []PhrasePair
+	tops := make([]string, 0, len(patterns))
+	for t := range patterns {
+		tops = append(tops, t)
+	}
+	sort.Strings(tops)
+	for _, t := range tops {
+		children := append([]string(nil), patterns[t]...)
+		sort.Strings(children)
+		for _, c := range children {
+			out = append(out, PhrasePair{Parent: t, Child: c})
+		}
+	}
+	return out
+}
+
+// ConceptTopicInvolveEdges connects a concept to a topic when the concept
+// phrase is contained in the topic phrase (§3.2).
+func ConceptTopicInvolveEdges(concepts, topics []string) []PhrasePair {
+	var out []PhrasePair
+	for _, tp := range topics {
+		padded := " " + strings.Join(nlp.Tokenize(tp), " ") + " "
+		for _, c := range concepts {
+			cp := " " + strings.Join(nlp.Tokenize(c), " ") + " "
+			if strings.Contains(padded, cp) {
+				out = append(out, PhrasePair{Parent: tp, Child: c})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Parent != out[j].Parent {
+			return out[i].Parent < out[j].Parent
+		}
+		return out[i].Child < out[j].Child
+	})
+	return out
+}

@@ -1,0 +1,224 @@
+package nlp
+
+// DepRel is a dependency relation label.
+type DepRel uint8
+
+// Dependency relation inventory. These become R-GCN edge relation types in
+// the Query-Title Interaction Graph (each also has an implicit reverse
+// direction added by the graph builder).
+const (
+	DepNone DepRel = iota
+	DepCompound
+	DepAmod
+	DepAdvmod
+	DepDobj
+	DepNsubj
+	DepPrep
+	DepPobj
+	DepDet
+	DepNum
+	DepPunct
+	DepDep
+	numDepRel
+)
+
+// NumDepRel is the number of dependency relation labels.
+const NumDepRel = int(numDepRel)
+
+// String returns the Universal-Dependencies-style label.
+func (d DepRel) String() string {
+	switch d {
+	case DepCompound:
+		return "compound"
+	case DepAmod:
+		return "amod"
+	case DepAdvmod:
+		return "advmod"
+	case DepDobj:
+		return "dobj"
+	case DepNsubj:
+		return "nsubj"
+	case DepPrep:
+		return "prep"
+	case DepPobj:
+		return "pobj"
+	case DepDet:
+		return "det"
+	case DepNum:
+		return "num"
+	case DepPunct:
+		return "punct"
+	case DepDep:
+		return "dep"
+	default:
+		return "none"
+	}
+}
+
+// Arc is one dependency edge: token at Dependent attaches to token at Head
+// with relation Rel. Head == -1 marks the sentence root.
+type Arc struct {
+	Head      int
+	Dependent int
+	Rel       DepRel
+}
+
+// ParseDeps produces a deterministic dependency analysis of an annotated
+// token sequence. It is a rule-based shallow parser, not a statistical one:
+// noun compounds chain left-to-right onto the final noun of each noun phrase,
+// adjectives/determiners/numbers attach to the next noun, the first main verb
+// becomes the root, the noun phrase before the verb is nsubj, the one after
+// is dobj, prepositions head their following noun phrase (pobj) and attach to
+// the preceding head (prep). This reproduces the arc types the paper's QTIG
+// consumes (compound:nn, amod, dobj, punct, ...).
+func ParseDeps(tokens []Token) []Arc {
+	n := len(tokens)
+	if n == 0 {
+		return nil
+	}
+	arcs := make([]Arc, 0, n)
+	heads := make([]int, n)
+	for i := range heads {
+		heads[i] = -2 // unassigned
+	}
+
+	// Locate the first main verb (skip auxiliaries that are stop words).
+	verb := -1
+	for i, t := range tokens {
+		if t.POS == PosVerb && !t.Stop {
+			verb = i
+			break
+		}
+	}
+	if verb == -1 {
+		for i, t := range tokens {
+			if t.POS == PosVerb {
+				verb = i
+				break
+			}
+		}
+	}
+
+	// npHead returns the index of the last noun-ish token of the noun phrase
+	// starting at i, and the index just past the phrase.
+	npHead := func(i int) (head, end int) {
+		head = -1
+		j := i
+		for j < n {
+			switch tokens[j].POS {
+			case PosNoun, PosPropn, PosNum, PosAdj, PosDet, PosPron:
+				if tokens[j].POS == PosNoun || tokens[j].POS == PosPropn {
+					head = j
+				}
+				j++
+			default:
+				if head == -1 {
+					head = j - 1
+				}
+				return head, j
+			}
+		}
+		if head == -1 {
+			head = j - 1
+		}
+		return head, j
+	}
+
+	attach := func(dep, head int, rel DepRel) {
+		if dep < 0 || dep >= n || dep == head || heads[dep] != -2 {
+			return
+		}
+		heads[dep] = head
+		arcs = append(arcs, Arc{Head: head, Dependent: dep, Rel: rel})
+	}
+
+	// Pass 1: noun-phrase internal structure.
+	for i := 0; i < n; {
+		t := tokens[i]
+		if t.POS == PosNoun || t.POS == PosPropn || t.POS == PosAdj ||
+			t.POS == PosDet || t.POS == PosNum {
+			head, end := npHead(i)
+			for j := i; j < end; j++ {
+				if j == head {
+					continue
+				}
+				switch tokens[j].POS {
+				case PosNoun, PosPropn:
+					attach(j, head, DepCompound)
+				case PosAdj:
+					attach(j, head, DepAmod)
+				case PosDet:
+					attach(j, head, DepDet)
+				case PosNum:
+					attach(j, head, DepNum)
+				default:
+					attach(j, head, DepDep)
+				}
+			}
+			i = end
+			continue
+		}
+		i++
+	}
+
+	// Pass 2: clause structure around the root verb.
+	root := verb
+	if root == -1 {
+		// Nominal sentence: root is the head of the first noun phrase.
+		root, _ = npHead(0)
+		if root < 0 {
+			root = 0
+		}
+	}
+	heads[root] = -1
+	arcs = append(arcs, Arc{Head: -1, Dependent: root, Rel: DepDep})
+
+	if verb >= 0 {
+		// Subject: nearest NP head to the left of the verb.
+		for j := verb - 1; j >= 0; j-- {
+			if heads[j] == -2 && (tokens[j].POS == PosNoun || tokens[j].POS == PosPropn || tokens[j].POS == PosPron) {
+				attach(j, verb, DepNsubj)
+				break
+			}
+		}
+		// Object: nearest NP head to the right of the verb.
+		for j := verb + 1; j < n; j++ {
+			if heads[j] == -2 && (tokens[j].POS == PosNoun || tokens[j].POS == PosPropn) {
+				attach(j, verb, DepDobj)
+				break
+			}
+		}
+	}
+
+	// Pass 3: prepositions, adverbs, punctuation, leftovers.
+	for i := 0; i < n; i++ {
+		if heads[i] != -2 {
+			continue
+		}
+		switch tokens[i].POS {
+		case PosPrep:
+			attach(i, root, DepPrep)
+			// Its object: next unattached or NP-head noun.
+			for j := i + 1; j < n; j++ {
+				if tokens[j].POS == PosNoun || tokens[j].POS == PosPropn || tokens[j].POS == PosNum {
+					if heads[j] == -2 {
+						attach(j, i, DepPobj)
+					}
+					break
+				}
+			}
+		case PosAdv:
+			attach(i, root, DepAdvmod)
+		case PosPunct:
+			attach(i, root, DepPunct)
+		case PosVerb:
+			attach(i, root, DepDep)
+		}
+	}
+	for i := 0; i < n; i++ {
+		if heads[i] == -2 {
+			attach(i, root, DepDep)
+		}
+	}
+	return arcs
+}

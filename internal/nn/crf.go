@@ -1,0 +1,161 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+)
+
+// CRF is a linear-chain conditional random field over K tags, used by the
+// LSTM-CRF baselines (BIO phrase tagging, Table 5/6; key-element tagging,
+// Table 7). Emissions come from an upstream network; the CRF owns the
+// transition, start and end scores.
+type CRF struct {
+	K                 int
+	Trans, Start, End *Param
+}
+
+// NewCRF builds a K-tag CRF with small random transition scores.
+func NewCRF(name string, k int, rng *rand.Rand) *CRF {
+	c := &CRF{
+		K:     k,
+		Trans: NewParam(name+".trans", k, k, nil),
+		Start: NewParam(name+".start", 1, k, nil),
+		End:   NewParam(name+".end", 1, k, nil),
+	}
+	if rng != nil {
+		for i := range c.Trans.W.D {
+			c.Trans.W.D[i] = rng.NormFloat64() * 0.01
+		}
+	}
+	return c
+}
+
+// Params lists trainable parameters.
+func (c *CRF) Params() []*Param { return []*Param{c.Trans, c.Start, c.End} }
+
+// NegLogLikelihood returns the NLL of the gold tag path given emissions
+// (T×K) and accumulates gradients into the CRF parameters; dEmissions is the
+// gradient with respect to the emissions (T×K), computed with
+// forward-backward marginals.
+func (c *CRF) NegLogLikelihood(em *Mat, gold []int) (loss float64, dEmissions *Mat) {
+	T, K := em.R, c.K
+	if T == 0 {
+		return 0, NewMat(0, K)
+	}
+	// Forward (alpha) and backward (beta) in log space.
+	alpha := NewMat(T, K)
+	for j := 0; j < K; j++ {
+		alpha.Set(0, j, c.Start.W.D[j]+em.At(0, j))
+	}
+	tmp := make([]float64, K)
+	for t := 1; t < T; t++ {
+		for j := 0; j < K; j++ {
+			for i := 0; i < K; i++ {
+				tmp[i] = alpha.At(t-1, i) + c.Trans.W.At(i, j)
+			}
+			alpha.Set(t, j, LogSumExp(tmp)+em.At(t, j))
+		}
+	}
+	final := make([]float64, K)
+	for j := 0; j < K; j++ {
+		final[j] = alpha.At(T-1, j) + c.End.W.D[j]
+	}
+	logZ := LogSumExp(final)
+
+	beta := NewMat(T, K)
+	for j := 0; j < K; j++ {
+		beta.Set(T-1, j, c.End.W.D[j])
+	}
+	for t := T - 2; t >= 0; t-- {
+		for i := 0; i < K; i++ {
+			for j := 0; j < K; j++ {
+				tmp[j] = c.Trans.W.At(i, j) + em.At(t+1, j) + beta.At(t+1, j)
+			}
+			beta.Set(t, i, LogSumExp(tmp))
+		}
+	}
+
+	// Gold path score.
+	score := c.Start.W.D[gold[0]] + em.At(0, gold[0])
+	for t := 1; t < T; t++ {
+		score += c.Trans.W.At(gold[t-1], gold[t]) + em.At(t, gold[t])
+	}
+	score += c.End.W.D[gold[T-1]]
+	loss = logZ - score
+
+	// Gradients: expected counts minus gold counts.
+	dEmissions = NewMat(T, K)
+	for t := 0; t < T; t++ {
+		for j := 0; j < K; j++ {
+			p := math.Exp(alpha.At(t, j) + beta.At(t, j) - logZ)
+			dEmissions.Set(t, j, p)
+		}
+		dEmissions.Add(t, gold[t], -1)
+	}
+	for j := 0; j < K; j++ {
+		c.Start.G.D[j] += math.Exp(c.Start.W.D[j]+em.At(0, j)+beta.At(0, j)-logZ) - b2f(j == gold[0])
+		c.End.G.D[j] += math.Exp(alpha.At(T-1, j)+c.End.W.D[j]-logZ) - b2f(j == gold[T-1])
+	}
+	for t := 1; t < T; t++ {
+		for i := 0; i < K; i++ {
+			for j := 0; j < K; j++ {
+				p := math.Exp(alpha.At(t-1, i) + c.Trans.W.At(i, j) + em.At(t, j) + beta.At(t, j) - logZ)
+				g := p
+				if i == gold[t-1] && j == gold[t] {
+					g -= 1
+				}
+				c.Trans.G.Add(i, j, g)
+			}
+		}
+	}
+	return loss, dEmissions
+}
+
+// Decode returns the Viterbi-optimal tag sequence for emissions.
+func (c *CRF) Decode(em *Mat) []int {
+	T, K := em.R, c.K
+	if T == 0 {
+		return nil
+	}
+	score := NewMat(T, K)
+	back := make([][]int, T)
+	for t := range back {
+		back[t] = make([]int, K)
+	}
+	for j := 0; j < K; j++ {
+		score.Set(0, j, c.Start.W.D[j]+em.At(0, j))
+	}
+	for t := 1; t < T; t++ {
+		for j := 0; j < K; j++ {
+			best, arg := math.Inf(-1), 0
+			for i := 0; i < K; i++ {
+				s := score.At(t-1, i) + c.Trans.W.At(i, j)
+				if s > best {
+					best, arg = s, i
+				}
+			}
+			score.Set(t, j, best+em.At(t, j))
+			back[t][j] = arg
+		}
+	}
+	best, arg := math.Inf(-1), 0
+	for j := 0; j < K; j++ {
+		s := score.At(T-1, j) + c.End.W.D[j]
+		if s > best {
+			best, arg = s, j
+		}
+	}
+	path := make([]int, T)
+	path[T-1] = arg
+	for t := T - 1; t > 0; t-- {
+		path[t-1] = back[t][path[t]]
+	}
+	return path
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,83 @@
+package nn
+
+import "math/rand"
+
+// Dense is a fully connected layer y = xW + b.
+type Dense struct {
+	W, B *Param
+	x    *Mat // cached input for backprop
+}
+
+// NewDense builds an in→out layer.
+func NewDense(name string, in, out int, rng *rand.Rand) *Dense {
+	return &Dense{
+		W: NewParam(name+".W", in, out, rng),
+		B: NewParam(name+".b", 1, out, nil),
+	}
+}
+
+// Params lists trainable parameters.
+func (d *Dense) Params() []*Param { return []*Param{d.W, d.B} }
+
+// Forward computes xW + b, caching x.
+func (d *Dense) Forward(x *Mat) *Mat {
+	d.x = x
+	out := MatMul(x, d.W.W)
+	for i := 0; i < out.R; i++ {
+		row := out.Row(i)
+		for j := range row {
+			row[j] += d.B.W.D[j]
+		}
+	}
+	return out
+}
+
+// Backward accumulates parameter gradients and returns dL/dx.
+func (d *Dense) Backward(dOut *Mat) *Mat {
+	d.W.G.AddMat(MatMulTA(d.x, dOut))
+	for i := 0; i < dOut.R; i++ {
+		row := dOut.Row(i)
+		for j := range row {
+			d.B.G.D[j] += row[j]
+		}
+	}
+	return MatMulTB(dOut, d.W.W)
+}
+
+// Embedding is a lookup table of dense vectors.
+type Embedding struct {
+	Table *Param
+	ids   []int
+}
+
+// NewEmbedding builds a vocab×dim table.
+func NewEmbedding(name string, vocab, dim int, rng *rand.Rand) *Embedding {
+	return &Embedding{Table: NewParam(name, vocab, dim, rng)}
+}
+
+// Params lists trainable parameters.
+func (e *Embedding) Params() []*Param { return []*Param{e.Table} }
+
+// Dim returns the embedding width.
+func (e *Embedding) Dim() int { return e.Table.W.C }
+
+// Forward gathers rows for ids into an n×dim matrix.
+func (e *Embedding) Forward(ids []int) *Mat {
+	e.ids = append(e.ids[:0], ids...)
+	out := NewMat(len(ids), e.Dim())
+	for i, id := range ids {
+		copy(out.Row(i), e.Table.W.Row(id))
+	}
+	return out
+}
+
+// Backward scatters upstream gradients back to the looked-up rows.
+func (e *Embedding) Backward(dOut *Mat) {
+	for i, id := range e.ids {
+		grow := e.Table.G.Row(id)
+		drow := dOut.Row(i)
+		for j := range grow {
+			grow[j] += drow[j]
+		}
+	}
+}

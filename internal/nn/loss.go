@@ -1,0 +1,85 @@
+package nn
+
+import "math"
+
+// SoftmaxCE computes mean softmax cross-entropy over rows of logits against
+// integer labels, returning the loss and dLogits. Rows whose label is -1 are
+// masked out.
+func SoftmaxCE(logits *Mat, labels []int) (float64, *Mat) {
+	probs := logits.Clone()
+	SoftmaxRow(probs)
+	d := NewMat(logits.R, logits.C)
+	loss, n := 0.0, 0
+	for i := 0; i < logits.R; i++ {
+		y := labels[i]
+		if y < 0 {
+			continue
+		}
+		n++
+		p := probs.At(i, y)
+		if p < 1e-12 {
+			p = 1e-12
+		}
+		loss -= math.Log(p)
+		row := d.Row(i)
+		copy(row, probs.Row(i))
+		row[y] -= 1
+	}
+	if n == 0 {
+		return 0, d
+	}
+	inv := 1 / float64(n)
+	d.Scale(inv)
+	return loss * inv, d
+}
+
+// WeightedSoftmaxCE is SoftmaxCE with a per-class weight (for the heavily
+// imbalanced node-classification task: most QTIG nodes are negative).
+func WeightedSoftmaxCE(logits *Mat, labels []int, classWeight []float64) (float64, *Mat) {
+	probs := logits.Clone()
+	SoftmaxRow(probs)
+	d := NewMat(logits.R, logits.C)
+	loss, wsum := 0.0, 0.0
+	for i := 0; i < logits.R; i++ {
+		y := labels[i]
+		if y < 0 {
+			continue
+		}
+		w := 1.0
+		if y < len(classWeight) {
+			w = classWeight[y]
+		}
+		wsum += w
+		p := probs.At(i, y)
+		if p < 1e-12 {
+			p = 1e-12
+		}
+		loss -= w * math.Log(p)
+		row := d.Row(i)
+		for j := 0; j < logits.C; j++ {
+			row[j] = w * probs.At(i, j)
+		}
+		row[y] -= w
+	}
+	if wsum == 0 {
+		return 0, d
+	}
+	inv := 1 / wsum
+	d.Scale(inv)
+	return loss * inv, d
+}
+
+// BCEWithLogits computes mean binary cross-entropy of scalar logits against
+// {0,1} targets, returning loss and dLogits.
+func BCEWithLogits(logits, targets []float64) (float64, []float64) {
+	loss := 0.0
+	d := make([]float64, len(logits))
+	for i, z := range logits {
+		p := Sigmoid(z)
+		t := targets[i]
+		pc := math.Min(math.Max(p, 1e-12), 1-1e-12)
+		loss -= t*math.Log(pc) + (1-t)*math.Log(1-pc)
+		d[i] = (p - t) / float64(len(logits))
+	}
+	return loss / float64(len(logits)), d
+}

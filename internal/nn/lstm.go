@@ -1,0 +1,253 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+)
+
+// LSTM is a single-layer unidirectional LSTM processing one sequence at a
+// time (the paper's sequences — queries and titles — are short, so batch
+// size 1 keeps the implementation simple and exact).
+type LSTM struct {
+	In, Hidden int
+	Wx, Wh, B  *Param // gate order: i, f, g, o (each Hidden wide)
+
+	cache []lstmStep
+}
+
+type lstmStep struct {
+	x          []float64
+	i, f, g, o []float64
+	c, h       []float64
+	cPrev      []float64
+	hPrev      []float64
+}
+
+// NewLSTM builds an in→hidden LSTM with forget-gate bias 1.
+func NewLSTM(name string, in, hidden int, rng *rand.Rand) *LSTM {
+	l := &LSTM{
+		In: in, Hidden: hidden,
+		Wx: NewParam(name+".Wx", in, 4*hidden, rng),
+		Wh: NewParam(name+".Wh", hidden, 4*hidden, rng),
+		B:  NewParam(name+".b", 1, 4*hidden, nil),
+	}
+	for j := hidden; j < 2*hidden; j++ {
+		l.B.W.D[j] = 1 // forget bias
+	}
+	return l
+}
+
+// Params lists trainable parameters.
+func (l *LSTM) Params() []*Param { return []*Param{l.Wx, l.Wh, l.B} }
+
+// Forward runs the sequence xs (T×In) and returns hidden states (T×Hidden).
+// h0/c0 may be nil for zeros.
+func (l *LSTM) Forward(xs *Mat, h0, c0 []float64) *Mat {
+	T := xs.R
+	H := l.Hidden
+	out := NewMat(T, H)
+	l.cache = l.cache[:0]
+	hPrev := make([]float64, H)
+	cPrev := make([]float64, H)
+	if h0 != nil {
+		copy(hPrev, h0)
+	}
+	if c0 != nil {
+		copy(cPrev, c0)
+	}
+	for t := 0; t < T; t++ {
+		x := xs.Row(t)
+		st := lstmStep{
+			x: x,
+			i: make([]float64, H), f: make([]float64, H),
+			g: make([]float64, H), o: make([]float64, H),
+			c: make([]float64, H), h: make([]float64, H),
+			cPrev: append([]float64(nil), cPrev...),
+			hPrev: append([]float64(nil), hPrev...),
+		}
+		// gates = x·Wx + h·Wh + b
+		gates := make([]float64, 4*H)
+		copy(gates, l.B.W.D)
+		for k, xv := range x {
+			if xv == 0 {
+				continue
+			}
+			wrow := l.Wx.W.Row(k)
+			for j := range gates {
+				gates[j] += xv * wrow[j]
+			}
+		}
+		for k, hv := range hPrev {
+			if hv == 0 {
+				continue
+			}
+			wrow := l.Wh.W.Row(k)
+			for j := range gates {
+				gates[j] += hv * wrow[j]
+			}
+		}
+		for j := 0; j < H; j++ {
+			st.i[j] = Sigmoid(gates[j])
+			st.f[j] = Sigmoid(gates[H+j])
+			st.g[j] = math.Tanh(gates[2*H+j])
+			st.o[j] = Sigmoid(gates[3*H+j])
+			st.c[j] = st.f[j]*cPrev[j] + st.i[j]*st.g[j]
+			st.h[j] = st.o[j] * math.Tanh(st.c[j])
+		}
+		copy(out.Row(t), st.h)
+		copy(hPrev, st.h)
+		copy(cPrev, st.c)
+		l.cache = append(l.cache, st)
+	}
+	return out
+}
+
+// Backward back-propagates dHs (T×Hidden) through time, accumulating
+// parameter gradients and returning dXs (T×In).
+func (l *LSTM) Backward(dHs *Mat) *Mat {
+	T := len(l.cache)
+	H := l.Hidden
+	dXs := NewMat(T, l.In)
+	dhNext := make([]float64, H)
+	dcNext := make([]float64, H)
+	dGates := make([]float64, 4*H)
+	for t := T - 1; t >= 0; t-- {
+		st := &l.cache[t]
+		dh := make([]float64, H)
+		copy(dh, dHs.Row(t))
+		for j := range dh {
+			dh[j] += dhNext[j]
+		}
+		for j := 0; j < H; j++ {
+			tc := math.Tanh(st.c[j])
+			do := dh[j] * tc
+			dc := dh[j]*st.o[j]*(1-tc*tc) + dcNext[j]
+			di := dc * st.g[j]
+			df := dc * st.cPrev[j]
+			dg := dc * st.i[j]
+			dcNext[j] = dc * st.f[j]
+			dGates[j] = di * st.i[j] * (1 - st.i[j])
+			dGates[H+j] = df * st.f[j] * (1 - st.f[j])
+			dGates[2*H+j] = dg * (1 - st.g[j]*st.g[j])
+			dGates[3*H+j] = do * st.o[j] * (1 - st.o[j])
+		}
+		// Parameter gradients.
+		for k, xv := range st.x {
+			if xv == 0 {
+				continue
+			}
+			grow := l.Wx.G.Row(k)
+			for j, dv := range dGates {
+				grow[j] += xv * dv
+			}
+		}
+		for k, hv := range st.hPrev {
+			if hv == 0 {
+				continue
+			}
+			grow := l.Wh.G.Row(k)
+			for j, dv := range dGates {
+				grow[j] += hv * dv
+			}
+		}
+		for j, dv := range dGates {
+			l.B.G.D[j] += dv
+		}
+		// Input and previous-hidden gradients.
+		dx := dXs.Row(t)
+		for k := 0; k < l.In; k++ {
+			wrow := l.Wx.W.Row(k)
+			s := 0.0
+			for j, dv := range dGates {
+				s += wrow[j] * dv
+			}
+			dx[k] = s
+		}
+		for k := 0; k < H; k++ {
+			wrow := l.Wh.W.Row(k)
+			s := 0.0
+			for j, dv := range dGates {
+				s += wrow[j] * dv
+			}
+			dhNext[k] = s
+		}
+	}
+	return dXs
+}
+
+// LastState returns (h, c) after the most recent Forward (zeros when the
+// sequence was empty).
+func (l *LSTM) LastState() (h, c []float64) {
+	if len(l.cache) == 0 {
+		return make([]float64, l.Hidden), make([]float64, l.Hidden)
+	}
+	st := l.cache[len(l.cache)-1]
+	return st.h, st.c
+}
+
+// BiLSTM runs a forward and a backward LSTM and concatenates their outputs
+// (T × 2·Hidden).
+type BiLSTM struct {
+	Fwd, Bwd *LSTM
+}
+
+// NewBiLSTM builds the pair.
+func NewBiLSTM(name string, in, hidden int, rng *rand.Rand) *BiLSTM {
+	return &BiLSTM{
+		Fwd: NewLSTM(name+".fwd", in, hidden, rng),
+		Bwd: NewLSTM(name+".bwd", in, hidden, rng),
+	}
+}
+
+// Params lists trainable parameters.
+func (b *BiLSTM) Params() []*Param {
+	return append(b.Fwd.Params(), b.Bwd.Params()...)
+}
+
+// Forward returns the concatenated hidden states.
+func (b *BiLSTM) Forward(xs *Mat) *Mat {
+	T := xs.R
+	hf := b.Fwd.Forward(xs, nil, nil)
+	rev := reverseRows(xs)
+	hbRev := b.Bwd.Forward(rev, nil, nil)
+	H := b.Fwd.Hidden
+	out := NewMat(T, 2*H)
+	for t := 0; t < T; t++ {
+		copy(out.Row(t)[:H], hf.Row(t))
+		copy(out.Row(t)[H:], hbRev.Row(T-1-t))
+	}
+	return out
+}
+
+// Backward splits the upstream gradient between the two directions and
+// returns the summed input gradient.
+func (b *BiLSTM) Backward(dOut *Mat) *Mat {
+	T := dOut.R
+	H := b.Fwd.Hidden
+	df := NewMat(T, H)
+	dbRev := NewMat(T, H)
+	for t := 0; t < T; t++ {
+		copy(df.Row(t), dOut.Row(t)[:H])
+		copy(dbRev.Row(T-1-t), dOut.Row(t)[H:])
+	}
+	dxF := b.Fwd.Backward(df)
+	dxBRev := b.Bwd.Backward(dbRev)
+	dx := NewMat(T, dxF.C)
+	for t := 0; t < T; t++ {
+		rf := dxF.Row(t)
+		rb := dxBRev.Row(T - 1 - t)
+		row := dx.Row(t)
+		for j := range row {
+			row[j] = rf[j] + rb[j]
+		}
+	}
+	return dx
+}
+
+func reverseRows(m *Mat) *Mat {
+	out := NewMat(m.R, m.C)
+	for i := 0; i < m.R; i++ {
+		copy(out.Row(i), m.Row(m.R-1-i))
+	}
+	return out
+}

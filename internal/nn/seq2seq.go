@@ -1,0 +1,285 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Vocab maps tokens to contiguous ids with the reserved <unk>/<sos>/<eos>
+// entries the seq2seq model needs.
+type Vocab struct {
+	idx   map[string]int
+	words []string
+}
+
+// Reserved vocabulary ids.
+const (
+	UnkID = 0
+	SosID = 1
+	EosID = 2
+)
+
+// NewVocab returns a vocabulary containing only the reserved tokens.
+func NewVocab() *Vocab {
+	v := &Vocab{idx: make(map[string]int)}
+	for _, w := range []string{"<unk>", "<sos>", "<eos>"} {
+		v.idx[w] = len(v.words)
+		v.words = append(v.words, w)
+	}
+	return v
+}
+
+// Learn adds w if absent and returns its id.
+func (v *Vocab) Learn(w string) int {
+	if id, ok := v.idx[w]; ok {
+		return id
+	}
+	id := len(v.words)
+	v.idx[w] = id
+	v.words = append(v.words, w)
+	return id
+}
+
+// ID returns w's id (UnkID when unknown).
+func (v *Vocab) ID(w string) int {
+	if id, ok := v.idx[w]; ok {
+		return id
+	}
+	return UnkID
+}
+
+// Word returns the token for an id.
+func (v *Vocab) Word(id int) string {
+	if id < 0 || id >= len(v.words) {
+		return "<unk>"
+	}
+	return v.words[id]
+}
+
+// Size returns the vocabulary size.
+func (v *Vocab) Size() int { return len(v.words) }
+
+// Seq2Seq is an attention encoder-decoder: BiLSTM encoder, LSTM decoder with
+// dot-product attention — the TextSummary baseline of Table 6.
+type Seq2Seq struct {
+	Vocab   *Vocab
+	Emb     *Embedding
+	Enc     *BiLSTM
+	Dec     *LSTM
+	Out     *Dense // [h_dec ; ctx] -> vocab logits
+	hidden  int    // encoder hidden per direction; decoder hidden = 2*hidden
+	adamSet []*Param
+}
+
+// NewSeq2Seq builds the model. Decoder hidden width is 2·hidden so encoder
+// states can initialize it and attention is a plain dot product.
+func NewSeq2Seq(vocab *Vocab, embDim, hidden int, rng *rand.Rand) *Seq2Seq {
+	s := &Seq2Seq{
+		Vocab:  vocab,
+		Emb:    NewEmbedding("s2s.emb", vocab.Size(), embDim, rng),
+		Enc:    NewBiLSTM("s2s.enc", embDim, hidden, rng),
+		Dec:    NewLSTM("s2s.dec", embDim, 2*hidden, rng),
+		Out:    NewDense("s2s.out", 4*hidden, vocab.Size(), rng),
+		hidden: hidden,
+	}
+	s.adamSet = append(s.adamSet, s.Emb.Params()...)
+	s.adamSet = append(s.adamSet, s.Enc.Params()...)
+	s.adamSet = append(s.adamSet, s.Dec.Params()...)
+	s.adamSet = append(s.adamSet, s.Out.Params()...)
+	return s
+}
+
+// Params lists trainable parameters.
+func (s *Seq2Seq) Params() []*Param { return s.adamSet }
+
+// TrainStep runs one teacher-forced example (source token ids, target token
+// ids WITHOUT sos/eos) and accumulates gradients, returning the mean token
+// loss.
+func (s *Seq2Seq) TrainStep(src, tgt []int) float64 {
+	if len(src) == 0 || len(tgt) == 0 {
+		return 0
+	}
+	// ---- Encoder ----
+	srcEmb := s.Emb.Forward(src)
+	hEnc := s.Enc.Forward(srcEmb) // Tsrc × 2h
+
+	// ---- Decoder (teacher forcing) ----
+	decIn := make([]int, 0, len(tgt)+1)
+	decIn = append(decIn, SosID)
+	decIn = append(decIn, tgt...)
+	gold := make([]int, 0, len(tgt)+1)
+	gold = append(gold, tgt...)
+	gold = append(gold, EosID)
+
+	decEmb := s.embForwardSecond(decIn)
+	h0, c0 := s.initDecState()
+	hDec := s.Dec.Forward(decEmb, h0, c0) // Tdec × 2h
+
+	Td, Ts := hDec.R, hEnc.R
+	// Attention per decoder step.
+	alphas := NewMat(Td, Ts)
+	ctxs := NewMat(Td, 2*s.hidden)
+	for t := 0; t < Td; t++ {
+		scores := make([]float64, Ts)
+		for i := 0; i < Ts; i++ {
+			scores[i] = Dot(hDec.Row(t), hEnc.Row(i))
+		}
+		soft(scores)
+		copy(alphas.Row(t), scores)
+		crow := ctxs.Row(t)
+		for i := 0; i < Ts; i++ {
+			a := scores[i]
+			erow := hEnc.Row(i)
+			for j := range crow {
+				crow[j] += a * erow[j]
+			}
+		}
+	}
+	// Output projection.
+	feat := NewMat(Td, 4*s.hidden)
+	for t := 0; t < Td; t++ {
+		copy(feat.Row(t)[:2*s.hidden], hDec.Row(t))
+		copy(feat.Row(t)[2*s.hidden:], ctxs.Row(t))
+	}
+	logits := s.Out.Forward(feat)
+	loss, dLogits := SoftmaxCE(logits, gold)
+
+	// ---- Backward ----
+	dFeat := s.Out.Backward(dLogits)
+	dHDec := NewMat(Td, 2*s.hidden)
+	dHEnc := NewMat(Ts, 2*s.hidden)
+	for t := 0; t < Td; t++ {
+		dh := dHDec.Row(t)
+		dctx := dFeat.Row(t)[2*s.hidden:]
+		copy(dh, dFeat.Row(t)[:2*s.hidden])
+		// Through context: ctx = Σ α_i hEnc_i.
+		dAlpha := make([]float64, Ts)
+		for i := 0; i < Ts; i++ {
+			erow := hEnc.Row(i)
+			dAlpha[i] = Dot(dctx, erow)
+			a := alphas.At(t, i)
+			drow := dHEnc.Row(i)
+			for j := range drow {
+				drow[j] += a * dctx[j]
+			}
+		}
+		// Softmax jacobian.
+		arow := alphas.Row(t)
+		dot := Dot(dAlpha, arow)
+		for i := 0; i < Ts; i++ {
+			ds := arow[i] * (dAlpha[i] - dot)
+			// score_i = hDec_t · hEnc_i
+			erow := hEnc.Row(i)
+			for j := range dh {
+				dh[j] += ds * erow[j]
+			}
+			drow := dHEnc.Row(i)
+			hrow := hDec.Row(t)
+			for j := range drow {
+				drow[j] += ds * hrow[j]
+			}
+		}
+	}
+	dDecEmb := s.Dec.Backward(dHDec)
+	s.embBackwardSecond(decIn, dDecEmb)
+	dSrcEmb := s.Enc.Backward(dHEnc)
+	s.embBackwardSecond(src, dSrcEmb)
+	return loss
+}
+
+// The encoder and decoder share the embedding table but need independent id
+// caches within one train step; these helpers do a second lookup without
+// clobbering the encoder's cache.
+func (s *Seq2Seq) embForwardSecond(ids []int) *Mat {
+	out := NewMat(len(ids), s.Emb.Dim())
+	for i, id := range ids {
+		copy(out.Row(i), s.Emb.Table.W.Row(id))
+	}
+	return out
+}
+
+func (s *Seq2Seq) embBackwardSecond(ids []int, dOut *Mat) {
+	for i, id := range ids {
+		grow := s.Emb.Table.G.Row(id)
+		drow := dOut.Row(i)
+		for j := range grow {
+			grow[j] += drow[j]
+		}
+	}
+}
+
+func (s *Seq2Seq) initDecState() (h, c []float64) {
+	hf, cf := s.Enc.Fwd.LastState()
+	hb, cb := s.Enc.Bwd.LastState()
+	h = append(append([]float64(nil), hf...), hb...)
+	c = append(append([]float64(nil), cf...), cb...)
+	return h, c
+}
+
+// Generate decodes greedily from src up to maxLen tokens.
+func (s *Seq2Seq) Generate(src []int, maxLen int) []int {
+	if len(src) == 0 {
+		return nil
+	}
+	srcEmb := s.embForwardSecond(src)
+	hEnc := s.Enc.Forward(srcEmb)
+	h, c := s.initDecState()
+	prev := SosID
+	var out []int
+	for t := 0; t < maxLen; t++ {
+		x := NewMat(1, s.Emb.Dim())
+		copy(x.Row(0), s.Emb.Table.W.Row(prev))
+		hD := s.Dec.Forward(x, h, c)
+		h, c = s.Dec.LastState()
+		hrow := hD.Row(0)
+		Ts := hEnc.R
+		scores := make([]float64, Ts)
+		for i := 0; i < Ts; i++ {
+			scores[i] = Dot(hrow, hEnc.Row(i))
+		}
+		soft(scores)
+		ctx := make([]float64, 2*s.hidden)
+		for i := 0; i < Ts; i++ {
+			erow := hEnc.Row(i)
+			for j := range ctx {
+				ctx[j] += scores[i] * erow[j]
+			}
+		}
+		feat := NewMat(1, 4*s.hidden)
+		copy(feat.Row(0)[:2*s.hidden], hrow)
+		copy(feat.Row(0)[2*s.hidden:], ctx)
+		logits := s.Out.Forward(feat)
+		best, arg := math.Inf(-1), EosID
+		for j := 0; j < logits.C; j++ {
+			if v := logits.At(0, j); v > best {
+				best, arg = v, j
+			}
+		}
+		if arg == EosID {
+			break
+		}
+		out = append(out, arg)
+		prev = arg
+	}
+	return out
+}
+
+func soft(xs []float64) {
+	mx := math.Inf(-1)
+	for _, v := range xs {
+		if v > mx {
+			mx = v
+		}
+	}
+	s := 0.0
+	for i, v := range xs {
+		xs[i] = math.Exp(v - mx)
+		s += xs[i]
+	}
+	if s == 0 {
+		s = 1
+	}
+	for i := range xs {
+		xs[i] /= s
+	}
+}

@@ -1,0 +1,494 @@
+// Package ontology implements the Attention Ontology of §2: a DAG of five
+// node types (category, concept, entity, topic, event) connected by three
+// edge types (isA, involve, correlate), with alias lists per node,
+// concurrency-safe mutation, traversal helpers, statistics and JSON
+// persistence.
+package ontology
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// NodeType is one of the five attention types.
+type NodeType uint8
+
+// Node types (§2).
+const (
+	Category NodeType = iota
+	Concept
+	Entity
+	Topic
+	Event
+	NumNodeTypes = 5
+)
+
+// String names the node type.
+func (t NodeType) String() string {
+	switch t {
+	case Category:
+		return "category"
+	case Concept:
+		return "concept"
+	case Entity:
+		return "entity"
+	case Topic:
+		return "topic"
+	case Event:
+		return "event"
+	default:
+		return "unknown"
+	}
+}
+
+// EdgeType is one of the three relationship types.
+type EdgeType uint8
+
+// Edge types (§2).
+const (
+	IsA EdgeType = iota
+	Involve
+	Correlate
+	NumEdgeTypes = 3
+)
+
+// String names the edge type.
+func (t EdgeType) String() string {
+	switch t {
+	case IsA:
+		return "isA"
+	case Involve:
+		return "involve"
+	case Correlate:
+		return "correlate"
+	default:
+		return "unknown"
+	}
+}
+
+// NodeID identifies a node.
+type NodeID int
+
+// Node is one attention node. Phrase is the canonical surface form; Aliases
+// holds merged near-duplicate phrasings (attention phrase normalization).
+type Node struct {
+	ID      NodeID   `json:"id"`
+	Type    NodeType `json:"type"`
+	Phrase  string   `json:"phrase"`
+	Aliases []string `json:"aliases,omitempty"`
+
+	// Event/topic attributes (§2): involved entity phrases, trigger, time
+	// and location.
+	Trigger  string `json:"trigger,omitempty"`
+	Location string `json:"location,omitempty"`
+	Day      int    `json:"day,omitempty"`
+
+	// FirstSeenDay supports growth accounting (Table 1 "Grow/day").
+	FirstSeenDay int `json:"first_seen_day,omitempty"`
+}
+
+// Edge is a typed directed edge src --type--> dst. For isA the destination
+// is the instance ("Huawei Mate20 Pro" isA "Huawei Cellphones" is stored as
+// src=concept, dst=entity per §2's source/destination wording).
+type Edge struct {
+	Src    NodeID   `json:"src"`
+	Dst    NodeID   `json:"dst"`
+	Type   EdgeType `json:"type"`
+	Weight float64  `json:"weight,omitempty"`
+}
+
+// Ontology is the Attention Ontology store. Safe for concurrent use.
+type Ontology struct {
+	mu       sync.RWMutex
+	nodes    []Node
+	edges    []Edge
+	byPhrase map[string]NodeID
+	out      map[NodeID][]int // edge indices by source
+	in       map[NodeID][]int // edge indices by destination
+	edgeSet  map[edgeKey]bool
+}
+
+type edgeKey struct {
+	src, dst NodeID
+	typ      EdgeType
+}
+
+// New returns an empty ontology.
+func New() *Ontology {
+	return &Ontology{
+		byPhrase: make(map[string]NodeID),
+		out:      make(map[NodeID][]int),
+		in:       make(map[NodeID][]int),
+		edgeSet:  make(map[edgeKey]bool),
+	}
+}
+
+// AddNode inserts a node with the given type and phrase, returning the new
+// or existing ID (phrases are unique per ontology; a second insert with the
+// same phrase returns the original node).
+func (o *Ontology) AddNode(t NodeType, phrase string) NodeID {
+	return o.AddNodeAt(t, phrase, 0)
+}
+
+// AddNodeAt is AddNode with an explicit first-seen day.
+func (o *Ontology) AddNodeAt(t NodeType, phrase string, day int) NodeID {
+	key := nodeKey(t, phrase)
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if id, ok := o.byPhrase[key]; ok {
+		return id
+	}
+	id := NodeID(len(o.nodes))
+	o.nodes = append(o.nodes, Node{ID: id, Type: t, Phrase: phrase, FirstSeenDay: day})
+	o.byPhrase[key] = id
+	return id
+}
+
+// AddAlias merges alias into node id's alias list.
+func (o *Ontology) AddAlias(id NodeID, alias string) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if int(id) >= len(o.nodes) || alias == o.nodes[id].Phrase {
+		return
+	}
+	for _, a := range o.nodes[id].Aliases {
+		if a == alias {
+			return
+		}
+	}
+	o.nodes[id].Aliases = append(o.nodes[id].Aliases, alias)
+}
+
+// SetEventAttrs fills the event/topic attributes of a node.
+func (o *Ontology) SetEventAttrs(id NodeID, trigger, location string, day int) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if int(id) >= len(o.nodes) {
+		return
+	}
+	n := &o.nodes[id]
+	n.Trigger, n.Location, n.Day = trigger, location, day
+}
+
+// AddEdge inserts src --type--> dst with a weight, deduplicating repeats
+// (the first weight wins). Self-edges are rejected.
+func (o *Ontology) AddEdge(src, dst NodeID, t EdgeType, weight float64) error {
+	if src == dst {
+		return fmt.Errorf("ontology: self edge on node %d", src)
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if int(src) >= len(o.nodes) || int(dst) >= len(o.nodes) {
+		return fmt.Errorf("ontology: edge endpoints out of range (%d,%d)", src, dst)
+	}
+	k := edgeKey{src, dst, t}
+	if o.edgeSet[k] {
+		return nil
+	}
+	o.edgeSet[k] = true
+	idx := len(o.edges)
+	o.edges = append(o.edges, Edge{Src: src, Dst: dst, Type: t, Weight: weight})
+	o.out[src] = append(o.out[src], idx)
+	o.in[dst] = append(o.in[dst], idx)
+	return nil
+}
+
+// NodeCount returns the number of nodes (optionally filtered by type).
+func (o *Ontology) NodeCount(types ...NodeType) int {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	if len(types) == 0 {
+		return len(o.nodes)
+	}
+	n := 0
+	for _, nd := range o.nodes {
+		for _, t := range types {
+			if nd.Type == t {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// EdgeCount returns the number of edges (optionally filtered by type).
+func (o *Ontology) EdgeCount(types ...EdgeType) int {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	if len(types) == 0 {
+		return len(o.edges)
+	}
+	n := 0
+	for _, e := range o.edges {
+		for _, t := range types {
+			if e.Type == t {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Get returns a copy of the node.
+func (o *Ontology) Get(id NodeID) (Node, bool) {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	if int(id) < 0 || int(id) >= len(o.nodes) {
+		return Node{}, false
+	}
+	return o.nodes[id], true
+}
+
+// Find returns the node with the given type and phrase.
+func (o *Ontology) Find(t NodeType, phrase string) (Node, bool) {
+	o.mu.RLock()
+	id, ok := o.byPhrase[nodeKey(t, phrase)]
+	o.mu.RUnlock()
+	if !ok {
+		return Node{}, false
+	}
+	return o.Get(id)
+}
+
+// FindAny returns the first node with the phrase under any type.
+func (o *Ontology) FindAny(phrase string) (Node, bool) {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	for t := NodeType(0); t < NumNodeTypes; t++ {
+		if id, ok := o.byPhrase[nodeKey(t, phrase)]; ok {
+			return o.nodes[id], true
+		}
+	}
+	return Node{}, false
+}
+
+// Children returns nodes reachable from id via out-edges of type t
+// (e.g. the entities of a concept under IsA).
+func (o *Ontology) Children(id NodeID, t EdgeType) []Node {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	var out []Node
+	for _, ei := range o.out[id] {
+		e := o.edges[ei]
+		if e.Type == t {
+			out = append(out, o.nodes[e.Dst])
+		}
+	}
+	return out
+}
+
+// Parents returns nodes with an edge of type t INTO id (e.g. the concepts an
+// entity belongs to under IsA).
+func (o *Ontology) Parents(id NodeID, t EdgeType) []Node {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	var out []Node
+	for _, ei := range o.in[id] {
+		e := o.edges[ei]
+		if e.Type == t {
+			out = append(out, o.nodes[e.Src])
+		}
+	}
+	return out
+}
+
+// Ancestors returns all transitive IsA parents of id.
+func (o *Ontology) Ancestors(id NodeID) []Node {
+	seen := map[NodeID]bool{id: true}
+	var out []Node
+	frontier := []NodeID{id}
+	for len(frontier) > 0 {
+		next := frontier[:0:0]
+		for _, f := range frontier {
+			for _, p := range o.Parents(f, IsA) {
+				if !seen[p.ID] {
+					seen[p.ID] = true
+					out = append(out, p)
+					next = append(next, p.ID)
+				}
+			}
+		}
+		frontier = next
+	}
+	return out
+}
+
+// Nodes returns a copy of all nodes (optionally filtered by type).
+func (o *Ontology) Nodes(types ...NodeType) []Node {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	out := make([]Node, 0, len(o.nodes))
+	for _, n := range o.nodes {
+		if len(types) == 0 {
+			out = append(out, n)
+			continue
+		}
+		for _, t := range types {
+			if n.Type == t {
+				out = append(out, n)
+			}
+		}
+	}
+	return out
+}
+
+// Edges returns a copy of all edges (optionally filtered by type).
+func (o *Ontology) Edges(types ...EdgeType) []Edge {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	out := make([]Edge, 0, len(o.edges))
+	for _, e := range o.edges {
+		if len(types) == 0 {
+			out = append(out, e)
+			continue
+		}
+		for _, t := range types {
+			if e.Type == t {
+				out = append(out, e)
+			}
+		}
+	}
+	return out
+}
+
+// Stats summarizes node and edge counts per type (Table 1 / Table 2 rows).
+type Stats struct {
+	NodesByType map[string]int `json:"nodes_by_type"`
+	EdgesByType map[string]int `json:"edges_by_type"`
+}
+
+// ComputeStats builds the summary.
+func (o *Ontology) ComputeStats() Stats {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	s := Stats{NodesByType: map[string]int{}, EdgesByType: map[string]int{}}
+	for _, n := range o.nodes {
+		s.NodesByType[n.Type.String()]++
+	}
+	for _, e := range o.edges {
+		s.EdgesByType[e.Type.String()]++
+	}
+	return s
+}
+
+// GrowthOn returns the number of nodes of type t first seen on the given
+// day.
+func (o *Ontology) GrowthOn(t NodeType, day int) int {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	n := 0
+	for _, nd := range o.nodes {
+		if nd.Type == t && nd.FirstSeenDay == day {
+			n++
+		}
+	}
+	return n
+}
+
+// HasCycleIsA reports whether the IsA subgraph contains a cycle (the AO must
+// remain a DAG).
+func (o *Ontology) HasCycleIsA() bool {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	state := make([]uint8, len(o.nodes)) // 0 unseen, 1 in stack, 2 done
+	var dfs func(NodeID) bool
+	dfs = func(v NodeID) bool {
+		state[v] = 1
+		for _, ei := range o.out[v] {
+			e := o.edges[ei]
+			if e.Type != IsA {
+				continue
+			}
+			switch state[e.Dst] {
+			case 1:
+				return true
+			case 0:
+				if dfs(e.Dst) {
+					return true
+				}
+			}
+		}
+		state[v] = 2
+		return false
+	}
+	for i := range o.nodes {
+		if state[i] == 0 && dfs(NodeID(i)) {
+			return true
+		}
+	}
+	return false
+}
+
+type persisted struct {
+	Nodes []Node `json:"nodes"`
+	Edges []Edge `json:"edges"`
+}
+
+// WriteJSON serializes the ontology.
+func (o *Ontology) WriteJSON(w io.Writer) error {
+	o.mu.RLock()
+	p := persisted{Nodes: o.nodes, Edges: o.edges}
+	o.mu.RUnlock()
+	enc := json.NewEncoder(w)
+	return enc.Encode(p)
+}
+
+// ReadJSON deserializes an ontology written by WriteJSON.
+func ReadJSON(r io.Reader) (*Ontology, error) {
+	var p persisted
+	if err := json.NewDecoder(r).Decode(&p); err != nil {
+		return nil, fmt.Errorf("ontology: decode: %w", err)
+	}
+	o := New()
+	for _, n := range p.Nodes {
+		id := o.AddNodeAt(n.Type, n.Phrase, n.FirstSeenDay)
+		o.SetEventAttrs(id, n.Trigger, n.Location, n.Day)
+		for _, a := range n.Aliases {
+			o.AddAlias(id, a)
+		}
+	}
+	for _, e := range p.Edges {
+		if err := o.AddEdge(e.Src, e.Dst, e.Type, e.Weight); err != nil {
+			return nil, err
+		}
+	}
+	return o, nil
+}
+
+// SaveFile writes the ontology to path.
+func (o *Ontology) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return o.WriteJSON(f)
+}
+
+// LoadFile reads an ontology from path.
+func LoadFile(path string) (*Ontology, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadJSON(f)
+}
+
+// Dump renders a sorted human-readable listing (debugging aid).
+func (o *Ontology) Dump(w io.Writer) {
+	nodes := o.Nodes()
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].ID < nodes[j].ID })
+	for _, n := range nodes {
+		fmt.Fprintf(w, "[%d] %s %q\n", n.ID, n.Type, n.Phrase)
+	}
+}
+
+func nodeKey(t NodeType, phrase string) string {
+	return t.String() + "\x00" + strings.ToLower(phrase)
+}

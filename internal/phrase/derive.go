@@ -1,0 +1,150 @@
+package phrase
+
+import (
+	"sort"
+	"strings"
+
+	"giant/internal/nlp"
+)
+
+// Derived is a phrase derived from extracted phrases (a new parent node).
+type Derived struct {
+	Phrase   string
+	Children []string // the phrases it was derived from
+}
+
+// CommonSuffixDiscovery (CSD, §3.1 "Attention Derivation") finds
+// high-frequency noun-phrase suffixes among concept phrases and promotes
+// them to parent concepts: "animated film" from "famous animated film",
+// "award-winning animated film", etc. minFreq is the minimum number of
+// distinct concepts sharing the suffix. lex may be nil (suffixes then only
+// need to end in a non-stop token).
+func CommonSuffixDiscovery(concepts []string, minFreq int, lex *nlp.Lexicon) []Derived {
+	suffixChildren := map[string][]string{}
+	for _, c := range concepts {
+		toks := nlp.Tokenize(c)
+		// All proper suffixes of length >= 1 (shorter than the phrase).
+		for start := 1; start < len(toks); start++ {
+			suf := strings.Join(toks[start:], " ")
+			suffixChildren[suf] = append(suffixChildren[suf], c)
+		}
+	}
+	var out []Derived
+	for suf, children := range suffixChildren {
+		if len(children) < minFreq {
+			continue
+		}
+		if !isNounPhrase(suf, lex) {
+			continue
+		}
+		sort.Strings(children)
+		out = append(out, Derived{Phrase: suf, Children: dedupe(children)})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Phrase < out[j].Phrase })
+	return out
+}
+
+// isNounPhrase requires the suffix to end in a noun and contain no verbs or
+// punctuation.
+func isNounPhrase(s string, lex *nlp.Lexicon) bool {
+	toks := nlp.Tokenize(s)
+	if len(toks) == 0 {
+		return false
+	}
+	posOf := nlp.GuessPOS
+	if lex != nil {
+		posOf = lex.POSOf
+	}
+	last := posOf(toks[len(toks)-1])
+	if last != nlp.PosNoun && last != nlp.PosPropn {
+		return false
+	}
+	for _, t := range toks {
+		p := posOf(t)
+		if p == nlp.PosVerb || p == nlp.PosPunct {
+			return false
+		}
+		if nlp.IsStopWord(t) {
+			return false
+		}
+	}
+	return true
+}
+
+// EventForCPD is the event view Common Pattern Discovery needs: the phrase
+// tokens plus which tokens are entity mentions and what concept those
+// entities belong to.
+type EventForCPD struct {
+	Tokens []string
+	// EntitySpans maps token index -> concept phrase of the mentioned
+	// entity's most fine-grained common concept ancestor.
+	EntitySpans map[int]string
+	SearchCount int
+}
+
+// CommonPatternDiscovery (CPD, §3.1) derives topics from events sharing a
+// pattern: entity mentions are replaced by their concept ancestor, and
+// patterns instantiated by >= minFreq distinct events with >= minSearch
+// total search count become topic phrases ("Singer will have a concert").
+func CommonPatternDiscovery(events []EventForCPD, minFreq, minSearch int) []Derived {
+	type acc struct {
+		children []string
+		search   int
+	}
+	patterns := map[string]*acc{}
+	for _, ev := range events {
+		if len(ev.EntitySpans) == 0 {
+			continue
+		}
+		pat := make([]string, len(ev.Tokens))
+		copy(pat, ev.Tokens)
+		replaced := false
+		for i, concept := range ev.EntitySpans {
+			if i >= 0 && i < len(pat) {
+				pat[i] = concept
+				replaced = true
+			}
+		}
+		if !replaced {
+			continue
+		}
+		// Collapse adjacent duplicate slots (multi-token entity names map
+		// every token to the same concept).
+		var compact []string
+		for _, t := range pat {
+			if len(compact) > 0 && compact[len(compact)-1] == t {
+				continue
+			}
+			compact = append(compact, t)
+		}
+		key := strings.Join(compact, " ")
+		a := patterns[key]
+		if a == nil {
+			a = &acc{}
+			patterns[key] = a
+		}
+		a.children = append(a.children, strings.Join(ev.Tokens, " "))
+		a.search += ev.SearchCount
+	}
+	var out []Derived
+	for pat, a := range patterns {
+		uniq := dedupe(a.children)
+		if len(uniq) < minFreq || a.search < minSearch {
+			continue
+		}
+		out = append(out, Derived{Phrase: pat, Children: uniq})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Phrase < out[j].Phrase })
+	return out
+}
+
+func dedupe(xs []string) []string {
+	sort.Strings(xs)
+	out := xs[:0]
+	for i, x := range xs {
+		if i == 0 || xs[i-1] != x {
+			out = append(out, x)
+		}
+	}
+	return out
+}

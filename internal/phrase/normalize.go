@@ -1,0 +1,159 @@
+// Package phrase implements attention-phrase post-processing from §3.1:
+// normalization (merging near-duplicate phrasings by non-stop-token
+// similarity plus TF-IDF similarity of context-enriched representations),
+// Common Suffix Discovery for deriving higher-level concepts, and Common
+// Pattern Discovery for deriving topics from events.
+package phrase
+
+import (
+	"math"
+	"sort"
+	"strings"
+
+	"giant/internal/nlp"
+)
+
+// TFIDF is a small TF-IDF vector-space model over token documents.
+type TFIDF struct {
+	df   map[string]int
+	docs int
+}
+
+// NewTFIDF returns an empty model.
+func NewTFIDF() *TFIDF { return &TFIDF{df: make(map[string]int)} }
+
+// AddDoc updates document frequencies with one document's tokens.
+func (t *TFIDF) AddDoc(tokens []string) {
+	t.docs++
+	seen := map[string]bool{}
+	for _, tok := range tokens {
+		if !seen[tok] {
+			seen[tok] = true
+			t.df[tok]++
+		}
+	}
+}
+
+// Vector returns the TF-IDF weight map of a document.
+func (t *TFIDF) Vector(tokens []string) map[string]float64 {
+	tf := map[string]float64{}
+	for _, tok := range tokens {
+		tf[tok]++
+	}
+	out := make(map[string]float64, len(tf))
+	n := float64(t.docs)
+	if n == 0 {
+		n = 1
+	}
+	for tok, f := range tf {
+		// Smoothed IDF (the "+1" keeps corpus-wide terms from collapsing to
+		// zero weight on the small per-cluster corpora this model sees).
+		idf := math.Log((n+1)/(float64(t.df[tok])+1)) + 1
+		out[tok] = f * idf
+	}
+	return out
+}
+
+// Cosine returns cosine similarity between two sparse vectors.
+func Cosine(a, b map[string]float64) float64 {
+	var dot, na, nb float64
+	for k, v := range a {
+		na += v * v
+		if w, ok := b[k]; ok {
+			dot += v * w
+		}
+	}
+	for _, v := range b {
+		nb += v * v
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / math.Sqrt(na*nb)
+}
+
+// Normalizer merges highly similar phrases into a single canonical node
+// (§3.1 "Attention Phrase Normalization"): two phrases merge when (i) their
+// non-stop words are the same or synonyms and (ii) the TF-IDF similarity of
+// their context-enriched representations (phrase + top clicked titles)
+// exceeds Threshold.
+type Normalizer struct {
+	Threshold float64
+	Lex       *nlp.Lexicon
+	tfidf     *TFIDF
+
+	canon []normEntry
+	byKey map[string]int // sorted canonical non-stop tokens -> entry
+}
+
+type normEntry struct {
+	Phrase  string
+	Aliases []string
+	ctx     map[string]float64
+}
+
+// NewNormalizer builds a normalizer; lex may be nil (no synonym folding).
+func NewNormalizer(lex *nlp.Lexicon, threshold float64) *Normalizer {
+	return &Normalizer{Threshold: threshold, Lex: lex, tfidf: NewTFIDF(), byKey: map[string]int{}}
+}
+
+// contextTokens builds the context-enriched representation: the phrase's own
+// tokens plus its top clicked titles.
+func contextTokens(phrase string, topTitles []string) []string {
+	toks := nlp.Tokenize(phrase)
+	for _, t := range topTitles {
+		toks = append(toks, nlp.Tokenize(t)...)
+	}
+	return toks
+}
+
+// key canonicalizes non-stop tokens (synonym-folded, sorted).
+func (n *Normalizer) key(phrase string) string {
+	var toks []string
+	for _, t := range nlp.Tokenize(phrase) {
+		if nlp.IsStopWord(t) {
+			continue
+		}
+		if n.Lex != nil {
+			t = n.Lex.Canonical(t)
+		}
+		toks = append(toks, t)
+	}
+	sort.Strings(toks)
+	return strings.Join(toks, " ")
+}
+
+// Observe feeds a phrase context into the TF-IDF statistics (call for all
+// phrases before Add for stable IDF, or interleave for streaming behaviour).
+func (n *Normalizer) Observe(phrase string, topTitles []string) {
+	n.tfidf.AddDoc(contextTokens(phrase, topTitles))
+}
+
+// Add normalizes a phrase: returns the canonical phrase and whether the
+// input was merged into an existing node (true) or became a new canonical
+// phrase (false).
+func (n *Normalizer) Add(phrase string, topTitles []string) (canonical string, merged bool) {
+	ctx := n.tfidf.Vector(contextTokens(phrase, topTitles))
+	k := n.key(phrase)
+	if idx, ok := n.byKey[k]; ok {
+		e := &n.canon[idx]
+		if Cosine(ctx, e.ctx) >= n.Threshold {
+			if phrase != e.Phrase {
+				e.Aliases = append(e.Aliases, phrase)
+			}
+			return e.Phrase, true
+		}
+	}
+	n.byKey[k] = len(n.canon)
+	n.canon = append(n.canon, normEntry{Phrase: phrase, ctx: ctx})
+	return phrase, false
+}
+
+// Canonicals lists the canonical phrases with their aliases.
+func (n *Normalizer) Canonicals() map[string][]string {
+	out := make(map[string][]string, len(n.canon))
+	for _, e := range n.canon {
+		out[e.Phrase] = e.Aliases
+	}
+	return out
+}

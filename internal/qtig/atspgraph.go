@@ -1,0 +1,108 @@
+package qtig
+
+// ATSPDistances builds the distance matrix for ATSP decoding (§3.1, "Node
+// Ordering with ATSP Decoding") over the predicted-positive nodes plus SOS
+// and EOS. Per the paper, the decoding variant of the QTIG:
+//
+//  1. drops all dependency edges,
+//  2. makes "seq" edges unidirectional (input order),
+//  3. connects SOS to the first positive token of each input and the last
+//     positive token of each input to EOS,
+//  4. defines distance between positive nodes as shortest-path length in
+//     this modified graph.
+//
+// The returned matrix is indexed by position in the returned node list, whose
+// first element is SOS and last is EOS. Unreachable pairs get the `inf`
+// sentinel (callers treat it as a large-but-finite cost).
+func (g *Graph) ATSPDistances(positive []int) (nodes []int, dist [][]float64) {
+	const inf = 1e9
+
+	// Adjacency of the modified graph: unidirectional seq edges.
+	adj := make([][]int, len(g.Nodes))
+	addArc := func(u, v int) {
+		for _, x := range adj[u] {
+			if x == v {
+				return
+			}
+		}
+		adj[u] = append(adj[u], v)
+	}
+	for _, text := range g.Inputs {
+		prev := -1
+		for _, tok := range text {
+			cur := g.nodeOf(tok.Text)
+			if cur < 0 {
+				continue
+			}
+			if prev >= 0 && prev != cur {
+				addArc(prev, cur)
+			}
+			prev = cur
+		}
+	}
+
+	posSet := make(map[int]bool, len(positive))
+	for _, p := range positive {
+		posSet[p] = true
+	}
+	// SOS -> first positive token per input; last positive token -> EOS.
+	for _, text := range g.Inputs {
+		first, last := -1, -1
+		for _, tok := range text {
+			n := g.nodeOf(tok.Text)
+			if n >= 0 && posSet[n] {
+				if first == -1 {
+					first = n
+				}
+				last = n
+			}
+		}
+		if first >= 0 {
+			addArc(g.SOS, first)
+		}
+		if last >= 0 {
+			addArc(last, g.EOS)
+		}
+	}
+
+	nodes = make([]int, 0, len(positive)+2)
+	nodes = append(nodes, g.SOS)
+	nodes = append(nodes, positive...)
+	nodes = append(nodes, g.EOS)
+
+	// BFS from each node of interest.
+	dist = make([][]float64, len(nodes))
+	for i, src := range nodes {
+		d := g.bfs(src, adj)
+		row := make([]float64, len(nodes))
+		for j, dst := range nodes {
+			if d[dst] < 0 {
+				row[j] = inf
+			} else {
+				row[j] = float64(d[dst])
+			}
+		}
+		dist[i] = row
+	}
+	return nodes, dist
+}
+
+func (g *Graph) bfs(src int, adj [][]int) []int {
+	d := make([]int, len(g.Nodes))
+	for i := range d {
+		d[i] = -1
+	}
+	d[src] = 0
+	queue := []int{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range adj[u] {
+			if d[v] == -1 {
+				d[v] = d[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return d
+}

@@ -1,0 +1,108 @@
+// Package queryund implements §4's query understanding: detect whether a
+// query conveys a concept or an entity, rewrite concept queries by expanding
+// them with member entities ("q e_i"), and recommend correlated entities for
+// entity queries.
+package queryund
+
+import (
+	"sort"
+	"strings"
+
+	"giant/internal/nlp"
+	"giant/internal/ontology"
+)
+
+// Understander analyzes queries against the Attention Ontology.
+type Understander struct {
+	Onto *ontology.Ontology
+	// MaxExpansions caps rewrites/recommendations per query.
+	MaxExpansions int
+}
+
+// New builds an Understander.
+func New(onto *ontology.Ontology) *Understander {
+	return &Understander{Onto: onto, MaxExpansions: 5}
+}
+
+// Analysis is the structured interpretation of a query.
+type Analysis struct {
+	Query string
+	// Concept is the concept phrase conveyed by the query, if any.
+	Concept string
+	// Entity is the entity conveyed by the query, if any.
+	Entity string
+	// Rewrites are "q e_i" expansions for concept queries.
+	Rewrites []string
+	// Recommendations are correlated entities for entity queries.
+	Recommendations []string
+}
+
+// Analyze interprets a query.
+func (u *Understander) Analyze(query string) Analysis {
+	a := Analysis{Query: query}
+	qnorm := strings.Join(nlp.Tokenize(query), " ")
+
+	// Concept detection: longest concept phrase contained in the query.
+	best := ""
+	for _, c := range u.Onto.Nodes(ontology.Concept) {
+		cp := strings.Join(nlp.Tokenize(c.Phrase), " ")
+		if cp != "" && strings.Contains(" "+qnorm+" ", " "+cp+" ") && len(cp) > len(best) {
+			best = c.Phrase
+		}
+	}
+	if best != "" {
+		a.Concept = best
+		node, _ := u.Onto.Find(ontology.Concept, best)
+		children := u.Onto.Children(node.ID, ontology.IsA)
+		sort.Slice(children, func(i, j int) bool { return children[i].Phrase < children[j].Phrase })
+		for _, ch := range children {
+			if ch.Type != ontology.Entity {
+				continue
+			}
+			a.Rewrites = append(a.Rewrites, query+" "+ch.Phrase)
+			if len(a.Rewrites) >= u.MaxExpansions {
+				break
+			}
+		}
+	}
+
+	// Entity detection: exact entity-name query (or contained name).
+	if ent, ok := u.Onto.Find(ontology.Entity, qnorm); ok {
+		a.Entity = ent.Phrase
+	} else {
+		for _, e := range u.Onto.Nodes(ontology.Entity) {
+			ep := strings.Join(nlp.Tokenize(e.Phrase), " ")
+			if ep != "" && strings.Contains(" "+qnorm+" ", " "+ep+" ") {
+				a.Entity = e.Phrase
+				break
+			}
+		}
+	}
+	if a.Entity != "" {
+		ent, _ := u.Onto.Find(ontology.Entity, a.Entity)
+		var correlated []string
+		for _, n := range u.Onto.Children(ent.ID, ontology.Correlate) {
+			correlated = append(correlated, n.Phrase)
+		}
+		for _, n := range u.Onto.Parents(ent.ID, ontology.Correlate) {
+			correlated = append(correlated, n.Phrase)
+		}
+		sort.Strings(correlated)
+		seen := map[string]bool{a.Entity: true}
+		for _, c := range correlated {
+			if !seen[c] {
+				seen[c] = true
+				a.Recommendations = append(a.Recommendations, c)
+				if len(a.Recommendations) >= u.MaxExpansions {
+					break
+				}
+			}
+		}
+	}
+	return a
+}
+
+// Conceptualize returns just the concept conveyed by the query ("" if none).
+func (u *Understander) Conceptualize(query string) string {
+	return u.Analyze(query).Concept
+}

@@ -1,0 +1,106 @@
+package rec
+
+import (
+	"testing"
+
+	"giant/internal/synth"
+)
+
+func sim(t *testing.T) *Simulator {
+	t.Helper()
+	w := synth.GenWorld(synth.TinyConfig())
+	cfg := DefaultConfig()
+	cfg.NumUsers = 80
+	return NewSimulator(w, cfg)
+}
+
+func TestStrategyProducesDailyStats(t *testing.T) {
+	s := sim(t)
+	stats := s.RunStrategy([]TagType{TagTopic})
+	if len(stats) != s.World.Config.Days {
+		t.Fatalf("days = %d", len(stats))
+	}
+	for _, d := range stats {
+		if d.Recs < 0 || d.Clicks > d.Recs {
+			t.Fatalf("invalid day stat %+v", d)
+		}
+		if d.Date == "" {
+			t.Fatal("missing date")
+		}
+	}
+}
+
+func TestCTRBounds(t *testing.T) {
+	s := sim(t)
+	for tt := TagType(0); tt < NumTagTypes; tt++ {
+		stats := s.RunStrategy([]TagType{tt})
+		m := MeanCTR(stats)
+		if m < 0 || m > 100 {
+			t.Fatalf("%v CTR out of range: %v", tt, m)
+		}
+	}
+}
+
+func TestPaperOrderingEmerges(t *testing.T) {
+	s := sim(t)
+	byType := s.RunPerTagType()
+	topic := MeanCTR(byType[TagTopic])
+	event := MeanCTR(byType[TagEvent])
+	entity := MeanCTR(byType[TagEntity])
+	concept := MeanCTR(byType[TagConcept])
+	category := MeanCTR(byType[TagCategory])
+	if !(topic > event && event > concept && entity > concept && concept > category) {
+		t.Fatalf("CTR ordering broken: topic %.2f event %.2f entity %.2f concept %.2f category %.2f",
+			topic, event, entity, concept, category)
+	}
+}
+
+func TestAllTagsBeatCategoryEntity(t *testing.T) {
+	s := sim(t)
+	all := s.RunStrategy([]TagType{TagCategory, TagEntity, TagConcept, TagEvent, TagTopic})
+	base := s.RunStrategy([]TagType{TagCategory, TagEntity})
+	if MeanCTR(all) <= MeanCTR(base) {
+		t.Fatalf("all-tags CTR %.2f <= category+entity %.2f", MeanCTR(all), MeanCTR(base))
+	}
+}
+
+func TestEventMoreVolatileThanCategory(t *testing.T) {
+	s := sim(t)
+	byType := s.RunPerTagType()
+	if StdCTR(byType[TagEvent]) <= StdCTR(byType[TagCategory]) {
+		t.Fatalf("event std %.2f should exceed category std %.2f",
+			StdCTR(byType[TagEvent]), StdCTR(byType[TagCategory]))
+	}
+}
+
+func TestSimulatorDeterministic(t *testing.T) {
+	w := synth.GenWorld(synth.TinyConfig())
+	cfg := DefaultConfig()
+	cfg.NumUsers = 40
+	a := NewSimulator(w, cfg).RunStrategy([]TagType{TagTopic})
+	b := NewSimulator(w, cfg).RunStrategy([]TagType{TagTopic})
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("simulation not deterministic")
+		}
+	}
+}
+
+func TestTagTypeString(t *testing.T) {
+	if TagTopic.String() != "topic" || TagCategory.String() != "category" {
+		t.Fatal("TagType String broken")
+	}
+}
+
+func TestMeanStdEdgeCases(t *testing.T) {
+	if MeanCTR(nil) != 0 || StdCTR(nil) != 0 {
+		t.Fatal("empty stats")
+	}
+	one := []DayStat{{Recs: 10, Clicks: 1}}
+	if StdCTR(one) != 0 {
+		t.Fatal("single-day std should be 0")
+	}
+	if (DayStat{}).CTR() != 0 {
+		t.Fatal("zero recs CTR")
+	}
+}

@@ -1,0 +1,308 @@
+// Package rgcn implements Relational Graph Convolutional Networks
+// (Schlichtkrull et al.) with basis decomposition, as used by GCTSP-Net for
+// node classification over Query-Title Interaction Graphs (paper Eq. 3–6).
+// Forward and backward passes are hand-written; training is full-batch per
+// graph with Adam.
+package rgcn
+
+import (
+	"math/rand"
+
+	"giant/internal/nn"
+)
+
+// Edge is a directed typed edge: messages flow Src → Dst under relation Rel.
+type Edge struct {
+	Src, Dst, Rel int
+}
+
+// GraphData is one input graph: node features plus typed edges.
+type GraphData struct {
+	N     int
+	X     *nn.Mat // N × inDim node features
+	Edges []Edge
+	// Labels[v] is the gold class of node v, or -1 to exclude it from loss.
+	Labels []int
+
+	byRel   [][]Edge
+	normDst [][]float64 // per relation: 1/|N_r(dst)| for each node
+	prepped bool
+	numRel  int
+}
+
+// prep groups edges by relation and precomputes c_vw = |N_r(v)| normalizers.
+func (g *GraphData) prep(numRel int) {
+	if g.prepped && g.numRel == numRel {
+		return
+	}
+	g.byRel = make([][]Edge, numRel)
+	g.normDst = make([][]float64, numRel)
+	for _, e := range g.Edges {
+		if e.Rel < 0 || e.Rel >= numRel {
+			continue
+		}
+		g.byRel[e.Rel] = append(g.byRel[e.Rel], e)
+	}
+	for r := range g.byRel {
+		cnt := make([]float64, g.N)
+		for _, e := range g.byRel[r] {
+			cnt[e.Dst]++
+		}
+		inv := make([]float64, g.N)
+		for v, c := range cnt {
+			if c > 0 {
+				inv[v] = 1 / c
+			}
+		}
+		g.normDst[r] = inv
+	}
+	g.prepped = true
+	g.numRel = numRel
+}
+
+// Config describes the model.
+type Config struct {
+	NumRel  int
+	In      int
+	Hidden  int
+	Layers  int // number of R-GCN layers (paper: 5)
+	Bases   int // basis count B (paper: 5)
+	Classes int
+	Seed    int64
+}
+
+// Model is a multi-layer R-GCN followed by a linear per-node classifier.
+type Model struct {
+	Cfg    Config
+	layers []*layer
+	out    *nn.Dense
+	params []*nn.Param
+}
+
+// layer is one R-GCN layer with basis decomposition:
+// h' = ReLU( H·W0 + Σ_r A_r·H·W_r ), W_r = Σ_b a_rb V_b.
+type layer struct {
+	in, out, numRel, bases int
+	W0                     *nn.Param   // in×out self-connection
+	V                      []*nn.Param // B basis matrices in×out
+	A                      *nn.Param   // numRel×B coefficients
+	Bias                   *nn.Param   // 1×out
+
+	// forward caches
+	h    *nn.Mat   // layer input
+	aggs []*nn.Mat // per relation: A_r·H
+	pre  *nn.Mat   // pre-activation
+	wr   []*nn.Mat // per relation: materialized W_r
+}
+
+func newLayer(name string, in, out, numRel, bases int, rng *rand.Rand) *layer {
+	l := &layer{
+		in: in, out: out, numRel: numRel, bases: bases,
+		W0:   nn.NewParam(name+".W0", in, out, rng),
+		A:    nn.NewParam(name+".a", numRel, bases, rng),
+		Bias: nn.NewParam(name+".bias", 1, out, nil),
+	}
+	for b := 0; b < bases; b++ {
+		l.V = append(l.V, nn.NewParam(name+".V", in, out, rng))
+	}
+	return l
+}
+
+func (l *layer) parameters() []*nn.Param {
+	ps := []*nn.Param{l.W0, l.A, l.Bias}
+	return append(ps, l.V...)
+}
+
+func (l *layer) materializeWr() {
+	l.wr = make([]*nn.Mat, l.numRel)
+	for r := 0; r < l.numRel; r++ {
+		w := nn.NewMat(l.in, l.out)
+		for b := 0; b < l.bases; b++ {
+			coef := l.A.W.At(r, b)
+			if coef == 0 {
+				continue
+			}
+			for i, v := range l.V[b].W.D {
+				w.D[i] += coef * v
+			}
+		}
+		l.wr[r] = w
+	}
+}
+
+func (l *layer) forward(g *GraphData, h *nn.Mat) *nn.Mat {
+	l.h = h
+	l.materializeWr()
+	pre := nn.MatMul(h, l.W0.W)
+	for i := 0; i < pre.R; i++ {
+		row := pre.Row(i)
+		for j := range row {
+			row[j] += l.Bias.W.D[j]
+		}
+	}
+	l.aggs = make([]*nn.Mat, l.numRel)
+	for r := 0; r < l.numRel; r++ {
+		edges := g.byRel[r]
+		if len(edges) == 0 {
+			continue
+		}
+		agg := nn.NewMat(g.N, l.in)
+		norm := g.normDst[r]
+		for _, e := range edges {
+			c := norm[e.Dst]
+			src := h.Row(e.Src)
+			dst := agg.Row(e.Dst)
+			for j := range dst {
+				dst[j] += c * src[j]
+			}
+		}
+		l.aggs[r] = agg
+		pre.AddMat(nn.MatMul(agg, l.wr[r]))
+	}
+	l.pre = pre
+	return nn.ReLU(pre)
+}
+
+func (l *layer) backward(g *GraphData, dOut *nn.Mat) *nn.Mat {
+	dPre := nn.ReLUBackward(dOut, l.pre)
+	// Bias.
+	for i := 0; i < dPre.R; i++ {
+		row := dPre.Row(i)
+		for j := range row {
+			l.Bias.G.D[j] += row[j]
+		}
+	}
+	// Self connection.
+	l.W0.G.AddMat(nn.MatMulTA(l.h, dPre))
+	dH := nn.MatMulTB(dPre, l.W0.W)
+	// Relations.
+	for r := 0; r < l.numRel; r++ {
+		agg := l.aggs[r]
+		if agg == nil {
+			continue
+		}
+		dWr := nn.MatMulTA(agg, dPre)
+		// Basis decomposition grads: da_rb = <V_b, dWr>, dV_b += a_rb·dWr.
+		for b := 0; b < l.bases; b++ {
+			dot := 0.0
+			vb := l.V[b]
+			for i, v := range vb.W.D {
+				dot += v * dWr.D[i]
+			}
+			l.A.G.Add(r, b, dot)
+			coef := l.A.W.At(r, b)
+			if coef != 0 {
+				for i := range vb.G.D {
+					vb.G.D[i] += coef * dWr.D[i]
+				}
+			}
+		}
+		// dAgg = dPre · W_rᵀ, then scatter back through A_r.
+		dAgg := nn.MatMulTB(dPre, l.wr[r])
+		norm := g.normDst[r]
+		for _, e := range g.byRel[r] {
+			c := norm[e.Dst]
+			srcRow := dH.Row(e.Src)
+			dRow := dAgg.Row(e.Dst)
+			for j := range srcRow {
+				srcRow[j] += c * dRow[j]
+			}
+		}
+	}
+	return dH
+}
+
+// New builds an R-GCN model.
+func New(cfg Config) *Model {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	m := &Model{Cfg: cfg}
+	in := cfg.In
+	for i := 0; i < cfg.Layers; i++ {
+		l := newLayer("rgcn", in, cfg.Hidden, cfg.NumRel, cfg.Bases, rng)
+		m.layers = append(m.layers, l)
+		m.params = append(m.params, l.parameters()...)
+		in = cfg.Hidden
+	}
+	m.out = nn.NewDense("rgcn.out", in, cfg.Classes, rng)
+	m.params = append(m.params, m.out.Params()...)
+	return m
+}
+
+// Params lists all trainable parameters.
+func (m *Model) Params() []*nn.Param { return m.params }
+
+// Forward computes per-node class logits (N × Classes).
+func (m *Model) Forward(g *GraphData) *nn.Mat {
+	g.prep(m.Cfg.NumRel)
+	h := g.X
+	for _, l := range m.layers {
+		h = l.forward(g, h)
+	}
+	return m.out.Forward(h)
+}
+
+// Backward back-propagates dLogits and returns dX (unused by callers but
+// handy for feature-gradient ablations).
+func (m *Model) Backward(g *GraphData, dLogits *nn.Mat) *nn.Mat {
+	d := m.out.Backward(dLogits)
+	for i := len(m.layers) - 1; i >= 0; i-- {
+		d = m.layers[i].backward(g, d)
+	}
+	return d
+}
+
+// TrainOptions configure Train.
+type TrainOptions struct {
+	Epochs      int
+	LR          float64
+	ClassWeight []float64 // optional per-class loss weight
+	Progress    func(epoch int, loss float64)
+}
+
+// Train fits the model on the labelled graphs (one Adam step per graph).
+func (m *Model) Train(graphs []*GraphData, opt TrainOptions) {
+	adam := nn.NewAdam(opt.LR, m.params)
+	for ep := 0; ep < opt.Epochs; ep++ {
+		total := 0.0
+		for _, g := range graphs {
+			logits := m.Forward(g)
+			var loss float64
+			var dLogits *nn.Mat
+			if opt.ClassWeight != nil {
+				loss, dLogits = nn.WeightedSoftmaxCE(logits, g.Labels, opt.ClassWeight)
+			} else {
+				loss, dLogits = nn.SoftmaxCE(logits, g.Labels)
+			}
+			m.Backward(g, dLogits)
+			adam.Step()
+			total += loss
+		}
+		if opt.Progress != nil {
+			opt.Progress(ep, total/float64(len(graphs)))
+		}
+	}
+}
+
+// Predict returns the argmax class per node.
+func (m *Model) Predict(g *GraphData) []int {
+	logits := m.Forward(g)
+	out := make([]int, g.N)
+	for v := 0; v < g.N; v++ {
+		row := logits.Row(v)
+		best, arg := row[0], 0
+		for j, s := range row {
+			if s > best {
+				best, arg = s, j
+			}
+		}
+		out[v] = arg
+	}
+	return out
+}
+
+// PredictProbs returns per-node softmax probabilities.
+func (m *Model) PredictProbs(g *GraphData) *nn.Mat {
+	logits := m.Forward(g)
+	nn.SoftmaxRow(logits)
+	return logits
+}

@@ -1,0 +1,129 @@
+package storytree
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"giant/internal/phrase"
+)
+
+func newTF(events []*EventNode) *phrase.TFIDF {
+	tf := phrase.NewTFIDF()
+	for _, e := range events {
+		tf.AddDoc(e.Entities)
+	}
+	return tf
+}
+
+func enc() Encoder { return NewBagOfTokensEncoder(8, nil) }
+
+func ev(phrase, trigger string, day int, ents ...string) *EventNode {
+	return &EventNode{Phrase: phrase, Trigger: trigger, Day: day, Entities: ents}
+}
+
+func TestRetrieveSharedEntityOrTrigger(t *testing.T) {
+	seed := ev("acme release earnings", "release", 1, "acme")
+	cands := []*EventNode{
+		ev("acme announce merger", "announce", 2, "acme"),     // shared entity
+		ev("globex release earnings", "release", 3, "globex"), // shared trigger
+		ev("unrelated thing happen", "happen", 4, "nobody"),   // neither
+	}
+	got := Retrieve(seed, cands, DefaultOptions())
+	if len(got) != 3 { // seed + two related
+		t.Fatalf("retrieved %d", len(got))
+	}
+	for _, e := range got {
+		if e.Phrase == "unrelated thing happen" {
+			t.Fatal("unrelated event retrieved")
+		}
+	}
+	// Without the restriction everything comes back.
+	opt := DefaultOptions()
+	opt.RequireSharedEntityOrTrigger = false
+	if got := Retrieve(seed, cands, opt); len(got) != 4 {
+		t.Fatalf("unrestricted retrieve = %d", len(got))
+	}
+}
+
+func TestSimilarityComponents(t *testing.T) {
+	e := enc()
+	a := ev("acme release earnings", "release", 1, "acme")
+	b := ev("acme release earnings again", "release", 2, "acme")
+	c := ev("zorp cancel tour", "cancel", 3, "zorp")
+	tf := newTF([]*EventNode{a, b, c})
+	sAB := Similarity(a, b, e, tf)
+	sAC := Similarity(a, c, e, tf)
+	if sAB <= sAC {
+		t.Fatalf("similar events %v <= dissimilar %v", sAB, sAC)
+	}
+	// Same trigger contributes the fg term fully.
+	if fg(a, b, e) != 1 {
+		t.Fatalf("fg same trigger = %v", fg(a, b, e))
+	}
+}
+
+func TestFormBranchesTimeOrdered(t *testing.T) {
+	seed := ev("acme release earnings", "release", 5, "acme")
+	cands := []*EventNode{
+		ev("acme release earnings preview", "release", 1, "acme"),
+		ev("acme release earnings call", "release", 9, "acme"),
+		ev("globex release earnings", "release", 3, "globex"),
+	}
+	tree := Form(seed, cands, enc(), DefaultOptions())
+	if len(tree.Branches) == 0 {
+		t.Fatal("no branches")
+	}
+	for _, b := range tree.Branches {
+		for i := 1; i < len(b); i++ {
+			if b[i].Day < b[i-1].Day {
+				t.Fatal("branch not time-ordered")
+			}
+		}
+	}
+	evs := tree.Events()
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Day < evs[i-1].Day {
+			t.Fatal("Events() not time-ordered")
+		}
+	}
+	// Follow-ups strictly after the given day.
+	for _, f := range tree.FollowUps(5) {
+		if f.Day <= 5 {
+			t.Fatalf("follow-up on day %d", f.Day)
+		}
+	}
+}
+
+func TestRenderAndSummary(t *testing.T) {
+	seed := ev("acme release earnings", "release", 1, "acme")
+	tree := Form(seed, nil, enc(), DefaultOptions())
+	var buf bytes.Buffer
+	tree.Render(&buf)
+	if !strings.Contains(buf.String(), "acme release earnings") {
+		t.Fatalf("render output: %s", buf.String())
+	}
+	if !strings.Contains(tree.Summary(), "1 events") {
+		t.Fatalf("summary: %s", tree.Summary())
+	}
+}
+
+func TestEncoderProperties(t *testing.T) {
+	e := NewBagOfTokensEncoder(8, map[string][]float64{"known": {1, 0, 0, 0, 0, 0, 0, 0}})
+	if got := e.WordVector("known"); got[0] != 1 {
+		t.Fatal("lookup vector ignored")
+	}
+	// Hash vectors are deterministic.
+	a := e.WordVector("mystery")
+	b := e.WordVector("mystery")
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("hash vector not deterministic")
+		}
+	}
+	// Phrase vector ignores stop words.
+	pv := e.PhraseVector("the known")
+	if pv[0] != 1 {
+		t.Fatalf("phrase vector = %v", pv)
+	}
+}

@@ -1,0 +1,180 @@
+package synth
+
+import (
+	"math/rand"
+	"strings"
+)
+
+// KeyClass labels a token's role in an event phrase — the 4-class node
+// classification task of §3.2 / Table 7.
+type KeyClass uint8
+
+// Key element classes (entity / trigger / location / other).
+const (
+	KeyOther KeyClass = iota
+	KeyEntity
+	KeyTrigger
+	KeyLocation
+	NumKeyClasses = 4
+)
+
+// String names the class.
+func (k KeyClass) String() string {
+	switch k {
+	case KeyEntity:
+		return "entity"
+	case KeyTrigger:
+		return "trigger"
+	case KeyLocation:
+		return "location"
+	default:
+		return "other"
+	}
+}
+
+// MiningExample is one row of the Concept Mining Dataset (CMD) or Event
+// Mining Dataset (EMD): a query-doc cluster plus the gold phrase (and, for
+// events, per-token key-element labels).
+type MiningExample struct {
+	Queries    []string
+	Titles     []string
+	Clicks     []int // per title, descending (titles are pre-sorted by CTR)
+	GoldTokens []string
+	Kind       string // "concept" or "event"
+
+	// Event-only ground truth.
+	EntityNames []string
+	Trigger     string
+	Location    string
+	Day         int
+
+	// Back-references into the world.
+	ConceptID int
+	EventID   int
+	Category  int
+}
+
+// Gold returns the gold phrase as a string.
+func (m *MiningExample) Gold() string { return strings.Join(m.GoldTokens, " ") }
+
+// KeyLabelOf returns the key-element class of a token in this (event)
+// example.
+func (m *MiningExample) KeyLabelOf(tok string) KeyClass {
+	for _, e := range m.EntityNames {
+		for _, et := range strings.Fields(e) {
+			if tok == et {
+				return KeyEntity
+			}
+		}
+	}
+	if tok == m.Trigger {
+		return KeyTrigger
+	}
+	for _, lt := range strings.Fields(m.Location) {
+		if tok == lt {
+			return KeyLocation
+		}
+	}
+	return KeyOther
+}
+
+// ConceptExamples builds n CMD examples (multiple distinct template draws per
+// concept when n exceeds the concept count).
+func (w *World) ConceptExamples(n int, seed int64) []MiningExample {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]MiningExample, 0, n)
+	for i := 0; i < n; i++ {
+		con := &w.Concepts[i%len(w.Concepts)]
+		cls := &w.Classes[con.Class]
+		// Queries carry the short form; titles carry the full gold phrase.
+		qrepl := map[string]string{"c": con.Short, "p": cls.Plural, "m": con.Modifier}
+
+		qIdx := rng.Perm(len(conceptQueryTemplates))
+		nq := 2 + rng.Intn(3)
+		queries := make([]string, 0, nq)
+		for _, qi := range qIdx[:nq] {
+			queries = append(queries, fillTemplate(conceptQueryTemplates[qi], qrepl))
+		}
+		tIdx := rng.Perm(len(conceptTitleTemplates))
+		nt := 2 + rng.Intn(3)
+		// Guarantee at least one title that spells out the full gold phrase
+		// (templates 0-3 contain {c}) — the query-title conformity GIANT
+		// relies on: the concept is always mentioned by some clicked title.
+		hasFull := false
+		for _, ti := range tIdx[:nt] {
+			if ti <= 3 {
+				hasFull = true
+			}
+		}
+		if !hasFull {
+			tIdx[0] = rng.Intn(4)
+		}
+		titles := make([]string, 0, nt)
+		clicks := make([]int, 0, nt)
+		for k, ti := range tIdx[:nt] {
+			e1, e2 := w.pickConceptEntities(rng, con)
+			r2 := map[string]string{"c": con.Phrase, "p": cls.Plural, "m": con.Modifier, "e": e1.name, "e2": e2.name}
+			titles = append(titles, fillTemplate(conceptTitleTemplates[ti], r2))
+			clicks = append(clicks, 50-10*k+rng.Intn(5))
+		}
+		out = append(out, MiningExample{
+			Queries: queries, Titles: titles, Clicks: clicks,
+			GoldTokens: append([]string(nil), con.Tokens...),
+			Kind:       "concept", ConceptID: con.ID, Category: con.Category,
+		})
+	}
+	return out
+}
+
+// EventExamples builds n EMD examples.
+func (w *World) EventExamples(n int, seed int64) []MiningExample {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]MiningExample, 0, n)
+	for i := 0; i < n; i++ {
+		evt := &w.Events[i%len(w.Events)]
+		top := &w.Topics[evt.Topic]
+		cls := &w.Classes[top.Class]
+		ent := &w.Entities[evt.Entities[0]]
+		trig := cls.Triggers[indexOfTrigger(cls, top)]
+		loc := evt.Location
+		if loc == "" {
+			loc = "the capital"
+		}
+		repl := map[string]string{"e": ent.Name, "t": trig, "l": loc, "ev": evt.Phrase}
+
+		repl["e2"] = w.distractorEntity(rng, evt)
+		qIdx := rng.Perm(len(eventQueryTemplates))
+		nq := 2 + rng.Intn(2)
+		queries := make([]string, 0, nq)
+		for _, qi := range qIdx[:nq] {
+			queries = append(queries, fillTemplate(eventQueryTemplates[qi], repl))
+		}
+		tIdx := rng.Perm(len(eventTitleTemplates))
+		nt := 2 + rng.Intn(3)
+		titles := make([]string, 0, nt)
+		clicks := make([]int, 0, nt)
+		for k, ti := range tIdx[:nt] {
+			titles = append(titles, fillTemplate(eventTitleTemplates[ti], repl))
+			clicks = append(clicks, 50-10*k+rng.Intn(5))
+		}
+		names := make([]string, 0, len(evt.Entities))
+		for _, eid := range evt.Entities {
+			names = append(names, w.Entities[eid].Name)
+		}
+		out = append(out, MiningExample{
+			Queries: queries, Titles: titles, Clicks: clicks,
+			GoldTokens:  append([]string(nil), evt.Tokens...),
+			Kind:        "event",
+			EntityNames: names, Trigger: evt.Trigger, Location: evt.Location,
+			Day: evt.Day, EventID: evt.ID, Category: evt.Category,
+		})
+	}
+	return out
+}
+
+// Split partitions examples into train/dev/test by the paper's 80/10/10.
+func Split(ex []MiningExample) (train, dev, test []MiningExample) {
+	n := len(ex)
+	a, b := n*8/10, n*9/10
+	return ex[:a], ex[a:b], ex[b:]
+}

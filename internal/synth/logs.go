@@ -1,0 +1,322 @@
+package synth
+
+import (
+	"math/rand"
+	"strconv"
+	"strings"
+)
+
+// Doc is one clickable document in the synthetic search log.
+type Doc struct {
+	ID       int
+	Title    string
+	Content  string // body text (entity mentions for the linking classifier)
+	Category int    // ground-truth category ID
+	Entities []int  // entity IDs mentioned
+	Day      int
+	// Ground-truth provenance for tagging-precision evaluation: the concept
+	// or event this document was generated about (-1 when not applicable).
+	ConceptID int
+	EventID   int
+}
+
+// Record is one (query, doc, clicks) observation in the click log.
+type Record struct {
+	Query  string
+	DocID  int
+	Clicks int
+	Day    int
+}
+
+// Session is one user's consecutive query sequence. Consecutive
+// concept→entity query pairs are the positive-signal source for the
+// concept-entity isA classifier (paper Fig. 4).
+type Session struct {
+	UserID  int
+	Queries []string
+}
+
+// Log is a complete synthetic search click log.
+type Log struct {
+	Docs     []Doc
+	Records  []Record
+	Sessions []Session
+
+	// ConceptStartDay[i] is the first day concept i shows up in queries —
+	// drives the "grow/day" row of Table 1.
+	ConceptStartDay []int
+}
+
+// LogConfig controls click-log scale.
+type LogConfig struct {
+	Seed             int64
+	QueriesPerAspect int // query variants per concept/event
+	DocsPerAspect    int // clicked docs per concept/event
+	MaxClicks        int
+	NumSessions      int
+}
+
+// DefaultLogConfig is laptop scale.
+func DefaultLogConfig() LogConfig {
+	return LogConfig{Seed: 11, QueriesPerAspect: 4, DocsPerAspect: 4, MaxClicks: 40, NumSessions: 400}
+}
+
+// conceptQueryTemplates expand a concept phrase into user-style queries.
+// {c} = concept phrase, {p} = class plural, {m} = modifier. The first four
+// are "strong" (full concept, contiguous); the rest are the weak/reordered/
+// partial phrasings real query logs are full of — pattern matching and
+// single-query taggers degrade on them while GCTSP-Net recovers the phrase
+// from the whole cluster.
+var conceptQueryTemplates = []string{
+	"best {c}",
+	"what are the {c} ?",
+	"top 10 {c}",
+	"{c} list",
+	"recommended {p}",
+	"which {p} are {m} ?",
+	"best {p} 2019",
+	"{m} and reliable {p}",
+}
+
+// conceptTitleTemplates expand a concept into document titles. {e}/{e2} are
+// entity names. Titles deliberately insert extra tokens inside or around the
+// gold span, split it, or reorder it — the QTIG characteristics of §3.1 and
+// the noise that separates T-LSTM-CRF from Q-LSTM-CRF in Table 5.
+var conceptTitleTemplates = []string{
+	"the famous {c} of the year",
+	"review : {e} , a {c} pick",
+	"top {c} : {e} and {e2}",
+	"what {c} to choose ? {e} review",
+	"{m} and popular {p} you should know",
+	"{e} vs {e2} : worth it for fans of {p} ?",
+	"all about {p} : why {m} models win",
+}
+
+// eventQueryTemplates expand an event. {e} entity, {t} trigger phrase,
+// {l} location, {ev} full event phrase.
+var eventQueryTemplates = []string{
+	"{e} {t}",
+	"{ev}",
+	"{e} {t} news",
+	"why {e} {t} ?",
+	"{e} latest news today",
+}
+
+// eventTitleTemplates produce multi-clause titles; CoverRank splits them at
+// punctuation into subtitles. Several omit the location or split the gold
+// span, so single-title taggers miss attributes the full cluster carries.
+var eventTitleTemplates = []string{
+	"breaking : {ev} , fans react",
+	"{e} reportedly {t} this week",
+	"why {ev} , what we know so far",
+	"{e2} watches closely as {e} {t}",
+	"{e} {t} — live updates from {l}",
+	"official : {ev} confirmed",
+}
+
+func fillTemplate(t string, repl map[string]string) string {
+	for k, v := range repl {
+		t = strings.ReplaceAll(t, "{"+k+"}", v)
+	}
+	return strings.Join(strings.Fields(t), " ")
+}
+
+// GenerateLog emits a click log covering every concept and event in the
+// world, with click counts skewed toward earlier templates (head queries).
+func (w *World) GenerateLog(cfg LogConfig) *Log {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	log := &Log{ConceptStartDay: make([]int, len(w.Concepts))}
+
+	gold := struct{ concept, event int }{-1, -1}
+	addDoc := func(title, content string, cat int, ents []int, day int) int {
+		id := len(log.Docs)
+		log.Docs = append(log.Docs, Doc{
+			ID: id, Title: title, Content: content, Category: cat,
+			Entities: ents, Day: day,
+			ConceptID: gold.concept, EventID: gold.event,
+		})
+		return id
+	}
+
+	days := maxInt(w.Config.Days, 1)
+	for ci := range w.Concepts {
+		con := &w.Concepts[ci]
+		cls := &w.Classes[con.Class]
+		start := rng.Intn(days)
+		log.ConceptStartDay[ci] = start
+		gold.concept, gold.event = ci, -1
+		// Queries use the short form; titles spell out the full phrase.
+		repl := map[string]string{"c": con.Short, "p": cls.Plural, "m": con.Modifier}
+
+		nq := minInt(cfg.QueriesPerAspect, len(conceptQueryTemplates))
+		queries := make([]string, 0, nq)
+		for qi := 0; qi < nq; qi++ {
+			queries = append(queries, fillTemplate(conceptQueryTemplates[qi], repl))
+		}
+		nd := minInt(cfg.DocsPerAspect, len(conceptTitleTemplates))
+		docIDs := make([]int, 0, nd)
+		for di := 0; di < nd; di++ {
+			e1, e2 := w.pickConceptEntities(rng, con)
+			r2 := map[string]string{"c": con.Phrase, "p": cls.Plural, "m": con.Modifier, "e": e1.name, "e2": e2.name}
+			title := fillTemplate(conceptTitleTemplates[di], r2)
+			content := w.conceptDocContent(rng, con, e1.id, e2.id)
+			docIDs = append(docIDs, addDoc(title, content, con.Category, []int{e1.id, e2.id}, start))
+		}
+		for qi, q := range queries {
+			for di, d := range docIDs {
+				// Head query/doc pairs get more clicks; every pair gets >=1.
+				clicks := 1 + rng.Intn(cfg.MaxClicks)/(1+qi+di)
+				log.Records = append(log.Records, Record{Query: q, DocID: d, Clicks: clicks, Day: start})
+			}
+		}
+	}
+
+	for ei := range w.Events {
+		evt := &w.Events[ei]
+		gold.concept, gold.event = -1, ei
+		top := &w.Topics[evt.Topic]
+		cls := &w.Classes[top.Class]
+		ent := &w.Entities[evt.Entities[0]]
+		trig := cls.Triggers[indexOfTrigger(cls, top)]
+		loc := evt.Location
+		if loc == "" {
+			loc = w.Locations[rng.Intn(maxInt(len(w.Locations), 1))]
+		}
+		repl := map[string]string{"e": ent.Name, "t": trig, "l": loc, "ev": evt.Phrase,
+			"e2": w.distractorEntity(rng, evt)}
+
+		nq := minInt(cfg.QueriesPerAspect, len(eventQueryTemplates))
+		queries := make([]string, 0, nq)
+		for qi := 0; qi < nq; qi++ {
+			queries = append(queries, fillTemplate(eventQueryTemplates[qi], repl))
+		}
+		nd := minInt(cfg.DocsPerAspect, len(eventTitleTemplates))
+		docIDs := make([]int, 0, nd)
+		for di := 0; di < nd; di++ {
+			title := fillTemplate(eventTitleTemplates[di], repl)
+			content := w.eventDocContent(rng, evt)
+			docIDs = append(docIDs, addDoc(title, content, evt.Category, evt.Entities, evt.Day))
+		}
+		for qi, q := range queries {
+			for di, d := range docIDs {
+				clicks := 1 + rng.Intn(cfg.MaxClicks)/(1+qi+di)
+				log.Records = append(log.Records, Record{Query: q, DocID: d, Clicks: clicks, Day: evt.Day})
+			}
+		}
+	}
+
+	// User sessions: 60% contain a concept query followed by an entity query
+	// where the entity truly belongs to the concept (positive signal); the
+	// rest pair a concept with an unrelated same-category entity (noise the
+	// classifier must reject).
+	for s := 0; s < cfg.NumSessions; s++ {
+		if len(w.Concepts) == 0 || len(w.Entities) == 0 {
+			break
+		}
+		con := &w.Concepts[rng.Intn(len(w.Concepts))]
+		var entName string
+		if rng.Float64() < 0.6 && len(con.Entities) > 0 {
+			entName = w.Entities[con.Entities[rng.Intn(len(con.Entities))]].Name
+		} else {
+			entName = w.Entities[rng.Intn(len(w.Entities))].Name
+		}
+		log.Sessions = append(log.Sessions, Session{
+			UserID:  s,
+			Queries: []string{con.Phrase, entName},
+		})
+	}
+	return log
+}
+
+type pickedEntity struct {
+	id   int
+	name string
+}
+
+func (w *World) pickConceptEntities(rng *rand.Rand, con *Concept) (pickedEntity, pickedEntity) {
+	pick := func() pickedEntity {
+		if len(con.Entities) > 0 {
+			id := con.Entities[rng.Intn(len(con.Entities))]
+			return pickedEntity{id, w.Entities[id].Name}
+		}
+		id := rng.Intn(len(w.Entities))
+		return pickedEntity{id, w.Entities[id].Name}
+	}
+	a := pick()
+	b := pick()
+	for i := 0; i < 4 && b.id == a.id; i++ {
+		b = pick()
+	}
+	return a, b
+}
+
+// conceptDocContent writes a small body mentioning the concept's entities in
+// sentences that signal membership — the context the concept-entity
+// classifier learns from.
+func (w *World) conceptDocContent(rng *rand.Rand, con *Concept, ents ...int) string {
+	cls := &w.Classes[con.Class]
+	var b strings.Builder
+	for _, e := range ents {
+		name := w.Entities[e].Name
+		switch rng.Intn(3) {
+		case 0:
+			b.WriteString(name + " is a " + con.Modifier + " " + cls.Noun + " . ")
+		case 1:
+			b.WriteString("among " + con.Phrase + " , " + name + " stands out . ")
+		default:
+			b.WriteString(name + " ranks high among " + con.Phrase + " . ")
+		}
+	}
+	return strings.TrimSpace(b.String())
+}
+
+func (w *World) eventDocContent(rng *rand.Rand, evt *Event) string {
+	var b strings.Builder
+	b.WriteString(evt.Phrase + " . ")
+	for _, e := range evt.Entities {
+		b.WriteString(w.Entities[e].Name + " was at the center of the story . ")
+	}
+	if evt.Location != "" {
+		b.WriteString("the scene in " + evt.Location + " drew crowds on day " + strconv.Itoa(evt.Day) + " . ")
+	}
+	return strings.TrimSpace(b.String())
+}
+
+// distractorEntity picks a same-class entity NOT involved in the event —
+// the bystander mention that makes event key-element recognition non-trivial
+// (a tagger must tell the acting entity from a merely mentioned one).
+func (w *World) distractorEntity(rng *rand.Rand, evt *Event) string {
+	cls := w.Topics[evt.Topic].Class
+	involved := map[int]bool{}
+	for _, e := range evt.Entities {
+		involved[e] = true
+	}
+	for tries := 0; tries < 8; tries++ {
+		cand := rng.Intn(len(w.Entities))
+		if w.Entities[cand].Class == cls && !involved[cand] {
+			return w.Entities[cand].Name
+		}
+	}
+	for i := range w.Entities {
+		if !involved[i] {
+			return w.Entities[i].Name
+		}
+	}
+	return "an onlooker"
+}
+
+func indexOfTrigger(cls *Class, top *Topic) int {
+	for i, t := range cls.Triggers {
+		if strings.Fields(t)[0] == top.Trigger {
+			return i
+		}
+	}
+	return 0
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

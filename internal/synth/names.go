@@ -1,0 +1,59 @@
+package synth
+
+import "math/rand"
+
+// nameGen produces pronounceable pseudo-words so generated entities,
+// locations and extra classes never collide with real vocabulary. All draws
+// come from the world's seeded RNG, keeping generation deterministic.
+type nameGen struct {
+	rng  *rand.Rand
+	used map[string]bool
+}
+
+func newNameGen(rng *rand.Rand) *nameGen {
+	return &nameGen{rng: rng, used: make(map[string]bool)}
+}
+
+var (
+	onsets  = []string{"b", "d", "f", "g", "k", "l", "m", "n", "p", "r", "s", "t", "v", "z", "br", "dr", "kr", "pl", "st", "tr"}
+	vowels  = []string{"a", "e", "i", "o", "u", "ai", "or", "an", "el", "ar"}
+	codas   = []string{"", "", "n", "r", "l", "s", "x", "th", "m"}
+	adjSufs = []string{"ish", "ive", "ous", "al", "able"}
+	verbs   = []string{"launch", "reveal", "host", "cancel", "expand", "merge", "upgrade", "tour", "debut", "retire"}
+)
+
+func (g *nameGen) syllable() string {
+	return onsets[g.rng.Intn(len(onsets))] + vowels[g.rng.Intn(len(vowels))] + codas[g.rng.Intn(len(codas))]
+}
+
+func (g *nameGen) word(minSyl, maxSyl int) string {
+	for {
+		n := minSyl + g.rng.Intn(maxSyl-minSyl+1)
+		s := ""
+		for i := 0; i < n; i++ {
+			s += g.syllable()
+		}
+		if !g.used[s] && len(s) >= 3 {
+			g.used[s] = true
+			return s
+		}
+	}
+}
+
+// noun returns a fresh pseudo-noun.
+func (g *nameGen) noun() string { return g.word(2, 3) }
+
+// adjective returns a fresh pseudo-adjective.
+func (g *nameGen) adjective() string { return g.word(1, 2) + adjSufs[g.rng.Intn(len(adjSufs))] }
+
+// verb returns one of a closed set of real verbs (so POS tagging is stable).
+func (g *nameGen) verb() string { return verbs[g.rng.Intn(len(verbs))] }
+
+// properName returns an n-token proper name ("brand model" style).
+func (g *nameGen) properName(n int) string {
+	s := g.word(2, 3)
+	for i := 1; i < n; i++ {
+		s += " " + g.word(1, 2)
+	}
+	return s
+}
