@@ -11,8 +11,11 @@ package giant_test
 // regenerating its experiment from that environment.
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
+	giant "giant"
 	"giant/internal/experiments"
 	"giant/internal/tagging"
 )
@@ -131,6 +134,56 @@ func BenchmarkFigure7CTRByTagType(b *testing.B) {
 		}
 		b.ReportMetric(series[0].Mean, "topicCTR%")
 		b.ReportMetric(series[4].Mean, "categoryCTR%")
+	}
+}
+
+// BenchmarkPipelineBuild measures the wall-clock cost of the full pipeline
+// (log generation, GCTSP-Net training, Algorithm-1 mining, ontology
+// assembly) at Parallelism 1 versus GOMAXPROCS. Compare the two sub-bench
+// times to read the speedup; the equivalence test in parallel_test.go proves
+// the outputs are identical.
+func BenchmarkPipelineBuild(b *testing.B) {
+	workers := []int{1}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		workers = append(workers, n)
+	} else {
+		// Still exercise the pooled path on a single-core runner.
+		workers = append(workers, 4)
+	}
+	for _, p := range workers {
+		b.Run(fmt.Sprintf("parallelism=%d", p), func(b *testing.B) {
+			cfg := giant.DefaultConfig()
+			if testing.Short() {
+				cfg = giant.TinyConfig()
+			}
+			cfg.Parallelism = p
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := giant.Build(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMiningParallelism isolates the Algorithm-1 mining stage (the
+// pipeline's hot loop) at worker counts 1, 2, 4, ... up to GOMAXPROCS×2.
+func BenchmarkMiningParallelism(b *testing.B) {
+	env := benchEnv(b)
+	miner := env.Sys.Miner
+	orig := miner.Parallelism
+	defer func() { miner.Parallelism = orig }()
+	for p := 1; p <= 2*runtime.GOMAXPROCS(0); p *= 2 {
+		b.Run(fmt.Sprintf("workers=%d", p), func(b *testing.B) {
+			miner.Parallelism = p
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if len(miner.Mine(env.Sys.Click)) == 0 {
+					b.Fatal("nothing mined")
+				}
+			}
+		})
 	}
 }
 

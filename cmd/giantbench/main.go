@@ -4,23 +4,33 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"time"
 
+	giant "giant"
 	"giant/internal/experiments"
 )
 
 func main() {
 	scaleFlag := flag.String("scale", "default", "experiment scale: tiny or default")
 	only := flag.String("only", "", "run a single experiment: table1..table7, fig5, fig6, fig7, tagging, ablations")
+	parallel := flag.Bool("parallel", false, "measure pipeline speedup: build at Parallelism=1 then GOMAXPROCS and verify identical output")
 	flag.Parse()
 
 	scale := experiments.ScaleDefault
 	if *scaleFlag == "tiny" {
 		scale = experiments.ScaleTiny
+	}
+	if *parallel {
+		if err := runParallel(scale); err != nil {
+			log.Fatalf("giantbench: %v", err)
+		}
+		return
 	}
 	t0 := time.Now()
 	env, err := experiments.GetEnv(scale)
@@ -93,6 +103,56 @@ func main() {
 		printAblations(w, "Ablation: node features", experiments.AblationFeatures(env))
 	}
 	fmt.Printf("total time %v\n", time.Since(t0).Round(time.Millisecond))
+}
+
+// runParallel times the full pipeline at Parallelism=1 and
+// Parallelism=GOMAXPROCS and checks the two ontologies serialize
+// identically, so the reported speedup is measured on provably equivalent
+// work.
+func runParallel(scale experiments.Scale) error {
+	cfg := giant.DefaultConfig()
+	if scale == experiments.ScaleTiny {
+		cfg = giant.TinyConfig()
+	}
+
+	build := func(p int) (*giant.System, time.Duration, error) {
+		c := cfg
+		c.Parallelism = p
+		t0 := time.Now()
+		sys, err := giant.Build(c)
+		return sys, time.Since(t0), err
+	}
+
+	fmt.Println("pipeline parallelism benchmark")
+	seq, dSeq, err := build(1)
+	if err != nil {
+		return fmt.Errorf("sequential build: %w", err)
+	}
+	fmt.Printf("  parallelism=1:  %v\n", dSeq.Round(time.Millisecond))
+
+	workers := runtime.GOMAXPROCS(0)
+	par, dPar, err := build(workers)
+	if err != nil {
+		return fmt.Errorf("parallel build: %w", err)
+	}
+	fmt.Printf("  parallelism=%d: %v\n", workers, dPar.Round(time.Millisecond))
+
+	var a, b bytes.Buffer
+	if err := seq.Ontology.WriteJSON(&a); err != nil {
+		return err
+	}
+	if err := par.Ontology.WriteJSON(&b); err != nil {
+		return err
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		return fmt.Errorf("ontologies differ between parallelism 1 and %d", workers)
+	}
+	st := par.Ontology.ComputeStats()
+	fmt.Printf("  output identical: %v nodes, %v edges\n", st.NodesByType, st.EdgesByType)
+	if dPar > 0 {
+		fmt.Printf("  speedup: %.2fx on %d worker(s)\n", dSeq.Seconds()/dPar.Seconds(), workers)
+	}
+	return nil
 }
 
 func printAblations(w *os.File, title string, rows []experiments.AblationResult) {

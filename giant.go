@@ -16,6 +16,8 @@ package giant
 
 import (
 	"fmt"
+	"runtime"
+	"sort"
 	"strings"
 
 	"giant/internal/clickgraph"
@@ -23,6 +25,7 @@ import (
 	"giant/internal/linking"
 	"giant/internal/nlp"
 	"giant/internal/ontology"
+	"giant/internal/par"
 	"giant/internal/phrase"
 	"giant/internal/queryund"
 	"giant/internal/storytree"
@@ -46,6 +49,19 @@ type Config struct {
 	PatternMinFreq   int
 	PatternMinSearch int
 	Seed             int64
+	// Parallelism bounds the worker pools used by the mining and assembly
+	// stages; <= 0 means runtime.GOMAXPROCS(0). The built ontology is
+	// identical for every value — parallel shards are merged in a
+	// deterministic order before anything is committed.
+	Parallelism int
+}
+
+// parallelism resolves the effective worker count.
+func (c Config) parallelism() int {
+	if c.Parallelism > 0 {
+		return c.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // DefaultConfig is a laptop-scale end-to-end configuration.
@@ -103,15 +119,27 @@ func Build(cfg Config) (*System, error) {
 		sys.Click.Add(r.Query, r.DocID, doc.Title, r.Clicks, r.Day)
 	}
 
-	// GCTSP-Net training on automatically constructed datasets.
+	// GCTSP-Net training on automatically constructed datasets. The phrase
+	// extractor and the key-element recognizer are independent models over
+	// independent datasets, so the two training runs — the pipeline's
+	// dominant cost — proceed concurrently; each run is itself sequential
+	// and seeded, so the trained weights are identical for any Parallelism.
 	lex := sys.World.Lexicon
 	conceptTrain := sys.World.ConceptExamples(cfg.TrainConcepts, cfg.Seed+1)
 	eventTrain := sys.World.EventExamples(cfg.TrainEvents, cfg.Seed+2)
 	phraseModel := core.NewPhraseModel(lex, cfg.GCTSP)
-	phraseModel.Train(append(append([]synth.MiningExample{}, conceptTrain...), eventTrain...))
 	keyModel := core.NewKeyElementModel(lex, cfg.GCTSP)
-	keyModel.Train(eventTrain)
+	if err := par.RunStages(cfg.parallelism(),
+		func() error {
+			phraseModel.Train(append(append([]synth.MiningExample{}, conceptTrain...), eventTrain...))
+			return nil
+		},
+		func() error { keyModel.Train(eventTrain); return nil },
+	); err != nil {
+		return nil, fmt.Errorf("giant: train GCTSP-Net: %w", err)
+	}
 	sys.Miner = core.NewMiner(phraseModel, keyModel, lex)
+	sys.Miner.Parallelism = cfg.parallelism()
 
 	// Algorithm 1: mine attentions.
 	sys.Mined = sys.Miner.Mine(sys.Click)
@@ -130,23 +158,28 @@ func (sys *System) assemble() error {
 	w := sys.World
 
 	// Categories: the pre-defined hierarchy.
-	catNode := make([]ontology.NodeID, len(w.Categories))
+	catSpecs := make([]ontology.NodeSpec, len(w.Categories))
 	for i, c := range w.Categories {
-		catNode[i] = o.AddNode(ontology.Category, c.Name)
+		catSpecs[i] = ontology.NodeSpec{Type: ontology.Category, Phrase: c.Name}
 	}
+	catNode := o.AddNodes(catSpecs)
+	catEdgeBatch := make([]ontology.Edge, 0, len(w.Categories))
 	for i, c := range w.Categories {
 		if c.Parent >= 0 {
-			if err := o.AddEdge(catNode[c.Parent], catNode[i], ontology.IsA, 1); err != nil {
-				return err
-			}
+			catEdgeBatch = append(catEdgeBatch, ontology.Edge{Src: catNode[c.Parent], Dst: catNode[i], Type: ontology.IsA, Weight: 1})
 		}
+	}
+	if err := o.AddEdges(catEdgeBatch); err != nil {
+		return err
 	}
 	// Entities: the pre-existing knowledge-base inventory (the paper links
 	// against an existing entity catalogue; here the generative world plays
 	// that role).
-	for _, e := range w.Entities {
-		o.AddNode(ontology.Entity, e.Name)
+	entSpecs := make([]ontology.NodeSpec, len(w.Entities))
+	for i, e := range w.Entities {
+		entSpecs[i] = ontology.NodeSpec{Type: ontology.Entity, Phrase: e.Name}
 	}
+	o.AddNodes(entSpecs)
 
 	// Mined concepts and events.
 	sys.conceptContext = map[string][]string{}
@@ -201,89 +234,99 @@ func (sys *System) assemble() error {
 		}
 	}
 
-	// Attention-category edges: P(g|p) over clicked docs.
-	byCat := map[string]map[int]int{}
-	for i := range sys.Mined {
-		m := &sys.Mined[i]
-		cats := map[int]int{}
-		for _, docID := range m.DocIDs {
-			if docID >= 0 && docID < len(sys.Log.Docs) {
-				cats[sys.Log.Docs[docID].Category]++
-			}
-		}
-		byCat[m.Phrase] = cats
-	}
-	for _, e := range linking.AttentionCategoryEdges(byCat, cfg.CategoryDelta) {
-		n, ok := o.FindAny(e.Phrase)
-		if !ok || e.Category >= len(catNode) {
-			continue
-		}
-		if err := o.AddEdge(catNode[e.Category], n.ID, ontology.IsA, e.P); err != nil {
-			return err
-		}
-	}
-
-	// Concept-concept suffix isA.
-	for _, pr := range linking.SuffixIsAEdges(conceptPhrases) {
-		p, ok1 := o.Find(ontology.Concept, pr.Parent)
-		c, ok2 := o.Find(ontology.Concept, pr.Child)
-		if ok1 && ok2 {
-			if err := o.AddEdge(p.ID, c.ID, ontology.IsA, 1); err != nil {
-				return err
-			}
-		}
-	}
-	// Event containment isA.
-	for _, pr := range linking.ContainmentIsAEdges(eventPhrases) {
-		p, ok1 := o.Find(ontology.Event, pr.Parent)
-		c, ok2 := o.Find(ontology.Event, pr.Child)
-		if ok1 && ok2 {
-			if err := o.AddEdge(p.ID, c.ID, ontology.IsA, 1); err != nil {
-				return err
-			}
-		}
-	}
-	// Concept -> topic involve.
+	// Collect topic phrases in sorted order so concept-topic involve edges
+	// are discovered deterministically across runs (the map iteration here
+	// used to leak Go's random map order into the edge list).
 	topicPhrases := make([]string, 0, len(topicMembers))
 	for t := range topicMembers {
 		topicPhrases = append(topicPhrases, t)
 	}
-	for _, pr := range linking.ConceptTopicInvolveEdges(conceptPhrases, topicPhrases) {
-		t, ok1 := o.Find(ontology.Topic, pr.Parent)
-		c, ok2 := o.Find(ontology.Concept, pr.Child)
-		if ok1 && ok2 {
-			if err := o.AddEdge(t.ID, c.ID, ontology.Involve, 1); err != nil {
-				return err
-			}
-		}
-	}
+	sort.Strings(topicPhrases)
 
-	// Concept-entity isA via the learned classifier.
-	if err := sys.linkConceptEntities(o); err != nil {
+	// The linking stages below are data-independent: each only reads state
+	// frozen above (mined attentions, phrase lists, the click log and world).
+	// Fan them out over the configured worker budget, then commit their edge
+	// proposals to the ontology in a single deterministic pass.
+	var (
+		catEdges     []linking.CategoryEdge
+		suffixPairs  []linking.PhrasePair
+		containPairs []linking.PhrasePair
+		involvePairs []linking.PhrasePair
+		ceLinks      []phrasePair
+		evLinks      []phrasePair
+		corrPairs    [][2]string
+	)
+	if err := par.RunStages(cfg.parallelism(),
+		func() error { catEdges = sys.attentionCategoryEdges(); return nil },
+		func() error { suffixPairs = linking.SuffixIsAEdges(conceptPhrases); return nil },
+		func() error { containPairs = linking.ContainmentIsAEdges(eventPhrases); return nil },
+		func() error {
+			involvePairs = linking.ConceptTopicInvolveEdges(conceptPhrases, topicPhrases)
+			return nil
+		},
+		func() error { ceLinks = sys.conceptEntityLinks(); return nil },
+		func() error { evLinks = sys.eventEntityLinks(); return nil },
+		func() error { corrPairs = sys.entityCorrelatePairs(); return nil },
+	); err != nil {
 		return err
 	}
 
-	// Event -> entity involve edges from recognized key elements.
-	for i := range sys.Mined {
-		m := &sys.Mined[i]
-		if !m.IsEvent {
+	// Commit pass: resolve phrases to node IDs and batch-insert each edge
+	// group in the same order the sequential pipeline used.
+	var batch []ontology.Edge
+	for _, e := range catEdges {
+		n, ok := o.FindAny(e.Phrase)
+		if !ok || e.Category >= len(catNode) {
 			continue
 		}
-		en, ok := o.Find(ontology.Event, m.Phrase)
-		if !ok {
-			continue
-		}
-		for _, entTok := range m.Entities {
-			if ent, ok := sys.findEntityByToken(o, entTok); ok {
-				if err := o.AddEdge(en.ID, ent.ID, ontology.Involve, 1); err != nil {
-					return err
-				}
-			}
+		batch = append(batch, ontology.Edge{Src: catNode[e.Category], Dst: n.ID, Type: ontology.IsA, Weight: e.P})
+	}
+	for _, pr := range suffixPairs {
+		p, ok1 := o.Find(ontology.Concept, pr.Parent)
+		c, ok2 := o.Find(ontology.Concept, pr.Child)
+		if ok1 && ok2 {
+			batch = append(batch, ontology.Edge{Src: p.ID, Dst: c.ID, Type: ontology.IsA, Weight: 1})
 		}
 	}
-
-	// Entity-entity correlate via hinge-loss embeddings.
-	sys.linkEntityCorrelates(o)
+	for _, pr := range containPairs {
+		p, ok1 := o.Find(ontology.Event, pr.Parent)
+		c, ok2 := o.Find(ontology.Event, pr.Child)
+		if ok1 && ok2 {
+			batch = append(batch, ontology.Edge{Src: p.ID, Dst: c.ID, Type: ontology.IsA, Weight: 1})
+		}
+	}
+	for _, pr := range involvePairs {
+		t, ok1 := o.Find(ontology.Topic, pr.Parent)
+		c, ok2 := o.Find(ontology.Concept, pr.Child)
+		if ok1 && ok2 {
+			batch = append(batch, ontology.Edge{Src: t.ID, Dst: c.ID, Type: ontology.Involve, Weight: 1})
+		}
+	}
+	for _, pr := range ceLinks {
+		cn, ok1 := o.Find(ontology.Concept, pr.parent)
+		en, ok2 := o.Find(ontology.Entity, pr.child)
+		if ok1 && ok2 {
+			batch = append(batch, ontology.Edge{Src: cn.ID, Dst: en.ID, Type: ontology.IsA, Weight: 1})
+		}
+	}
+	for _, pr := range evLinks {
+		en, ok1 := o.Find(ontology.Event, pr.parent)
+		ent, ok2 := o.Find(ontology.Entity, pr.child)
+		if ok1 && ok2 {
+			batch = append(batch, ontology.Edge{Src: en.ID, Dst: ent.ID, Type: ontology.Involve, Weight: 1})
+		}
+	}
+	for _, p := range corrPairs {
+		a, ok1 := o.Find(ontology.Entity, p[0])
+		b, ok2 := o.Find(ontology.Entity, p[1])
+		if ok1 && ok2 {
+			// Correlate is symmetric; store one canonical direction.
+			batch = append(batch, ontology.Edge{Src: a.ID, Dst: b.ID, Type: ontology.Correlate, Weight: 1})
+		}
+	}
+	if err := o.AddEdges(batch); err != nil {
+		return err
+	}
 
 	// Concept-concept correlate (the §3.2 extension the paper defers):
 	// concepts sharing a large fraction of instances correlate.
@@ -355,14 +398,33 @@ func entityNameOfToken(w *synth.World, tok string) string {
 	return tok
 }
 
-func (sys *System) findEntityByToken(o *ontology.Ontology, tok string) (ontology.Node, bool) {
-	name := entityNameOfToken(sys.World, tok)
-	return o.Find(ontology.Entity, name)
+// phrasePair is an edge proposal between two phrases, resolved to node IDs
+// at commit time.
+type phrasePair struct {
+	parent, child string
 }
 
-// linkConceptEntities trains the Fig. 4 classifier from session data and
-// links concept-entity pairs observed in clicked documents.
-func (sys *System) linkConceptEntities(o *ontology.Ontology) error {
+// attentionCategoryEdges estimates P(g|p) over the clicked docs of each mined
+// attention (pure compute).
+func (sys *System) attentionCategoryEdges() []linking.CategoryEdge {
+	byCat := map[string]map[int]int{}
+	for i := range sys.Mined {
+		m := &sys.Mined[i]
+		cats := map[int]int{}
+		for _, docID := range m.DocIDs {
+			if docID >= 0 && docID < len(sys.Log.Docs) {
+				cats[sys.Log.Docs[docID].Category]++
+			}
+		}
+		byCat[m.Phrase] = cats
+	}
+	return linking.AttentionCategoryEdges(byCat, sys.Cfg.CategoryDelta)
+}
+
+// conceptEntityLinks trains the Fig. 4 classifier from session data and
+// returns the accepted concept-entity pairs observed in clicked documents
+// (pure compute; the ontology is untouched until the commit pass).
+func (sys *System) conceptEntityLinks() []phrasePair {
 	// Automatic dataset construction.
 	var positives []linking.CEExample
 	entityNames := make([]string, 0, len(sys.World.Entities))
@@ -391,13 +453,10 @@ func (sys *System) linkConceptEntities(o *ontology.Ontology) error {
 	}
 
 	// Candidate links: mined concept × entities mentioned in its docs.
+	var out []phrasePair
 	for i := range sys.Mined {
 		m := &sys.Mined[i]
 		if m.IsEvent {
-			continue
-		}
-		cn, ok := o.Find(ontology.Concept, m.Phrase)
-		if !ok {
 			continue
 		}
 		seen := map[int]bool{}
@@ -417,15 +476,28 @@ func (sys *System) linkConceptEntities(o *ontology.Ontology) error {
 					CoClicks: 2,
 				}
 				if sys.CEClf == nil || sys.CEClf.Predict(&ex) {
-					en, _ := o.Find(ontology.Entity, entName)
-					if err := o.AddEdge(cn.ID, en.ID, ontology.IsA, 1); err != nil {
-						return err
-					}
+					out = append(out, phrasePair{parent: m.Phrase, child: entName})
 				}
 			}
 		}
 	}
-	return nil
+	return out
+}
+
+// eventEntityLinks pairs each mined event with the entities its recognized
+// key elements resolve to (pure compute).
+func (sys *System) eventEntityLinks() []phrasePair {
+	var out []phrasePair
+	for i := range sys.Mined {
+		m := &sys.Mined[i]
+		if !m.IsEvent {
+			continue
+		}
+		for _, entTok := range m.Entities {
+			out = append(out, phrasePair{parent: m.Phrase, child: entityNameOfToken(sys.World, entTok)})
+		}
+	}
+	return out
 }
 
 // contextMentioning finds a doc content for the concept query that mentions
@@ -444,9 +516,9 @@ func (sys *System) contextMentioning(conceptQ, entity string) string {
 	return ""
 }
 
-// linkEntityCorrelates trains embeddings on co-occurrence pairs and adds
-// correlate edges.
-func (sys *System) linkEntityCorrelates(o *ontology.Ontology) {
+// entityCorrelatePairs trains embeddings on co-occurrence pairs and returns
+// the entity pairs the learned filter accepts (pure compute).
+func (sys *System) entityCorrelatePairs() [][2]string {
 	var pairs [][2]string
 	for _, d := range sys.Log.Docs {
 		for i := 0; i < len(d.Entities); i++ {
@@ -460,7 +532,7 @@ func (sys *System) linkEntityCorrelates(o *ontology.Ontology) {
 		}
 	}
 	if len(pairs) == 0 {
-		return
+		return nil
 	}
 	sys.Embedder = linking.NewEntityEmbedder(16)
 	sys.Embedder.Train(pairs)
@@ -476,14 +548,7 @@ func (sys *System) linkEntityCorrelates(o *ontology.Ontology) {
 			cands = append(cands, [2]string{a, b})
 		}
 	}
-	for _, p := range sys.Embedder.CorrelatePairs(cands) {
-		a, ok1 := o.Find(ontology.Entity, p[0])
-		b, ok2 := o.Find(ontology.Entity, p[1])
-		if ok1 && ok2 {
-			// Correlate is symmetric; store one canonical direction.
-			_ = o.AddEdge(a.ID, b.ID, ontology.Correlate, 1)
-		}
-	}
+	return sys.Embedder.CorrelatePairs(cands)
 }
 
 // ConceptTagger builds the §4 concept tagger over the built ontology.

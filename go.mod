@@ -1,0 +1,3 @@
+module giant
+
+go 1.24

@@ -10,6 +10,7 @@ import (
 	"strings"
 
 	"giant/internal/nlp"
+	"giant/internal/par"
 )
 
 // Graph is a weighted bipartite click graph. Zero value is not usable; call
@@ -230,10 +231,26 @@ func (g *Graph) ClusterFor(seed string, cfg WalkConfig) (Cluster, bool) {
 
 // Clusters enumerates a cluster for every distinct query.
 func (g *Graph) Clusters(cfg WalkConfig) []Cluster {
+	return g.ClustersN(cfg, 1)
+}
+
+// ClustersN is Clusters with the per-seed random walks fanned out over up to
+// workers goroutines. The graph is only read, so any concurrency is safe, and
+// results are assembled in query-insertion order — the output is identical to
+// the sequential Clusters for every worker count.
+func (g *Graph) ClustersN(cfg WalkConfig, workers int) []Cluster {
+	type slot struct {
+		c  Cluster
+		ok bool
+	}
+	slots := make([]slot, len(g.queries))
+	par.ForEachIndexed(workers, len(g.queries), func(i int) {
+		slots[i].c, slots[i].ok = g.ClusterFor(g.queries[i], cfg)
+	})
 	out := make([]Cluster, 0, len(g.queries))
-	for _, q := range g.queries {
-		if c, ok := g.ClusterFor(q, cfg); ok {
-			out = append(out, c)
+	for i := range slots {
+		if slots[i].ok {
+			out = append(out, slots[i].c)
 		}
 	}
 	return out

@@ -1,10 +1,12 @@
 package core
 
 import (
+	"runtime"
 	"sort"
 
 	"giant/internal/clickgraph"
 	"giant/internal/nlp"
+	"giant/internal/par"
 	"giant/internal/phrase"
 	"giant/internal/synth"
 )
@@ -37,6 +39,11 @@ type Miner struct {
 	// MergeThreshold is δm for normalization (TF-IDF context similarity).
 	MergeThreshold float64
 	Walk           clickgraph.WalkConfig
+	// Parallelism bounds the worker pool that mines clusters; <= 0 means
+	// runtime.GOMAXPROCS(0). Any value yields byte-identical output: the
+	// per-cluster work is sharded, candidates are merged in seed-query order,
+	// and normalization stays a single deterministic pass.
+	Parallelism int
 }
 
 // NewMiner wires a trained phrase model and key-element model.
@@ -55,50 +62,89 @@ func NewMiner(phraseModel, keyModel *Model, lex *nlp.Lexicon) *Miner {
 	}
 }
 
+// workers resolves the effective worker-pool size.
+func (m *Miner) workers() int {
+	if m.Parallelism > 0 {
+		return m.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// cand is one mined candidate with its normalization context.
+type cand struct {
+	mined Mined
+	ctx   []string
+}
+
+// mineCluster runs the per-cluster portion of Algorithm 1 — phrase
+// extraction, concept/event classification, context collection — and returns
+// nil when the cluster yields no phrase. It only reads shared state (trained
+// models, lexicon, click graph), so the miner can shard clusters freely.
+func (m *Miner) mineCluster(g *clickgraph.Graph, cl *clickgraph.Cluster) *cand {
+	queries := make([]string, 0, len(cl.Queries))
+	for _, q := range cl.Queries {
+		queries = append(queries, q.Text)
+	}
+	titles := make([]string, 0, len(cl.Titles))
+	docIDs := make([]int, 0, len(cl.Titles))
+	day := -1
+	for _, t := range cl.Titles {
+		titles = append(titles, t.Text)
+		docIDs = append(docIDs, t.DocID)
+		if day == -1 || t.Day < day {
+			day = t.Day
+		}
+	}
+	if len(queries) == 0 || len(titles) == 0 {
+		return nil
+	}
+	p := m.Phrase.ExtractPhrase(queries, titles)
+	if p == "" {
+		return nil
+	}
+	mined := Mined{
+		Phrase: p, Seed: cl.Seed, Day: day,
+		Queries: queries, Titles: titles, DocIDs: docIDs,
+	}
+	m.classify(&mined)
+	return &cand{mined, g.TopTitlesFor(cl.Seed, 5)}
+}
+
+// mineClusters fans the clusters out over the worker pool and merges the
+// results into a deterministic order (sorted by seed query — seeds are unique
+// per cluster, so the order is total and independent of scheduling).
+func (m *Miner) mineClusters(g *clickgraph.Graph, clusters []clickgraph.Cluster) []cand {
+	results := make([]*cand, len(clusters))
+	par.ForEachIndexed(m.workers(), len(clusters), func(i int) {
+		results[i] = m.mineCluster(g, &clusters[i])
+	})
+	cands := make([]cand, 0, len(clusters))
+	for _, r := range results {
+		if r != nil {
+			cands = append(cands, *r)
+		}
+	}
+	sort.SliceStable(cands, func(i, j int) bool { return cands[i].mined.Seed < cands[j].mined.Seed })
+	return cands
+}
+
 // Mine runs the pipeline over every query cluster in the click graph and
-// returns deduplicated attention phrases.
+// returns deduplicated attention phrases. The cluster walks and the
+// per-cluster GCTSP-Net inference are sharded over a pool of
+// Miner.Parallelism workers; the output is identical for every pool size.
 func (m *Miner) Mine(g *clickgraph.Graph) []Mined {
-	clusters := g.Clusters(m.Walk)
+	clusters := g.ClustersN(m.Walk, m.workers())
+	cands := m.mineClusters(g, clusters)
+
+	// Normalization: a single deterministic pass over the seed-ordered
+	// candidates. Observe feeds every context into the TF-IDF statistics
+	// (commutative) before any Add decides merges.
 	norm := phrase.NewNormalizer(m.Lex, m.MergeThreshold)
-
-	type cand struct {
-		mined Mined
-		ctx   []string
-	}
-	var cands []cand
-	for _, cl := range clusters {
-		queries := make([]string, 0, len(cl.Queries))
-		for _, q := range cl.Queries {
-			queries = append(queries, q.Text)
-		}
-		titles := make([]string, 0, len(cl.Titles))
-		docIDs := make([]int, 0, len(cl.Titles))
-		day := -1
-		for _, t := range cl.Titles {
-			titles = append(titles, t.Text)
-			docIDs = append(docIDs, t.DocID)
-			if day == -1 || t.Day < day {
-				day = t.Day
-			}
-		}
-		if len(queries) == 0 || len(titles) == 0 {
-			continue
-		}
-		p := m.Phrase.ExtractPhrase(queries, titles)
-		if p == "" {
-			continue
-		}
-		mined := Mined{
-			Phrase: p, Seed: cl.Seed, Day: day,
-			Queries: queries, Titles: titles, DocIDs: docIDs,
-		}
-		m.classify(&mined)
-		ctx := g.TopTitlesFor(cl.Seed, 5)
-		norm.Observe(p, ctx)
-		cands = append(cands, cand{mined, ctx})
+	for i := range cands {
+		norm.Observe(cands[i].mined.Phrase, cands[i].ctx)
 	}
 
-	// Normalization pass: merge near-duplicates into canonical nodes.
+	// Merge near-duplicates into canonical nodes.
 	byCanon := map[string]*Mined{}
 	var order []string
 	for i := range cands {

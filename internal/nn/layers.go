@@ -19,9 +19,15 @@ func NewDense(name string, in, out int, rng *rand.Rand) *Dense {
 // Params lists trainable parameters.
 func (d *Dense) Params() []*Param { return []*Param{d.W, d.B} }
 
-// Forward computes xW + b, caching x.
+// Forward computes xW + b, caching x for Backward.
 func (d *Dense) Forward(x *Mat) *Mat {
 	d.x = x
+	return d.Infer(x)
+}
+
+// Infer computes xW + b without caching x, so a trained layer can serve
+// concurrent inference calls.
+func (d *Dense) Infer(x *Mat) *Mat {
 	out := MatMul(x, d.W.W)
 	for i := 0; i < out.R; i++ {
 		row := out.Row(i)

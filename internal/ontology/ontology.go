@@ -137,9 +137,13 @@ func (o *Ontology) AddNode(t NodeType, phrase string) NodeID {
 
 // AddNodeAt is AddNode with an explicit first-seen day.
 func (o *Ontology) AddNodeAt(t NodeType, phrase string, day int) NodeID {
-	key := nodeKey(t, phrase)
 	o.mu.Lock()
 	defer o.mu.Unlock()
+	return o.addNodeLocked(t, phrase, day)
+}
+
+func (o *Ontology) addNodeLocked(t NodeType, phrase string, day int) NodeID {
+	key := nodeKey(t, phrase)
 	if id, ok := o.byPhrase[key]; ok {
 		return id
 	}
@@ -147,6 +151,27 @@ func (o *Ontology) AddNodeAt(t NodeType, phrase string, day int) NodeID {
 	o.nodes = append(o.nodes, Node{ID: id, Type: t, Phrase: phrase, FirstSeenDay: day})
 	o.byPhrase[key] = id
 	return id
+}
+
+// NodeSpec describes one node for batch insertion.
+type NodeSpec struct {
+	Type   NodeType
+	Phrase string
+	Day    int
+}
+
+// AddNodes inserts every spec under a single lock acquisition — the batch
+// analogue of AddNodeAt for assembly loops that would otherwise contend on
+// the mutex once per node. It returns the new-or-existing ID of each spec,
+// in order.
+func (o *Ontology) AddNodes(specs []NodeSpec) []NodeID {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	ids := make([]NodeID, len(specs))
+	for i, s := range specs {
+		ids[i] = o.addNodeLocked(s.Type, s.Phrase, s.Day)
+	}
+	return ids
 }
 
 // AddAlias merges alias into node id's alias list.
@@ -178,23 +203,41 @@ func (o *Ontology) SetEventAttrs(id NodeID, trigger, location string, day int) {
 // AddEdge inserts src --type--> dst with a weight, deduplicating repeats
 // (the first weight wins). Self-edges are rejected.
 func (o *Ontology) AddEdge(src, dst NodeID, t EdgeType, weight float64) error {
-	if src == dst {
-		return fmt.Errorf("ontology: self edge on node %d", src)
-	}
 	o.mu.Lock()
 	defer o.mu.Unlock()
-	if int(src) >= len(o.nodes) || int(dst) >= len(o.nodes) {
-		return fmt.Errorf("ontology: edge endpoints out of range (%d,%d)", src, dst)
+	return o.addEdgeLocked(Edge{Src: src, Dst: dst, Type: t, Weight: weight})
+}
+
+// AddEdges inserts a batch of edges under a single lock acquisition, with
+// AddEdge's semantics per element. The first invalid edge aborts the batch
+// (edges before it stay inserted).
+func (o *Ontology) AddEdges(edges []Edge) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	for _, e := range edges {
+		if err := o.addEdgeLocked(e); err != nil {
+			return err
+		}
 	}
-	k := edgeKey{src, dst, t}
+	return nil
+}
+
+func (o *Ontology) addEdgeLocked(e Edge) error {
+	if e.Src == e.Dst {
+		return fmt.Errorf("ontology: self edge on node %d", e.Src)
+	}
+	if int(e.Src) >= len(o.nodes) || int(e.Dst) >= len(o.nodes) || e.Src < 0 || e.Dst < 0 {
+		return fmt.Errorf("ontology: edge endpoints out of range (%d,%d)", e.Src, e.Dst)
+	}
+	k := edgeKey{e.Src, e.Dst, e.Type}
 	if o.edgeSet[k] {
 		return nil
 	}
 	o.edgeSet[k] = true
 	idx := len(o.edges)
-	o.edges = append(o.edges, Edge{Src: src, Dst: dst, Type: t, Weight: weight})
-	o.out[src] = append(o.out[src], idx)
-	o.in[dst] = append(o.in[dst], idx)
+	o.edges = append(o.edges, e)
+	o.out[e.Src] = append(o.out[e.Src], idx)
+	o.in[e.Dst] = append(o.in[e.Dst], idx)
 	return nil
 }
 

@@ -1,0 +1,53 @@
+package par
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachIndexedCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 16} {
+		n := 57
+		hits := make([]int32, n)
+		ForEachIndexed(workers, n, func(i int) { atomic.AddInt32(&hits[i], 1) })
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestForEachIndexedEmpty(t *testing.T) {
+	called := false
+	ForEachIndexed(4, 0, func(int) { called = true })
+	if called {
+		t.Fatal("fn called for n=0")
+	}
+}
+
+func TestRunStagesSequentialOrder(t *testing.T) {
+	var order []int
+	err := RunStages(1,
+		func() error { order = append(order, 1); return nil },
+		func() error { order = append(order, 2); return nil },
+	)
+	if err != nil || len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("order=%v err=%v", order, err)
+	}
+}
+
+func TestRunStagesReportsError(t *testing.T) {
+	boom := errors.New("boom")
+	for _, workers := range []int{1, 4} {
+		err := RunStages(workers,
+			func() error { return nil },
+			func() error { return boom },
+			func() error { return nil },
+		)
+		if !errors.Is(err, boom) {
+			t.Fatalf("workers=%d: err=%v, want boom", workers, err)
+		}
+	}
+}

@@ -93,6 +93,11 @@ type layer struct {
 	aggs []*nn.Mat // per relation: A_r·H
 	pre  *nn.Mat   // pre-activation
 	wr   []*nn.Mat // per relation: materialized W_r
+
+	// inferWr is the frozen materialization of W_r for inference, rebuilt by
+	// Train once the weights settle so concurrent Infer calls read it
+	// without re-deriving the basis decomposition per call.
+	inferWr []*nn.Mat
 }
 
 func newLayer(name string, in, out, numRel, bases int, rng *rand.Rand) *layer {
@@ -113,8 +118,10 @@ func (l *layer) parameters() []*nn.Param {
 	return append(ps, l.V...)
 }
 
-func (l *layer) materializeWr() {
-	l.wr = make([]*nn.Mat, l.numRel)
+// relWeights materializes the per-relation weight matrices W_r from the
+// basis decomposition into a fresh slice, leaving the layer untouched.
+func (l *layer) relWeights() []*nn.Mat {
+	wr := make([]*nn.Mat, l.numRel)
 	for r := 0; r < l.numRel; r++ {
 		w := nn.NewMat(l.in, l.out)
 		for b := 0; b < l.bases; b++ {
@@ -126,13 +133,34 @@ func (l *layer) materializeWr() {
 				w.D[i] += coef * v
 			}
 		}
-		l.wr[r] = w
+		wr[r] = w
 	}
+	return wr
 }
 
-func (l *layer) forward(g *GraphData, h *nn.Mat) *nn.Mat {
-	l.h = h
-	l.materializeWr()
+// aggregate computes A_r·H for one relation, or nil when the relation has no
+// edges.
+func (l *layer) aggregate(g *GraphData, h *nn.Mat, r int) *nn.Mat {
+	edges := g.byRel[r]
+	if len(edges) == 0 {
+		return nil
+	}
+	agg := nn.NewMat(g.N, l.in)
+	norm := g.normDst[r]
+	for _, e := range edges {
+		c := norm[e.Dst]
+		src := h.Row(e.Src)
+		dst := agg.Row(e.Dst)
+		for j := range dst {
+			dst[j] += c * src[j]
+		}
+	}
+	return agg
+}
+
+// preActivation computes xW0 + b + Σ_r (A_r·H)W_r. aggs and wr are indexed by
+// relation; aggs entries may be nil for edgeless relations.
+func (l *layer) preActivation(h *nn.Mat, aggs, wr []*nn.Mat) *nn.Mat {
 	pre := nn.MatMul(h, l.W0.W)
 	for i := 0; i < pre.R; i++ {
 		row := pre.Row(i)
@@ -140,27 +168,41 @@ func (l *layer) forward(g *GraphData, h *nn.Mat) *nn.Mat {
 			row[j] += l.Bias.W.D[j]
 		}
 	}
+	for r, agg := range aggs {
+		if agg != nil {
+			pre.AddMat(nn.MatMul(agg, wr[r]))
+		}
+	}
+	return pre
+}
+
+// forward is the training-time pass: it caches activations on the layer for
+// the subsequent backward call, so it must not run concurrently.
+func (l *layer) forward(g *GraphData, h *nn.Mat) *nn.Mat {
+	l.h = h
+	l.wr = l.relWeights()
 	l.aggs = make([]*nn.Mat, l.numRel)
 	for r := 0; r < l.numRel; r++ {
-		edges := g.byRel[r]
-		if len(edges) == 0 {
-			continue
-		}
-		agg := nn.NewMat(g.N, l.in)
-		norm := g.normDst[r]
-		for _, e := range edges {
-			c := norm[e.Dst]
-			src := h.Row(e.Src)
-			dst := agg.Row(e.Dst)
-			for j := range dst {
-				dst[j] += c * src[j]
-			}
-		}
-		l.aggs[r] = agg
-		pre.AddMat(nn.MatMul(agg, l.wr[r]))
+		l.aggs[r] = l.aggregate(g, h, r)
 	}
-	l.pre = pre
-	return nn.ReLU(pre)
+	l.pre = l.preActivation(h, l.aggs, l.wr)
+	return nn.ReLU(l.pre)
+}
+
+// inferForward computes the same pass as forward but writes nothing to the
+// layer, so a trained layer can serve many goroutines at once. It prefers
+// the weight matrices frozen by the last Train and only re-materializes them
+// for a model that was never trained.
+func (l *layer) inferForward(g *GraphData, h *nn.Mat) *nn.Mat {
+	wr := l.inferWr
+	if wr == nil {
+		wr = l.relWeights()
+	}
+	aggs := make([]*nn.Mat, l.numRel)
+	for r := 0; r < l.numRel; r++ {
+		aggs[r] = l.aggregate(g, h, r)
+	}
+	return nn.ReLU(l.preActivation(h, aggs, wr))
 }
 
 func (l *layer) backward(g *GraphData, dOut *nn.Mat) *nn.Mat {
@@ -241,6 +283,20 @@ func (m *Model) Forward(g *GraphData) *nn.Mat {
 	return m.out.Forward(h)
 }
 
+// Infer computes per-node class logits like Forward, but without writing the
+// forward caches the backward pass needs — a trained model can therefore
+// serve concurrent Infer calls from many goroutines (the parallel miner
+// depends on this). The GraphData itself must still be call-private: prep
+// mutates it.
+func (m *Model) Infer(g *GraphData) *nn.Mat {
+	g.prep(m.Cfg.NumRel)
+	h := g.X
+	for _, l := range m.layers {
+		h = l.inferForward(g, h)
+	}
+	return m.out.Infer(h)
+}
+
 // Backward back-propagates dLogits and returns dX (unused by callers but
 // handy for feature-gradient ablations).
 func (m *Model) Backward(g *GraphData, dLogits *nn.Mat) *nn.Mat {
@@ -281,11 +337,18 @@ func (m *Model) Train(graphs []*GraphData, opt TrainOptions) {
 			opt.Progress(ep, total/float64(len(graphs)))
 		}
 	}
+	// Freeze the materialized W_r for the inference path: weights no longer
+	// move, so Infer can reuse them instead of re-deriving the basis
+	// decomposition on every call. (Another Train run re-freezes.)
+	for _, l := range m.layers {
+		l.inferWr = l.relWeights()
+	}
 }
 
-// Predict returns the argmax class per node.
+// Predict returns the argmax class per node. Safe for concurrent use on a
+// trained model (each call must own its GraphData).
 func (m *Model) Predict(g *GraphData) []int {
-	logits := m.Forward(g)
+	logits := m.Infer(g)
 	out := make([]int, g.N)
 	for v := 0; v < g.N; v++ {
 		row := logits.Row(v)
@@ -300,9 +363,10 @@ func (m *Model) Predict(g *GraphData) []int {
 	return out
 }
 
-// PredictProbs returns per-node softmax probabilities.
+// PredictProbs returns per-node softmax probabilities. Safe for concurrent
+// use on a trained model (each call must own its GraphData).
 func (m *Model) PredictProbs(g *GraphData) *nn.Mat {
-	logits := m.Forward(g)
+	logits := m.Infer(g)
 	nn.SoftmaxRow(logits)
 	return logits
 }
