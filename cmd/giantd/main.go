@@ -1,0 +1,97 @@
+// Command giantd serves a built Attention Ontology over JSON-over-HTTP —
+// the online tier the GIANT paper deploys against QQ Browser traffic (§4).
+//
+//	giantctl build -out ao.json       # offline: build the ontology
+//	giantd -in ao.json -addr :8080    # online: serve it
+//
+// With -build instead of -in, giantd runs the offline pipeline itself at
+// startup (handy for demos; -tiny shrinks the build) and serves the result,
+// keeping the trained event matcher and concept context for richer tagging.
+//
+//	curl localhost:8080/healthz
+//	curl localhost:8080/v1/stats
+//	curl 'localhost:8080/v1/query/rewrite?q=best+family+sedans'
+//	curl -X POST localhost:8080/v1/reload
+//
+// /v1/reload hot-swaps a freshly loaded snapshot (re-reading -in, or
+// re-running the -build pipeline) while serving continues on the old one.
+// SIGINT/SIGTERM shut the server down gracefully.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	giant "giant"
+	"giant/internal/ontology"
+	"giant/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("giantd: ")
+	var (
+		in    = flag.String("in", "", "ontology JSON path (from giantctl build -out)")
+		addr  = flag.String("addr", ":8080", "listen address")
+		build = flag.Bool("build", false, "run the offline pipeline at startup instead of loading -in")
+		tiny  = flag.Bool("tiny", false, "with -build: use the tiny configuration")
+		cache = flag.Int("cache", serve.DefaultCacheSize, "LRU response cache entries (negative disables)")
+		grace = flag.Duration("grace", 5*time.Second, "graceful-shutdown drain timeout")
+	)
+	flag.Parse()
+	if err := run(*in, *addr, *build, *tiny, *cache, *grace); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(in, addr string, build, tiny bool, cache int, grace time.Duration) error {
+	opts := serve.Options{CacheSize: cache}
+	var snap *ontology.Snapshot
+	switch {
+	case build:
+		cfg := giant.DefaultConfig()
+		if tiny {
+			cfg = giant.TinyConfig()
+		}
+		log.Printf("building ontology (tiny=%v)...", tiny)
+		sys, err := giant.Build(cfg)
+		if err != nil {
+			return err
+		}
+		snap = sys.Snapshot()
+		opts.ConceptContext = sys.ConceptContext()
+		opts.Duet = sys.EventTagger().Duet
+		opts.Loader = func() (*ontology.Snapshot, error) {
+			rebuilt, err := giant.Build(cfg)
+			if err != nil {
+				return nil, err
+			}
+			return rebuilt.Snapshot(), nil
+		}
+	case in != "":
+		var err error
+		if snap, err = ontology.LoadSnapshotFile(in); err != nil {
+			return err
+		}
+		opts.Loader = func() (*ontology.Snapshot, error) { return ontology.LoadSnapshotFile(in) }
+	default:
+		return fmt.Errorf("need -in <ontology.json> or -build (see giantctl build -out)")
+	}
+
+	srv := serve.New(snap, opts)
+	log.Printf("serving %s on %s", snap, addr)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	err := serve.Run(ctx, addr, srv.Handler(), grace)
+	if err == nil {
+		log.Printf("shut down cleanly")
+	}
+	return err
+}

@@ -12,6 +12,11 @@
 //	...
 //	stats := sys.Ontology.ComputeStats()
 //	tags := sys.ConceptTagger().TagConcepts(&tagging.Document{...})
+//
+// For online serving, System.Snapshot freezes the built ontology into an
+// immutable, lock-free ontology.Snapshot that internal/serve (and the
+// giantd command) expose over HTTP; see docs/ARCHITECTURE.md for the
+// offline-build vs. online-serve dataflow.
 package giant
 
 import (
@@ -549,6 +554,21 @@ func (sys *System) entityCorrelatePairs() [][2]string {
 		}
 	}
 	return sys.Embedder.CorrelatePairs(cands)
+}
+
+// Snapshot returns an immutable, lock-free snapshot of the built ontology
+// for the online serving tier (see internal/serve and cmd/giantd). The
+// snapshot shares nothing mutable with the system: later ontology writes
+// never disturb its readers.
+func (sys *System) Snapshot() *ontology.Snapshot {
+	return sys.Ontology.Snapshot()
+}
+
+// ConceptContext exposes the concept phrase -> top clicked titles map the
+// build collected, so a serving tier can construct context-enriched concept
+// taggers over a snapshot.
+func (sys *System) ConceptContext() map[string][]string {
+	return sys.conceptContext
 }
 
 // ConceptTagger builds the §4 concept tagger over the built ontology.

@@ -87,6 +87,34 @@ func TestPersistenceRoundTrip(t *testing.T) {
 	}
 }
 
+func TestSystemSnapshotMatchesOntology(t *testing.T) {
+	sys := builtSystem(t)
+	snap := sys.Snapshot()
+	if snap.NodeCount() != sys.Ontology.NodeCount() || snap.EdgeCount() != sys.Ontology.EdgeCount() {
+		t.Fatalf("snapshot counts: %d/%d, ontology: %d/%d",
+			snap.NodeCount(), snap.EdgeCount(), sys.Ontology.NodeCount(), sys.Ontology.EdgeCount())
+	}
+	for _, n := range sys.Ontology.Nodes() {
+		got, ok := snap.Find(n.Type, n.Phrase)
+		if !ok || got.ID != n.ID {
+			t.Fatalf("snapshot lost node %v %q", n.Type, n.Phrase)
+		}
+		if len(snap.Children(n.ID, ontology.IsA)) != len(sys.Ontology.Children(n.ID, ontology.IsA)) {
+			t.Fatalf("snapshot adjacency differs at %q", n.Phrase)
+		}
+	}
+	// The §4 applications run unchanged over the snapshot through the View
+	// interface.
+	understander := sys.Query()
+	understander.Onto = snap
+	for _, r := range sys.Log.Records {
+		if c := understander.Conceptualize(r.Query); c != "" {
+			return
+		}
+	}
+	t.Fatal("no query conceptualized over the snapshot")
+}
+
 func TestConceptTaggerOnLogDocs(t *testing.T) {
 	sys := builtSystem(t)
 	ct := sys.ConceptTagger()

@@ -46,6 +46,17 @@ func (t NodeType) String() string {
 	}
 }
 
+// ParseNodeType resolves a node-type name ("category", "concept", …) back
+// to its NodeType, the inverse of NodeType.String.
+func ParseNodeType(s string) (NodeType, error) {
+	for t := NodeType(0); t < NumNodeTypes; t++ {
+		if t.String() == s {
+			return t, nil
+		}
+	}
+	return 0, fmt.Errorf("ontology: unknown node type %q", s)
+}
+
 // EdgeType is one of the three relationship types.
 type EdgeType uint8
 
@@ -365,8 +376,22 @@ func (o *Ontology) Ancestors(id NodeID) []Node {
 func (o *Ontology) Nodes(types ...NodeType) []Node {
 	o.mu.RLock()
 	defer o.mu.RUnlock()
-	out := make([]Node, 0, len(o.nodes))
-	for _, n := range o.nodes {
+	return filterNodes(o.nodes, types)
+}
+
+// Edges returns a copy of all edges (optionally filtered by type).
+func (o *Ontology) Edges(types ...EdgeType) []Edge {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	return filterEdges(o.edges, types)
+}
+
+// filterNodes copies nodes, keeping those matching any of the given types
+// (all of them when types is empty). Shared by Ontology (under its read
+// lock) and Snapshot.
+func filterNodes(nodes []Node, types []NodeType) []Node {
+	out := make([]Node, 0, len(nodes))
+	for _, n := range nodes {
 		if len(types) == 0 {
 			out = append(out, n)
 			continue
@@ -380,12 +405,10 @@ func (o *Ontology) Nodes(types ...NodeType) []Node {
 	return out
 }
 
-// Edges returns a copy of all edges (optionally filtered by type).
-func (o *Ontology) Edges(types ...EdgeType) []Edge {
-	o.mu.RLock()
-	defer o.mu.RUnlock()
-	out := make([]Edge, 0, len(o.edges))
-	for _, e := range o.edges {
+// filterEdges is filterNodes for edges.
+func filterEdges(edges []Edge, types []EdgeType) []Edge {
+	out := make([]Edge, 0, len(edges))
+	for _, e := range edges {
 		if len(types) == 0 {
 			out = append(out, e)
 			continue
@@ -477,6 +500,10 @@ func (o *Ontology) WriteJSON(w io.Writer) error {
 	o.mu.RLock()
 	p := persisted{Nodes: o.nodes, Edges: o.edges}
 	o.mu.RUnlock()
+	return writePersisted(w, p)
+}
+
+func writePersisted(w io.Writer, p persisted) error {
 	enc := json.NewEncoder(w)
 	return enc.Encode(p)
 }

@@ -1,0 +1,400 @@
+package ontology
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// Snapshot is an immutable, read-optimized view of an Ontology, built once
+// from a finished build (or loaded from the JSON a build wrote) and then
+// shared freely between goroutines. Every index is precomputed at
+// construction time — phrase→node and alias→node maps per type, per-type
+// node lists, CSR adjacency over the edge list, and the per-type statistics
+// — so lookups are lock-free O(1), traversals are O(degree), and the hot
+// phrase-lookup path performs zero allocations. A Snapshot never touches
+// the Ontology mutex; concurrent readers scale linearly and an online
+// server can hot-swap one atomically for another while requests are in
+// flight.
+type Snapshot struct {
+	nodes []Node
+	edges []Edge
+
+	// byPhrase and byAlias map the lowercased surface form to the node, one
+	// map per node type so lookups need no composite-key allocation.
+	byPhrase [NumNodeTypes]map[string]NodeID
+	byAlias  [NumNodeTypes]map[string]NodeID
+
+	// byType lists node IDs per type in ID order.
+	byType [NumNodeTypes][]NodeID
+
+	// out/in are CSR adjacency: outIdx[outOff[v]:outOff[v+1]] are the indices
+	// into edges of v's out-edges (and symmetrically for in-edges).
+	outOff, inOff []int32
+	outIdx, inIdx []int32
+
+	stats Stats
+}
+
+// Snapshot builds an immutable snapshot of the ontology's current state.
+// It acquires the read lock once, copies nodes and edges, and indexes the
+// copy; the returned Snapshot shares nothing mutable with the Ontology, so
+// later writes to the Ontology never disturb readers of the Snapshot.
+func (o *Ontology) Snapshot() *Snapshot {
+	o.mu.RLock()
+	nodes := make([]Node, len(o.nodes))
+	copy(nodes, o.nodes)
+	for i := range nodes {
+		if len(nodes[i].Aliases) > 0 {
+			nodes[i].Aliases = append([]string(nil), nodes[i].Aliases...)
+		}
+	}
+	edges := make([]Edge, len(o.edges))
+	copy(edges, o.edges)
+	o.mu.RUnlock()
+	return newSnapshot(nodes, edges)
+}
+
+// SnapshotFromJSON reads an ontology serialized by WriteJSON (or by
+// Snapshot.WriteJSON) and indexes it directly into a Snapshot. Input is
+// validated exactly as ReadJSON validates it.
+func SnapshotFromJSON(r io.Reader) (*Snapshot, error) {
+	o, err := ReadJSON(r)
+	if err != nil {
+		return nil, err
+	}
+	return o.Snapshot(), nil
+}
+
+// LoadSnapshotFile reads a Snapshot from the JSON file at path.
+func LoadSnapshotFile(path string) (*Snapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return SnapshotFromJSON(f)
+}
+
+// newSnapshot indexes the given node and edge lists. The caller must pass
+// slices the snapshot may own.
+func newSnapshot(nodes []Node, edges []Edge) *Snapshot {
+	s := &Snapshot{nodes: nodes, edges: edges}
+	for t := 0; t < NumNodeTypes; t++ {
+		s.byPhrase[t] = make(map[string]NodeID)
+		s.byAlias[t] = make(map[string]NodeID)
+	}
+	for i := range nodes {
+		n := &nodes[i]
+		t := int(n.Type)
+		if t >= NumNodeTypes {
+			continue
+		}
+		key := strings.ToLower(n.Phrase)
+		if _, dup := s.byPhrase[t][key]; !dup {
+			s.byPhrase[t][key] = n.ID
+		}
+		for _, a := range n.Aliases {
+			ak := strings.ToLower(a)
+			if _, dup := s.byAlias[t][ak]; !dup {
+				s.byAlias[t][ak] = n.ID
+			}
+		}
+		s.byType[t] = append(s.byType[t], n.ID)
+	}
+
+	// CSR adjacency: count degrees, then fill grouped edge indices.
+	nv := len(nodes)
+	s.outOff = make([]int32, nv+1)
+	s.inOff = make([]int32, nv+1)
+	for i := range edges {
+		s.outOff[edges[i].Src+1]++
+		s.inOff[edges[i].Dst+1]++
+	}
+	for v := 0; v < nv; v++ {
+		s.outOff[v+1] += s.outOff[v]
+		s.inOff[v+1] += s.inOff[v]
+	}
+	s.outIdx = make([]int32, len(edges))
+	s.inIdx = make([]int32, len(edges))
+	outNext := append([]int32(nil), s.outOff[:nv]...)
+	inNext := append([]int32(nil), s.inOff[:nv]...)
+	for i := range edges {
+		e := &edges[i]
+		s.outIdx[outNext[e.Src]] = int32(i)
+		outNext[e.Src]++
+		s.inIdx[inNext[e.Dst]] = int32(i)
+		inNext[e.Dst]++
+	}
+
+	s.stats = Stats{NodesByType: map[string]int{}, EdgesByType: map[string]int{}}
+	for i := range nodes {
+		s.stats.NodesByType[nodes[i].Type.String()]++
+	}
+	for i := range edges {
+		s.stats.EdgesByType[edges[i].Type.String()]++
+	}
+	return s
+}
+
+// Lookup resolves a (type, phrase) pair to a node ID without allocating:
+// already-lowercase phrases (the common case for normalized queries) hit
+// the per-type map directly. This is the serving hot path.
+func (s *Snapshot) Lookup(t NodeType, phrase string) (NodeID, bool) {
+	if int(t) >= NumNodeTypes {
+		return 0, false
+	}
+	id, ok := s.byPhrase[t][strings.ToLower(phrase)]
+	return id, ok
+}
+
+// LookupAlias resolves a (type, alias) pair to the node the alias was
+// merged into.
+func (s *Snapshot) LookupAlias(t NodeType, alias string) (NodeID, bool) {
+	if int(t) >= NumNodeTypes {
+		return 0, false
+	}
+	id, ok := s.byAlias[t][strings.ToLower(alias)]
+	return id, ok
+}
+
+// LookupAny resolves a phrase under any node type (in NodeType order),
+// falling back to alias resolution when no canonical phrase matches.
+func (s *Snapshot) LookupAny(phrase string) (NodeID, bool) {
+	key := strings.ToLower(phrase)
+	for t := 0; t < NumNodeTypes; t++ {
+		if id, ok := s.byPhrase[t][key]; ok {
+			return id, true
+		}
+	}
+	for t := 0; t < NumNodeTypes; t++ {
+		if id, ok := s.byAlias[t][key]; ok {
+			return id, true
+		}
+	}
+	return 0, false
+}
+
+// Get returns a copy of the node with the given ID.
+func (s *Snapshot) Get(id NodeID) (Node, bool) {
+	if int(id) < 0 || int(id) >= len(s.nodes) {
+		return Node{}, false
+	}
+	return s.nodes[id], true
+}
+
+// At returns a pointer to the node with the given ID for zero-copy reads.
+// The snapshot is immutable: callers must not write through the pointer.
+func (s *Snapshot) At(id NodeID) *Node {
+	return &s.nodes[id]
+}
+
+// Len returns the total number of nodes.
+func (s *Snapshot) Len() int { return len(s.nodes) }
+
+// Find returns the node with the given type and phrase.
+func (s *Snapshot) Find(t NodeType, phrase string) (Node, bool) {
+	id, ok := s.Lookup(t, phrase)
+	if !ok {
+		return Node{}, false
+	}
+	return s.nodes[id], true
+}
+
+// FindAny returns the first node with the phrase under any type.
+func (s *Snapshot) FindAny(phrase string) (Node, bool) {
+	key := strings.ToLower(phrase)
+	for t := 0; t < NumNodeTypes; t++ {
+		if id, ok := s.byPhrase[t][key]; ok {
+			return s.nodes[id], true
+		}
+	}
+	return Node{}, false
+}
+
+// IDsOfType returns the node IDs of the given type in ID order. The
+// returned slice is shared snapshot state and must not be mutated.
+func (s *Snapshot) IDsOfType(t NodeType) []NodeID {
+	if int(t) >= NumNodeTypes {
+		return nil
+	}
+	return s.byType[t]
+}
+
+// EachOut calls fn for every out-edge of v, passing the edge and the
+// destination node; it allocates nothing. fn returning false stops early.
+func (s *Snapshot) EachOut(v NodeID, fn func(e *Edge, dst *Node) bool) {
+	if int(v) < 0 || int(v) >= len(s.nodes) {
+		return
+	}
+	for _, ei := range s.outIdx[s.outOff[v]:s.outOff[v+1]] {
+		e := &s.edges[ei]
+		if !fn(e, &s.nodes[e.Dst]) {
+			return
+		}
+	}
+}
+
+// EachIn calls fn for every in-edge of v, passing the edge and the source
+// node; it allocates nothing. fn returning false stops early.
+func (s *Snapshot) EachIn(v NodeID, fn func(e *Edge, src *Node) bool) {
+	if int(v) < 0 || int(v) >= len(s.nodes) {
+		return
+	}
+	for _, ei := range s.inIdx[s.inOff[v]:s.inOff[v+1]] {
+		e := &s.edges[ei]
+		if !fn(e, &s.nodes[e.Src]) {
+			return
+		}
+	}
+}
+
+// Children returns nodes reachable from id via out-edges of type t.
+func (s *Snapshot) Children(id NodeID, t EdgeType) []Node {
+	var out []Node
+	s.EachOut(id, func(e *Edge, dst *Node) bool {
+		if e.Type == t {
+			out = append(out, *dst)
+		}
+		return true
+	})
+	return out
+}
+
+// Parents returns nodes with an edge of type t into id.
+func (s *Snapshot) Parents(id NodeID, t EdgeType) []Node {
+	var out []Node
+	s.EachIn(id, func(e *Edge, src *Node) bool {
+		if e.Type == t {
+			out = append(out, *src)
+		}
+		return true
+	})
+	return out
+}
+
+// Ancestors returns all transitive IsA parents of id.
+func (s *Snapshot) Ancestors(id NodeID) []Node {
+	if int(id) < 0 || int(id) >= len(s.nodes) {
+		return nil
+	}
+	seen := map[NodeID]bool{id: true}
+	var out []Node
+	frontier := []NodeID{id}
+	for len(frontier) > 0 {
+		var next []NodeID
+		for _, f := range frontier {
+			s.EachIn(f, func(e *Edge, src *Node) bool {
+				if e.Type == IsA && !seen[src.ID] {
+					seen[src.ID] = true
+					out = append(out, *src)
+					next = append(next, src.ID)
+				}
+				return true
+			})
+		}
+		frontier = next
+	}
+	return out
+}
+
+// Nodes returns a copy of all nodes (optionally filtered by type).
+func (s *Snapshot) Nodes(types ...NodeType) []Node {
+	return filterNodes(s.nodes, types)
+}
+
+// Edges returns a copy of all edges (optionally filtered by type).
+func (s *Snapshot) Edges(types ...EdgeType) []Edge {
+	return filterEdges(s.edges, types)
+}
+
+// NodeCount returns the number of nodes (optionally filtered by type),
+// answered from the precomputed per-type lists.
+func (s *Snapshot) NodeCount(types ...NodeType) int {
+	if len(types) == 0 {
+		return len(s.nodes)
+	}
+	n := 0
+	for _, t := range types {
+		if int(t) < NumNodeTypes {
+			n += len(s.byType[t])
+		}
+	}
+	return n
+}
+
+// EdgeCount returns the number of edges (optionally filtered by type),
+// answered from the precomputed statistics.
+func (s *Snapshot) EdgeCount(types ...EdgeType) int {
+	if len(types) == 0 {
+		return len(s.edges)
+	}
+	n := 0
+	for _, t := range types {
+		n += s.stats.EdgesByType[t.String()]
+	}
+	return n
+}
+
+// ComputeStats returns a copy of the precomputed per-type statistics.
+func (s *Snapshot) ComputeStats() Stats {
+	out := Stats{NodesByType: make(map[string]int, len(s.stats.NodesByType)), EdgesByType: make(map[string]int, len(s.stats.EdgesByType))}
+	for k, v := range s.stats.NodesByType {
+		out.NodesByType[k] = v
+	}
+	for k, v := range s.stats.EdgesByType {
+		out.EdgesByType[k] = v
+	}
+	return out
+}
+
+// WriteJSON serializes the snapshot in the same format Ontology.WriteJSON
+// uses, so a snapshot loaded from a build artifact re-saves byte-for-byte.
+func (s *Snapshot) WriteJSON(w io.Writer) error {
+	return writePersisted(w, persisted{Nodes: s.nodes, Edges: s.edges})
+}
+
+// SaveFile writes the snapshot to path.
+func (s *Snapshot) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return s.WriteJSON(f)
+}
+
+// Search returns up to limit nodes whose phrase or alias contains the
+// (case-insensitive) needle, in node-ID order. A limit <= 0 means no limit.
+func (s *Snapshot) Search(needle string, limit int) []Node {
+	needle = strings.ToLower(needle)
+	if needle == "" {
+		return nil
+	}
+	var out []Node
+	for i := range s.nodes {
+		n := &s.nodes[i]
+		hit := strings.Contains(strings.ToLower(n.Phrase), needle)
+		if !hit {
+			for _, a := range n.Aliases {
+				if strings.Contains(strings.ToLower(a), needle) {
+					hit = true
+					break
+				}
+			}
+		}
+		if hit {
+			out = append(out, *n)
+			if limit > 0 && len(out) >= limit {
+				break
+			}
+		}
+	}
+	return out
+}
+
+// String describes the snapshot for logs.
+func (s *Snapshot) String() string {
+	return fmt.Sprintf("ontology snapshot: %d nodes, %d edges", len(s.nodes), len(s.edges))
+}

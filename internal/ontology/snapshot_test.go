@@ -1,0 +1,234 @@
+package ontology
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// richOntology builds a small ontology exercising every persisted field:
+// aliases, event attributes, first-seen days and all edge types.
+func richOntology() *Ontology {
+	o := New()
+	auto := o.AddNode(Category, "auto")
+	sedans := o.AddNodeAt(Concept, "family sedans", 2)
+	o.AddAlias(sedans, "sedans for families")
+	o.AddAlias(sedans, "family sedan")
+	civic := o.AddNode(Entity, "honda civic")
+	accord := o.AddNode(Entity, "honda accord")
+	show := o.AddNodeAt(Event, "honda unveils new accord", 7)
+	o.SetEventAttrs(show, "unveils", "tokyo", 7)
+	season := o.AddNode(Topic, "honda launch season")
+	for _, e := range []Edge{
+		{Src: auto, Dst: sedans, Type: IsA, Weight: 0.8},
+		{Src: sedans, Dst: civic, Type: IsA, Weight: 1},
+		{Src: sedans, Dst: accord, Type: IsA, Weight: 1},
+		{Src: show, Dst: accord, Type: Involve, Weight: 1},
+		{Src: season, Dst: show, Type: IsA, Weight: 1},
+		{Src: civic, Dst: accord, Type: Correlate, Weight: 0.5},
+	} {
+		if err := o.AddEdge(e.Src, e.Dst, e.Type, e.Weight); err != nil {
+			panic(err)
+		}
+	}
+	return o
+}
+
+// TestSnapshotMatchesOntologyReads checks every View method agrees between
+// an ontology and its snapshot, over randomized instances.
+func TestSnapshotMatchesOntologyReads(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		o := randomOntology(seed)
+		s := o.Snapshot()
+		if !reflect.DeepEqual(o.Nodes(), s.Nodes()) {
+			t.Fatalf("seed %d: Nodes mismatch", seed)
+		}
+		if !reflect.DeepEqual(o.Edges(), s.Edges()) {
+			t.Fatalf("seed %d: Edges mismatch", seed)
+		}
+		if !reflect.DeepEqual(o.ComputeStats(), s.ComputeStats()) {
+			t.Fatalf("seed %d: stats mismatch", seed)
+		}
+		for nt := NodeType(0); nt < NumNodeTypes; nt++ {
+			if o.NodeCount(nt) != s.NodeCount(nt) {
+				t.Fatalf("seed %d: NodeCount(%v) %d != %d", seed, nt, o.NodeCount(nt), s.NodeCount(nt))
+			}
+			if !reflect.DeepEqual(o.Nodes(nt), s.Nodes(nt)) {
+				t.Fatalf("seed %d: Nodes(%v) mismatch", seed, nt)
+			}
+		}
+		for et := EdgeType(0); et < NumEdgeTypes; et++ {
+			if o.EdgeCount(et) != s.EdgeCount(et) {
+				t.Fatalf("seed %d: EdgeCount(%v) %d != %d", seed, et, o.EdgeCount(et), s.EdgeCount(et))
+			}
+		}
+		for _, n := range o.Nodes() {
+			if got, ok := s.Get(n.ID); !ok || !reflect.DeepEqual(got, n) {
+				t.Fatalf("seed %d: Get(%d) = %+v, %v", seed, n.ID, got, ok)
+			}
+			if got, ok := s.Find(n.Type, n.Phrase); !ok || got.ID != n.ID {
+				t.Fatalf("seed %d: Find(%v,%q) = %+v, %v", seed, n.Type, n.Phrase, got, ok)
+			}
+			oAny, oOK := o.FindAny(n.Phrase)
+			sAny, sOK := s.FindAny(n.Phrase)
+			if oOK != sOK || oAny.ID != sAny.ID {
+				t.Fatalf("seed %d: FindAny(%q) disagrees", seed, n.Phrase)
+			}
+			for et := EdgeType(0); et < NumEdgeTypes; et++ {
+				if !reflect.DeepEqual(o.Children(n.ID, et), s.Children(n.ID, et)) {
+					t.Fatalf("seed %d: Children(%d,%v) mismatch", seed, n.ID, et)
+				}
+				if !reflect.DeepEqual(o.Parents(n.ID, et), s.Parents(n.ID, et)) {
+					t.Fatalf("seed %d: Parents(%d,%v) mismatch", seed, n.ID, et)
+				}
+			}
+			if !reflect.DeepEqual(o.Ancestors(n.ID), s.Ancestors(n.ID)) {
+				t.Fatalf("seed %d: Ancestors(%d) mismatch", seed, n.ID)
+			}
+		}
+	}
+}
+
+// TestSnapshotIsImmune checks that mutating the source ontology after the
+// snapshot is taken never shows through.
+func TestSnapshotIsImmune(t *testing.T) {
+	o := richOntology()
+	s := o.Snapshot()
+	nodes, edges := s.NodeCount(), s.EdgeCount()
+	id := o.AddNode(Concept, "late arrival")
+	o.AddAlias(id, "very late arrival")
+	sedans, _ := o.Find(Concept, "family sedans")
+	o.AddAlias(sedans.ID, "post-snapshot alias")
+	if err := o.AddEdge(id, sedans.ID, Correlate, 1); err != nil {
+		t.Fatal(err)
+	}
+	if s.NodeCount() != nodes || s.EdgeCount() != edges {
+		t.Fatalf("snapshot grew: %d/%d -> %d/%d", nodes, edges, s.NodeCount(), s.EdgeCount())
+	}
+	if _, ok := s.Find(Concept, "late arrival"); ok {
+		t.Fatal("snapshot sees a node added after it was taken")
+	}
+	snapSedans, _ := s.Find(Concept, "family sedans")
+	for _, a := range snapSedans.Aliases {
+		if a == "post-snapshot alias" {
+			t.Fatal("snapshot sees an alias added after it was taken")
+		}
+	}
+}
+
+func TestSnapshotAliasAndAnyLookup(t *testing.T) {
+	s := richOntology().Snapshot()
+	id, ok := s.LookupAlias(Concept, "Sedans For Families")
+	if !ok {
+		t.Fatal("alias lookup failed")
+	}
+	if n, _ := s.Get(id); n.Phrase != "family sedans" {
+		t.Fatalf("alias resolved to %q", n.Phrase)
+	}
+	if _, ok := s.LookupAny("family sedan"); !ok {
+		t.Fatal("LookupAny should fall back to aliases")
+	}
+	if _, ok := s.LookupAny("no such phrase"); ok {
+		t.Fatal("LookupAny hallucinated a node")
+	}
+	if got := s.Search("honda", 0); len(got) != 4 {
+		t.Fatalf("Search(honda) = %d nodes, want 4", len(got))
+	}
+	if got := s.Search("honda", 2); len(got) != 2 {
+		t.Fatalf("Search(honda, limit 2) = %d nodes", len(got))
+	}
+}
+
+// TestSnapshotLookupZeroAlloc enforces the serving-tier contract: phrase
+// lookup on the hot path allocates nothing.
+func TestSnapshotLookupZeroAlloc(t *testing.T) {
+	s := richOntology().Snapshot()
+	var sink NodeID
+	allocs := testing.AllocsPerRun(200, func() {
+		id, ok := s.Lookup(Concept, "family sedans")
+		if !ok {
+			t.Fatal("lookup failed")
+		}
+		sink = id
+	})
+	if allocs != 0 {
+		t.Fatalf("Lookup allocates %.1f times per op, want 0", allocs)
+	}
+	allocs = testing.AllocsPerRun(200, func() {
+		s.EachOut(sink, func(e *Edge, dst *Node) bool { return true })
+	})
+	if allocs != 0 {
+		t.Fatalf("EachOut allocates %.1f times per op, want 0", allocs)
+	}
+}
+
+// TestJSONRoundTripThroughSnapshot is the build -> save -> serve contract:
+// SaveFile/LoadFile then Snapshot preserves node/edge counts, aliases and
+// event attributes, and the snapshot re-saves byte-for-byte.
+func TestJSONRoundTripThroughSnapshot(t *testing.T) {
+	o := richOntology()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ao.json")
+	if err := o.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	first, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := LoadSnapshotFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NodeCount() != o.NodeCount() || s.EdgeCount() != o.EdgeCount() {
+		t.Fatalf("counts changed: %d/%d -> %d/%d", o.NodeCount(), o.EdgeCount(), s.NodeCount(), s.EdgeCount())
+	}
+	if !reflect.DeepEqual(o.Nodes(), s.Nodes()) {
+		t.Fatal("nodes (incl. aliases/event attrs) changed across save/load/snapshot")
+	}
+	if !reflect.DeepEqual(o.Edges(), s.Edges()) {
+		t.Fatal("edges changed across save/load/snapshot")
+	}
+	ev, ok := s.Find(Event, "honda unveils new accord")
+	if !ok || ev.Trigger != "unveils" || ev.Location != "tokyo" || ev.Day != 7 {
+		t.Fatalf("event attrs lost: %+v", ev)
+	}
+
+	resaved := filepath.Join(dir, "ao2.json")
+	if err := s.SaveFile(resaved); err != nil {
+		t.Fatal(err)
+	}
+	second, err := os.ReadFile(resaved)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, second) {
+		t.Fatal("re-save is not byte-for-byte identical")
+	}
+}
+
+// BenchmarkSnapshotLookup measures the lock-free hot path; the 0 allocs/op
+// report is part of the serving contract.
+func BenchmarkSnapshotLookup(b *testing.B) {
+	s := richOntology().Snapshot()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, ok := s.Lookup(Concept, "family sedans"); !ok {
+			b.Fatal("lookup failed")
+		}
+	}
+}
+
+// BenchmarkOntologyFind is the mutex-guarded baseline for comparison.
+func BenchmarkOntologyFind(b *testing.B) {
+	o := richOntology()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, ok := o.Find(Concept, "family sedans"); !ok {
+			b.Fatal("find failed")
+		}
+	}
+}

@@ -12,15 +12,18 @@ import (
 	"giant/internal/ontology"
 )
 
-// Understander analyzes queries against the Attention Ontology.
+// Understander analyzes queries against the Attention Ontology. It reads
+// through the ontology.View interface, so the same code path serves both
+// offline analysis over a mutable *Ontology and the online tier over a
+// lock-free *Snapshot.
 type Understander struct {
-	Onto *ontology.Ontology
+	Onto ontology.View
 	// MaxExpansions caps rewrites/recommendations per query.
 	MaxExpansions int
 }
 
 // New builds an Understander.
-func New(onto *ontology.Ontology) *Understander {
+func New(onto ontology.View) *Understander {
 	return &Understander{Onto: onto, MaxExpansions: 5}
 }
 

@@ -1,0 +1,71 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// lruCache is a bounded least-recently-used cache of rendered responses.
+// One cache hangs off each snapshot state, so a snapshot hot-swap retires
+// every stale entry at once — there is no invalidation protocol, the old
+// cache simply becomes unreachable with its snapshot.
+type lruCache struct {
+	mu    sync.Mutex
+	cap   int
+	items map[string]*list.Element
+	order *list.List // front = most recently used
+}
+
+type cacheEntry struct {
+	key  string
+	body []byte
+}
+
+// newLRUCache builds a cache bounded to cap entries; cap <= 0 disables
+// caching entirely (get always misses, put is a no-op).
+func newLRUCache(cap int) *lruCache {
+	return &lruCache{cap: cap, items: make(map[string]*list.Element), order: list.New()}
+}
+
+// get returns the cached body for key, or nil on a miss.
+func (c *lruCache) get(key string) []byte {
+	if c.cap <= 0 {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).body
+}
+
+// put stores body under key, evicting the least recently used entry when
+// the cache is full. The caller must not mutate body afterwards.
+func (c *lruCache) put(key string, body []byte) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheEntry).body = body
+		c.order.MoveToFront(el)
+		return
+	}
+	for c.order.Len() >= c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+	}
+	c.items[key] = c.order.PushFront(&cacheEntry{key: key, body: body})
+}
+
+// len reports the current entry count.
+func (c *lruCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

@@ -1,0 +1,501 @@
+// Package serve is the online tier of the reproduction: an HTTP server that
+// exposes a built Attention Ontology the way the paper's production system
+// does (§4 — document tagging, query conceptualization/rewriting, story
+// trees) plus operational endpoints (stats, search, metrics, health,
+// reload).
+//
+// The server never serves from the mutable build-time *ontology.Ontology.
+// It holds an immutable *ontology.Snapshot — together with the taggers, the
+// query understander and a bounded LRU response cache derived from it — in
+// a single atomically-swapped state pointer. Request handlers load that
+// pointer once and then perform lock-free reads for the rest of the
+// request; /v1/reload indexes a replacement snapshot off to the side and
+// publishes it with one atomic store, so serving continues uninterrupted on
+// the old snapshot until the new one is fully built. The retired snapshot,
+// cache included, is garbage-collected once in-flight requests drain.
+//
+// Endpoints:
+//
+//	GET  /healthz           liveness + current generation
+//	GET  /v1/stats          node/edge counts per type
+//	GET  /v1/node           node detail by ?id= or ?phrase=[&type=]
+//	GET  /v1/search         substring search over phrases and aliases
+//	GET  /v1/tag            tag a document (?title=&content=&entities=a,b)
+//	POST /v1/tag            tag a document (JSON body)
+//	GET  /v1/query/rewrite  conceptualize + rewrite a query (?q=)
+//	GET  /v1/story          story tree seeded at an event (?seed=)
+//	GET  /v1/metrics        per-endpoint QPS/latency/cache counters
+//	POST /v1/reload         hot-swap a freshly loaded snapshot
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"giant/internal/ontology"
+	"giant/internal/queryund"
+	"giant/internal/storytree"
+	"giant/internal/tagging"
+)
+
+// Options configure a Server.
+type Options struct {
+	// CacheSize bounds the per-snapshot LRU response cache (entries);
+	// 0 means DefaultCacheSize, negative disables caching.
+	CacheSize int
+	// Loader supplies a replacement snapshot for /v1/reload (typically
+	// re-reading the ontology file or re-running the build). Nil disables
+	// the endpoint.
+	Loader func() (*ontology.Snapshot, error)
+	// ConceptContext optionally enriches concept-tagger representations
+	// with the build's concept -> top clicked titles map.
+	ConceptContext map[string][]string
+	// Duet optionally supplies a trained event/topic matcher; nil degrades
+	// event tagging to LCS-only.
+	Duet *tagging.Duet
+	// MaxSearchResults caps /v1/search result counts; 0 means 100.
+	MaxSearchResults int
+	// Story configures story-tree formation; nil means
+	// storytree.DefaultOptions.
+	Story *storytree.Options
+}
+
+// DefaultCacheSize bounds the response cache when Options.CacheSize is 0.
+const DefaultCacheSize = 1024
+
+// state bundles one snapshot with everything derived from it. It is
+// immutable after construction and swapped as a unit, so a request that
+// loaded a state sees a consistent ontology + taggers + cache throughout.
+type state struct {
+	snap     *ontology.Snapshot
+	concepts *tagging.ConceptTagger
+	events   *tagging.EventTagger
+	query    *queryund.Understander
+	// storyEvents is the snapshot's event list materialized once for
+	// story-tree formation, so /v1/story doesn't re-walk the ontology's
+	// Involve edges on every request.
+	storyEvents []*storytree.EventNode
+	cache       *lruCache
+	gen         uint64
+	loadedAt    time.Time
+}
+
+// Server serves a hot-swappable ontology snapshot over HTTP.
+type Server struct {
+	opts    Options
+	cur     atomic.Pointer[state]
+	gen     atomic.Uint64
+	swapMu  sync.Mutex // serializes Swap/reload; readers never take it
+	metrics *metricsRegistry
+	mux     *http.ServeMux
+	enc     storytree.Encoder
+	story   storytree.Options
+}
+
+// endpointNames fixes the metrics registry key set.
+var endpointNames = []string{
+	"healthz", "stats", "node", "search", "tag", "query_rewrite", "story", "metrics", "reload",
+}
+
+// New builds a Server over an initial snapshot.
+func New(snap *ontology.Snapshot, opts Options) *Server {
+	if opts.CacheSize == 0 {
+		opts.CacheSize = DefaultCacheSize
+	}
+	if opts.MaxSearchResults <= 0 {
+		opts.MaxSearchResults = 100
+	}
+	s := &Server{
+		opts:    opts,
+		metrics: newMetricsRegistry(endpointNames),
+		enc:     storytree.NewBagOfTokensEncoder(16, nil),
+		story:   storytree.DefaultOptions(),
+	}
+	if opts.Story != nil {
+		s.story = *opts.Story
+	}
+	s.Swap(snap)
+	s.routes()
+	return s
+}
+
+// Swap indexes snap into a full serving state (taggers, understander,
+// fresh cache) and atomically publishes it, returning the new generation.
+// In-flight requests keep the state they started with; new requests see
+// the new snapshot. Safe to call while serving.
+func (s *Server) Swap(snap *ontology.Snapshot) uint64 {
+	s.swapMu.Lock()
+	defer s.swapMu.Unlock()
+	st := &state{
+		snap:        snap,
+		concepts:    tagging.NewConceptTagger(snap, s.opts.ConceptContext),
+		events:      tagging.NewEventTagger(snap, s.opts.Duet),
+		query:       queryund.New(snap),
+		storyEvents: storytree.EventsFromView(snap),
+		cache:       newLRUCache(s.opts.CacheSize),
+		gen:         s.gen.Add(1),
+		loadedAt:    time.Now(),
+	}
+	s.cur.Store(st)
+	return st.gen
+}
+
+// Current returns the snapshot serving right now.
+func (s *Server) Current() *ontology.Snapshot {
+	return s.cur.Load().snap
+}
+
+// Generation returns the current snapshot generation (1 for the initial
+// snapshot, +1 per swap).
+func (s *Server) Generation() uint64 {
+	return s.cur.Load().gen
+}
+
+// Handler returns the HTTP handler for the server's endpoint set.
+func (s *Server) Handler() http.Handler {
+	return s.mux
+}
+
+func (s *Server) routes() {
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/healthz", s.endpoint("healthz", false, s.handleHealthz))
+	s.mux.HandleFunc("/v1/stats", s.endpoint("stats", false, s.handleStats))
+	s.mux.HandleFunc("/v1/node", s.endpoint("node", true, s.handleNode))
+	s.mux.HandleFunc("/v1/search", s.endpoint("search", true, s.handleSearch))
+	s.mux.HandleFunc("/v1/tag", s.endpoint("tag", false, s.handleTag))
+	s.mux.HandleFunc("/v1/query/rewrite", s.endpoint("query_rewrite", true, s.handleQueryRewrite))
+	s.mux.HandleFunc("/v1/story", s.endpoint("story", true, s.handleStory))
+	s.mux.HandleFunc("/v1/metrics", s.endpoint("metrics", false, s.handleMetrics))
+	s.mux.HandleFunc("/v1/reload", s.endpoint("reload", false, s.handleReload))
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// handlerFunc is one endpoint's logic: it reads only from st (never from
+// s.cur, which may have been swapped mid-request) and returns a status and
+// a JSON-marshalable payload.
+type handlerFunc func(st *state, r *http.Request) (int, any)
+
+// endpoint wraps an endpoint with metrics and, for cacheable GETs, the
+// per-snapshot LRU response cache (keyed by request URI, 200s only).
+func (s *Server) endpoint(name string, cacheable bool, fn handlerFunc) http.HandlerFunc {
+	m := s.metrics.endpoints[name]
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		st := s.cur.Load()
+		useCache := cacheable && r.Method == http.MethodGet
+		if useCache {
+			if body := st.cache.get(r.URL.RequestURI()); body != nil {
+				writeBody(w, http.StatusOK, body, true)
+				m.observe(http.StatusOK, time.Since(start), true)
+				return
+			}
+		}
+		status, payload := fn(st, r)
+		body, err := json.Marshal(payload)
+		if err != nil {
+			status = http.StatusInternalServerError
+			body, _ = json.Marshal(errorBody{Error: "encode response: " + err.Error()})
+		}
+		// Terminate the body before it can be cached: cached bytes are
+		// served verbatim to any number of concurrent readers, so nothing
+		// may append to (and thereby mutate) the shared backing array later.
+		body = append(body, '\n')
+		if useCache && status == http.StatusOK {
+			st.cache.put(r.URL.RequestURI(), body)
+		}
+		writeBody(w, status, body, false)
+		m.observe(status, time.Since(start), false)
+	}
+}
+
+func writeBody(w http.ResponseWriter, status int, body []byte, cacheHit bool) {
+	w.Header().Set("Content-Type", "application/json")
+	if cacheHit {
+		w.Header().Set("X-Cache", "hit")
+	}
+	w.WriteHeader(status)
+	w.Write(body)
+}
+
+func (s *Server) handleHealthz(st *state, r *http.Request) (int, any) {
+	return http.StatusOK, map[string]any{
+		"status":     "ok",
+		"generation": st.gen,
+		"nodes":      st.snap.Len(),
+	}
+}
+
+func (s *Server) handleStats(st *state, r *http.Request) (int, any) {
+	stats := st.snap.ComputeStats()
+	return http.StatusOK, map[string]any{
+		"generation":    st.gen,
+		"loaded_at":     st.loadedAt.UTC().Format(time.RFC3339),
+		"nodes":         st.snap.NodeCount(),
+		"edges":         st.snap.EdgeCount(),
+		"nodes_by_type": stats.NodesByType,
+		"edges_by_type": stats.EdgesByType,
+	}
+}
+
+// apiNode is the wire form of a node: like ontology.Node but with the
+// type rendered as its name instead of the persisted enum value.
+type apiNode struct {
+	ID       ontology.NodeID `json:"id"`
+	Type     string          `json:"type"`
+	Phrase   string          `json:"phrase"`
+	Aliases  []string        `json:"aliases,omitempty"`
+	Trigger  string          `json:"trigger,omitempty"`
+	Location string          `json:"location,omitempty"`
+	Day      int             `json:"day,omitempty"`
+}
+
+func toAPINode(n ontology.Node) apiNode {
+	return apiNode{
+		ID: n.ID, Type: n.Type.String(), Phrase: n.Phrase, Aliases: n.Aliases,
+		Trigger: n.Trigger, Location: n.Location, Day: n.Day,
+	}
+}
+
+// nodeDetail is the /v1/node payload: the node plus its neighborhood,
+// grouped by edge type.
+type nodeDetail struct {
+	Node      apiNode             `json:"node"`
+	Parents   map[string][]string `json:"parents,omitempty"`
+	Children  map[string][]string `json:"children,omitempty"`
+	Ancestors []string            `json:"ancestors,omitempty"`
+}
+
+func (s *Server) handleNode(st *state, r *http.Request) (int, any) {
+	q := r.URL.Query()
+	var (
+		node ontology.Node
+		ok   bool
+	)
+	switch {
+	case q.Get("id") != "":
+		id, err := strconv.Atoi(q.Get("id"))
+		if err != nil {
+			return http.StatusBadRequest, errorBody{Error: "invalid id: " + q.Get("id")}
+		}
+		node, ok = st.snap.Get(ontology.NodeID(id))
+	case q.Get("phrase") != "":
+		phrase := q.Get("phrase")
+		if ts := q.Get("type"); ts != "" {
+			t, err := ontology.ParseNodeType(ts)
+			if err != nil {
+				return http.StatusBadRequest, errorBody{Error: err.Error()}
+			}
+			node, ok = st.snap.Find(t, phrase)
+			if !ok {
+				if id, aok := st.snap.LookupAlias(t, phrase); aok {
+					node, ok = st.snap.Get(id)
+				}
+			}
+		} else {
+			if id, aok := st.snap.LookupAny(phrase); aok {
+				node, ok = st.snap.Get(id)
+			}
+		}
+	default:
+		return http.StatusBadRequest, errorBody{Error: "need ?id= or ?phrase="}
+	}
+	if !ok {
+		return http.StatusNotFound, errorBody{Error: "node not found"}
+	}
+	d := nodeDetail{Node: toAPINode(node)}
+	for et := ontology.EdgeType(0); et < ontology.NumEdgeTypes; et++ {
+		for _, p := range st.snap.Parents(node.ID, et) {
+			if d.Parents == nil {
+				d.Parents = map[string][]string{}
+			}
+			d.Parents[et.String()] = append(d.Parents[et.String()], p.Phrase)
+		}
+		for _, c := range st.snap.Children(node.ID, et) {
+			if d.Children == nil {
+				d.Children = map[string][]string{}
+			}
+			d.Children[et.String()] = append(d.Children[et.String()], c.Phrase)
+		}
+	}
+	for _, a := range st.snap.Ancestors(node.ID) {
+		d.Ancestors = append(d.Ancestors, a.Phrase)
+	}
+	return http.StatusOK, d
+}
+
+func (s *Server) handleSearch(st *state, r *http.Request) (int, any) {
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		return http.StatusBadRequest, errorBody{Error: "need ?q="}
+	}
+	limit := 10
+	if ls := r.URL.Query().Get("limit"); ls != "" {
+		l, err := strconv.Atoi(ls)
+		if err != nil || l <= 0 {
+			return http.StatusBadRequest, errorBody{Error: "invalid limit: " + ls}
+		}
+		limit = l
+	}
+	if limit > s.opts.MaxSearchResults {
+		limit = s.opts.MaxSearchResults
+	}
+	results := st.snap.Search(q, limit)
+	type hit struct {
+		ID     ontology.NodeID `json:"id"`
+		Type   string          `json:"type"`
+		Phrase string          `json:"phrase"`
+	}
+	hits := make([]hit, 0, len(results))
+	for _, n := range results {
+		hits = append(hits, hit{ID: n.ID, Type: n.Type.String(), Phrase: n.Phrase})
+	}
+	return http.StatusOK, map[string]any{"query": q, "count": len(hits), "results": hits}
+}
+
+// tagRequest is the /v1/tag input, via JSON body (POST) or query params
+// (GET, entities comma-separated).
+type tagRequest struct {
+	Title    string   `json:"title"`
+	Content  string   `json:"content"`
+	Entities []string `json:"entities"`
+}
+
+type tagResult struct {
+	Phrase string  `json:"phrase"`
+	Type   string  `json:"type"`
+	Score  float64 `json:"score"`
+}
+
+func (s *Server) handleTag(st *state, r *http.Request) (int, any) {
+	var req tagRequest
+	switch r.Method {
+	case http.MethodGet:
+		q := r.URL.Query()
+		req.Title, req.Content = q.Get("title"), q.Get("content")
+		if es := q.Get("entities"); es != "" {
+			req.Entities = strings.Split(es, ",")
+		}
+	case http.MethodPost:
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			return http.StatusBadRequest, errorBody{Error: "decode body: " + err.Error()}
+		}
+	default:
+		return http.StatusMethodNotAllowed, errorBody{Error: "use GET or POST"}
+	}
+	if req.Title == "" && req.Content == "" {
+		return http.StatusBadRequest, errorBody{Error: "need a title or content"}
+	}
+	doc := &tagging.Document{Title: req.Title, Content: req.Content, Entities: req.Entities}
+	toResults := func(tags []tagging.Tag) []tagResult {
+		out := make([]tagResult, 0, len(tags))
+		for _, t := range tags {
+			out = append(out, tagResult{Phrase: t.Phrase, Type: t.Type.String(), Score: t.Score})
+		}
+		return out
+	}
+	return http.StatusOK, map[string]any{
+		"concepts": toResults(st.concepts.TagConcepts(doc)),
+		"events":   toResults(st.events.TagEvents(doc)),
+	}
+}
+
+func (s *Server) handleQueryRewrite(st *state, r *http.Request) (int, any) {
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		return http.StatusBadRequest, errorBody{Error: "need ?q="}
+	}
+	a := st.query.Analyze(q)
+	return http.StatusOK, map[string]any{
+		"query":           a.Query,
+		"concept":         a.Concept,
+		"entity":          a.Entity,
+		"rewrites":        a.Rewrites,
+		"recommendations": a.Recommendations,
+	}
+}
+
+func (s *Server) handleStory(st *state, r *http.Request) (int, any) {
+	seed := r.URL.Query().Get("seed")
+	if seed == "" {
+		return http.StatusBadRequest, errorBody{Error: "need ?seed="}
+	}
+	tree, ok := storytree.FormFromEvents(st.storyEvents, seed, s.enc, s.story)
+	if !ok {
+		return http.StatusNotFound, errorBody{Error: fmt.Sprintf("no event %q in the ontology", seed)}
+	}
+	type event struct {
+		Phrase   string   `json:"phrase"`
+		Trigger  string   `json:"trigger,omitempty"`
+		Location string   `json:"location,omitempty"`
+		Day      int      `json:"day"`
+		Entities []string `json:"entities,omitempty"`
+	}
+	branches := make([][]event, 0, len(tree.Branches))
+	for _, b := range tree.Branches {
+		branch := make([]event, 0, len(b))
+		for _, e := range b {
+			branch = append(branch, event{Phrase: e.Phrase, Trigger: e.Trigger, Location: e.Location, Day: e.Day, Entities: e.Entities})
+		}
+		branches = append(branches, branch)
+	}
+	return http.StatusOK, map[string]any{"seed": tree.Seed, "branches": branches}
+}
+
+func (s *Server) handleMetrics(st *state, r *http.Request) (int, any) {
+	return http.StatusOK, Metrics{
+		UptimeSeconds: time.Since(s.metrics.start).Seconds(),
+		Generation:    st.gen,
+		CacheEntries:  st.cache.len(),
+		Endpoints:     s.metrics.snapshot(),
+	}
+}
+
+func (s *Server) handleReload(st *state, r *http.Request) (int, any) {
+	if r.Method != http.MethodPost {
+		return http.StatusMethodNotAllowed, errorBody{Error: "use POST"}
+	}
+	if s.opts.Loader == nil {
+		return http.StatusServiceUnavailable, errorBody{Error: "no snapshot loader configured"}
+	}
+	snap, err := s.opts.Loader()
+	if err != nil {
+		return http.StatusBadGateway, errorBody{Error: "load snapshot: " + err.Error()}
+	}
+	gen := s.Swap(snap)
+	return http.StatusOK, map[string]any{
+		"old_generation": st.gen,
+		"generation":     gen,
+		"nodes":          snap.NodeCount(),
+		"edges":          snap.EdgeCount(),
+	}
+}
+
+// Run serves handler on addr until ctx is cancelled, then shuts down
+// gracefully, draining in-flight requests for up to grace.
+func Run(ctx context.Context, addr string, handler http.Handler, grace time.Duration) error {
+	srv := &http.Server{Addr: addr, Handler: handler}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	case <-ctx.Done():
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), grace)
+		defer cancel()
+		return srv.Shutdown(shutdownCtx)
+	}
+}

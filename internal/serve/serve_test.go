@@ -1,0 +1,361 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"giant/internal/ontology"
+)
+
+// testOntology hand-builds a small ontology with every node and edge type.
+// variant skews phrases so reload tests can tell two snapshots apart.
+func testOntology(variant int) *ontology.Ontology {
+	o := ontology.New()
+	auto := o.AddNode(ontology.Category, "auto")
+	sedans := o.AddNode(ontology.Concept, "family sedans")
+	o.AddAlias(sedans, "sedans for families")
+	var ents []ontology.NodeID
+	for i := 0; i < 6+variant; i++ {
+		e := o.AddNode(ontology.Entity, fmt.Sprintf("sedan model %c", 'a'+i))
+		ents = append(ents, e)
+	}
+	must := func(err error) {
+		if err != nil {
+			panic(err)
+		}
+	}
+	must(o.AddEdge(auto, sedans, ontology.IsA, 1))
+	for _, e := range ents {
+		must(o.AddEdge(sedans, e, ontology.IsA, 1))
+	}
+	must(o.AddEdge(ents[0], ents[1], ontology.Correlate, 1))
+	ev1 := o.AddNodeAt(ontology.Event, "brand unveils sedan model a", 3)
+	o.SetEventAttrs(ev1, "unveils", "tokyo", 3)
+	ev2 := o.AddNodeAt(ontology.Event, "sedan model a wins award", 9)
+	o.SetEventAttrs(ev2, "wins", "", 9)
+	must(o.AddEdge(ev1, ents[0], ontology.Involve, 1))
+	must(o.AddEdge(ev2, ents[0], ontology.Involve, 1))
+	topic := o.AddNode(ontology.Topic, "sedan launch season")
+	must(o.AddEdge(topic, ev1, ontology.IsA, 1))
+	return o
+}
+
+func getJSON(t *testing.T, client *http.Client, url string, want int) map[string]any {
+	t.Helper()
+	resp, err := client.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != want {
+		t.Fatalf("GET %s = %d, want %d: %s", url, resp.StatusCode, want, body)
+	}
+	var out map[string]any
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatalf("GET %s: bad JSON: %v: %s", url, err, body)
+	}
+	return out
+}
+
+func TestEndpoints(t *testing.T) {
+	srv := New(testOntology(0).Snapshot(), Options{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	c := ts.Client()
+
+	if got := getJSON(t, c, ts.URL+"/healthz", 200); got["status"] != "ok" {
+		t.Fatalf("healthz = %v", got)
+	}
+	stats := getJSON(t, c, ts.URL+"/v1/stats", 200)
+	nbt := stats["nodes_by_type"].(map[string]any)
+	if nbt["entity"].(float64) != 6 || nbt["event"].(float64) != 2 {
+		t.Fatalf("stats = %v", stats)
+	}
+
+	node := getJSON(t, c, ts.URL+"/v1/node?phrase=family+sedans&type=concept", 200)
+	if node["node"].(map[string]any)["phrase"] != "family sedans" {
+		t.Fatalf("node = %v", node)
+	}
+	children := node["children"].(map[string]any)["isA"].([]any)
+	if len(children) != 6 {
+		t.Fatalf("children = %v", children)
+	}
+	// Alias resolution and FindAny-style lookup.
+	getJSON(t, c, ts.URL+"/v1/node?phrase=sedans+for+families&type=concept", 200)
+	getJSON(t, c, ts.URL+"/v1/node?phrase=sedan+launch+season", 200)
+	getJSON(t, c, ts.URL+"/v1/node?phrase=nope", 404)
+	getJSON(t, c, ts.URL+"/v1/node?id=bogus", 400)
+	getJSON(t, c, ts.URL+"/v1/node", 400)
+
+	search := getJSON(t, c, ts.URL+"/v1/search?q=sedan&limit=3", 200)
+	if search["count"].(float64) != 3 {
+		t.Fatalf("search = %v", search)
+	}
+	getJSON(t, c, ts.URL+"/v1/search", 400)
+
+	rw := getJSON(t, c, ts.URL+"/v1/query/rewrite?q=best+family+sedans", 200)
+	if rw["concept"] != "family sedans" {
+		t.Fatalf("rewrite = %v", rw)
+	}
+	if len(rw["rewrites"].([]any)) == 0 {
+		t.Fatalf("no rewrites: %v", rw)
+	}
+
+	story := getJSON(t, c, ts.URL+"/v1/story?seed=brand+unveils+sedan+model+a", 200)
+	nEvents := 0
+	for _, b := range story["branches"].([]any) {
+		nEvents += len(b.([]any))
+	}
+	if nEvents != 2 { // both events share entity "sedan model a"
+		t.Fatalf("story = %v", story)
+	}
+	getJSON(t, c, ts.URL+"/v1/story?seed=unknown", 404)
+
+	// Tagging via GET and POST.
+	tag := getJSON(t, c, ts.URL+"/v1/tag?title=best+family+sedans+roundup&entities=sedan+model+a", 200)
+	if len(tag["concepts"].([]any)) == 0 {
+		t.Fatalf("tag concepts = %v", tag)
+	}
+	body, _ := json.Marshal(tagRequest{Title: "brand unveils sedan model a", Entities: []string{"sedan model a"}})
+	resp, err := c.Post(ts.URL+"/v1/tag", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("POST tag = %d", resp.StatusCode)
+	}
+
+	metrics := getJSON(t, c, ts.URL+"/v1/metrics", 200)
+	eps := metrics["endpoints"].(map[string]any)
+	if eps["node"].(map[string]any)["requests"].(float64) < 5 {
+		t.Fatalf("metrics undercounted: %v", eps["node"])
+	}
+}
+
+func TestResponseCache(t *testing.T) {
+	srv := New(testOntology(0).Snapshot(), Options{CacheSize: 8})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	c := ts.Client()
+
+	url := ts.URL + "/v1/search?q=sedan"
+	for i, wantHit := range []bool{false, true} {
+		resp, err := c.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if gotHit := resp.Header.Get("X-Cache") == "hit"; gotHit != wantHit {
+			t.Fatalf("request %d: cache hit = %v, want %v", i, gotHit, wantHit)
+		}
+	}
+	// Errors are not cached.
+	for i := 0; i < 2; i++ {
+		resp, _ := c.Get(ts.URL + "/v1/search")
+		if resp.Header.Get("X-Cache") == "hit" {
+			t.Fatal("cached an error response")
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+}
+
+// TestConcurrentCacheHitsSameKey hammers one cached URL from many
+// goroutines: cached bodies are shared between responses, so any handler
+// mutation of the cached backing array is a data race this test surfaces
+// under -race (regression: writeBody used to append '\n' to the shared
+// slice per response).
+func TestConcurrentCacheHitsSameKey(t *testing.T) {
+	srv := New(testOntology(0).Snapshot(), Options{CacheSize: 8})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	url := ts.URL + "/v1/search?q=sedan&limit=5"
+
+	var want []byte
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := &http.Client{Timeout: 10 * time.Second}
+			for i := 0; i < 50; i++ {
+				resp, err := c.Get(url)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				body, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != 200 {
+					t.Errorf("status %d", resp.StatusCode)
+					return
+				}
+				_ = body
+			}
+		}()
+	}
+	wg.Wait()
+	resp, err := ts.Client().Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if len(want) == 0 || want[len(want)-1] != '\n' {
+		t.Fatalf("response not newline-terminated: %q", want)
+	}
+}
+
+func TestReloadHotSwap(t *testing.T) {
+	variant := 0
+	srv := New(testOntology(variant).Snapshot(), Options{
+		Loader: func() (*ontology.Snapshot, error) {
+			variant++
+			return testOntology(variant).Snapshot(), nil
+		},
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	c := ts.Client()
+
+	before := getJSON(t, c, ts.URL+"/v1/stats", 200)
+	resp, err := c.Post(ts.URL+"/v1/reload", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("reload = %d", resp.StatusCode)
+	}
+	after := getJSON(t, c, ts.URL+"/v1/stats", 200)
+	if after["generation"].(float64) != before["generation"].(float64)+1 {
+		t.Fatalf("generation did not advance: %v -> %v", before["generation"], after["generation"])
+	}
+	if after["nodes"].(float64) != before["nodes"].(float64)+1 {
+		t.Fatalf("reload did not swap the snapshot: %v -> %v", before["nodes"], after["nodes"])
+	}
+	// GET /v1/reload is rejected; reload without a loader is unavailable.
+	resp, _ = c.Get(ts.URL + "/v1/reload")
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET reload = %d", resp.StatusCode)
+	}
+	srvNoLoader := New(testOntology(0).Snapshot(), Options{})
+	rr := httptest.NewRecorder()
+	srvNoLoader.Handler().ServeHTTP(rr, httptest.NewRequest("POST", "/v1/reload", nil))
+	if rr.Code != http.StatusServiceUnavailable {
+		t.Fatalf("reload without loader = %d", rr.Code)
+	}
+}
+
+// TestConcurrentReadsDuringReload hammers every read endpoint from 32
+// goroutines while /v1/reload hot-swaps snapshots underneath them; with
+// -race this doubles as the lock-free-reads proof. No request may 5xx.
+func TestConcurrentReadsDuringReload(t *testing.T) {
+	var variant atomic.Int64
+	srv := New(testOntology(0).Snapshot(), Options{
+		CacheSize: 64,
+		Loader: func() (*ontology.Snapshot, error) {
+			return testOntology(int(variant.Add(1)) % 4).Snapshot(), nil
+		},
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	urls := []string{
+		"/healthz",
+		"/v1/stats",
+		"/v1/node?phrase=family+sedans&type=concept",
+		"/v1/node?id=1",
+		"/v1/search?q=sedan&limit=5",
+		"/v1/query/rewrite?q=best+family+sedans",
+		"/v1/story?seed=brand+unveils+sedan+model+a",
+		"/v1/tag?title=review+of+sedan+model+a&entities=sedan+model+a",
+		"/v1/metrics",
+	}
+
+	const (
+		readers = 32
+		iters   = 40
+		reloads = 25
+	)
+	var wg sync.WaitGroup
+	var server5xx atomic.Int64
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c := &http.Client{Timeout: 10 * time.Second}
+			for i := 0; i < iters; i++ {
+				url := ts.URL + urls[(g+i)%len(urls)]
+				resp, err := c.Get(url)
+				if err != nil {
+					t.Errorf("GET %s: %v", url, err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode >= 500 {
+					server5xx.Add(1)
+					t.Errorf("GET %s = %d", url, resp.StatusCode)
+				}
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c := &http.Client{Timeout: 10 * time.Second}
+		for i := 0; i < reloads; i++ {
+			resp, err := c.Post(ts.URL+"/v1/reload", "", nil)
+			if err != nil {
+				t.Errorf("reload: %v", err)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode >= 500 {
+				server5xx.Add(1)
+				t.Errorf("reload = %d", resp.StatusCode)
+			}
+		}
+	}()
+	wg.Wait()
+	if n := server5xx.Load(); n > 0 {
+		t.Fatalf("%d requests returned 5xx during snapshot swaps", n)
+	}
+	if gen := srv.Generation(); gen != reloads+1 {
+		t.Fatalf("generation = %d, want %d", gen, reloads+1)
+	}
+}
+
+func TestRunGracefulShutdown(t *testing.T) {
+	srv := New(testOntology(0).Snapshot(), Options{})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- Run(ctx, "127.0.0.1:0", srv.Handler(), time.Second) }()
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Run returned %v after graceful shutdown", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not shut down")
+	}
+}

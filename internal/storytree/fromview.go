@@ -1,0 +1,56 @@
+package storytree
+
+import (
+	"giant/internal/ontology"
+)
+
+// EventsFromView reconstructs story-tree event nodes from the ontology
+// itself: every Event node contributes its phrase, trigger, location and
+// day, with its entity set read off the Involve edges §3.2 linked. This is
+// the serving-time path — an online tier holding only a built (or
+// re-loaded) ontology can form story trees without the mining byproducts
+// the offline pipeline keeps in memory.
+func EventsFromView(v ontology.View) []*EventNode {
+	var out []*EventNode
+	for _, n := range v.Nodes(ontology.Event) {
+		node := &EventNode{
+			Phrase:   n.Phrase,
+			Trigger:  n.Trigger,
+			Location: n.Location,
+			Day:      n.Day,
+		}
+		for _, ch := range v.Children(n.ID, ontology.Involve) {
+			if ch.Type == ontology.Entity {
+				node.Entities = append(node.Entities, ch.Phrase)
+			}
+		}
+		out = append(out, node)
+	}
+	return out
+}
+
+// FormFromView builds the story tree seeded at seedPhrase from the events
+// recorded in the ontology view, using enc for phrase/trigger similarity.
+// It returns false when seedPhrase is not an event in the view.
+func FormFromView(v ontology.View, seedPhrase string, enc Encoder, opt Options) (*Tree, bool) {
+	return FormFromEvents(EventsFromView(v), seedPhrase, enc, opt)
+}
+
+// FormFromEvents is FormFromView over an already-materialized candidate
+// list — a server that holds one immutable snapshot can extract the events
+// once and form trees for many seeds without re-walking the ontology.
+// Formation only reads the candidates, so a shared list may serve
+// concurrent calls.
+func FormFromEvents(candidates []*EventNode, seedPhrase string, enc Encoder, opt Options) (*Tree, bool) {
+	var seed *EventNode
+	for _, c := range candidates {
+		if c.Phrase == seedPhrase {
+			seed = c
+			break
+		}
+	}
+	if seed == nil {
+		return nil, false
+	}
+	return Form(seed, candidates, enc, opt), true
+}

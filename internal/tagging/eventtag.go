@@ -13,14 +13,16 @@ import (
 // LCS-based textual matching with a Duet-style learned matcher (§4: both
 // must fire for a tag to be assigned).
 type EventTagger struct {
-	Onto *ontology.Ontology
+	Onto ontology.View
 	// LCSThreshold is the minimum normalized LCS length.
 	LCSThreshold float64
 	Duet         *Duet
 }
 
-// NewEventTagger builds the tagger.
-func NewEventTagger(onto *ontology.Ontology, duet *Duet) *EventTagger {
+// NewEventTagger builds the tagger. A nil duet degrades to LCS-only
+// matching (useful when serving a persisted ontology with no trained
+// matcher at hand).
+func NewEventTagger(onto ontology.View, duet *Duet) *EventTagger {
 	return &EventTagger{Onto: onto, LCSThreshold: 0.5, Duet: duet}
 }
 

@@ -29,9 +29,11 @@ type Tag struct {
 	Score  float64
 }
 
-// ConceptTagger tags documents with concepts from the ontology.
+// ConceptTagger tags documents with concepts from the ontology. It reads
+// through the ontology.View interface, so it runs unchanged against the
+// mutable build-time *Ontology or a lock-free serving *Snapshot.
 type ConceptTagger struct {
-	Onto *ontology.Ontology
+	Onto ontology.View
 	// ContextRep maps concept phrase -> context-enriched representation
 	// tokens (phrase + its top clicked titles).
 	ContextRep map[string][]string
@@ -44,7 +46,7 @@ type ConceptTagger struct {
 
 // NewConceptTagger builds the tagger; contextRep may be nil (degrades to
 // phrase-only representations).
-func NewConceptTagger(onto *ontology.Ontology, contextRep map[string][]string) *ConceptTagger {
+func NewConceptTagger(onto ontology.View, contextRep map[string][]string) *ConceptTagger {
 	t := &ConceptTagger{
 		Onto:               onto,
 		ContextRep:         contextRep,
