@@ -16,6 +16,7 @@ import (
 	"testing"
 
 	giant "giant"
+	"giant/internal/delta"
 	"giant/internal/experiments"
 	"giant/internal/tagging"
 )
@@ -184,6 +185,38 @@ func BenchmarkMiningParallelism(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkIngestBatch measures the incremental-update path: one
+// click-only batch through delta mining, diff and snapshot apply — the
+// cost of keeping the served ontology fresh without a rebuild. Compare
+// against BenchmarkPipelineBuild to read the incremental speedup. TTLs
+// are disabled so every iteration measures the steady-state touch batch,
+// not a one-off mass retirement on the first pass.
+func BenchmarkIngestBatch(b *testing.B) {
+	cfg := giant.DefaultConfig()
+	if testing.Short() {
+		cfg = giant.TinyConfig()
+	}
+	cfg.Update = delta.Policy{EventTTL: 0, ConceptTTL: 0, TopicTTL: 0}
+	sys, err := giant.Build(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Re-click a slice of the existing corpus: a steady-state batch where
+	// most mined attentions are touches.
+	batch := delta.Batch{Day: 64}
+	for i, r := range sys.Log.Records {
+		if i%16 == 0 {
+			batch.Clicks = append(batch.Clicks, delta.Click{Query: r.Query, DocID: r.DocID, Clicks: 1, Day: 64})
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := sys.Ingest(batch); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

@@ -1,0 +1,178 @@
+// Command benchci turns `go test -bench` output into a machine-readable
+// benchmark report and gates CI on performance regressions.
+//
+//	go test -short -run '^$' -bench . -benchtime 1x ./... | tee bench.txt
+//	benchci -bench-out bench.txt -baseline bench/BENCH_baseline.json -out BENCH_ci.json
+//
+// The report maps benchmark name -> ns/op (the trailing -GOMAXPROCS
+// suffix is stripped so runs compare across machines). With -baseline,
+// every benchmark present in both runs and slower than -min-ns in the
+// baseline is compared; a ratio above -max-ratio fails the run with exit
+// code 1. -write-baseline regenerates the committed baseline instead of
+// comparing.
+//
+// Exit codes: 0 ok, 1 regression (or runtime failure), 2 usage error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Report is the persisted benchmark summary.
+type Report struct {
+	// Benchmarks maps benchmark name (sans -GOMAXPROCS suffix) to ns/op.
+	Benchmarks map[string]float64 `json:"benchmarks"`
+	// Note documents how the numbers were produced.
+	Note string `json:"note,omitempty"`
+}
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		benchOut      = flag.String("bench-out", "", "path to `go test -bench` output (required)")
+		baselinePath  = flag.String("baseline", "", "committed baseline JSON to compare against")
+		outPath       = flag.String("out", "BENCH_ci.json", "where to write the current report")
+		maxRatio      = flag.Float64("max-ratio", 2.0, "fail when current/baseline ns/op exceeds this")
+		minNs         = flag.Float64("min-ns", 1e6, "ignore benchmarks faster than this in the baseline (single-iteration timings below ~1ms are noise)")
+		writeBaseline = flag.Bool("write-baseline", false, "write -out as a new baseline and skip comparison")
+		requireAll    = flag.Bool("require-all", false, "fail when a baseline benchmark is missing from this run (off by default: GOMAXPROCS-parameterized sub-benchmark names legitimately vary across machines)")
+		note          = flag.String("note", "go test -short -run '^$' -bench . -benchtime 1x ./...", "provenance note stored in the report")
+	)
+	flag.Parse()
+	if *benchOut == "" {
+		fmt.Fprintln(os.Stderr, "benchci: -bench-out is required")
+		flag.Usage()
+		return 2
+	}
+	raw, err := os.ReadFile(*benchOut)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchci: %v\n", err)
+		return 1
+	}
+	report := Report{Benchmarks: parseBench(string(raw)), Note: *note}
+	if len(report.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchci: no benchmark lines found in", *benchOut)
+		return 1
+	}
+	if err := writeReport(*outPath, &report); err != nil {
+		fmt.Fprintf(os.Stderr, "benchci: %v\n", err)
+		return 1
+	}
+	fmt.Printf("benchci: wrote %d benchmarks to %s\n", len(report.Benchmarks), *outPath)
+	if *writeBaseline || *baselinePath == "" {
+		return 0
+	}
+
+	baseRaw, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchci: read baseline: %v\n", err)
+		return 1
+	}
+	var base Report
+	if err := json.Unmarshal(baseRaw, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "benchci: parse baseline: %v\n", err)
+		return 1
+	}
+	regressions, compared, missing := compare(base.Benchmarks, report.Benchmarks, *maxRatio, *minNs)
+	fmt.Printf("benchci: compared %d benchmarks against %s (max-ratio %.2f, min-ns %.0f)\n",
+		compared, *baselinePath, *maxRatio, *minNs)
+	if *requireAll && len(missing) > 0 {
+		for _, n := range missing {
+			fmt.Fprintf(os.Stderr, "benchci: MISSING: %s is in the baseline but did not run\n", n)
+		}
+		return 1
+	}
+	if len(regressions) > 0 {
+		for _, r := range regressions {
+			fmt.Fprintln(os.Stderr, "benchci: REGRESSION:", r)
+		}
+		return 1
+	}
+	fmt.Println("benchci: no regressions")
+	return 0
+}
+
+// benchLine matches one `go test -bench` result line:
+//
+//	BenchmarkName[/sub]-8   	       1	   123456 ns/op   [extra metrics]
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+([0-9.]+) ns/op`)
+
+// parseBench extracts name -> ns/op, stripping the -GOMAXPROCS suffix and
+// keeping the slowest sample when a name repeats (matrix runs append).
+func parseBench(out string) map[string]float64 {
+	res := map[string]float64{}
+	for _, line := range strings.Split(out, "\n") {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		name := stripProcs(m[1])
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			continue
+		}
+		if prev, ok := res[name]; !ok || ns > prev {
+			res[name] = ns
+		}
+	}
+	return res
+}
+
+// stripProcs removes the trailing -N parallelism suffix go test appends.
+func stripProcs(name string) string {
+	i := strings.LastIndex(name, "-")
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// compare returns human-readable regression descriptions, the number of
+// benchmark pairs actually compared, and the baseline benchmarks missing
+// from the current run.
+func compare(base, cur map[string]float64, maxRatio, minNs float64) (regressions []string, compared int, missing []string) {
+	names := make([]string, 0, len(base))
+	for n := range base {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		b := base[n]
+		c, ok := cur[n]
+		if !ok {
+			fmt.Printf("benchci: note: %s in baseline but not in this run\n", n)
+			missing = append(missing, n)
+			continue
+		}
+		if b < minNs {
+			continue
+		}
+		compared++
+		if ratio := c / b; ratio > maxRatio {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: %.0f ns/op vs baseline %.0f ns/op (%.2fx > %.2fx)", n, c, b, ratio, maxRatio))
+		}
+	}
+	return regressions, compared, missing
+}
+
+func writeReport(path string, r *Report) error {
+	buf, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}

@@ -2,17 +2,33 @@
 // resulting Attention Ontology:
 //
 //	giantctl build -out ao.json        build the ontology and save it
+//	giantctl update -in ao.json -docs new.json -out ao2.json
+//	                                   apply incremental update batches offline
 //	giantctl stats -in ao.json         print node/edge statistics
 //	giantctl query -q "best ..."       conceptualize/rewrite a query
 //	giantctl tag -title "..."          tag a document
 //	giantctl story -seed "..."         print a story tree
+//	giantctl help                      print usage
 //
 // build runs the full pipeline (generate logs, train GCTSP-Net, mine, link);
 // the other subcommands rebuild the same deterministic system unless -in
-// points to a saved ontology.
+// points to a saved ontology. update replays one or more delta.Batch JSON
+// documents (new docs + clicks) through delta mining against the -in
+// ontology and writes the updated generation. Like query/tag/story, update
+// first rebuilds the deterministic system (it needs the trained models and
+// the base click graph); the ontology itself is then advanced by deltas —
+// only the affected cluster neighbourhood is re-mined per batch. The -in
+// file must come from a build with the same configuration; batches that
+// reference docs introduced by earlier update runs must be replayed in the
+// same invocation (pass an array of batches in -docs).
+//
+// Exit codes (stable, for CI assertions): 0 success, 1 runtime failure,
+// 2 usage error (unknown subcommand or bad/missing flags).
 package main
 
 import (
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -20,6 +36,7 @@ import (
 	"strings"
 
 	giant "giant"
+	"giant/internal/delta"
 	"giant/internal/ontology"
 	"giant/internal/tagging"
 )
@@ -27,34 +44,101 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("giantctl: ")
-	if len(os.Args) < 2 {
-		usage()
-		os.Exit(2)
+	os.Exit(run(os.Args[1:]))
+}
+
+// run dispatches a subcommand and maps its outcome to the documented exit
+// codes.
+func run(args []string) int {
+	if len(args) < 1 {
+		usage(os.Stderr)
+		return 2
 	}
-	cmd, args := os.Args[1], os.Args[2:]
+	cmd, rest := args[0], args[1:]
 	var err error
 	switch cmd {
 	case "build":
-		err = runBuild(args)
+		err = runBuild(rest)
+	case "update":
+		err = runUpdate(rest)
 	case "stats":
-		err = runStats(args)
+		err = runStats(rest)
 	case "query":
-		err = runQuery(args)
+		err = runQuery(rest)
 	case "tag":
-		err = runTag(args)
+		err = runTag(rest)
 	case "story":
-		err = runStory(args)
+		err = runStory(rest)
+	case "help", "-h", "--help":
+		usage(os.Stdout)
+		return 0
 	default:
-		usage()
-		os.Exit(2)
+		fmt.Fprintf(os.Stderr, "giantctl: unknown subcommand %q\n", cmd)
+		usage(os.Stderr)
+		return 2
 	}
-	if err != nil {
-		log.Fatal(err)
+	switch {
+	case err == nil:
+		return 0
+	case errors.Is(err, flag.ErrHelp):
+		// -h/-help on a subcommand: the flag set already printed its
+		// usage; a help request is a success, not a usage error.
+		return 0
+	case isUsageError(err):
+		log.Print(err)
+		return 2
+	default:
+		log.Print(err)
+		return 1
 	}
 }
 
-func usage() {
-	fmt.Fprintln(os.Stderr, "usage: giantctl <build|stats|query|tag|story> [flags]")
+// usageError marks failures that are the caller's fault (missing/invalid
+// flags) so run can exit 2 instead of 1.
+type usageError struct{ msg string }
+
+func (e usageError) Error() string { return e.msg }
+
+func usagef(format string, args ...any) error {
+	return usageError{fmt.Sprintf(format, args...)}
+}
+
+func isUsageError(err error) bool {
+	var ue usageError
+	return errors.As(err, &ue)
+}
+
+func usage(w *os.File) {
+	fmt.Fprintln(w, `usage: giantctl <subcommand> [flags]
+
+subcommands:
+  build   build the ontology and save it           (-out ao.json [-tiny])
+  update  apply incremental update batches offline (-docs new.json [-in ao.json] [-out path] [-tiny])
+  stats   print node/edge statistics               (-in ao.json)
+  query   conceptualize/rewrite a query            (-q "best ...")
+  tag     tag a document                           (-title "..." [-content ...] [-entities a,b])
+  story   print a story tree                       ([-seed "..."])
+  help    print this message
+
+exit codes: 0 success, 1 runtime failure, 2 usage error`)
+}
+
+// newFlagSet builds a flag set that reports parse failures as usage
+// errors instead of exiting on its own.
+func newFlagSet(name string) *flag.FlagSet {
+	fs := flag.NewFlagSet(name, flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	return fs
+}
+
+func parse(fs *flag.FlagSet, args []string) error {
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return err
+		}
+		return usagef("%s: %v", fs.Name(), err)
+	}
+	return nil
 }
 
 func buildSystem(tiny bool) (*giant.System, error) {
@@ -66,10 +150,10 @@ func buildSystem(tiny bool) (*giant.System, error) {
 }
 
 func runBuild(args []string) error {
-	fs := flag.NewFlagSet("build", flag.ExitOnError)
+	fs := newFlagSet("build")
 	out := fs.String("out", "ao.json", "output path for the ontology JSON")
 	tiny := fs.Bool("tiny", false, "use the tiny configuration")
-	if err := fs.Parse(args); err != nil {
+	if err := parse(fs, args); err != nil {
 		return err
 	}
 	sys, err := buildSystem(*tiny)
@@ -84,10 +168,76 @@ func runBuild(args []string) error {
 	return nil
 }
 
+// runUpdate is the offline incremental path: rebuild the deterministic
+// models, adopt the -in ontology as the current generation, replay the
+// -docs batches through delta mining, and save the updated generation.
+func runUpdate(args []string) error {
+	fs := newFlagSet("update")
+	in := fs.String("in", "", "base ontology JSON (default: the freshly built one)")
+	docs := fs.String("docs", "", "update batch JSON: a delta.Batch object or an array of them (required)")
+	out := fs.String("out", "ao-updated.json", "output path for the updated ontology JSON")
+	tiny := fs.Bool("tiny", false, "use the tiny configuration (must match the build that produced -in)")
+	if err := parse(fs, args); err != nil {
+		return err
+	}
+	if *docs == "" {
+		return usagef("update: -docs is required (a JSON delta.Batch or array of batches)")
+	}
+	batches, err := loadBatches(*docs)
+	if err != nil {
+		return err
+	}
+	sys, err := buildSystem(*tiny)
+	if err != nil {
+		return err
+	}
+	if *in != "" {
+		base, err := ontology.LoadFile(*in)
+		if err != nil {
+			return fmt.Errorf("update: load base ontology: %w", err)
+		}
+		sys.Ontology = base
+	}
+	for i, b := range batches {
+		_, d, err := sys.Ingest(b)
+		if err != nil {
+			return fmt.Errorf("update: batch %d: %w", i, err)
+		}
+		fmt.Printf("batch %d applied: %s\n", i, d.Summary())
+	}
+	if err := sys.Ontology.SaveFile(*out); err != nil {
+		return err
+	}
+	st := sys.Ontology.ComputeStats()
+	fmt.Printf("updated attention ontology: %v nodes, %v edges -> %s\n", st.NodesByType, st.EdgesByType, *out)
+	return nil
+}
+
+// loadBatches reads either one delta.Batch or a JSON array of them.
+func loadBatches(path string) ([]delta.Batch, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("update: read batches: %w", err)
+	}
+	trimmed := strings.TrimSpace(string(raw))
+	if strings.HasPrefix(trimmed, "[") {
+		var batches []delta.Batch
+		if err := json.Unmarshal(raw, &batches); err != nil {
+			return nil, usagef("update: %s is not a JSON array of delta batches: %v", path, err)
+		}
+		return batches, nil
+	}
+	var b delta.Batch
+	if err := json.Unmarshal(raw, &b); err != nil {
+		return nil, usagef("update: %s is not a JSON delta batch: %v", path, err)
+	}
+	return []delta.Batch{b}, nil
+}
+
 func runStats(args []string) error {
-	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	fs := newFlagSet("stats")
 	in := fs.String("in", "ao.json", "ontology JSON path")
-	if err := fs.Parse(args); err != nil {
+	if err := parse(fs, args); err != nil {
 		return err
 	}
 	o, err := ontology.LoadFile(*in)
@@ -107,14 +257,14 @@ func runStats(args []string) error {
 }
 
 func runQuery(args []string) error {
-	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	fs := newFlagSet("query")
 	q := fs.String("q", "", "query text")
 	tiny := fs.Bool("tiny", true, "use the tiny configuration")
-	if err := fs.Parse(args); err != nil {
+	if err := parse(fs, args); err != nil {
 		return err
 	}
 	if *q == "" {
-		return fmt.Errorf("query: -q is required")
+		return usagef("query: -q is required")
 	}
 	sys, err := buildSystem(*tiny)
 	if err != nil {
@@ -134,13 +284,16 @@ func runQuery(args []string) error {
 }
 
 func runTag(args []string) error {
-	fs := flag.NewFlagSet("tag", flag.ExitOnError)
+	fs := newFlagSet("tag")
 	title := fs.String("title", "", "document title")
 	content := fs.String("content", "", "document content")
 	entities := fs.String("entities", "", "comma-separated key entities")
 	tiny := fs.Bool("tiny", true, "use the tiny configuration")
-	if err := fs.Parse(args); err != nil {
+	if err := parse(fs, args); err != nil {
 		return err
+	}
+	if *title == "" && *content == "" {
+		return usagef("tag: need -title or -content")
 	}
 	sys, err := buildSystem(*tiny)
 	if err != nil {
@@ -160,10 +313,10 @@ func runTag(args []string) error {
 }
 
 func runStory(args []string) error {
-	fs := flag.NewFlagSet("story", flag.ExitOnError)
+	fs := newFlagSet("story")
 	seed := fs.String("seed", "", "seed event phrase (empty: first mined event)")
 	tiny := fs.Bool("tiny", true, "use the tiny configuration")
-	if err := fs.Parse(args); err != nil {
+	if err := parse(fs, args); err != nil {
 		return err
 	}
 	sys, err := buildSystem(*tiny)

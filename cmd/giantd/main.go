@@ -7,15 +7,33 @@
 // With -build instead of -in, giantd runs the offline pipeline itself at
 // startup (handy for demos; -tiny shrinks the build) and serves the result,
 // keeping the trained event matcher and concept context for richer tagging.
+// In -build mode the daemon also accepts live incremental updates: POST a
+// delta.Batch of new documents and clicks to /v1/ingest and the affected
+// click-graph neighbourhood is re-mined, diffed and hot-swapped in as a
+// new snapshot generation while in-flight requests finish on the old one.
 //
 //	curl localhost:8080/healthz
 //	curl localhost:8080/v1/stats
 //	curl 'localhost:8080/v1/query/rewrite?q=best+family+sedans'
 //	curl -X POST localhost:8080/v1/reload
+//	curl -X POST localhost:8080/v1/ingest -d '{"day":12,"docs":[...],"clicks":[...]}'
+//	curl -X POST localhost:8080/v1/rollback
 //
 // /v1/reload hot-swaps a freshly loaded snapshot (re-reading -in, or
-// re-running the -build pipeline) while serving continues on the old one.
-// SIGINT/SIGTERM shut the server down gracefully.
+// re-running the -build pipeline); /v1/rollback reverts to the previous
+// retained generation (-history bounds the store). With -watch, a
+// background updater polls -in for modifications and hot-swaps the new
+// file automatically through the same reload path (-watch applies to -in
+// mode only). SIGINT/SIGTERM shut the server down gracefully.
+//
+// Rollback and reload operate on the SERVING tier only: in -build mode
+// the in-process mining system keeps its accumulated click graph and
+// ontology, so a rollback is a serving-side mitigation — the next
+// /v1/ingest still computes its delta from the full ingested history
+// (re-publishing what was rolled back), and /v1/reload re-runs the
+// pipeline from scratch, dropping live-ingested batches from the served
+// snapshot. To discard a bad batch from the mining state itself, restart
+// the daemon (or replay the good batches against a fresh -build).
 package main
 
 import (
@@ -29,6 +47,7 @@ import (
 	"time"
 
 	giant "giant"
+	"giant/internal/delta"
 	"giant/internal/ontology"
 	"giant/internal/serve"
 )
@@ -37,21 +56,26 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("giantd: ")
 	var (
-		in    = flag.String("in", "", "ontology JSON path (from giantctl build -out)")
-		addr  = flag.String("addr", ":8080", "listen address")
-		build = flag.Bool("build", false, "run the offline pipeline at startup instead of loading -in")
-		tiny  = flag.Bool("tiny", false, "with -build: use the tiny configuration")
-		cache = flag.Int("cache", serve.DefaultCacheSize, "LRU response cache entries (negative disables)")
-		grace = flag.Duration("grace", 5*time.Second, "graceful-shutdown drain timeout")
+		in      = flag.String("in", "", "ontology JSON path (from giantctl build -out)")
+		addr    = flag.String("addr", ":8080", "listen address")
+		build   = flag.Bool("build", false, "run the offline pipeline at startup instead of loading -in")
+		tiny    = flag.Bool("tiny", false, "with -build: use the tiny configuration")
+		cache   = flag.Int("cache", serve.DefaultCacheSize, "LRU response cache entries (negative disables)")
+		grace   = flag.Duration("grace", 5*time.Second, "graceful-shutdown drain timeout")
+		history = flag.Int("history", ontology.DefaultRetention, "snapshot generations retained for /v1/rollback")
+		watch   = flag.Duration("watch", 0, "poll -in for changes at this interval and hot-swap automatically (0 disables)")
 	)
 	flag.Parse()
-	if err := run(*in, *addr, *build, *tiny, *cache, *grace); err != nil {
+	if *watch > 0 && (*build || *in == "") {
+		log.Printf("warning: -watch only applies when serving a file with -in; ignoring it")
+	}
+	if err := run(*in, *addr, *build, *tiny, *cache, *grace, *history, *watch); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(in, addr string, build, tiny bool, cache int, grace time.Duration) error {
-	opts := serve.Options{CacheSize: cache}
+func run(in, addr string, build, tiny bool, cache int, grace time.Duration, history int, watch time.Duration) error {
+	opts := serve.Options{CacheSize: cache, History: history}
 	var snap *ontology.Snapshot
 	switch {
 	case build:
@@ -65,7 +89,11 @@ func run(in, addr string, build, tiny bool, cache int, grace time.Duration) erro
 			return err
 		}
 		snap = sys.Snapshot()
-		opts.ConceptContext = sys.ConceptContext()
+		// Every publish re-reads the system's concept context (a fresh
+		// copy), so taggers built after a live ingest see the new
+		// concepts' context representations. The callback runs under the
+		// serve swap lock, serialized with the ingest path below.
+		opts.ConceptContextFn = sys.ConceptContext
 		opts.Duet = sys.EventTagger().Duet
 		opts.Loader = func() (*ontology.Snapshot, error) {
 			rebuilt, err := giant.Build(cfg)
@@ -73,6 +101,15 @@ func run(in, addr string, build, tiny bool, cache int, grace time.Duration) erro
 				return nil, err
 			}
 			return rebuilt.Snapshot(), nil
+		}
+		// Live ingest: System.Ingest serializes internally; the serve
+		// layer additionally orders publishes under its swap lock.
+		opts.Ingest = func(b delta.Batch) (*ontology.Snapshot, *delta.Delta, error) {
+			next, d, err := sys.Ingest(b)
+			if err == nil {
+				log.Printf("ingested batch: %s", d.Summary())
+			}
+			return next, d, err
 		}
 	case in != "":
 		var err error
@@ -89,9 +126,48 @@ func run(in, addr string, build, tiny bool, cache int, grace time.Duration) erro
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if watch > 0 && in != "" && !build {
+		go watchFile(ctx, in, watch, srv)
+	}
+
 	err := serve.Run(ctx, addr, srv.Handler(), grace)
 	if err == nil {
 		log.Printf("shut down cleanly")
 	}
 	return err
+}
+
+// watchFile is the background updater for file-served deployments: it
+// polls the ontology file's modification time and, whenever the offline
+// pipeline publishes a new artifact, loads and hot-swaps it through the
+// same atomic path /v1/reload uses. Load failures (e.g. a half-written
+// file) leave the current generation serving and are retried on the next
+// tick.
+func watchFile(ctx context.Context, path string, every time.Duration, srv *serve.Server) {
+	var lastMod time.Time
+	if fi, err := os.Stat(path); err == nil {
+		lastMod = fi.ModTime()
+	}
+	ticker := time.NewTicker(every)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+		}
+		fi, err := os.Stat(path)
+		if err != nil || !fi.ModTime().After(lastMod) {
+			continue
+		}
+		snap, err := ontology.LoadSnapshotFile(path)
+		if err != nil {
+			log.Printf("watch: %s changed but failed to load (will retry): %v", path, err)
+			continue
+		}
+		lastMod = fi.ModTime()
+		gen := srv.Swap(snap)
+		log.Printf("watch: hot-swapped %s as generation %d", snap, gen)
+	}
 }

@@ -24,9 +24,11 @@ import (
 	"runtime"
 	"sort"
 	"strings"
+	"sync"
 
 	"giant/internal/clickgraph"
 	"giant/internal/core"
+	"giant/internal/delta"
 	"giant/internal/linking"
 	"giant/internal/nlp"
 	"giant/internal/ontology"
@@ -59,6 +61,10 @@ type Config struct {
 	// identical for every value — parallel shards are merged in a
 	// deterministic order before anything is committed.
 	Parallelism int
+	// Update is the incremental-maintenance policy (per-type TTL decay and
+	// linking thresholds) applied by System.Ingest. Zero-valued threshold
+	// fields fall back to this config's batch thresholds.
+	Update delta.Policy
 }
 
 // parallelism resolves the effective worker count.
@@ -82,6 +88,7 @@ func DefaultConfig() Config {
 		PatternMinFreq:   2,
 		PatternMinSearch: 2,
 		Seed:             42,
+		Update:           delta.DefaultPolicy(),
 	}
 }
 
@@ -109,13 +116,34 @@ type System struct {
 	Embedder *linking.EntityEmbedder
 
 	conceptContext map[string][]string // concept phrase -> top titles
+	ingestMu       sync.Mutex          // serializes System.Ingest
 }
 
 // Build runs the whole pipeline.
 func Build(cfg Config) (*System, error) {
+	return BuildUpToDay(cfg, -1)
+}
+
+// BuildUpToDay is Build with the click stream truncated: only click
+// records with Day <= day reach the click graph and the mining stage
+// (day < 0 means all). The generated world, document corpus and session
+// stream are untouched — they model the pre-existing knowledge the
+// pipeline links against. Later days arrive incrementally through
+// System.Ingest, which is how the delta-vs-full-rebuild equivalence tests
+// replay a corpus batch by batch.
+func BuildUpToDay(cfg Config, day int) (*System, error) {
 	sys := &System{Cfg: cfg}
 	sys.World = synth.GenWorld(cfg.World)
 	sys.Log = sys.World.GenerateLog(cfg.Log)
+	if day >= 0 {
+		kept := make([]synth.Record, 0, len(sys.Log.Records))
+		for _, r := range sys.Log.Records {
+			if r.Day <= day {
+				kept = append(kept, r)
+			}
+		}
+		sys.Log.Records = kept
+	}
 
 	// Click graph.
 	sys.Click = clickgraph.New()
@@ -564,11 +592,18 @@ func (sys *System) Snapshot() *ontology.Snapshot {
 	return sys.Ontology.Snapshot()
 }
 
-// ConceptContext exposes the concept phrase -> top clicked titles map the
-// build collected, so a serving tier can construct context-enriched concept
-// taggers over a snapshot.
+// ConceptContext returns a copy of the concept phrase -> top clicked
+// titles map the build collected, so a serving tier can construct
+// context-enriched concept taggers over a snapshot. It is a snapshot in
+// time: the caller owns the copy, and later System.Ingest calls never
+// mutate it (Ingest replaces the internal map copy-on-write), so it is
+// safe to share with concurrent request handlers.
 func (sys *System) ConceptContext() map[string][]string {
-	return sys.conceptContext
+	out := make(map[string][]string, len(sys.conceptContext))
+	for k, v := range sys.conceptContext {
+		out[k] = v
+	}
+	return out
 }
 
 // ConceptTagger builds the §4 concept tagger over the built ontology.

@@ -307,6 +307,81 @@ func (g *Graph) TopTitlesFor(query string, k int) []string {
 	return out
 }
 
+// DocsForQuery returns the external IDs of every document the query has
+// clicks into, in edge-insertion order.
+func (g *Graph) DocsForQuery(query string) []int {
+	qi, ok := g.queryIdx[query]
+	if !ok {
+		return nil
+	}
+	out := make([]int, 0, len(g.qEdges[qi]))
+	for _, e := range g.qEdges[qi] {
+		out = append(out, g.docIDs[e.to])
+	}
+	return out
+}
+
+// QueriesForDoc returns every query with clicks into the document (by
+// external doc ID), in edge-insertion order.
+func (g *Graph) QueriesForDoc(docID int) []string {
+	di, ok := g.docIdx[docID]
+	if !ok {
+		return nil
+	}
+	out := make([]string, 0, len(g.dEdges[di]))
+	for _, e := range g.dEdges[di] {
+		out = append(out, g.queries[e.to])
+	}
+	return out
+}
+
+// AffectedQueries computes the set of seed queries whose random-walk
+// cluster could change after new click edges touch the given queries and
+// documents: a breadth-first expansion of hops query→doc→query rounds
+// around the changed region (one round per walk step, since each
+// power-iteration step moves probability mass exactly one query hop). The
+// result is sorted, so incremental re-mining is deterministic.
+func (g *Graph) AffectedQueries(queries []string, docIDs []int, hops int) []string {
+	seen := map[string]bool{}
+	frontier := make([]string, 0, len(queries))
+	add := func(q string) {
+		if !seen[q] {
+			seen[q] = true
+			frontier = append(frontier, q)
+		}
+	}
+	for _, q := range queries {
+		if _, ok := g.queryIdx[q]; ok {
+			add(q)
+		}
+	}
+	for _, d := range docIDs {
+		for _, q := range g.QueriesForDoc(d) {
+			add(q)
+		}
+	}
+	for h := 0; h < hops; h++ {
+		next := frontier
+		frontier = nil
+		for _, q := range next {
+			for _, d := range g.DocsForQuery(q) {
+				for _, nq := range g.QueriesForDoc(d) {
+					add(nq)
+				}
+			}
+		}
+		if len(frontier) == 0 {
+			break
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for q := range seen {
+		out = append(out, q)
+	}
+	sort.Strings(out)
+	return out
+}
+
 // ContainsQuery reports whether the graph has seen the exact query.
 func (g *Graph) ContainsQuery(q string) bool {
 	_, ok := g.queryIdx[strings.ToLower(q)]

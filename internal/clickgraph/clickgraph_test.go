@@ -134,3 +134,47 @@ func TestWalkDeterministic(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestAdjacencyHelpers(t *testing.T) {
+	g := sample()
+	if got := g.DocsForQuery("best cars"); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("DocsForQuery = %v", got)
+	}
+	if got := g.DocsForQuery("missing"); got != nil {
+		t.Fatalf("DocsForQuery(missing) = %v", got)
+	}
+	if got := g.QueriesForDoc(2); len(got) != 2 || got[0] != "best cars" || got[1] != "cars roundup" {
+		t.Fatalf("QueriesForDoc = %v", got)
+	}
+	if got := g.QueriesForDoc(99); got != nil {
+		t.Fatalf("QueriesForDoc(99) = %v", got)
+	}
+}
+
+func TestAffectedQueries(t *testing.T) {
+	// Two disconnected components: cars (queries a,b) and phones (query c).
+	g := New()
+	g.Add("best cars", 1, "cars title", 3, 0)
+	g.Add("cars roundup", 1, "cars title", 3, 0)
+	g.Add("best phones", 2, "phones title", 3, 0)
+
+	// A new click on doc 1: both cars queries are affected, phones is not.
+	got := g.AffectedQueries(nil, []int{1}, 3)
+	if len(got) != 2 || got[0] != "best cars" || got[1] != "cars roundup" {
+		t.Fatalf("AffectedQueries(doc 1) = %v", got)
+	}
+	// Seeding from a query expands through shared docs.
+	got = g.AffectedQueries([]string{"best cars"}, nil, 2)
+	if len(got) != 2 {
+		t.Fatalf("AffectedQueries(best cars) = %v", got)
+	}
+	// Zero hops keeps only the direct neighbourhood.
+	got = g.AffectedQueries([]string{"best phones"}, nil, 0)
+	if len(got) != 1 || got[0] != "best phones" {
+		t.Fatalf("AffectedQueries hops=0 = %v", got)
+	}
+	// Unknown starting points affect nothing.
+	if got := g.AffectedQueries([]string{"nope"}, []int{77}, 3); len(got) != 0 {
+		t.Fatalf("AffectedQueries(unknown) = %v", got)
+	}
+}

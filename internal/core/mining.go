@@ -134,8 +134,45 @@ func (m *Miner) mineClusters(g *clickgraph.Graph, clusters []clickgraph.Cluster)
 // Miner.Parallelism workers; the output is identical for every pool size.
 func (m *Miner) Mine(g *clickgraph.Graph) []Mined {
 	clusters := g.ClustersN(m.Walk, m.workers())
-	cands := m.mineClusters(g, clusters)
+	return m.normalize(m.mineClusters(g, clusters))
+}
 
+// MineSeeds runs the same pipeline restricted to the clusters of the given
+// seed queries — the incremental path: after a batch of new click edges,
+// only the affected neighbourhood (see clickgraph.AffectedQueries) needs
+// re-mining. Unknown seeds are skipped. Normalization is batch-local:
+// near-duplicate merging happens within the returned set, while merging
+// against already-published attention nodes is the delta layer's job
+// (alias lookups against the current snapshot).
+func (m *Miner) MineSeeds(g *clickgraph.Graph, seeds []string) []Mined {
+	ordered := append([]string(nil), seeds...)
+	sort.Strings(ordered)
+	// Drop duplicate seeds so repeated inputs cannot double-mine a cluster.
+	uniq := ordered[:0]
+	for i, s := range ordered {
+		if i == 0 || s != ordered[i-1] {
+			uniq = append(uniq, s)
+		}
+	}
+	ordered = uniq
+	clusters := make([]clickgraph.Cluster, 0, len(ordered))
+	slots := make([]*clickgraph.Cluster, len(ordered))
+	par.ForEachIndexed(m.workers(), len(ordered), func(i int) {
+		if cl, ok := g.ClusterFor(ordered[i], m.Walk); ok {
+			slots[i] = &cl
+		}
+	})
+	for _, s := range slots {
+		if s != nil {
+			clusters = append(clusters, *s)
+		}
+	}
+	return m.normalize(m.mineClusters(g, clusters))
+}
+
+// normalize runs phrase normalization over seed-ordered candidates and
+// merges near-duplicates into canonical Mined entries.
+func (m *Miner) normalize(cands []cand) []Mined {
 	// Normalization: a single deterministic pass over the seed-ordered
 	// candidates. Observe feeds every context into the TF-IDF statistics
 	// (commutative) before any Add decides merges.

@@ -1,0 +1,385 @@
+package delta
+
+import (
+	"sort"
+
+	"giant/internal/core"
+	"giant/internal/linking"
+	"giant/internal/nlp"
+	"giant/internal/ontology"
+	"giant/internal/phrase"
+)
+
+// Source supplies the host system's context the delta linking stages need:
+// document metadata for category and concept-entity linking, the lexicon
+// for CSD, and the trained concept-entity classifier. Every callback may
+// be nil — the corresponding linking stage is then skipped, which degrades
+// coverage but never correctness.
+type Source struct {
+	// Lexicon drives noun-phrase checks in Common Suffix Discovery.
+	Lexicon *nlp.Lexicon
+	// DocCategory returns the category ID of a clicked document.
+	DocCategory func(docID int) (int, bool)
+	// CategoryPhrase resolves a category ID to its node phrase.
+	CategoryPhrase func(cat int) (string, bool)
+	// DocEntities returns the entity names mentioned in a document.
+	DocEntities func(docID int) []string
+	// DocContent returns a document's body text (concept-entity classifier
+	// context).
+	DocContent func(docID int) string
+	// AcceptConceptEntity is the Fig. 4 classifier decision; nil accepts
+	// every candidate pair.
+	AcceptConceptEntity func(concept, entity, context string) bool
+	// ResolveEntity maps a recognized entity token to the full entity
+	// name.
+	ResolveEntity func(token string) (string, bool)
+}
+
+// Compute diffs freshly mined attentions against the current snapshot into
+// an explicit Delta. mined is the output of core.Miner.MineSeeds over the
+// affected seeds; day stamps the batch. The result is deterministic: a
+// pure function of (cur, mined, seeds, day, pol, src).
+func Compute(cur *ontology.Snapshot, mined []core.Mined, seeds []string, day int, pol Policy, src Source) *Delta {
+	d := &Delta{Day: day, Seeds: append([]string(nil), seeds...)}
+	edgeSeen := map[string]bool{}
+	addEdge := func(e EdgeAdd) {
+		k := refKey(e.SrcType, e.Src) + "\x01" + refKey(e.DstType, e.Dst) + "\x01" + e.Type.String()
+		if !edgeSeen[k] {
+			edgeSeen[k] = true
+			d.Edges = append(d.Edges, e)
+		}
+	}
+
+	// Pass 1: split mined attentions into brand-new nodes and touches of
+	// existing ones (matching canonical phrases first, then aliases).
+	newSet := map[string]bool{} // refKey of nodes added this delta
+	nodes := make([]minedNode, 0, len(mined))
+	touched := map[string]bool{} // refKey of touched existing nodes
+	for i := range mined {
+		m := &mined[i]
+		typ := ontology.Concept
+		if m.IsEvent {
+			typ = ontology.Event
+		}
+		if n, ok := findNode(cur, typ, m.Phrase); ok {
+			if !touched[refKey(typ, n.Phrase)] {
+				touched[refKey(typ, n.Phrase)] = true
+				aliases := append([]string(nil), m.Aliases...)
+				if n.Phrase != m.Phrase {
+					aliases = append(aliases, m.Phrase)
+				}
+				d.Touch = append(d.Touch, NodeAdd{
+					Type: typ, Phrase: n.Phrase, Aliases: aliases,
+					Trigger: m.Trigger, Location: m.Location, Day: m.Day,
+				})
+			}
+			nodes = append(nodes, minedNode{m, typ, n.Phrase, false})
+			continue
+		}
+		if newSet[refKey(typ, m.Phrase)] {
+			continue
+		}
+		newSet[refKey(typ, m.Phrase)] = true
+		d.Add = append(d.Add, NodeAdd{
+			Type: typ, Phrase: m.Phrase, Aliases: append([]string(nil), m.Aliases...),
+			Trigger: m.Trigger, Location: m.Location, Day: max(m.Day, 0),
+		})
+		nodes = append(nodes, minedNode{m, typ, m.Phrase, true})
+	}
+
+	// Attention-category isA edges: recompute P(g|p) = n_p^g / n_p over
+	// the re-mined clusters' clicked docs (the same estimate
+	// linking.AttentionCategoryEdges uses in the batch build, but keyed by
+	// (type, phrase) — a same-phrase concept and event are distinct nodes
+	// and must not share click-category counts). New phrases gain edges;
+	// re-observed phrases whose membership probability shifted are
+	// re-weighted.
+	if src.DocCategory != nil && src.CategoryPhrase != nil {
+		type catAgg struct {
+			mn   minedNode
+			cats map[int]int
+		}
+		aggs := map[string]*catAgg{}
+		var order []string
+		for _, mn := range nodes {
+			k := refKey(mn.typ, mn.phrase)
+			a := aggs[k]
+			if a == nil {
+				a = &catAgg{mn: mn, cats: map[int]int{}}
+				aggs[k] = a
+				order = append(order, k)
+			}
+			for _, docID := range mn.m.DocIDs {
+				if c, ok := src.DocCategory(docID); ok {
+					a.cats[c]++
+				}
+			}
+		}
+		for _, k := range order {
+			a := aggs[k]
+			total := 0
+			catIDs := make([]int, 0, len(a.cats))
+			for g, n := range a.cats {
+				total += n
+				catIDs = append(catIDs, g)
+			}
+			if total == 0 {
+				continue
+			}
+			sort.Ints(catIDs)
+			for _, g := range catIDs {
+				prob := float64(a.cats[g]) / float64(total)
+				if prob <= pol.CategoryDelta {
+					continue
+				}
+				catPhrase, ok := src.CategoryPhrase(g)
+				if !ok {
+					continue
+				}
+				e := EdgeAdd{
+					SrcType: ontology.Category, Src: catPhrase,
+					DstType: a.mn.typ, Dst: a.mn.phrase,
+					Type: ontology.IsA, Weight: prob,
+				}
+				if a.mn.isNew {
+					addEdge(e)
+					continue
+				}
+				if w, exists := findEdge(cur, e); exists {
+					if w != prob {
+						d.Reweight = append(d.Reweight, e)
+					}
+				} else {
+					addEdge(e)
+				}
+			}
+		}
+	}
+
+	// Concept phrase inventory: existing + newly mined.
+	var newConcepts, newEvents []string
+	for _, mn := range nodes {
+		if !mn.isNew {
+			continue
+		}
+		if mn.typ == ontology.Event {
+			newEvents = append(newEvents, mn.phrase)
+		} else {
+			newConcepts = append(newConcepts, mn.phrase)
+		}
+	}
+	allConcepts := phrasesOfType(cur, ontology.Concept)
+	allConcepts = append(allConcepts, newConcepts...)
+	allEvents := phrasesOfType(cur, ontology.Event)
+	allEvents = append(allEvents, newEvents...)
+	newConceptSet := map[string]bool{}
+	for _, c := range newConcepts {
+		newConceptSet[c] = true
+	}
+	newEventSet := map[string]bool{}
+	for _, e := range newEvents {
+		newEventSet[e] = true
+	}
+
+	// Attention derivation: CSD parents over the unioned concept
+	// inventory. A derived parent that does not exist yet becomes an Add
+	// with edges to every child; an existing parent only gains edges to
+	// the batch's new children.
+	for _, der := range phrase.CommonSuffixDiscovery(allConcepts, pol.SuffixMinFreq, src.Lexicon) {
+		// Alias-aware resolution: a derived parent that only exists as an
+		// alias must link through its canonical node, never duplicate it.
+		parentPhrase := der.Phrase
+		parentNode, parentExists := findNode(cur, ontology.Concept, der.Phrase)
+		if parentExists {
+			parentPhrase = parentNode.Phrase
+		}
+		parentKey := refKey(ontology.Concept, parentPhrase)
+		if !parentExists && !newSet[parentKey] {
+			newSet[parentKey] = true
+			newConceptSet[parentPhrase] = true
+			allConcepts = append(allConcepts, parentPhrase)
+			d.Add = append(d.Add, NodeAdd{Type: ontology.Concept, Phrase: parentPhrase, Day: day})
+		}
+		for _, child := range der.Children {
+			if parentExists && !newConceptSet[child] {
+				continue // pre-existing parent-child pair
+			}
+			addEdge(EdgeAdd{
+				SrcType: ontology.Concept, Src: parentPhrase,
+				DstType: ontology.Concept, Dst: child,
+				Type: ontology.IsA, Weight: 1,
+			})
+		}
+	}
+
+	// Suffix isA among concepts and containment isA among events: only
+	// pairs involving a phrase from this batch are new.
+	for _, pr := range linking.SuffixIsAEdges(allConcepts) {
+		if newConceptSet[pr.Parent] || newConceptSet[pr.Child] {
+			addEdge(EdgeAdd{
+				SrcType: ontology.Concept, Src: pr.Parent,
+				DstType: ontology.Concept, Dst: pr.Child,
+				Type: ontology.IsA, Weight: 1,
+			})
+		}
+	}
+	for _, pr := range linking.ContainmentIsAEdges(allEvents) {
+		if newEventSet[pr.Parent] || newEventSet[pr.Child] {
+			addEdge(EdgeAdd{
+				SrcType: ontology.Event, Src: pr.Parent,
+				DstType: ontology.Event, Dst: pr.Child,
+				Type: ontology.IsA, Weight: 1,
+			})
+		}
+	}
+
+	// Concept-topic involve: new concepts against the existing topic
+	// inventory (topic discovery itself — CPD — stays a batch-build
+	// concern; incremental batches extend membership).
+	if topics := phrasesOfType(cur, ontology.Topic); len(topics) > 0 && len(newConcepts) > 0 {
+		for _, pr := range linking.ConceptTopicInvolveEdges(newConcepts, topics) {
+			addEdge(EdgeAdd{
+				SrcType: ontology.Topic, Src: pr.Parent,
+				DstType: ontology.Concept, Dst: pr.Child,
+				Type: ontology.Involve, Weight: 1,
+			})
+		}
+	}
+
+	// Concept-entity isA (Fig. 4 classifier) and event-entity involve
+	// edges for the batch's new attentions.
+	for _, mn := range nodes {
+		if !mn.isNew {
+			continue
+		}
+		if mn.typ == ontology.Event {
+			if src.ResolveEntity == nil {
+				continue
+			}
+			for _, tok := range mn.m.Entities {
+				name, ok := src.ResolveEntity(tok)
+				if !ok {
+					continue
+				}
+				if _, exists := cur.Find(ontology.Entity, name); exists {
+					addEdge(EdgeAdd{
+						SrcType: ontology.Event, Src: mn.phrase,
+						DstType: ontology.Entity, Dst: name,
+						Type: ontology.Involve, Weight: 1,
+					})
+				}
+			}
+			continue
+		}
+		if src.DocEntities == nil {
+			continue
+		}
+		seen := map[string]bool{}
+		for _, docID := range mn.m.DocIDs {
+			content := ""
+			if src.DocContent != nil {
+				content = src.DocContent(docID)
+			}
+			for _, name := range src.DocEntities(docID) {
+				if seen[name] {
+					continue
+				}
+				seen[name] = true
+				if _, exists := cur.Find(ontology.Entity, name); !exists {
+					continue
+				}
+				if src.AcceptConceptEntity != nil && !src.AcceptConceptEntity(mn.phrase, name, content) {
+					continue
+				}
+				addEdge(EdgeAdd{
+					SrcType: ontology.Concept, Src: mn.phrase,
+					DstType: ontology.Entity, Dst: name,
+					Type: ontology.IsA, Weight: 1,
+				})
+			}
+		}
+	}
+
+	// TTL retirement: attention types decay when not re-observed. Nodes
+	// touched or re-mined this batch are fresh by definition.
+	for _, n := range cur.Nodes() {
+		ttl := pol.ttlFor(n.Type)
+		if ttl <= 0 || touched[refKey(n.Type, n.Phrase)] {
+			continue
+		}
+		last := n.FirstSeenDay
+		if n.LastSeenDay > last {
+			last = n.LastSeenDay
+		}
+		if n.Type == ontology.Event && n.Day > last {
+			last = n.Day
+		}
+		if day-last > ttl {
+			d.Retire = append(d.Retire, Ref{Type: n.Type, Phrase: n.Phrase})
+		}
+	}
+	return d
+}
+
+// findNode resolves a (type, phrase) to the existing node, falling back to
+// alias resolution.
+func findNode(cur *ontology.Snapshot, t ontology.NodeType, p string) (ontology.Node, bool) {
+	if n, ok := cur.Find(t, p); ok {
+		return n, true
+	}
+	if id, ok := cur.LookupAlias(t, p); ok {
+		return cur.Get(id)
+	}
+	return ontology.Node{}, false
+}
+
+// findEdge reports the weight of an existing edge matching e's endpoints
+// and type.
+func findEdge(cur *ontology.Snapshot, e EdgeAdd) (float64, bool) {
+	src, ok := cur.Lookup(e.SrcType, e.Src)
+	if !ok {
+		return 0, false
+	}
+	dst, ok := cur.Lookup(e.DstType, e.Dst)
+	if !ok {
+		return 0, false
+	}
+	var w float64
+	found := false
+	cur.EachOut(src, func(edge *ontology.Edge, _ *ontology.Node) bool {
+		if edge.Dst == dst && edge.Type == e.Type {
+			w, found = edge.Weight, true
+			return false
+		}
+		return true
+	})
+	return w, found
+}
+
+// phrasesOfType lists the canonical phrases of a node type in ID order.
+func phrasesOfType(cur *ontology.Snapshot, t ontology.NodeType) []string {
+	ids := cur.IDsOfType(t)
+	out := make([]string, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, cur.At(id).Phrase)
+	}
+	return out
+}
+
+// minedNode pairs one mined attention with its resolved ontology identity.
+type minedNode struct {
+	m      *core.Mined
+	typ    ontology.NodeType
+	phrase string // canonical node phrase (existing node's for touches)
+	isNew  bool
+}
+
+// isEventPhrase reports whether the batch mined the phrase as an event.
+func isEventPhrase(nodes []minedNode, p string) bool {
+	for _, mn := range nodes {
+		if mn.phrase == p {
+			return mn.typ == ontology.Event
+		}
+	}
+	return false
+}

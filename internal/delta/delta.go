@@ -1,0 +1,194 @@
+// Package delta implements incremental maintenance of the Attention
+// Ontology — the operational loop the GIANT paper describes (§5: hot
+// events and fresh user attentions are mined from new query-doc click
+// activity daily, stale ones retire) but that a batch pipeline cannot
+// provide. Instead of rebuilding the ontology from the full corpus, the
+// incremental path:
+//
+//  1. appends a Batch of new documents and click records to the click
+//     graph,
+//  2. re-runs Algorithm-1 mining only over the affected cluster
+//     neighbourhood (clickgraph.AffectedQueries + core.Miner.MineSeeds),
+//  3. diffs the freshly mined attentions against the current snapshot into
+//     an explicit Delta — nodes and edges to add, edges to re-weight,
+//     nodes to touch (refresh last-seen) and nodes to retire via per-type
+//     TTL decay (hot events age out fast; long-lived concepts persist),
+//  4. applies the Delta to the current ontology.Snapshot, producing the
+//     next immutable generation without a full rebuild.
+//
+// The determinism contract extends to deltas: computing and applying them
+// is a pure function of (current snapshot, mined batch, policy), so
+// replaying the same batches always yields the same generation; and for
+// cluster neighbourhoods the batch did not touch, the applied result is
+// identical to a full rebuild over the union corpus.
+package delta
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"giant/internal/ontology"
+)
+
+// ErrInvalidBatch marks batch-validation failures — the caller sent a
+// malformed or inconsistent Batch, as opposed to an internal failure of
+// the delta pipeline. HTTP layers map it to a 4xx; everything else is a
+// server-side 5xx.
+var ErrInvalidBatch = errors.New("invalid update batch")
+
+// Doc is one new document arriving in an update batch. Entities are
+// surface names (resolved against the existing entity inventory by the
+// host system).
+type Doc struct {
+	ID       int      `json:"id"`
+	Title    string   `json:"title"`
+	Content  string   `json:"content,omitempty"`
+	Category int      `json:"category"`
+	Entities []string `json:"entities,omitempty"`
+	Day      int      `json:"day"`
+}
+
+// Click is one new (query, doc, clicks) observation.
+type Click struct {
+	Query  string `json:"query"`
+	DocID  int    `json:"doc_id"`
+	Clicks int    `json:"clicks"`
+	Day    int    `json:"day"`
+}
+
+// Batch is one incremental update unit: the new documents and click
+// records of (typically) one day. Day stamps the batch for TTL decay;
+// when zero it is inferred from the newest click or doc day.
+type Batch struct {
+	Day    int     `json:"day"`
+	Docs   []Doc   `json:"docs,omitempty"`
+	Clicks []Click `json:"clicks,omitempty"`
+}
+
+// EffectiveDay resolves the batch's day stamp.
+func (b *Batch) EffectiveDay() int {
+	day := b.Day
+	for i := range b.Docs {
+		if b.Docs[i].Day > day {
+			day = b.Docs[i].Day
+		}
+	}
+	for i := range b.Clicks {
+		if b.Clicks[i].Day > day {
+			day = b.Clicks[i].Day
+		}
+	}
+	return day
+}
+
+// Policy is the per-type maintenance policy: how long each attention type
+// survives without being re-observed (in days; 0 disables retirement for
+// the type) plus the linking thresholds the delta re-uses from the batch
+// pipeline.
+type Policy struct {
+	// EventTTL retires events not re-observed for this many days — hot
+	// events are short-lived by nature (paper Table 1 mines them daily).
+	EventTTL int
+	// ConceptTTL is the same for concepts; long-lived user interests
+	// default to never retiring.
+	ConceptTTL int
+	// TopicTTL is the same for topics.
+	TopicTTL int
+	// CategoryDelta is δg for attention-category isA edges.
+	CategoryDelta float64
+	// SuffixMinFreq is the CSD support threshold for derived concept
+	// parents.
+	SuffixMinFreq int
+}
+
+// DefaultPolicy mirrors the batch pipeline's thresholds and gives events a
+// two-week lifetime while concepts and topics persist indefinitely.
+func DefaultPolicy() Policy {
+	return Policy{EventTTL: 14, ConceptTTL: 0, TopicTTL: 0, CategoryDelta: 0.3, SuffixMinFreq: 3}
+}
+
+// ttlFor returns the policy TTL for a node type (0 = never retire).
+func (p Policy) ttlFor(t ontology.NodeType) int {
+	switch t {
+	case ontology.Event:
+		return p.EventTTL
+	case ontology.Concept:
+		return p.ConceptTTL
+	case ontology.Topic:
+		return p.TopicTTL
+	default:
+		return 0
+	}
+}
+
+// NodeAdd describes one node to insert (in Add) or refresh (in Touch).
+type NodeAdd struct {
+	Type     ontology.NodeType `json:"type"`
+	Phrase   string            `json:"phrase"`
+	Aliases  []string          `json:"aliases,omitempty"`
+	Trigger  string            `json:"trigger,omitempty"`
+	Location string            `json:"location,omitempty"`
+	Day      int               `json:"day,omitempty"`
+}
+
+// EdgeAdd describes one edge by its endpoint phrases, so a delta applies
+// to any snapshot generation regardless of node-ID assignment.
+type EdgeAdd struct {
+	SrcType ontology.NodeType `json:"src_type"`
+	Src     string            `json:"src"`
+	DstType ontology.NodeType `json:"dst_type"`
+	Dst     string            `json:"dst"`
+	Type    ontology.EdgeType `json:"type"`
+	Weight  float64           `json:"weight,omitempty"`
+}
+
+// Ref names an existing node by type and phrase.
+type Ref struct {
+	Type   ontology.NodeType `json:"type"`
+	Phrase string            `json:"phrase"`
+}
+
+// Delta is an explicit, phrase-keyed diff between two ontology
+// generations. Applying it to the snapshot it was computed against yields
+// the next generation; all slices are in deterministic order.
+type Delta struct {
+	// Day is the batch day the delta was computed for (drives TTL decay
+	// and last-seen refresh).
+	Day int `json:"day"`
+	// Seeds are the affected seed queries that were re-mined (provenance;
+	// equivalence tests use them to delimit the changed region).
+	Seeds []string `json:"seeds,omitempty"`
+	// Add lists brand-new attention nodes.
+	Add []NodeAdd `json:"add,omitempty"`
+	// Touch lists existing nodes re-observed by the batch: last-seen is
+	// refreshed, event attributes converge to the re-mined values and new
+	// aliases merge in.
+	Touch []NodeAdd `json:"touch,omitempty"`
+	// Edges lists new edges (either endpoint may be an Add node).
+	Edges []EdgeAdd `json:"edges,omitempty"`
+	// Reweight lists existing edges whose weight changed (e.g. category
+	// membership probabilities shifting as clicks accumulate).
+	Reweight []EdgeAdd `json:"reweight,omitempty"`
+	// Retire lists nodes dropped by TTL decay; applying removes them and
+	// every incident edge.
+	Retire []Ref `json:"retire,omitempty"`
+}
+
+// Empty reports whether applying the delta would change nothing
+// structurally (touches alone still refresh last-seen days).
+func (d *Delta) Empty() bool {
+	return len(d.Add) == 0 && len(d.Edges) == 0 && len(d.Reweight) == 0 &&
+		len(d.Retire) == 0 && len(d.Touch) == 0
+}
+
+// Summary renders a one-line accounting for logs and CLI output.
+func (d *Delta) Summary() string {
+	return fmt.Sprintf("day %d: +%d nodes, +%d edges, %d reweighted, %d touched, %d retired (%d seeds re-mined)",
+		d.Day, len(d.Add), len(d.Edges), len(d.Reweight), len(d.Touch), len(d.Retire), len(d.Seeds))
+}
+
+// refKey canonicalizes a (type, phrase) pair for set membership.
+func refKey(t ontology.NodeType, phrase string) string {
+	return t.String() + "\x00" + strings.ToLower(phrase)
+}

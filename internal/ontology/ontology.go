@@ -101,6 +101,12 @@ type Node struct {
 
 	// FirstSeenDay supports growth accounting (Table 1 "Grow/day").
 	FirstSeenDay int `json:"first_seen_day,omitempty"`
+
+	// LastSeenDay is the most recent day the phrase was (re-)observed by a
+	// build or an incremental update batch. The delta subsystem's TTL
+	// retirement compares it against the current day; zero means "never
+	// refreshed since first seen".
+	LastSeenDay int `json:"last_seen_day,omitempty"`
 }
 
 // Edge is a typed directed edge src --type--> dst. For isA the destination
@@ -209,6 +215,20 @@ func (o *Ontology) SetEventAttrs(id NodeID, trigger, location string, day int) {
 	}
 	n := &o.nodes[id]
 	n.Trigger, n.Location, n.Day = trigger, location, day
+}
+
+// SetLastSeen records the most recent day the node's phrase was observed
+// (see Node.LastSeenDay); earlier values are never overwritten by smaller
+// days.
+func (o *Ontology) SetLastSeen(id NodeID, day int) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if int(id) >= len(o.nodes) {
+		return
+	}
+	if day > o.nodes[id].LastSeenDay {
+		o.nodes[id].LastSeenDay = day
+	}
 }
 
 // AddEdge inserts src --type--> dst with a weight, deduplicating repeats
@@ -514,20 +534,35 @@ func ReadJSON(r io.Reader) (*Ontology, error) {
 	if err := json.NewDecoder(r).Decode(&p); err != nil {
 		return nil, fmt.Errorf("ontology: decode: %w", err)
 	}
+	return fromNodesEdges(p.Nodes, p.Edges)
+}
+
+// fromNodesEdges rebuilds a mutable Ontology from persisted (or snapshot)
+// node and edge lists, preserving every node attribute.
+func fromNodesEdges(nodes []Node, edges []Edge) (*Ontology, error) {
 	o := New()
-	for _, n := range p.Nodes {
+	for _, n := range nodes {
 		id := o.AddNodeAt(n.Type, n.Phrase, n.FirstSeenDay)
 		o.SetEventAttrs(id, n.Trigger, n.Location, n.Day)
+		o.SetLastSeen(id, n.LastSeenDay)
 		for _, a := range n.Aliases {
 			o.AddAlias(id, a)
 		}
 	}
-	for _, e := range p.Edges {
+	for _, e := range edges {
 		if err := o.AddEdge(e.Src, e.Dst, e.Type, e.Weight); err != nil {
 			return nil, err
 		}
 	}
 	return o, nil
+}
+
+// FromSnapshot rebuilds a mutable Ontology equivalent to the snapshot —
+// the inverse of Ontology.Snapshot. The incremental-update path uses it to
+// re-adopt a delta-applied snapshot as the system's working ontology
+// without re-running the mining pipeline.
+func FromSnapshot(s *Snapshot) (*Ontology, error) {
+	return fromNodesEdges(s.Nodes(), s.Edges())
 }
 
 // SaveFile writes the ontology to path.

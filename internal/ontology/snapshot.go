@@ -77,6 +77,30 @@ func LoadSnapshotFile(path string) (*Snapshot, error) {
 	return SnapshotFromJSON(f)
 }
 
+// BuildSnapshot indexes explicit node and edge lists into a Snapshot. The
+// slices become owned by the snapshot and must not be mutated afterwards.
+// Node IDs must equal their slice index (the invariant every snapshot
+// relies on for O(1) access) and edge endpoints must be in range; the
+// delta-apply path uses this to materialize an updated generation without
+// a full rebuild.
+func BuildSnapshot(nodes []Node, edges []Edge) (*Snapshot, error) {
+	for i := range nodes {
+		if int(nodes[i].ID) != i {
+			return nil, fmt.Errorf("ontology: node %d has ID %d (IDs must be dense and ordered)", i, nodes[i].ID)
+		}
+	}
+	for i := range edges {
+		e := &edges[i]
+		if e.Src < 0 || e.Dst < 0 || int(e.Src) >= len(nodes) || int(e.Dst) >= len(nodes) {
+			return nil, fmt.Errorf("ontology: edge %d endpoints out of range (%d,%d)", i, e.Src, e.Dst)
+		}
+		if e.Src == e.Dst {
+			return nil, fmt.Errorf("ontology: edge %d is a self edge on node %d", i, e.Src)
+		}
+	}
+	return newSnapshot(nodes, edges), nil
+}
+
 // newSnapshot indexes the given node and edge lists. The caller must pass
 // slices the snapshot may own.
 func newSnapshot(nodes []Node, edges []Edge) *Snapshot {

@@ -26,6 +26,12 @@
 //	GET  /v1/story          story tree seeded at an event (?seed=)
 //	GET  /v1/metrics        per-endpoint QPS/latency/cache counters
 //	POST /v1/reload         hot-swap a freshly loaded snapshot
+//	POST /v1/ingest         apply an incremental update batch (delta mining)
+//	POST /v1/rollback       revert to the previous retained generation
+//
+// Every published snapshot — initial load, reload, ingest — is pushed
+// into a bounded ontology.Store of recent generations, so /v1/rollback
+// can revert a bad update with a pointer swap and zero rebuild cost.
 package serve
 
 import (
@@ -40,6 +46,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"giant/internal/delta"
 	"giant/internal/ontology"
 	"giant/internal/queryund"
 	"giant/internal/storytree"
@@ -55,9 +62,21 @@ type Options struct {
 	// re-reading the ontology file or re-running the build). Nil disables
 	// the endpoint.
 	Loader func() (*ontology.Snapshot, error)
+	// Ingest applies an incremental update batch and returns the next
+	// snapshot generation plus the computed delta (see giant.System.Ingest).
+	// Nil disables POST /v1/ingest.
+	Ingest func(delta.Batch) (*ontology.Snapshot, *delta.Delta, error)
+	// History bounds the versioned snapshot store backing /v1/rollback;
+	// 0 means ontology.DefaultRetention.
+	History int
 	// ConceptContext optionally enriches concept-tagger representations
 	// with the build's concept -> top clicked titles map.
 	ConceptContext map[string][]string
+	// ConceptContextFn, when set, supplies a fresh concept-context map for
+	// every published state (so live ingest keeps tagger representations
+	// current) and takes precedence over ConceptContext. It is called
+	// under the swap lock, serialized with Ingest.
+	ConceptContextFn func() map[string][]string
 	// Duet optionally supplies a trained event/topic matcher; nil degrades
 	// event tagging to LCS-only.
 	Duet *tagging.Duet
@@ -92,8 +111,8 @@ type state struct {
 type Server struct {
 	opts    Options
 	cur     atomic.Pointer[state]
-	gen     atomic.Uint64
-	swapMu  sync.Mutex // serializes Swap/reload; readers never take it
+	store   *ontology.Store // versioned generation history (rollback)
+	swapMu  sync.Mutex      // serializes Swap/reload/ingest/rollback; readers never take it
 	metrics *metricsRegistry
 	mux     *http.ServeMux
 	enc     storytree.Encoder
@@ -102,7 +121,7 @@ type Server struct {
 
 // endpointNames fixes the metrics registry key set.
 var endpointNames = []string{
-	"healthz", "stats", "node", "search", "tag", "query_rewrite", "story", "metrics", "reload",
+	"healthz", "stats", "node", "search", "tag", "query_rewrite", "story", "metrics", "reload", "ingest", "rollback",
 }
 
 // New builds a Server over an initial snapshot.
@@ -115,6 +134,7 @@ func New(snap *ontology.Snapshot, opts Options) *Server {
 	}
 	s := &Server{
 		opts:    opts,
+		store:   ontology.NewStore(opts.History),
 		metrics: newMetricsRegistry(endpointNames),
 		enc:     storytree.NewBagOfTokensEncoder(16, nil),
 		story:   storytree.DefaultOptions(),
@@ -130,18 +150,30 @@ func New(snap *ontology.Snapshot, opts Options) *Server {
 // Swap indexes snap into a full serving state (taggers, understander,
 // fresh cache) and atomically publishes it, returning the new generation.
 // In-flight requests keep the state they started with; new requests see
-// the new snapshot. Safe to call while serving.
+// the new snapshot. The snapshot also joins the versioned generation
+// store, so a later /v1/rollback can revert to it. Safe to call while
+// serving.
 func (s *Server) Swap(snap *ontology.Snapshot) uint64 {
 	s.swapMu.Lock()
 	defer s.swapMu.Unlock()
+	return s.publishLocked(snap, s.store.Push(snap))
+}
+
+// publishLocked builds the serving state for (snap, gen) and atomically
+// publishes it; the caller holds swapMu.
+func (s *Server) publishLocked(snap *ontology.Snapshot, gen uint64) uint64 {
+	conceptCtx := s.opts.ConceptContext
+	if s.opts.ConceptContextFn != nil {
+		conceptCtx = s.opts.ConceptContextFn()
+	}
 	st := &state{
 		snap:        snap,
-		concepts:    tagging.NewConceptTagger(snap, s.opts.ConceptContext),
+		concepts:    tagging.NewConceptTagger(snap, conceptCtx),
 		events:      tagging.NewEventTagger(snap, s.opts.Duet),
 		query:       queryund.New(snap),
 		storyEvents: storytree.EventsFromView(snap),
 		cache:       newLRUCache(s.opts.CacheSize),
-		gen:         s.gen.Add(1),
+		gen:         gen,
 		loadedAt:    time.Now(),
 	}
 	s.cur.Store(st)
@@ -175,6 +207,8 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("/v1/story", s.endpoint("story", true, s.handleStory))
 	s.mux.HandleFunc("/v1/metrics", s.endpoint("metrics", false, s.handleMetrics))
 	s.mux.HandleFunc("/v1/reload", s.endpoint("reload", false, s.handleReload))
+	s.mux.HandleFunc("/v1/ingest", s.endpoint("ingest", false, s.handleIngest))
+	s.mux.HandleFunc("/v1/rollback", s.endpoint("rollback", false, s.handleRollback))
 }
 
 type errorBody struct {
@@ -236,6 +270,22 @@ func (s *Server) handleHealthz(st *state, r *http.Request) (int, any) {
 	}
 }
 
+// genSummary is the wire form of one retained generation.
+type genSummary struct {
+	Generation uint64 `json:"generation"`
+	Nodes      int    `json:"nodes"`
+	Edges      int    `json:"edges"`
+}
+
+func (s *Server) generations() []genSummary {
+	gens := s.store.Generations()
+	out := make([]genSummary, 0, len(gens))
+	for _, g := range gens {
+		out = append(out, genSummary{Generation: g.Gen, Nodes: g.Nodes, Edges: g.Edges})
+	}
+	return out
+}
+
 func (s *Server) handleStats(st *state, r *http.Request) (int, any) {
 	stats := st.snap.ComputeStats()
 	return http.StatusOK, map[string]any{
@@ -245,6 +295,7 @@ func (s *Server) handleStats(st *state, r *http.Request) (int, any) {
 		"edges":         st.snap.EdgeCount(),
 		"nodes_by_type": stats.NodesByType,
 		"edges_by_type": stats.EdgesByType,
+		"generations":   s.generations(),
 	}
 }
 
@@ -478,6 +529,77 @@ func (s *Server) handleReload(st *state, r *http.Request) (int, any) {
 		"generation":     gen,
 		"nodes":          snap.NodeCount(),
 		"edges":          snap.EdgeCount(),
+	}
+}
+
+// handleIngest applies an incremental update batch: the request body is a
+// delta.Batch (new docs + clicks); the host's ingest callback delta-mines
+// it into the next generation, which hot-swaps in atomically. In-flight
+// readers keep the generation they started on.
+func (s *Server) handleIngest(st *state, r *http.Request) (int, any) {
+	if r.Method != http.MethodPost {
+		return http.StatusMethodNotAllowed, errorBody{Error: "use POST"}
+	}
+	if s.opts.Ingest == nil {
+		return http.StatusServiceUnavailable, errorBody{Error: "no ingester configured (run giantd with -build)"}
+	}
+	var batch delta.Batch
+	if err := json.NewDecoder(r.Body).Decode(&batch); err != nil {
+		return http.StatusBadRequest, errorBody{Error: "decode batch: " + err.Error()}
+	}
+	// Hold the swap lock across compute + publish so concurrent ingests
+	// apply and publish in the same order (readers never take this lock).
+	s.swapMu.Lock()
+	defer s.swapMu.Unlock()
+	snap, d, err := s.opts.Ingest(batch)
+	if err != nil {
+		// Batch-validation failures are the client's fault; anything else
+		// is an internal delta-pipeline failure and must surface as 5xx.
+		if errors.Is(err, delta.ErrInvalidBatch) {
+			return http.StatusUnprocessableEntity, errorBody{Error: "ingest: " + err.Error()}
+		}
+		return http.StatusInternalServerError, errorBody{Error: "ingest: " + err.Error()}
+	}
+	gen := s.publishLocked(snap, s.store.Push(snap))
+	resp := map[string]any{
+		"old_generation": st.gen,
+		"generation":     gen,
+		"nodes":          snap.NodeCount(),
+		"edges":          snap.EdgeCount(),
+	}
+	if d != nil {
+		resp["delta"] = map[string]any{
+			"day":        d.Day,
+			"added":      len(d.Add),
+			"edges":      len(d.Edges),
+			"reweighted": len(d.Reweight),
+			"touched":    len(d.Touch),
+			"retired":    len(d.Retire),
+			"seeds":      len(d.Seeds),
+		}
+	}
+	return http.StatusOK, resp
+}
+
+// handleRollback reverts serving to the previous retained generation —
+// the operational escape hatch when an ingested batch turns out bad. The
+// discarded generation's number is never reused.
+func (s *Server) handleRollback(st *state, r *http.Request) (int, any) {
+	if r.Method != http.MethodPost {
+		return http.StatusMethodNotAllowed, errorBody{Error: "use POST"}
+	}
+	s.swapMu.Lock()
+	defer s.swapMu.Unlock()
+	g, err := s.store.Rollback()
+	if err != nil {
+		return http.StatusConflict, errorBody{Error: err.Error()}
+	}
+	gen := s.publishLocked(g.Snap, g.Gen)
+	return http.StatusOK, map[string]any{
+		"old_generation": st.gen,
+		"generation":     gen,
+		"nodes":          g.Nodes,
+		"edges":          g.Edges,
 	}
 }
 

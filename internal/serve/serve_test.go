@@ -13,6 +13,7 @@ import (
 	"testing"
 	"time"
 
+	"giant/internal/delta"
 	"giant/internal/ontology"
 )
 
@@ -357,5 +358,193 @@ func TestRunGracefulShutdown(t *testing.T) {
 		}
 	case <-time.After(5 * time.Second):
 		t.Fatal("Run did not shut down")
+	}
+}
+
+// fakeIngester applies one real delta per batch against the currently
+// served snapshot: one new concept node per batch day, linked under the
+// existing category.
+func fakeIngester(srv **Server) func(delta.Batch) (*ontology.Snapshot, *delta.Delta, error) {
+	return func(b delta.Batch) (*ontology.Snapshot, *delta.Delta, error) {
+		if len(b.Docs) == 0 && len(b.Clicks) == 0 {
+			return nil, nil, fmt.Errorf("empty batch: %w", delta.ErrInvalidBatch)
+		}
+		phrase := fmt.Sprintf("fresh concept day %d", b.EffectiveDay())
+		d := &delta.Delta{
+			Day: b.EffectiveDay(),
+			Add: []delta.NodeAdd{{Type: ontology.Concept, Phrase: phrase, Day: b.EffectiveDay()}},
+			Edges: []delta.EdgeAdd{{
+				SrcType: ontology.Category, Src: "auto",
+				DstType: ontology.Concept, Dst: phrase,
+				Type: ontology.IsA, Weight: 1,
+			}},
+		}
+		next, err := delta.Apply((*srv).Current(), d)
+		return next, d, err
+	}
+}
+
+func postJSON(t *testing.T, c *http.Client, url, body string, want int) map[string]any {
+	t.Helper()
+	resp, err := c.Post(url, "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != want {
+		t.Fatalf("POST %s = %d, want %d: %s", url, resp.StatusCode, want, raw)
+	}
+	var out map[string]any
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatalf("POST %s: bad JSON: %v: %s", url, err, raw)
+	}
+	return out
+}
+
+// TestIngestAndRollback drives the live-update lifecycle end to end:
+// ingest bumps the generation and serves the new node, rollback reverts
+// to the previous generation, and the store's retention keeps both
+// visible in /v1/stats.
+func TestIngestAndRollback(t *testing.T) {
+	var srv *Server
+	srv = New(testOntology(0).Snapshot(), Options{Ingest: fakeIngester(&srv)})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	c := ts.Client()
+
+	batch := `{"day":12,"docs":[{"id":-1,"title":"fresh doc","category":0,"day":12}],"clicks":[]}`
+	out := postJSON(t, c, ts.URL+"/v1/ingest", batch, 200)
+	if out["generation"].(float64) != 2 || out["old_generation"].(float64) != 1 {
+		t.Fatalf("ingest generations = %v", out)
+	}
+	dsum := out["delta"].(map[string]any)
+	if dsum["added"].(float64) != 1 {
+		t.Fatalf("delta summary = %v", dsum)
+	}
+	// The new node serves immediately.
+	node := getJSON(t, c, ts.URL+"/v1/node?phrase=fresh+concept+day+12&type=concept", 200)
+	if node["node"].(map[string]any)["phrase"] != "fresh concept day 12" {
+		t.Fatalf("node = %v", node)
+	}
+	// Stats lists both retained generations.
+	stats := getJSON(t, c, ts.URL+"/v1/stats", 200)
+	if gens := stats["generations"].([]any); len(gens) != 2 {
+		t.Fatalf("generations = %v", gens)
+	}
+
+	// Rollback reverts to generation 1 and the ingested node vanishes.
+	rb := postJSON(t, c, ts.URL+"/v1/rollback", "", 200)
+	if rb["generation"].(float64) != 1 {
+		t.Fatalf("rollback = %v", rb)
+	}
+	getJSON(t, c, ts.URL+"/v1/node?phrase=fresh+concept+day+12&type=concept", 404)
+	// A second rollback has nowhere to go.
+	postJSON(t, c, ts.URL+"/v1/rollback", "", http.StatusConflict)
+
+	// Bad requests: malformed JSON and a failing ingester.
+	postJSON(t, c, ts.URL+"/v1/ingest", "{not json", http.StatusBadRequest)
+	postJSON(t, c, ts.URL+"/v1/ingest", `{"day":1}`, http.StatusUnprocessableEntity)
+	// Ingest without an ingester is unavailable.
+	srvNo := New(testOntology(0).Snapshot(), Options{})
+	rr := httptest.NewRecorder()
+	srvNo.Handler().ServeHTTP(rr, httptest.NewRequest("POST", "/v1/ingest", bytes.NewReader([]byte(`{}`))))
+	if rr.Code != http.StatusServiceUnavailable {
+		t.Fatalf("ingest without ingester = %d", rr.Code)
+	}
+	// Internal delta-pipeline failures (no ErrInvalidBatch in the chain)
+	// must surface as 5xx, not blame the client.
+	srvBoom := New(testOntology(0).Snapshot(), Options{
+		Ingest: func(delta.Batch) (*ontology.Snapshot, *delta.Delta, error) {
+			return nil, nil, fmt.Errorf("delta pipeline invariant violated")
+		},
+	})
+	rr = httptest.NewRecorder()
+	srvBoom.Handler().ServeHTTP(rr, httptest.NewRequest("POST", "/v1/ingest", bytes.NewReader([]byte(`{}`))))
+	if rr.Code != http.StatusInternalServerError {
+		t.Fatalf("internal ingest failure = %d, want 500", rr.Code)
+	}
+}
+
+// TestConcurrentReadsDuringIngest is the live-update analogue of the
+// reload hammer: 16 readers sweep the read endpoints while batches ingest
+// and occasionally roll back; nothing may 5xx (run under -race).
+func TestConcurrentReadsDuringIngest(t *testing.T) {
+	var srv *Server
+	srv = New(testOntology(0).Snapshot(), Options{CacheSize: 64, History: 8, Ingest: fakeIngester(&srv)})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	urls := []string{
+		"/healthz",
+		"/v1/stats",
+		"/v1/node?phrase=family+sedans&type=concept",
+		"/v1/search?q=sedan&limit=5",
+		"/v1/query/rewrite?q=best+family+sedans",
+		"/v1/metrics",
+	}
+	const (
+		readers = 16
+		iters   = 30
+		batches = 20
+	)
+	var wg sync.WaitGroup
+	var server5xx atomic.Int64
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c := &http.Client{Timeout: 10 * time.Second}
+			for i := 0; i < iters; i++ {
+				url := ts.URL + urls[(g+i)%len(urls)]
+				resp, err := c.Get(url)
+				if err != nil {
+					t.Errorf("GET %s: %v", url, err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode >= 500 {
+					server5xx.Add(1)
+					t.Errorf("GET %s = %d", url, resp.StatusCode)
+				}
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c := &http.Client{Timeout: 10 * time.Second}
+		for i := 0; i < batches; i++ {
+			body := fmt.Sprintf(`{"day":%d,"docs":[{"id":-1,"title":"doc %d","category":0,"day":%d}]}`, i+1, i, i+1)
+			resp, err := c.Post(ts.URL+"/v1/ingest", "application/json", bytes.NewReader([]byte(body)))
+			if err != nil {
+				t.Errorf("ingest: %v", err)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode >= 500 {
+				server5xx.Add(1)
+				t.Errorf("ingest = %d", resp.StatusCode)
+			}
+			if i%5 == 4 {
+				resp, err := c.Post(ts.URL+"/v1/rollback", "", nil)
+				if err != nil {
+					t.Errorf("rollback: %v", err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode >= 500 {
+					server5xx.Add(1)
+					t.Errorf("rollback = %d", resp.StatusCode)
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	if n := server5xx.Load(); n > 0 {
+		t.Fatalf("%d requests returned 5xx during live ingest", n)
 	}
 }
