@@ -112,8 +112,8 @@ func usage(w *os.File) {
 	fmt.Fprintln(w, `usage: giantctl <subcommand> [flags]
 
 subcommands:
-  build   build the ontology and save it           (-out ao.json [-tiny])
-  update  apply incremental update batches offline (-docs new.json [-in ao.json] [-out path] [-tiny])
+  build   build the ontology and save it           (-out ao.json [-tiny] [-shards K])
+  update  apply incremental update batches offline (-docs new.json [-in ao.json] [-out path] [-tiny] [-shards K])
   stats   print node/edge statistics               (-in ao.json)
   query   conceptualize/rewrite a query            (-q "best ...")
   tag     tag a document                           (-title "..." [-content ...] [-entities a,b])
@@ -142,10 +142,15 @@ func parse(fs *flag.FlagSet, args []string) error {
 }
 
 func buildSystem(tiny bool) (*giant.System, error) {
+	return buildShardedSystem(tiny, 1)
+}
+
+func buildShardedSystem(tiny bool, shards int) (*giant.System, error) {
 	cfg := giant.DefaultConfig()
 	if tiny {
 		cfg = giant.TinyConfig()
 	}
+	cfg.Shards = shards
 	return giant.Build(cfg)
 }
 
@@ -153,10 +158,11 @@ func runBuild(args []string) error {
 	fs := newFlagSet("build")
 	out := fs.String("out", "ao.json", "output path for the ontology JSON")
 	tiny := fs.Bool("tiny", false, "use the tiny configuration")
+	shards := fs.Int("shards", 1, "mine shard-parallel over K click-graph shards (output is identical for any K)")
 	if err := parse(fs, args); err != nil {
 		return err
 	}
-	sys, err := buildSystem(*tiny)
+	sys, err := buildShardedSystem(*tiny, *shards)
 	if err != nil {
 		return err
 	}
@@ -177,6 +183,7 @@ func runUpdate(args []string) error {
 	docs := fs.String("docs", "", "update batch JSON: a delta.Batch object or an array of them (required)")
 	out := fs.String("out", "ao-updated.json", "output path for the updated ontology JSON")
 	tiny := fs.Bool("tiny", false, "use the tiny configuration (must match the build that produced -in)")
+	shards := fs.Int("shards", 1, "apply batches shard-parallel over K shards (equivalent node/edge sets for any K)")
 	if err := parse(fs, args); err != nil {
 		return err
 	}
@@ -187,7 +194,7 @@ func runUpdate(args []string) error {
 	if err != nil {
 		return err
 	}
-	sys, err := buildSystem(*tiny)
+	sys, err := buildShardedSystem(*tiny, *shards)
 	if err != nil {
 		return err
 	}
@@ -199,7 +206,12 @@ func runUpdate(args []string) error {
 		sys.Ontology = base
 	}
 	for i, b := range batches {
-		_, d, err := sys.Ingest(b)
+		var d *delta.Delta
+		if *shards > 1 {
+			_, d, _, err = sys.IngestSharded(b)
+		} else {
+			_, d, err = sys.Ingest(b)
+		}
 		if err != nil {
 			return fmt.Errorf("update: batch %d: %w", i, err)
 		}

@@ -26,6 +26,13 @@
 // file automatically through the same reload path (-watch applies to -in
 // mode only). SIGINT/SIGTERM shut the server down gracefully.
 //
+// With -shards K (> 1) the ontology is partitioned K ways behind one
+// routing index: /v1/search scatter-gathers over the shard projections,
+// /v1/stats lists per-shard generations, and a live ingest republishes —
+// and bumps the generation of — only the shards its delta touched,
+// computing the delta shard-parallel. Results are identical to -shards 1;
+// only scheduling and the unit of publication change.
+//
 // Rollback and reload operate on the SERVING tier only: in -build mode
 // the in-process mining system keeps its accumulated click graph and
 // ontology, so a rollback is a serving-side mitigation — the next
@@ -64,26 +71,29 @@ func main() {
 		grace   = flag.Duration("grace", 5*time.Second, "graceful-shutdown drain timeout")
 		history = flag.Int("history", ontology.DefaultRetention, "snapshot generations retained for /v1/rollback")
 		watch   = flag.Duration("watch", 0, "poll -in for changes at this interval and hot-swap automatically (0 disables)")
+		shards  = flag.Int("shards", 1, "partition the ontology K ways: per-shard generations, scatter-gather search, shard-parallel ingest (1 = legacy)")
 	)
 	flag.Parse()
 	if *watch > 0 && (*build || *in == "") {
 		log.Printf("warning: -watch only applies when serving a file with -in; ignoring it")
 	}
-	if err := run(*in, *addr, *build, *tiny, *cache, *grace, *history, *watch); err != nil {
+	if err := run(*in, *addr, *build, *tiny, *cache, *grace, *history, *watch, *shards); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(in, addr string, build, tiny bool, cache int, grace time.Duration, history int, watch time.Duration) error {
+func run(in, addr string, build, tiny bool, cache int, grace time.Duration, history int, watch time.Duration, shards int) error {
 	opts := serve.Options{CacheSize: cache, History: history}
 	var snap *ontology.Snapshot
+	var sharded *ontology.ShardedSnapshot // sharded initial state (when -shards > 1)
 	switch {
 	case build:
 		cfg := giant.DefaultConfig()
 		if tiny {
 			cfg = giant.TinyConfig()
 		}
-		log.Printf("building ontology (tiny=%v)...", tiny)
+		cfg.Shards = shards
+		log.Printf("building ontology (tiny=%v, shards=%d)...", tiny, shards)
 		sys, err := giant.Build(cfg)
 		if err != nil {
 			return err
@@ -103,13 +113,33 @@ func run(in, addr string, build, tiny bool, cache int, grace time.Duration, hist
 			return rebuilt.Snapshot(), nil
 		}
 		// Live ingest: System.Ingest serializes internally; the serve
-		// layer additionally orders publishes under its swap lock.
-		opts.Ingest = func(b delta.Batch) (*ontology.Snapshot, *delta.Delta, error) {
-			next, d, err := sys.Ingest(b)
-			if err == nil {
-				log.Printf("ingested batch: %s", d.Summary())
+		// layer additionally orders publishes under its swap lock. With
+		// -shards > 1 the delta is computed shard-parallel and only the
+		// touched shards republish. The initial serving state must come
+		// from the System's own projection lineage: IngestSharded
+		// advances that lineage, and the server identifies unchanged
+		// shards by projection pointer — an independent re-partition
+		// would make the first ingest republish every shard.
+		if shards > 1 {
+			var err error
+			if sharded, err = sys.ShardedSnapshot(); err != nil {
+				return err
 			}
-			return next, d, err
+			opts.IngestSharded = func(b delta.Batch) (*ontology.ShardedSnapshot, *delta.Delta, []bool, error) {
+				next, d, touched, err := sys.IngestSharded(b)
+				if err == nil {
+					log.Printf("ingested batch: %s", d.Summary())
+				}
+				return next, d, touched, err
+			}
+		} else {
+			opts.Ingest = func(b delta.Batch) (*ontology.Snapshot, *delta.Delta, error) {
+				next, d, err := sys.Ingest(b)
+				if err == nil {
+					log.Printf("ingested batch: %s", d.Summary())
+				}
+				return next, d, err
+			}
 		}
 	case in != "":
 		var err error
@@ -121,8 +151,20 @@ func run(in, addr string, build, tiny bool, cache int, grace time.Duration, hist
 		return fmt.Errorf("need -in <ontology.json> or -build (see giantctl build -out)")
 	}
 
-	srv := serve.New(snap, opts)
-	log.Printf("serving %s on %s", snap, addr)
+	var srv *serve.Server
+	if shards > 1 {
+		if sharded == nil { // -in mode: partition the loaded snapshot
+			var err error
+			if sharded, err = ontology.ShardSnapshot(snap, shards); err != nil {
+				return err
+			}
+		}
+		srv = serve.NewSharded(sharded, opts)
+		log.Printf("serving %s on %s (%d shards)", snap, addr, shards)
+	} else {
+		srv = serve.New(snap, opts)
+		log.Printf("serving %s on %s", snap, addr)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -166,8 +208,13 @@ func watchFile(ctx context.Context, path string, every time.Duration, srv *serve
 			log.Printf("watch: %s changed but failed to load (will retry): %v", path, err)
 			continue
 		}
+		gen, err := srv.SwapSnapshot(snap)
+		if err != nil {
+			// lastMod stays put so the next tick retries the publish.
+			log.Printf("watch: %s loaded but failed to publish (will retry): %v", path, err)
+			continue
+		}
 		lastMod = fi.ModTime()
-		gen := srv.Swap(snap)
 		log.Printf("watch: hot-swapped %s as generation %d", snap, gen)
 	}
 }

@@ -61,6 +61,14 @@ type Config struct {
 	// identical for every value — parallel shards are merged in a
 	// deterministic order before anything is committed.
 	Parallelism int
+	// Shards partitions the click graph and the ontology K ways: mining
+	// and delta ingest run shard-parallel, and System.ShardedSnapshot /
+	// System.IngestSharded publish per-shard ontology projections for the
+	// sharded serving tier. <= 1 (the default) is the legacy single-shard
+	// path with byte-identical output; for any K the built ontology is
+	// identical and the ingested node/edge sets are equivalent — sharding
+	// changes scheduling and the unit of publication, never results.
+	Shards int
 	// Update is the incremental-maintenance policy (per-type TTL decay and
 	// linking thresholds) applied by System.Ingest. Zero-valued threshold
 	// fields fall back to this config's batch thresholds.
@@ -73,6 +81,14 @@ func (c Config) parallelism() int {
 		return c.Parallelism
 	}
 	return runtime.GOMAXPROCS(0)
+}
+
+// shards resolves the effective shard count.
+func (c Config) shards() int {
+	if c.Shards > 1 {
+		return c.Shards
+	}
+	return 1
 }
 
 // DefaultConfig is a laptop-scale end-to-end configuration.
@@ -88,6 +104,7 @@ func DefaultConfig() Config {
 		PatternMinFreq:   2,
 		PatternMinSearch: 2,
 		Seed:             42,
+		Shards:           1,
 		Update:           delta.DefaultPolicy(),
 	}
 }
@@ -114,9 +131,14 @@ type System struct {
 	Ontology *ontology.Ontology
 	CEClf    *linking.CEClassifier
 	Embedder *linking.EntityEmbedder
+	// Sharding is the click graph's shard assignment when Cfg.Shards > 1
+	// (recomputed per ingest batch: new clicks can merge components).
+	Sharding *clickgraph.Sharding
 
-	conceptContext map[string][]string // concept phrase -> top titles
-	ingestMu       sync.Mutex          // serializes System.Ingest
+	conceptContext map[string][]string       // concept phrase -> top titles
+	sharded        *ontology.ShardedSnapshot // cached sharded projection of Ontology
+	shardedFrom    *ontology.Ontology        // the Ontology value sharded was derived from
+	ingestMu       sync.Mutex                // serializes System.Ingest/IngestSharded
 }
 
 // Build runs the whole pipeline.
@@ -174,8 +196,15 @@ func BuildUpToDay(cfg Config, day int) (*System, error) {
 	sys.Miner = core.NewMiner(phraseModel, keyModel, lex)
 	sys.Miner.Parallelism = cfg.parallelism()
 
-	// Algorithm 1: mine attentions.
-	sys.Mined = sys.Miner.Mine(sys.Click)
+	// Algorithm 1: mine attentions. With Shards > 1, the cluster walks are
+	// partitioned by the click graph's shard assignment (connected
+	// clusters never straddle shards); the mined output is identical.
+	if k := cfg.shards(); k > 1 {
+		sys.Sharding = sys.Click.ShardAssignment(k)
+		sys.Mined = sys.Miner.MineSharded(sys.Click, sys.Sharding)
+	} else {
+		sys.Mined = sys.Miner.Mine(sys.Click)
+	}
 
 	// Assemble ontology.
 	if err := sys.assemble(); err != nil {
@@ -590,6 +619,37 @@ func (sys *System) entityCorrelatePairs() [][2]string {
 // never disturb its readers.
 func (sys *System) Snapshot() *ontology.Snapshot {
 	return sys.Ontology.Snapshot()
+}
+
+// ShardedSnapshot returns the ontology partitioned into Cfg.Shards
+// per-shard projections behind one routing index (see
+// ontology.ShardedSnapshot). The projection is cached and advanced
+// incrementally by IngestSharded, so repeated calls between ingests are
+// free; with Shards <= 1 it wraps the plain snapshot at zero cost.
+func (sys *System) ShardedSnapshot() (*ontology.ShardedSnapshot, error) {
+	sys.ingestMu.Lock()
+	defer sys.ingestMu.Unlock()
+	return sys.shardedLocked()
+}
+
+// shardedLocked resolves the cached sharded projection, rebuilding it when
+// absent, built for a different shard count, or derived from an Ontology
+// value that has since been swapped out (Ontology is an exported field —
+// giantctl update reassigns it to a loaded base before replaying deltas,
+// and a stale projection would silently diff against the wrong world).
+// Caller holds ingestMu.
+func (sys *System) shardedLocked() (*ontology.ShardedSnapshot, error) {
+	k := sys.Cfg.shards()
+	if sys.sharded != nil && sys.sharded.NumShards() == k && sys.shardedFrom == sys.Ontology {
+		return sys.sharded, nil
+	}
+	ss, err := ontology.ShardSnapshot(sys.Ontology.Snapshot(), k)
+	if err != nil {
+		return nil, err
+	}
+	sys.sharded = ss
+	sys.shardedFrom = sys.Ontology
+	return ss, nil
 }
 
 // ConceptContext returns a copy of the concept phrase -> top clicked

@@ -9,6 +9,7 @@ package giant
 import (
 	"fmt"
 
+	"giant/internal/core"
 	"giant/internal/delta"
 	"giant/internal/linking"
 	"giant/internal/ontology"
@@ -36,6 +37,72 @@ func (sys *System) Ingest(batch delta.Batch) (*ontology.Snapshot, *delta.Delta, 
 	sys.ingestMu.Lock()
 	defer sys.ingestMu.Unlock()
 
+	seeds, day, err := sys.applyBatchLocked(batch)
+	if err != nil {
+		return nil, nil, err
+	}
+	mined := sys.Miner.MineSeeds(sys.Click, seeds)
+
+	cur := sys.Ontology.Snapshot()
+	d := delta.Compute(cur, mined, seeds, day, sys.updatePolicy(), sys.deltaSource())
+	next, err := delta.Apply(cur, d)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := sys.adoptGenerationLocked(next, mined, d.Retire); err != nil {
+		return nil, nil, err
+	}
+	// The cached sharded projection (if any) no longer matches the union;
+	// the next ShardedSnapshot call re-derives it.
+	sys.sharded = nil
+	return next, d, nil
+}
+
+// IngestSharded is Ingest for a sharded deployment (Cfg.Shards > 1): the
+// batch's affected seeds are re-mined once, the delta is computed
+// shard-parallel (delta.ComputeSharded over the click graph's current
+// shard assignment) and applied per shard, re-deriving only the touched
+// projections. It returns the advanced sharded snapshot, the merged delta
+// and the touched-shard flags — the serving tier bumps only the touched
+// shards' generations. The resulting union node/edge sets are equivalent
+// to Ingest's for the same batch sequence.
+func (sys *System) IngestSharded(batch delta.Batch) (*ontology.ShardedSnapshot, *delta.Delta, []bool, error) {
+	sys.ingestMu.Lock()
+	defer sys.ingestMu.Unlock()
+
+	cur, err := sys.shardedLocked()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	seeds, day, err := sys.applyBatchLocked(batch)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	k := sys.Cfg.shards()
+	// Recompute the shard assignment on the extended graph: the batch's
+	// clicks may have bridged components (the merged component lands on
+	// one deterministic shard).
+	sys.Sharding = sys.Click.ShardAssignment(k)
+	mined := sys.Miner.MineSeeds(sys.Click, seeds)
+
+	deltas := delta.ComputeSharded(cur.Union(), mined, seeds, day, sys.updatePolicy(), sys.deltaSource(), sys.Sharding.Of, k)
+	next, merged, touched, err := delta.ApplySharded(cur, deltas)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if err := sys.adoptGenerationLocked(next.Union(), mined, merged.Retire); err != nil {
+		return nil, nil, nil, err
+	}
+	sys.sharded = next
+	sys.shardedFrom = sys.Ontology
+	return next, merged, touched, nil
+}
+
+// applyBatchLocked validates one update batch and, only when it is valid
+// as a whole, extends the corpus, the click stream and the click graph,
+// returning the affected seed queries to re-mine and the batch day.
+// Caller holds ingestMu.
+func (sys *System) applyBatchLocked(batch delta.Batch) ([]string, int, error) {
 	day := batch.EffectiveDay()
 
 	// Validation pass: plan every doc and resolve every click BEFORE any
@@ -53,7 +120,7 @@ func (sys *System) Ingest(batch delta.Batch) (*ontology.Snapshot, *delta.Delta, 
 		switch {
 		case bd.ID >= 0 && bd.ID < len(sys.Log.Docs):
 			if sys.Log.Docs[bd.ID].Title != bd.Title {
-				return nil, nil, fmt.Errorf("giant: ingest: doc ID %d collides with existing %q: %w", bd.ID, sys.Log.Docs[bd.ID].Title, delta.ErrInvalidBatch)
+				return nil, 0, fmt.Errorf("giant: ingest: doc ID %d collides with existing %q: %w", bd.ID, sys.Log.Docs[bd.ID].Title, delta.ErrInvalidBatch)
 			}
 			batchDocIDs = append(batchDocIDs, bd.ID)
 			isNewDoc = append(isNewDoc, false)
@@ -62,7 +129,7 @@ func (sys *System) Ingest(batch delta.Batch) (*ontology.Snapshot, *delta.Delta, 
 			isNewDoc = append(isNewDoc, true)
 			nextID++
 		default:
-			return nil, nil, fmt.Errorf("giant: ingest: doc ID %d is not contiguous (next free ID is %d; use -1 to auto-assign): %w", bd.ID, nextID, delta.ErrInvalidBatch)
+			return nil, 0, fmt.Errorf("giant: ingest: doc ID %d is not contiguous (next free ID is %d; use -1 to auto-assign): %w", bd.ID, nextID, delta.ErrInvalidBatch)
 		}
 	}
 	clicks := append([]delta.Click(nil), batch.Clicks...)
@@ -71,12 +138,12 @@ func (sys *System) Ingest(batch delta.Batch) (*ontology.Snapshot, *delta.Delta, 
 		if c.DocID < 0 {
 			idx := -c.DocID - 1
 			if idx >= len(batchDocIDs) {
-				return nil, nil, fmt.Errorf("giant: ingest: click references batch doc #%d but the batch has %d docs: %w", idx, len(batchDocIDs), delta.ErrInvalidBatch)
+				return nil, 0, fmt.Errorf("giant: ingest: click references batch doc #%d but the batch has %d docs: %w", idx, len(batchDocIDs), delta.ErrInvalidBatch)
 			}
 			c.DocID = batchDocIDs[idx]
 		}
 		if c.DocID >= nextID {
-			return nil, nil, fmt.Errorf("giant: ingest: click references unknown doc %d: %w", c.DocID, delta.ErrInvalidBatch)
+			return nil, 0, fmt.Errorf("giant: ingest: click references unknown doc %d: %w", c.DocID, delta.ErrInvalidBatch)
 		}
 		if c.Day == 0 {
 			c.Day = day
@@ -121,27 +188,23 @@ func (sys *System) Ingest(batch delta.Batch) (*ontology.Snapshot, *delta.Delta, 
 		docIDs = append(docIDs, id)
 	}
 
-	// Delta-mine only the affected cluster neighbourhood.
-	seeds := sys.Click.AffectedQueries(queries, docIDs, sys.Miner.Walk.Steps)
-	mined := sys.Miner.MineSeeds(sys.Click, seeds)
+	// The affected cluster neighbourhood: only these seeds are re-mined.
+	return sys.Click.AffectedQueries(queries, docIDs, sys.Miner.Walk.Steps), day, nil
+}
 
-	cur := sys.Ontology.Snapshot()
-	d := delta.Compute(cur, mined, seeds, day, sys.updatePolicy(), sys.deltaSource())
-	next, err := delta.Apply(cur, d)
-	if err != nil {
-		return nil, nil, err
-	}
+// adoptGenerationLocked advances the system's working ontology to the
+// applied snapshot and refreshes the §4 application builders' bookkeeping
+// (taggers, story trees): concept contexts, newly mined attentions, and
+// retired records. The concept-context map is replaced copy-on-write —
+// maps handed out by ConceptContext (e.g. to request handlers in a serving
+// tier) are never mutated. Caller holds ingestMu.
+func (sys *System) adoptGenerationLocked(next *ontology.Snapshot, mined []core.Mined, retires []delta.Ref) error {
 	adopted, err := ontology.FromSnapshot(next)
 	if err != nil {
-		return nil, nil, fmt.Errorf("giant: ingest: adopt generation: %w", err)
+		return fmt.Errorf("giant: ingest: adopt generation: %w", err)
 	}
 	sys.Ontology = adopted
 
-	// Bookkeeping so the §4 application builders (taggers, story trees)
-	// see the update: refresh concept contexts, record newly mined
-	// attentions, and forget retired ones. The concept-context map is
-	// replaced copy-on-write — maps handed out by ConceptContext (e.g. to
-	// request handlers in a serving tier) are never mutated.
 	ctx := make(map[string][]string, len(sys.conceptContext)+len(mined))
 	for k, v := range sys.conceptContext {
 		ctx[k] = v
@@ -177,11 +240,11 @@ func (sys *System) Ingest(batch delta.Batch) (*ontology.Snapshot, *delta.Delta, 
 			sys.Mined = append(sys.Mined, mc)
 		}
 	}
-	if len(d.Retire) > 0 {
+	if len(retires) > 0 {
 		// Retirement is typed: an event aging out must not purge a
 		// same-phrase concept's records (they are distinct nodes).
 		retiredEvent, retiredConcept := map[string]bool{}, map[string]bool{}
-		for _, r := range d.Retire {
+		for _, r := range retires {
 			switch r.Type {
 			case ontology.Event:
 				retiredEvent[r.Phrase] = true
@@ -203,7 +266,7 @@ func (sys *System) Ingest(batch delta.Batch) (*ontology.Snapshot, *delta.Delta, 
 		}
 	}
 	sys.conceptContext = ctx
-	return next, d, nil
+	return nil
 }
 
 // updatePolicy resolves the effective incremental policy, defaulting the
@@ -225,7 +288,8 @@ func (sys *System) deltaSource() delta.Source {
 	w := sys.World
 	docOK := func(docID int) bool { return docID >= 0 && docID < len(sys.Log.Docs) }
 	return delta.Source{
-		Lexicon: w.Lexicon,
+		Lexicon:     w.Lexicon,
+		Parallelism: sys.Cfg.parallelism(),
 		DocCategory: func(docID int) (int, bool) {
 			if !docOK(docID) {
 				return 0, false

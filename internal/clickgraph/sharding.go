@@ -1,0 +1,117 @@
+package clickgraph
+
+// Deterministic shard assignment for the click graph. The graph is
+// partitioned by connected component: queries and documents that are
+// transitively connected by click edges always land in the same shard, so
+// a random-walk cluster (which can only visit its seed's component) never
+// straddles a shard boundary. Each component is hashed — by its
+// lexicographically smallest query, a representative that does not depend
+// on insertion order — onto one of K shards, which keeps the assignment a
+// pure function of the graph's structure: rebuilding the same graph in any
+// edge order yields the same sharding, and a batch of new clicks that
+// bridges two previously disconnected components deterministically merges
+// them onto a single shard.
+//
+// Components are maintained incrementally (Graph.Add unions the query and
+// doc slots of every new edge), so computing an assignment after an ingest
+// batch costs O(queries), not a rescan of the whole edge list.
+
+import "hash/fnv"
+
+// Sharding is a computed shard assignment over a click graph's queries.
+type Sharding struct {
+	k       int
+	byQuery map[string]int
+}
+
+// K returns the shard count the assignment was computed for.
+func (s *Sharding) K() int {
+	if s == nil || s.k < 1 {
+		return 1
+	}
+	return s.k
+}
+
+// Of returns the shard of a query, or ok=false for queries the graph has
+// never seen.
+func (s *Sharding) Of(query string) (int, bool) {
+	if s == nil {
+		return 0, false
+	}
+	shard, ok := s.byQuery[query]
+	return shard, ok
+}
+
+// QueriesOf lists the queries assigned to each shard, preserving the
+// graph's query-insertion order within a shard.
+func (s *Sharding) QueriesOf(queries []string) [][]string {
+	out := make([][]string, s.K())
+	for _, q := range queries {
+		if shard, ok := s.Of(q); ok {
+			out[shard] = append(out[shard], q)
+		}
+	}
+	return out
+}
+
+// ShardAssignment partitions the graph's connected components over k
+// shards (k <= 1 collapses to a single shard). The assignment depends only
+// on the graph's structure, never on insertion order. It reads the
+// incrementally maintained union-find, so the cost is O(queries) — safe to
+// recompute per ingest batch. Not safe to call concurrently with Add or
+// with itself (path compression writes); callers serialize graph mutation
+// already.
+func (g *Graph) ShardAssignment(k int) *Sharding {
+	if k < 1 {
+		k = 1
+	}
+	s := &Sharding{k: k, byQuery: make(map[string]int, len(g.queries))}
+
+	// Component representative: the lexicographically smallest query. A
+	// component always contains at least one query (documents only enter
+	// the graph attached to a query edge).
+	rep := map[int]string{}
+	for qi, q := range g.queries {
+		r := g.find(g.qSlot[qi])
+		if cur, ok := rep[r]; !ok || q < cur {
+			rep[r] = q
+		}
+	}
+	for qi, q := range g.queries {
+		s.byQuery[q] = shardOfKey(rep[g.find(g.qSlot[qi])], k)
+	}
+	return s
+}
+
+// newSlot allocates a union-find slot for a new query or doc.
+func (g *Graph) newSlot() int {
+	g.uf = append(g.uf, len(g.uf))
+	return len(g.uf) - 1
+}
+
+// find resolves a slot's component root with path halving.
+func (g *Graph) find(x int) int {
+	for g.uf[x] != x {
+		g.uf[x] = g.uf[g.uf[x]]
+		x = g.uf[x]
+	}
+	return x
+}
+
+// union merges the components of two slots.
+func (g *Graph) union(a, b int) {
+	ra, rb := g.find(a), g.find(b)
+	if ra != rb {
+		g.uf[ra] = rb
+	}
+}
+
+// shardOfKey hashes a canonical key onto [0, k).
+func shardOfKey(key string, k int) int {
+	if k <= 1 {
+		return 0
+	}
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return int(h.Sum32() % uint32(k))
+}

@@ -1,0 +1,143 @@
+package clickgraph
+
+import (
+	"reflect"
+	"testing"
+)
+
+// twoComponents builds a graph with two disconnected components: cars
+// (queries best cars / cars roundup on doc 1) and phones (best phones on
+// doc 2).
+func twoComponents() *Graph {
+	g := New()
+	g.Add("best cars", 1, "cars title", 3, 0)
+	g.Add("cars roundup", 1, "cars title", 3, 0)
+	g.Add("best phones", 2, "phones title", 3, 0)
+	return g
+}
+
+func TestShardAssignmentKeepsComponentsTogether(t *testing.T) {
+	g := twoComponents()
+	for _, k := range []int{1, 2, 4, 7} {
+		sh := g.ShardAssignment(k)
+		if sh.K() != k {
+			t.Fatalf("K() = %d, want %d", sh.K(), k)
+		}
+		a, ok1 := sh.Of("best cars")
+		b, ok2 := sh.Of("cars roundup")
+		if !ok1 || !ok2 || a != b {
+			t.Fatalf("k=%d: connected queries on different shards (%d, %d)", k, a, b)
+		}
+		if a < 0 || a >= k {
+			t.Fatalf("k=%d: shard %d out of range", k, a)
+		}
+		if _, ok := sh.Of("never seen"); ok {
+			t.Fatal("unknown query must not resolve")
+		}
+	}
+}
+
+// TestShardAssignmentInsertionOrderIndependent: the assignment is a pure
+// function of the graph's structure, not of edge arrival order.
+func TestShardAssignmentInsertionOrderIndependent(t *testing.T) {
+	g1 := twoComponents()
+	g2 := New()
+	g2.Add("best phones", 2, "phones title", 3, 0)
+	g2.Add("cars roundup", 1, "cars title", 3, 0)
+	g2.Add("best cars", 1, "cars title", 3, 0)
+	for _, k := range []int{2, 4} {
+		s1, s2 := g1.ShardAssignment(k), g2.ShardAssignment(k)
+		for _, q := range []string{"best cars", "cars roundup", "best phones"} {
+			a, _ := s1.Of(q)
+			b, _ := s2.Of(q)
+			if a != b {
+				t.Fatalf("k=%d: %q assigned to %d and %d depending on insertion order", k, q, a, b)
+			}
+		}
+	}
+}
+
+// TestShardAssignmentBridgedComponentsMerge: a batch whose clicks bridge
+// two previously disconnected clusters must deterministically land the
+// merged component on a single shard.
+func TestShardAssignmentBridgedComponentsMerge(t *testing.T) {
+	g := twoComponents()
+	// Bridge: a new query clicking both doc 1 (cars) and doc 2 (phones).
+	g.Add("cars or phones", 1, "cars title", 1, 2)
+	g.Add("cars or phones", 2, "phones title", 1, 2)
+	for _, k := range []int{2, 4, 8} {
+		sh := g.ShardAssignment(k)
+		want, _ := sh.Of("best cars")
+		for _, q := range []string{"cars roundup", "best phones", "cars or phones"} {
+			got, ok := sh.Of(q)
+			if !ok || got != want {
+				t.Fatalf("k=%d: %q on shard %d, want merged component on %d", k, q, got, want)
+			}
+		}
+		// Deterministic: the merged representative is the smallest query.
+		if want != shardOfKey("best cars", k) {
+			t.Fatalf("k=%d: merged shard %d, want hash of smallest query %d", k, want, shardOfKey("best cars", k))
+		}
+	}
+}
+
+func TestQueriesOfPartitionsAllQueries(t *testing.T) {
+	g := twoComponents()
+	sh := g.ShardAssignment(2)
+	parts := sh.QueriesOf(g.Queries())
+	total := 0
+	for shard, qs := range parts {
+		for _, q := range qs {
+			got, _ := sh.Of(q)
+			if got != shard {
+				t.Fatalf("query %q listed under shard %d but assigned to %d", q, shard, got)
+			}
+			total++
+		}
+	}
+	if total != g.NumQueries() {
+		t.Fatalf("partition covers %d of %d queries", total, g.NumQueries())
+	}
+}
+
+// TestAffectedQueriesEmptyBatch: a batch with no recognizable queries or
+// docs affects nothing.
+func TestAffectedQueriesEmptyBatch(t *testing.T) {
+	g := twoComponents()
+	if got := g.AffectedQueries(nil, nil, 3); len(got) != 0 {
+		t.Fatalf("empty batch affected %v", got)
+	}
+	if got := g.AffectedQueries([]string{}, []int{}, 0); len(got) != 0 {
+		t.Fatalf("empty slices affected %v", got)
+	}
+}
+
+// TestAffectedQueriesDocWithoutQueries: a doc ID the graph has never seen
+// (no query references it) contributes nothing — and does not panic.
+func TestAffectedQueriesDocWithoutQueries(t *testing.T) {
+	g := twoComponents()
+	if got := g.AffectedQueries(nil, []int{999}, 3); len(got) != 0 {
+		t.Fatalf("unknown doc affected %v", got)
+	}
+	// Mixed: one known doc, one unknown; only the known doc's component
+	// is affected.
+	got := g.AffectedQueries(nil, []int{2, 999}, 3)
+	if !reflect.DeepEqual(got, []string{"best phones"}) {
+		t.Fatalf("AffectedQueries(doc 2 + unknown) = %v", got)
+	}
+}
+
+// TestAffectedQueriesBridgingBatch: after clicks bridge two previously
+// disconnected clusters, the affected set expands through the new edges
+// into BOTH old components (the shard-merge case: every seed whose walk
+// can now cross the bridge must re-mine).
+func TestAffectedQueriesBridgingBatch(t *testing.T) {
+	g := twoComponents()
+	g.Add("cars or phones", 1, "cars title", 1, 2)
+	g.Add("cars or phones", 2, "phones title", 1, 2)
+	got := g.AffectedQueries([]string{"cars or phones"}, []int{1, 2}, 3)
+	want := []string{"best cars", "best phones", "cars or phones", "cars roundup"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("bridging batch affected %v, want %v", got, want)
+	}
+}

@@ -137,6 +137,37 @@ func (m *Miner) Mine(g *clickgraph.Graph) []Mined {
 	return m.normalize(m.mineClusters(g, clusters))
 }
 
+// MineSharded runs Algorithm 1 with the cluster walks and per-cluster
+// inference partitioned by a click-graph shard assignment: each shard's
+// queries are walked and mined as a contiguous block of the worker pool's
+// work list. Because connected clusters never straddle shards, the cluster
+// set is exactly Mine's; candidates still merge in seed order and
+// normalization stays a single global pass, so the output is identical to
+// Mine for every shard assignment (sharding changes scheduling, never
+// results).
+func (m *Miner) MineSharded(g *clickgraph.Graph, sh *clickgraph.Sharding) []Mined {
+	if sh == nil || sh.K() <= 1 {
+		return m.Mine(g)
+	}
+	var ordered []string
+	for _, qs := range sh.QueriesOf(g.Queries()) {
+		ordered = append(ordered, qs...)
+	}
+	slots := make([]*clickgraph.Cluster, len(ordered))
+	par.ForEachIndexed(m.workers(), len(ordered), func(i int) {
+		if cl, ok := g.ClusterFor(ordered[i], m.Walk); ok {
+			slots[i] = &cl
+		}
+	})
+	clusters := make([]clickgraph.Cluster, 0, len(ordered))
+	for _, s := range slots {
+		if s != nil {
+			clusters = append(clusters, *s)
+		}
+	}
+	return m.normalize(m.mineClusters(g, clusters))
+}
+
 // MineSeeds runs the same pipeline restricted to the clusters of the given
 // seed queries — the incremental path: after a batch of new click edges,
 // only the affected neighbourhood (see clickgraph.AffectedQueries) needs

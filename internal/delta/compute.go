@@ -1,12 +1,14 @@
 package delta
 
 import (
+	"runtime"
 	"sort"
 
 	"giant/internal/core"
 	"giant/internal/linking"
 	"giant/internal/nlp"
 	"giant/internal/ontology"
+	"giant/internal/par"
 	"giant/internal/phrase"
 )
 
@@ -14,7 +16,8 @@ import (
 // document metadata for category and concept-entity linking, the lexicon
 // for CSD, and the trained concept-entity classifier. Every callback may
 // be nil — the corresponding linking stage is then skipped, which degrades
-// coverage but never correctness.
+// coverage but never correctness. Callbacks must be safe for concurrent
+// calls: the diff passes fan out over a worker pool.
 type Source struct {
 	// Lexicon drives noun-phrase checks in Common Suffix Discovery.
 	Lexicon *nlp.Lexicon
@@ -33,28 +36,70 @@ type Source struct {
 	// ResolveEntity maps a recognized entity token to the full entity
 	// name.
 	ResolveEntity func(token string) (string, bool)
+	// Parallelism bounds the worker pool the candidate-diff passes fan out
+	// over; <= 0 means runtime.GOMAXPROCS(0). The computed delta is
+	// byte-identical for every value: parallel passes write proposals into
+	// index-ordered slots and a single sequential pass commits them.
+	Parallelism int
 }
 
-// Compute diffs freshly mined attentions against the current snapshot into
-// an explicit Delta. mined is the output of core.Miner.MineSeeds over the
-// affected seeds; day stamps the batch. The result is deterministic: a
-// pure function of (cur, mined, seeds, day, pol, src).
-func Compute(cur *ontology.Snapshot, mined []core.Mined, seeds []string, day int, pol Policy, src Source) *Delta {
-	d := &Delta{Day: day, Seeds: append([]string(nil), seeds...)}
-	edgeSeen := map[string]bool{}
-	addEdge := func(e EdgeAdd) {
-		k := refKey(e.SrcType, e.Src) + "\x01" + refKey(e.DstType, e.Dst) + "\x01" + e.Type.String()
-		if !edgeSeen[k] {
-			edgeSeen[k] = true
-			d.Edges = append(d.Edges, e)
-		}
+// workers resolves the effective worker-pool size.
+func (s *Source) workers() int {
+	if s.Parallelism > 0 {
+		return s.Parallelism
 	}
+	return runtime.GOMAXPROCS(0)
+}
 
-	// Pass 1: split mined attentions into brand-new nodes and touches of
-	// existing ones (matching canonical phrases first, then aliases).
-	newSet := map[string]bool{} // refKey of nodes added this delta
-	nodes := make([]minedNode, 0, len(mined))
-	touched := map[string]bool{} // refKey of touched existing nodes
+// deltaBuilder accumulates one Delta, deduplicating edges per delta.
+type deltaBuilder struct {
+	d        *Delta
+	edgeSeen map[string]bool
+}
+
+func newDeltaBuilder(day int, seeds []string) *deltaBuilder {
+	return &deltaBuilder{
+		d:        &Delta{Day: day, Seeds: append([]string(nil), seeds...)},
+		edgeSeen: map[string]bool{},
+	}
+}
+
+func (b *deltaBuilder) addEdge(e EdgeAdd) {
+	k := refKey(e.SrcType, e.Src) + "\x01" + refKey(e.DstType, e.Dst) + "\x01" + e.Type.String()
+	if !b.edgeSeen[k] {
+		b.edgeSeen[k] = true
+		b.d.Edges = append(b.d.Edges, e)
+	}
+}
+
+// deltaSink receives the structural output of the shared diff phases. The
+// single-delta path points every emit at one builder; the sharded path
+// routes each emit to the home shard's builder.
+type deltaSink interface {
+	emitAdd(a NodeAdd)
+	emitEdge(e EdgeAdd)
+	emitRetire(r Ref)
+}
+
+// builderSink is the single-delta sink.
+type builderSink struct{ b *deltaBuilder }
+
+func (s builderSink) emitAdd(a NodeAdd)  { s.b.d.Add = append(s.b.d.Add, a) }
+func (s builderSink) emitEdge(e EdgeAdd) { s.b.addEdge(e) }
+func (s builderSink) emitRetire(r Ref)   { s.b.d.Retire = append(s.b.d.Retire, r) }
+
+// classified is the outcome of the Add/Touch classification pass.
+type classified struct {
+	nodes   []minedNode
+	newSet  map[string]bool // refKey of nodes added this delta
+	touched map[string]bool // refKey of touched existing nodes
+}
+
+// classify splits mined attentions into brand-new nodes and touches of
+// existing ones (matching canonical phrases first, then aliases),
+// appending Add and Touch entries to the builder.
+func classify(cur *ontology.Snapshot, mined []core.Mined, b *deltaBuilder) *classified {
+	cl := &classified{newSet: map[string]bool{}, touched: map[string]bool{}}
 	for i := range mined {
 		m := &mined[i]
 		typ := ontology.Concept
@@ -62,102 +107,140 @@ func Compute(cur *ontology.Snapshot, mined []core.Mined, seeds []string, day int
 			typ = ontology.Event
 		}
 		if n, ok := findNode(cur, typ, m.Phrase); ok {
-			if !touched[refKey(typ, n.Phrase)] {
-				touched[refKey(typ, n.Phrase)] = true
+			if !cl.touched[refKey(typ, n.Phrase)] {
+				cl.touched[refKey(typ, n.Phrase)] = true
 				aliases := append([]string(nil), m.Aliases...)
 				if n.Phrase != m.Phrase {
 					aliases = append(aliases, m.Phrase)
 				}
-				d.Touch = append(d.Touch, NodeAdd{
+				b.d.Touch = append(b.d.Touch, NodeAdd{
 					Type: typ, Phrase: n.Phrase, Aliases: aliases,
 					Trigger: m.Trigger, Location: m.Location, Day: m.Day,
 				})
 			}
-			nodes = append(nodes, minedNode{m, typ, n.Phrase, false})
+			cl.nodes = append(cl.nodes, minedNode{m, typ, n.Phrase, false})
 			continue
 		}
-		if newSet[refKey(typ, m.Phrase)] {
+		if cl.newSet[refKey(typ, m.Phrase)] {
 			continue
 		}
-		newSet[refKey(typ, m.Phrase)] = true
-		d.Add = append(d.Add, NodeAdd{
+		cl.newSet[refKey(typ, m.Phrase)] = true
+		b.d.Add = append(b.d.Add, NodeAdd{
 			Type: typ, Phrase: m.Phrase, Aliases: append([]string(nil), m.Aliases...),
 			Trigger: m.Trigger, Location: m.Location, Day: max(m.Day, 0),
 		})
-		nodes = append(nodes, minedNode{m, typ, m.Phrase, true})
+		cl.nodes = append(cl.nodes, minedNode{m, typ, m.Phrase, true})
 	}
+	return cl
+}
 
-	// Attention-category isA edges: recompute P(g|p) = n_p^g / n_p over
-	// the re-mined clusters' clicked docs (the same estimate
-	// linking.AttentionCategoryEdges uses in the batch build, but keyed by
-	// (type, phrase) — a same-phrase concept and event are distinct nodes
-	// and must not share click-category counts). New phrases gain edges;
-	// re-observed phrases whose membership probability shifted are
-	// re-weighted.
-	if src.DocCategory != nil && src.CategoryPhrase != nil {
-		type catAgg struct {
-			mn   minedNode
-			cats map[int]int
+// categoryPhase recomputes attention-category isA edges: P(g|p) = n_p^g /
+// n_p over the re-mined clusters' clicked docs (the same estimate
+// linking.AttentionCategoryEdges uses in the batch build, but keyed by
+// (type, phrase) — a same-phrase concept and event are distinct nodes and
+// must not share click-category counts). New phrases gain edges;
+// re-observed phrases whose membership probability shifted are
+// re-weighted. The per-phrase proposals are computed on the worker pool
+// and committed in aggregation order.
+func categoryPhase(cur *ontology.Snapshot, nodes []minedNode, pol Policy, src Source, b *deltaBuilder, workers int) {
+	if src.DocCategory == nil || src.CategoryPhrase == nil {
+		return
+	}
+	type catAgg struct {
+		mn   minedNode
+		cats map[int]int
+	}
+	aggs := map[string]*catAgg{}
+	var order []string
+	for _, mn := range nodes {
+		k := refKey(mn.typ, mn.phrase)
+		a := aggs[k]
+		if a == nil {
+			a = &catAgg{mn: mn, cats: map[int]int{}}
+			aggs[k] = a
+			order = append(order, k)
 		}
-		aggs := map[string]*catAgg{}
-		var order []string
-		for _, mn := range nodes {
-			k := refKey(mn.typ, mn.phrase)
-			a := aggs[k]
-			if a == nil {
-				a = &catAgg{mn: mn, cats: map[int]int{}}
-				aggs[k] = a
-				order = append(order, k)
-			}
-			for _, docID := range mn.m.DocIDs {
-				if c, ok := src.DocCategory(docID); ok {
-					a.cats[c]++
-				}
+		for _, docID := range mn.m.DocIDs {
+			if c, ok := src.DocCategory(docID); ok {
+				a.cats[c]++
 			}
 		}
-		for _, k := range order {
-			a := aggs[k]
-			total := 0
-			catIDs := make([]int, 0, len(a.cats))
-			for g, n := range a.cats {
-				total += n
-				catIDs = append(catIDs, g)
-			}
-			if total == 0 {
+	}
+	type proposal struct {
+		e        EdgeAdd
+		reweight bool
+	}
+	slots := make([][]proposal, len(order))
+	par.ForEachIndexed(workers, len(order), func(i int) {
+		a := aggs[order[i]]
+		total := 0
+		catIDs := make([]int, 0, len(a.cats))
+		for g, n := range a.cats {
+			total += n
+			catIDs = append(catIDs, g)
+		}
+		if total == 0 {
+			return
+		}
+		sort.Ints(catIDs)
+		for _, g := range catIDs {
+			prob := float64(a.cats[g]) / float64(total)
+			if prob <= pol.CategoryDelta {
 				continue
 			}
-			sort.Ints(catIDs)
-			for _, g := range catIDs {
-				prob := float64(a.cats[g]) / float64(total)
-				if prob <= pol.CategoryDelta {
-					continue
+			catPhrase, ok := src.CategoryPhrase(g)
+			if !ok {
+				continue
+			}
+			e := EdgeAdd{
+				SrcType: ontology.Category, Src: catPhrase,
+				DstType: a.mn.typ, Dst: a.mn.phrase,
+				Type: ontology.IsA, Weight: prob,
+			}
+			if a.mn.isNew {
+				slots[i] = append(slots[i], proposal{e, false})
+				continue
+			}
+			if w, exists := findEdge(cur, e); exists {
+				if w != prob {
+					slots[i] = append(slots[i], proposal{e, true})
 				}
-				catPhrase, ok := src.CategoryPhrase(g)
-				if !ok {
-					continue
-				}
-				e := EdgeAdd{
-					SrcType: ontology.Category, Src: catPhrase,
-					DstType: a.mn.typ, Dst: a.mn.phrase,
-					Type: ontology.IsA, Weight: prob,
-				}
-				if a.mn.isNew {
-					addEdge(e)
-					continue
-				}
-				if w, exists := findEdge(cur, e); exists {
-					if w != prob {
-						d.Reweight = append(d.Reweight, e)
-					}
-				} else {
-					addEdge(e)
-				}
+			} else {
+				slots[i] = append(slots[i], proposal{e, false})
+			}
+		}
+	})
+	for _, ps := range slots {
+		for _, p := range ps {
+			if p.reweight {
+				b.d.Reweight = append(b.d.Reweight, p.e)
+			} else {
+				b.addEdge(p.e)
 			}
 		}
 	}
+}
 
-	// Concept phrase inventory: existing + newly mined.
-	var newConcepts, newEvents []string
+// inventories is the phrase inventory the derivation phase works over:
+// existing attentions of the current snapshot unioned with the batch's
+// new ones.
+type inventories struct {
+	allConcepts, allEvents     []string
+	newConcepts                []string // batch's new concepts, mined order
+	newConceptSet, newEventSet map[string]bool
+	newSet                     map[string]bool // refKeys added this delta
+}
+
+// buildInventories derives the phrase inventories from a classification
+// pass. newSet is shared (the derivation phase extends it with derived
+// parents).
+func buildInventories(cur *ontology.Snapshot, nodes []minedNode, newSet map[string]bool) *inventories {
+	inv := &inventories{
+		newConceptSet: map[string]bool{},
+		newEventSet:   map[string]bool{},
+		newSet:        newSet,
+	}
+	var newEvents []string
 	for _, mn := range nodes {
 		if !mn.isNew {
 			continue
@@ -165,27 +248,55 @@ func Compute(cur *ontology.Snapshot, mined []core.Mined, seeds []string, day int
 		if mn.typ == ontology.Event {
 			newEvents = append(newEvents, mn.phrase)
 		} else {
-			newConcepts = append(newConcepts, mn.phrase)
+			inv.newConcepts = append(inv.newConcepts, mn.phrase)
 		}
 	}
-	allConcepts := phrasesOfType(cur, ontology.Concept)
-	allConcepts = append(allConcepts, newConcepts...)
-	allEvents := phrasesOfType(cur, ontology.Event)
-	allEvents = append(allEvents, newEvents...)
-	newConceptSet := map[string]bool{}
-	for _, c := range newConcepts {
-		newConceptSet[c] = true
+	inv.allConcepts = append(phrasesOfType(cur, ontology.Concept), inv.newConcepts...)
+	inv.allEvents = append(phrasesOfType(cur, ontology.Event), newEvents...)
+	for _, c := range inv.newConcepts {
+		inv.newConceptSet[c] = true
 	}
-	newEventSet := map[string]bool{}
 	for _, e := range newEvents {
-		newEventSet[e] = true
+		inv.newEventSet[e] = true
 	}
+	return inv
+}
+
+// derivePhase runs the inventory-wide linking: CSD-derived concept
+// parents, suffix isA among concepts, containment isA among events and
+// concept-topic involve edges. The three independent discovery scans fan
+// out over the worker pool; commits stay sequential in the fixed stage
+// order (CSD mutates the concept inventory that the suffix scan then
+// reads).
+func derivePhase(cur *ontology.Snapshot, inv *inventories, day int, pol Policy, src Source, sink deltaSink, workers int) {
+	var (
+		derived      []phrase.Derived
+		containPairs []linking.PhrasePair
+		involvePairs []linking.PhrasePair
+	)
+	topics := phrasesOfType(cur, ontology.Topic)
+	_ = par.RunStages(workers,
+		func() error {
+			derived = phrase.CommonSuffixDiscovery(inv.allConcepts, pol.SuffixMinFreq, src.Lexicon)
+			return nil
+		},
+		func() error { containPairs = linking.ContainmentIsAEdges(inv.allEvents); return nil },
+		func() error {
+			// Concept-topic involve: new concepts against the existing
+			// topic inventory (topic discovery itself — CPD — stays a
+			// batch-build concern; incremental batches extend membership).
+			if len(topics) > 0 && len(inv.newConcepts) > 0 {
+				involvePairs = linking.ConceptTopicInvolveEdges(inv.newConcepts, topics)
+			}
+			return nil
+		},
+	)
 
 	// Attention derivation: CSD parents over the unioned concept
 	// inventory. A derived parent that does not exist yet becomes an Add
 	// with edges to every child; an existing parent only gains edges to
 	// the batch's new children.
-	for _, der := range phrase.CommonSuffixDiscovery(allConcepts, pol.SuffixMinFreq, src.Lexicon) {
+	for _, der := range derived {
 		// Alias-aware resolution: a derived parent that only exists as an
 		// alias must link through its canonical node, never duplicate it.
 		parentPhrase := der.Phrase
@@ -194,17 +305,17 @@ func Compute(cur *ontology.Snapshot, mined []core.Mined, seeds []string, day int
 			parentPhrase = parentNode.Phrase
 		}
 		parentKey := refKey(ontology.Concept, parentPhrase)
-		if !parentExists && !newSet[parentKey] {
-			newSet[parentKey] = true
-			newConceptSet[parentPhrase] = true
-			allConcepts = append(allConcepts, parentPhrase)
-			d.Add = append(d.Add, NodeAdd{Type: ontology.Concept, Phrase: parentPhrase, Day: day})
+		if !parentExists && !inv.newSet[parentKey] {
+			inv.newSet[parentKey] = true
+			inv.newConceptSet[parentPhrase] = true
+			inv.allConcepts = append(inv.allConcepts, parentPhrase)
+			sink.emitAdd(NodeAdd{Type: ontology.Concept, Phrase: parentPhrase, Day: day})
 		}
 		for _, child := range der.Children {
-			if parentExists && !newConceptSet[child] {
+			if parentExists && !inv.newConceptSet[child] {
 				continue // pre-existing parent-child pair
 			}
-			addEdge(EdgeAdd{
+			sink.emitEdge(EdgeAdd{
 				SrcType: ontology.Concept, Src: parentPhrase,
 				DstType: ontology.Concept, Dst: child,
 				Type: ontology.IsA, Weight: 1,
@@ -214,47 +325,47 @@ func Compute(cur *ontology.Snapshot, mined []core.Mined, seeds []string, day int
 
 	// Suffix isA among concepts and containment isA among events: only
 	// pairs involving a phrase from this batch are new.
-	for _, pr := range linking.SuffixIsAEdges(allConcepts) {
-		if newConceptSet[pr.Parent] || newConceptSet[pr.Child] {
-			addEdge(EdgeAdd{
+	for _, pr := range linking.SuffixIsAEdges(inv.allConcepts) {
+		if inv.newConceptSet[pr.Parent] || inv.newConceptSet[pr.Child] {
+			sink.emitEdge(EdgeAdd{
 				SrcType: ontology.Concept, Src: pr.Parent,
 				DstType: ontology.Concept, Dst: pr.Child,
 				Type: ontology.IsA, Weight: 1,
 			})
 		}
 	}
-	for _, pr := range linking.ContainmentIsAEdges(allEvents) {
-		if newEventSet[pr.Parent] || newEventSet[pr.Child] {
-			addEdge(EdgeAdd{
+	for _, pr := range containPairs {
+		if inv.newEventSet[pr.Parent] || inv.newEventSet[pr.Child] {
+			sink.emitEdge(EdgeAdd{
 				SrcType: ontology.Event, Src: pr.Parent,
 				DstType: ontology.Event, Dst: pr.Child,
 				Type: ontology.IsA, Weight: 1,
 			})
 		}
 	}
-
-	// Concept-topic involve: new concepts against the existing topic
-	// inventory (topic discovery itself — CPD — stays a batch-build
-	// concern; incremental batches extend membership).
-	if topics := phrasesOfType(cur, ontology.Topic); len(topics) > 0 && len(newConcepts) > 0 {
-		for _, pr := range linking.ConceptTopicInvolveEdges(newConcepts, topics) {
-			addEdge(EdgeAdd{
-				SrcType: ontology.Topic, Src: pr.Parent,
-				DstType: ontology.Concept, Dst: pr.Child,
-				Type: ontology.Involve, Weight: 1,
-			})
-		}
+	for _, pr := range involvePairs {
+		sink.emitEdge(EdgeAdd{
+			SrcType: ontology.Topic, Src: pr.Parent,
+			DstType: ontology.Concept, Dst: pr.Child,
+			Type: ontology.Involve, Weight: 1,
+		})
 	}
+}
 
-	// Concept-entity isA (Fig. 4 classifier) and event-entity involve
-	// edges for the batch's new attentions.
-	for _, mn := range nodes {
+// entityPhase links the batch's new attentions to the existing entity
+// inventory: concept-entity isA via the Fig. 4 classifier, event-entity
+// involve via key-element resolution. Per-node candidate scans run on the
+// worker pool; commits follow mined order.
+func entityPhase(cur *ontology.Snapshot, nodes []minedNode, src Source, b *deltaBuilder, workers int) {
+	slots := make([][]EdgeAdd, len(nodes))
+	par.ForEachIndexed(workers, len(nodes), func(i int) {
+		mn := nodes[i]
 		if !mn.isNew {
-			continue
+			return
 		}
 		if mn.typ == ontology.Event {
 			if src.ResolveEntity == nil {
-				continue
+				return
 			}
 			for _, tok := range mn.m.Entities {
 				name, ok := src.ResolveEntity(tok)
@@ -262,17 +373,17 @@ func Compute(cur *ontology.Snapshot, mined []core.Mined, seeds []string, day int
 					continue
 				}
 				if _, exists := cur.Find(ontology.Entity, name); exists {
-					addEdge(EdgeAdd{
+					slots[i] = append(slots[i], EdgeAdd{
 						SrcType: ontology.Event, Src: mn.phrase,
 						DstType: ontology.Entity, Dst: name,
 						Type: ontology.Involve, Weight: 1,
 					})
 				}
 			}
-			continue
+			return
 		}
 		if src.DocEntities == nil {
-			continue
+			return
 		}
 		seen := map[string]bool{}
 		for _, docID := range mn.m.DocIDs {
@@ -291,21 +402,33 @@ func Compute(cur *ontology.Snapshot, mined []core.Mined, seeds []string, day int
 				if src.AcceptConceptEntity != nil && !src.AcceptConceptEntity(mn.phrase, name, content) {
 					continue
 				}
-				addEdge(EdgeAdd{
+				slots[i] = append(slots[i], EdgeAdd{
 					SrcType: ontology.Concept, Src: mn.phrase,
 					DstType: ontology.Entity, Dst: name,
 					Type: ontology.IsA, Weight: 1,
 				})
 			}
 		}
+	})
+	for _, es := range slots {
+		for _, e := range es {
+			b.addEdge(e)
+		}
 	}
+}
 
-	// TTL retirement: attention types decay when not re-observed. Nodes
-	// touched or re-mined this batch are fresh by definition.
-	for _, n := range cur.Nodes() {
+// ttlPhase applies TTL retirement: attention types decay when not
+// re-observed. Nodes touched or re-mined this batch are fresh by
+// definition. Verdicts are computed on the worker pool and emitted in
+// node-ID order.
+func ttlPhase(cur *ontology.Snapshot, touched map[string]bool, day int, pol Policy, sink deltaSink, workers int) {
+	nodes := cur.Nodes()
+	retire := make([]bool, len(nodes))
+	par.ForEachIndexed(workers, len(nodes), func(i int) {
+		n := &nodes[i]
 		ttl := pol.ttlFor(n.Type)
 		if ttl <= 0 || touched[refKey(n.Type, n.Phrase)] {
-			continue
+			return
 		}
 		last := n.FirstSeenDay
 		if n.LastSeenDay > last {
@@ -314,11 +437,30 @@ func Compute(cur *ontology.Snapshot, mined []core.Mined, seeds []string, day int
 		if n.Type == ontology.Event && n.Day > last {
 			last = n.Day
 		}
-		if day-last > ttl {
-			d.Retire = append(d.Retire, Ref{Type: n.Type, Phrase: n.Phrase})
+		retire[i] = day-last > ttl
+	})
+	for i := range nodes {
+		if retire[i] {
+			sink.emitRetire(Ref{Type: nodes[i].Type, Phrase: nodes[i].Phrase})
 		}
 	}
-	return d
+}
+
+// Compute diffs freshly mined attentions against the current snapshot into
+// an explicit Delta. mined is the output of core.Miner.MineSeeds over the
+// affected seeds; day stamps the batch. The result is deterministic: a
+// pure function of (cur, mined, seeds, day, pol, src) — including
+// src.Parallelism, which only changes how the candidate diffing is
+// scheduled, never what it emits.
+func Compute(cur *ontology.Snapshot, mined []core.Mined, seeds []string, day int, pol Policy, src Source) *Delta {
+	b := newDeltaBuilder(day, seeds)
+	w := src.workers()
+	cl := classify(cur, mined, b)
+	categoryPhase(cur, cl.nodes, pol, src, b, w)
+	derivePhase(cur, buildInventories(cur, cl.nodes, cl.newSet), day, pol, src, builderSink{b}, w)
+	entityPhase(cur, cl.nodes, src, b, w)
+	ttlPhase(cur, cl.touched, day, pol, builderSink{b}, w)
+	return b.d
 }
 
 // findNode resolves a (type, phrase) to the existing node, falling back to
@@ -372,14 +514,4 @@ type minedNode struct {
 	typ    ontology.NodeType
 	phrase string // canonical node phrase (existing node's for touches)
 	isNew  bool
-}
-
-// isEventPhrase reports whether the batch mined the phrase as an event.
-func isEventPhrase(nodes []minedNode, p string) bool {
-	for _, mn := range nodes {
-		if mn.phrase == p {
-			return mn.typ == ontology.Event
-		}
-	}
-	return false
 }

@@ -1,0 +1,250 @@
+package delta
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+
+	"giant/internal/core"
+	"giant/internal/ontology"
+)
+
+// richMined is a batch mixing touches, new concepts, new events and an
+// alias-resolved touch, spread over several seeds.
+func richMined() []core.Mined {
+	return []core.Mined{
+		{Phrase: "family sedans", Seed: "best family sedans", Day: 4, DocIDs: []int{0}},
+		{Phrase: "hybrid sedans", Seed: "top hybrid sedans", Day: 4, DocIDs: []int{1}},
+		{Phrase: "compact sedans", Seed: "compact sedans review", Day: 4, DocIDs: []int{0, 1}},
+		{Phrase: "automaker recalls sedans", IsEvent: true, Seed: "recall news", Day: 4, Entities: []string{"honda"}},
+		{Phrase: "automaker ships sedans", IsEvent: true, Seed: "shipping news", Day: 4, Trigger: "ships"},
+	}
+}
+
+func richSource() Source {
+	return Source{
+		DocCategory:    func(docID int) (int, bool) { return 0, true },
+		CategoryPhrase: func(cat int) (string, bool) { return "autos", cat == 0 },
+		DocEntities: func(docID int) []string {
+			if docID == 0 {
+				return []string{"honda civic"}
+			}
+			return []string{"toyota camry"}
+		},
+		DocContent:    func(docID int) string { return "sedans on the road" },
+		ResolveEntity: func(tok string) (string, bool) { return "honda civic", tok == "honda" },
+	}
+}
+
+var richSeeds = []string{"best family sedans", "top hybrid sedans", "compact sedans review", "recall news", "shipping news"}
+
+// TestComputeParallelDeterminism pins the satellite contract: the diff
+// passes may fan out over any worker count, but the emitted delta is
+// byte-identical to the serial path.
+func TestComputeParallelDeterminism(t *testing.T) {
+	cur := baseSnapshot(t)
+	for _, workers := range []int{2, 4, 8} {
+		serial, parallel := richSource(), richSource()
+		serial.Parallelism = 1
+		parallel.Parallelism = workers
+		d1 := Compute(cur, richMined(), richSeeds, 4, testPolicy(), serial)
+		dN := Compute(cur, richMined(), richSeeds, 4, testPolicy(), parallel)
+		if !reflect.DeepEqual(d1, dN) {
+			t.Fatalf("delta differs between Parallelism=1 and %d:\n serial:  %+v\n parallel: %+v", workers, d1, dN)
+		}
+	}
+}
+
+// snapshotFingerprint renders node and edge sets in a canonical,
+// ID-independent order.
+func snapshotFingerprint(t *testing.T, s *ontology.Snapshot) string {
+	t.Helper()
+	var lines []string
+	for _, n := range s.Nodes() {
+		aliases := append([]string(nil), n.Aliases...)
+		sort.Strings(aliases)
+		lines = append(lines, fmt.Sprintf("node|%s|%s|%v|%s|%s|%d|%d|%d",
+			n.Type, n.Phrase, aliases, n.Trigger, n.Location, n.Day, n.FirstSeenDay, n.LastSeenDay))
+	}
+	for _, e := range s.Edges() {
+		src, _ := s.Get(e.Src)
+		dst, _ := s.Get(e.Dst)
+		lines = append(lines, fmt.Sprintf("edge|%s|%s|%s|%s|%s|%.6f",
+			src.Type, src.Phrase, e.Type, dst.Type, dst.Phrase, e.Weight))
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}
+
+// seedShards assigns the rich seeds round-robin so the batch genuinely
+// splits across shards.
+func seedShards(k int) func(string) (int, bool) {
+	assign := map[string]int{}
+	for i, s := range richSeeds {
+		assign[s] = i % k
+	}
+	return func(s string) (int, bool) {
+		sh, ok := assign[s]
+		return sh, ok
+	}
+}
+
+// TestComputeShardedEquivalence pins the tentpole contract: applying the
+// per-shard deltas yields exactly the node/edge sets of the single-delta
+// path, for several shard counts.
+func TestComputeShardedEquivalence(t *testing.T) {
+	cur := baseSnapshot(t)
+	ref := Compute(cur, richMined(), richSeeds, 4, testPolicy(), richSource())
+	refNext, err := Apply(cur, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := snapshotFingerprint(t, refNext)
+	for _, k := range []int{2, 3, 4} {
+		deltas := ComputeSharded(cur, richMined(), richSeeds, 4, testPolicy(), richSource(), seedShards(k), k)
+		if len(deltas) != k {
+			t.Fatalf("ComputeSharded returned %d deltas for k=%d", len(deltas), k)
+		}
+		ss, err := ontology.ShardSnapshot(cur, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		next, merged, touched, err := ApplySharded(ss, deltas)
+		if err != nil {
+			t.Fatalf("ApplySharded k=%d: %v", k, err)
+		}
+		if got := snapshotFingerprint(t, next.Union()); got != want {
+			t.Fatalf("k=%d union diverges from single-delta path:\n got:\n%s\n want:\n%s", k, got, want)
+		}
+		if merged.Empty() {
+			t.Fatalf("k=%d merged delta unexpectedly empty", k)
+		}
+		if len(touched) != k {
+			t.Fatalf("k=%d touched flags = %v", k, touched)
+		}
+		// The merged per-shard projections must reproduce the union sets.
+		assertShardsCoverUnion(t, next)
+	}
+}
+
+// assertShardsCoverUnion checks the partition invariants: every union node
+// is home in exactly one shard, and the union of stored edges (phrase
+// keyed) equals the union snapshot's edges.
+func assertShardsCoverUnion(t *testing.T, ss *ontology.ShardedSnapshot) {
+	t.Helper()
+	union := ss.Union()
+	homes := map[string]int{}
+	totalHome := 0
+	for s := 0; s < ss.NumShards(); s++ {
+		for _, n := range ss.HomeNodes(s) {
+			key := n.Type.String() + "\x00" + n.Phrase
+			if prev, dup := homes[key]; dup {
+				t.Fatalf("node %q home in shards %d and %d", n.Phrase, prev, s)
+			}
+			homes[key] = s
+			totalHome++
+		}
+	}
+	if totalHome != union.NodeCount() {
+		t.Fatalf("home nodes %d != union nodes %d", totalHome, union.NodeCount())
+	}
+	edgeKeys := func(s *ontology.Snapshot) map[string]float64 {
+		out := map[string]float64{}
+		for _, e := range s.Edges() {
+			src, _ := s.Get(e.Src)
+			dst, _ := s.Get(e.Dst)
+			out[fmt.Sprintf("%s|%s|%s|%s|%s", src.Type, src.Phrase, e.Type, dst.Type, dst.Phrase)] = e.Weight
+		}
+		return out
+	}
+	want := edgeKeys(union)
+	got := map[string]float64{}
+	for s := 0; s < ss.NumShards(); s++ {
+		for k, w := range edgeKeys(ss.Shard(s)) {
+			if prev, ok := got[k]; ok && prev != w {
+				t.Fatalf("edge %s stored with weights %v and %v on different shards", k, prev, w)
+			}
+			got[k] = w
+		}
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("merged shard edges != union edges:\n got %d, want %d", len(got), len(want))
+	}
+}
+
+// TestApplyShardedReusesUntouchedProjections pins the publication unit: a
+// delta confined to one shard advances only that shard's projection.
+func TestApplyShardedReusesUntouchedProjections(t *testing.T) {
+	cur := baseSnapshot(t)
+	const k = 4
+	ss, err := ontology.ShardSnapshot(cur, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A pure touch of one existing concept (TTLs off so no retirement
+	// rides along): only its home shard (and no other) may republish.
+	mined := []core.Mined{{Phrase: "family sedans", Seed: "best family sedans", Day: 6}}
+	pol := testPolicy()
+	pol.EventTTL = 0
+	deltas := ComputeSharded(cur, mined, []string{"best family sedans"}, 6, pol, Source{}, func(string) (int, bool) { return 1, true }, k)
+	next, _, touched, err := ApplySharded(ss, deltas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	home, ok := ss.ShardOf(ontology.Concept, "family sedans")
+	if !ok {
+		t.Fatal("concept not routable")
+	}
+	for s := 0; s < k; s++ {
+		if s == home {
+			if !touched[s] {
+				t.Fatalf("home shard %d not touched", s)
+			}
+			continue
+		}
+		if touched[s] {
+			t.Fatalf("shard %d touched by a foreign delta: %v", s, touched)
+		}
+		if next.Shard(s) != ss.Shard(s) {
+			t.Fatalf("untouched shard %d was rebuilt", s)
+		}
+	}
+	if next.Shard(home) == ss.Shard(home) {
+		t.Fatal("touched home shard kept its stale projection")
+	}
+}
+
+// TestMergeDeltas checks day and slice merging.
+func TestMergeDeltas(t *testing.T) {
+	a := &Delta{Day: 3, Seeds: []string{"zz"}, Add: []NodeAdd{{Type: ontology.Concept, Phrase: "a"}}}
+	b := &Delta{Day: 5, Seeds: []string{"aa"}, Retire: []Ref{{Type: ontology.Event, Phrase: "e"}}}
+	m := MergeDeltas([]*Delta{a, b, nil})
+	if m.Day != 5 || len(m.Add) != 1 || len(m.Retire) != 1 {
+		t.Fatalf("merged = %+v", m)
+	}
+	if !sort.StringsAreSorted(m.Seeds) {
+		t.Fatalf("merged seeds not sorted: %v", m.Seeds)
+	}
+}
+
+// TestTouchedShardsRetireMarksNeighbors: retiring a node must also touch
+// the home shards of its neighbors (their projections lose the edge and
+// possibly a ghost).
+func TestTouchedShardsRetireMarksNeighbors(t *testing.T) {
+	cur := baseSnapshot(t)
+	const k = 8
+	d := &Delta{Day: 30, Retire: []Ref{{Type: ontology.Event, Phrase: "automaker recalls sedans"}}}
+	touched := TouchedShards(cur, d, k)
+	want := map[int]bool{
+		ontology.HomeShard(ontology.Event, "automaker recalls sedans", k): true,
+		// The event involves honda civic; its home shard loses the edge.
+		ontology.HomeShard(ontology.Entity, "honda civic", k): true,
+	}
+	for s, isTouched := range touched {
+		if isTouched != want[s] {
+			t.Fatalf("touched[%d] = %v, want %v (touched=%v)", s, isTouched, want[s], touched)
+		}
+	}
+}

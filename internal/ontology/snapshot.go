@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strings"
 )
 
@@ -390,32 +391,33 @@ func (s *Snapshot) SaveFile(path string) error {
 }
 
 // Search returns up to limit nodes whose phrase or alias contains the
-// (case-insensitive) needle, in node-ID order. A limit <= 0 means no limit.
+// (case-insensitive) needle, in node-ID order, early-exiting as soon as
+// limit matches are collected. A limit <= 0 means no limit.
 func (s *Snapshot) Search(needle string, limit int) []Node {
 	needle = strings.ToLower(needle)
 	if needle == "" {
 		return nil
 	}
-	var out []Node
-	for i := range s.nodes {
-		n := &s.nodes[i]
-		hit := strings.Contains(strings.ToLower(n.Phrase), needle)
-		if !hit {
-			for _, a := range n.Aliases {
-				if strings.Contains(strings.ToLower(a), needle) {
-					hit = true
-					break
-				}
-			}
-		}
-		if hit {
-			out = append(out, *n)
-			if limit > 0 && len(out) >= limit {
-				break
-			}
+	return searchNodes(s.nodes, needle, limit)
+}
+
+// nodeMatches reports whether the node's phrase or an alias contains the
+// (already lowercased) needle.
+func nodeMatches(n *Node, needle string) bool {
+	if strings.Contains(strings.ToLower(n.Phrase), needle) {
+		return true
+	}
+	for _, a := range n.Aliases {
+		if strings.Contains(strings.ToLower(a), needle) {
+			return true
 		}
 	}
-	return out
+	return false
+}
+
+// sortNodesByID orders nodes by ascending ID.
+func sortNodesByID(nodes []Node) {
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].ID < nodes[j].ID })
 }
 
 // String describes the snapshot for logs.

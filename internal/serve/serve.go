@@ -66,6 +66,12 @@ type Options struct {
 	// snapshot generation plus the computed delta (see giant.System.Ingest).
 	// Nil disables POST /v1/ingest.
 	Ingest func(delta.Batch) (*ontology.Snapshot, *delta.Delta, error)
+	// IngestSharded is the sharded analogue (see giant.System.IngestSharded):
+	// it returns the advanced sharded snapshot, the merged delta and the
+	// touched-shard flags, and the server republishes — and bumps the
+	// generation of — only the touched shards. When set it takes precedence
+	// over Ingest; it requires the server to have been built with NewSharded.
+	IngestSharded func(delta.Batch) (*ontology.ShardedSnapshot, *delta.Delta, []bool, error)
 	// History bounds the versioned snapshot store backing /v1/rollback;
 	// 0 means ontology.DefaultRetention.
 	History int
@@ -105,18 +111,25 @@ type state struct {
 	cache       *lruCache
 	gen         uint64
 	loadedAt    time.Time
+	// shards is the sharded projection set when the server runs sharded
+	// (nil on the legacy single-snapshot path); snap is then its union.
+	// /v1/search scatter-gathers across the shard projections and
+	// /v1/stats reports the per-shard generations below.
+	shards    *ontology.ShardedSnapshot
+	shardGens []uint64
 }
 
 // Server serves a hot-swappable ontology snapshot over HTTP.
 type Server struct {
-	opts    Options
-	cur     atomic.Pointer[state]
-	store   *ontology.Store // versioned generation history (rollback)
-	swapMu  sync.Mutex      // serializes Swap/reload/ingest/rollback; readers never take it
-	metrics *metricsRegistry
-	mux     *http.ServeMux
-	enc     storytree.Encoder
-	story   storytree.Options
+	opts        Options
+	cur         atomic.Pointer[state]
+	store       *ontology.Store        // versioned generation history (rollback)
+	shardStores *ontology.ShardedStore // per-shard generation history (sharded mode)
+	swapMu      sync.Mutex             // serializes Swap/reload/ingest/rollback; readers never take it
+	metrics     *metricsRegistry
+	mux         *http.ServeMux
+	enc         storytree.Encoder
+	story       storytree.Options
 }
 
 // endpointNames fixes the metrics registry key set.
@@ -124,8 +137,9 @@ var endpointNames = []string{
 	"healthz", "stats", "node", "search", "tag", "query_rewrite", "story", "metrics", "reload", "ingest", "rollback",
 }
 
-// New builds a Server over an initial snapshot.
-func New(snap *ontology.Snapshot, opts Options) *Server {
+// newServer applies option defaults and wires the fields shared by both
+// serving modes; the caller publishes an initial state and routes.
+func newServer(opts Options) *Server {
 	if opts.CacheSize == 0 {
 		opts.CacheSize = DefaultCacheSize
 	}
@@ -142,9 +156,73 @@ func New(snap *ontology.Snapshot, opts Options) *Server {
 	if opts.Story != nil {
 		s.story = *opts.Story
 	}
+	return s
+}
+
+// New builds a Server over an initial snapshot.
+func New(snap *ontology.Snapshot, opts Options) *Server {
+	s := newServer(opts)
 	s.Swap(snap)
 	s.routes()
 	return s
+}
+
+// NewSharded builds a Server over an initial sharded snapshot: requests
+// read the union view, /v1/search scatter-gathers across the shard
+// projections, and publication — initial, reload, ingest — is per shard,
+// each shard carrying its own generation history.
+func NewSharded(ss *ontology.ShardedSnapshot, opts Options) *Server {
+	s := newServer(opts)
+	s.shardStores = ontology.NewShardedStore(ss.NumShards(), s.opts.History)
+	s.SwapSharded(ss, nil)
+	s.routes()
+	return s
+}
+
+// SwapSharded publishes a sharded snapshot: shards flagged touched (nil =
+// all) are pushed into their per-shard generation stores, the union joins
+// the whole-world store for /v1/rollback, and the serving state swaps
+// atomically. Untouched shards keep their current generation — the
+// republication unit is the shard, not the world.
+func (s *Server) SwapSharded(ss *ontology.ShardedSnapshot, touched []bool) uint64 {
+	s.swapMu.Lock()
+	defer s.swapMu.Unlock()
+	return s.publishShardedLocked(ss, touched)
+}
+
+// publishShardedLocked pushes the touched shards and publishes the sharded
+// serving state; the caller holds swapMu. A shard's generation must
+// identify its served content, so beyond the delta-touched shards, any
+// shard whose incoming projection differs from the one serving right now
+// also republishes — that is what keeps generations honest when the
+// ingest lineage diverges from the served state (e.g. the first ingest
+// after a /v1/rollback or /v1/reload, which republished a re-partitioned
+// world the mining system never adopted).
+func (s *Server) publishShardedLocked(ss *ontology.ShardedSnapshot, touched []bool) uint64 {
+	prev := s.cur.Load()
+	for i := 0; i < ss.NumShards(); i++ {
+		republish := touched == nil || (i < len(touched) && touched[i])
+		if !republish && (prev == nil || prev.shards == nil ||
+			prev.shards.NumShards() != ss.NumShards() || prev.shards.Shard(i) != ss.Shard(i)) {
+			republish = true
+		}
+		if republish {
+			s.shardStores.Push(i, ss.Shard(i))
+		}
+	}
+	return s.storeShardedStateLocked(ss, s.store.Push(ss.Union()))
+}
+
+// storeShardedStateLocked indexes and atomically publishes the sharded
+// serving state under the given union generation (already pushed or
+// reused by the caller); the caller holds swapMu and has pushed the shard
+// stores it wants bumped.
+func (s *Server) storeShardedStateLocked(ss *ontology.ShardedSnapshot, gen uint64) uint64 {
+	st := s.buildState(ss.Union(), gen)
+	st.shards = ss
+	st.shardGens = s.shardStores.CurrentGens()
+	s.cur.Store(st)
+	return gen
 }
 
 // Swap indexes snap into a full serving state (taggers, understander,
@@ -162,11 +240,19 @@ func (s *Server) Swap(snap *ontology.Snapshot) uint64 {
 // publishLocked builds the serving state for (snap, gen) and atomically
 // publishes it; the caller holds swapMu.
 func (s *Server) publishLocked(snap *ontology.Snapshot, gen uint64) uint64 {
+	st := s.buildState(snap, gen)
+	s.cur.Store(st)
+	return st.gen
+}
+
+// buildState indexes one snapshot into a full serving state (taggers,
+// understander, fresh cache); the caller holds swapMu.
+func (s *Server) buildState(snap *ontology.Snapshot, gen uint64) *state {
 	conceptCtx := s.opts.ConceptContext
 	if s.opts.ConceptContextFn != nil {
 		conceptCtx = s.opts.ConceptContextFn()
 	}
-	st := &state{
+	return &state{
 		snap:        snap,
 		concepts:    tagging.NewConceptTagger(snap, conceptCtx),
 		events:      tagging.NewEventTagger(snap, s.opts.Duet),
@@ -176,8 +262,23 @@ func (s *Server) publishLocked(snap *ontology.Snapshot, gen uint64) uint64 {
 		gen:         gen,
 		loadedAt:    time.Now(),
 	}
-	s.cur.Store(st)
-	return st.gen
+}
+
+// SwapSnapshot publishes a plain snapshot through whichever mode the
+// server runs in: a sharded server re-partitions it and republishes every
+// shard, a legacy server swaps it directly. This is the entry point for
+// external updaters (file watchers) that only hold a union snapshot.
+func (s *Server) SwapSnapshot(snap *ontology.Snapshot) (uint64, error) {
+	s.swapMu.Lock()
+	defer s.swapMu.Unlock()
+	if st := s.cur.Load(); st.shards != nil {
+		ss, err := ontology.ShardSnapshot(snap, st.shards.NumShards())
+		if err != nil {
+			return 0, err
+		}
+		return s.publishShardedLocked(ss, nil), nil
+	}
+	return s.publishLocked(snap, s.store.Push(snap)), nil
 }
 
 // Current returns the snapshot serving right now.
@@ -263,11 +364,15 @@ func writeBody(w http.ResponseWriter, status int, body []byte, cacheHit bool) {
 }
 
 func (s *Server) handleHealthz(st *state, r *http.Request) (int, any) {
-	return http.StatusOK, map[string]any{
+	resp := map[string]any{
 		"status":     "ok",
 		"generation": st.gen,
 		"nodes":      st.snap.Len(),
 	}
+	if st.shards != nil {
+		resp["shards"] = st.shards.NumShards()
+	}
+	return http.StatusOK, resp
 }
 
 // genSummary is the wire form of one retained generation.
@@ -286,9 +391,19 @@ func (s *Server) generations() []genSummary {
 	return out
 }
 
+// shardSummary is the wire form of one shard's serving state: its
+// per-shard generation plus the projection's home-node and stored-edge
+// counts (a cross-shard edge is stored on both endpoint shards).
+type shardSummary struct {
+	Shard      int    `json:"shard"`
+	Generation uint64 `json:"generation"`
+	Nodes      int    `json:"nodes"`
+	Edges      int    `json:"edges"`
+}
+
 func (s *Server) handleStats(st *state, r *http.Request) (int, any) {
 	stats := st.snap.ComputeStats()
-	return http.StatusOK, map[string]any{
+	resp := map[string]any{
 		"generation":    st.gen,
 		"loaded_at":     st.loadedAt.UTC().Format(time.RFC3339),
 		"nodes":         st.snap.NodeCount(),
@@ -297,6 +412,20 @@ func (s *Server) handleStats(st *state, r *http.Request) (int, any) {
 		"edges_by_type": stats.EdgesByType,
 		"generations":   s.generations(),
 	}
+	if st.shards != nil {
+		// Scatter-gather: each shard's projection answers its own counts.
+		shards := make([]shardSummary, st.shards.NumShards())
+		for i := range shards {
+			shards[i] = shardSummary{
+				Shard:      i,
+				Generation: st.shardGens[i],
+				Nodes:      st.shards.HomeCount(i),
+				Edges:      st.shards.Shard(i).EdgeCount(),
+			}
+		}
+		resp["shards"] = shards
+	}
+	return http.StatusOK, resp
 }
 
 // apiNode is the wire form of a node: like ontology.Node but with the
@@ -401,7 +530,15 @@ func (s *Server) handleSearch(st *state, r *http.Request) (int, any) {
 	if limit > s.opts.MaxSearchResults {
 		limit = s.opts.MaxSearchResults
 	}
-	results := st.snap.Search(q, limit)
+	// Sharded states scatter-gather: every shard scans only its home
+	// nodes concurrently and early-exits at the result cap; the merged
+	// hits are identical to the single-snapshot scan.
+	var results []ontology.Node
+	if st.shards != nil {
+		results = st.shards.Search(q, limit)
+	} else {
+		results = st.snap.Search(q, limit)
+	}
 	type hit struct {
 		ID     ontology.NodeID `json:"id"`
 		Type   string          `json:"type"`
@@ -523,7 +660,18 @@ func (s *Server) handleReload(st *state, r *http.Request) (int, any) {
 	if err != nil {
 		return http.StatusBadGateway, errorBody{Error: "load snapshot: " + err.Error()}
 	}
-	gen := s.Swap(snap)
+	var gen uint64
+	if st.shards != nil {
+		// A reload replaces the whole world: re-partition the fresh
+		// snapshot and republish every shard.
+		ss, err := ontology.ShardSnapshot(snap, st.shards.NumShards())
+		if err != nil {
+			return http.StatusInternalServerError, errorBody{Error: "shard snapshot: " + err.Error()}
+		}
+		gen = s.SwapSharded(ss, nil)
+	} else {
+		gen = s.Swap(snap)
+	}
 	return http.StatusOK, map[string]any{
 		"old_generation": st.gen,
 		"generation":     gen,
@@ -540,8 +688,19 @@ func (s *Server) handleIngest(st *state, r *http.Request) (int, any) {
 	if r.Method != http.MethodPost {
 		return http.StatusMethodNotAllowed, errorBody{Error: "use POST"}
 	}
-	if s.opts.Ingest == nil {
+	if s.opts.Ingest == nil && s.opts.IngestSharded == nil {
 		return http.StatusServiceUnavailable, errorBody{Error: "no ingester configured (run giantd with -build)"}
+	}
+	if s.opts.IngestSharded != nil && s.shardStores == nil {
+		// The sharded ingest path publishes per shard; a server built
+		// with New has no shard stores to publish into.
+		return http.StatusServiceUnavailable, errorBody{Error: "sharded ingester on an unsharded server (build it with serve.NewSharded)"}
+	}
+	if s.opts.IngestSharded == nil && s.shardStores != nil {
+		// And the mirror image: a plain ingester would publish an
+		// unsharded state, silently dropping scatter-gather serving and
+		// per-shard generations on a NewSharded server.
+		return http.StatusServiceUnavailable, errorBody{Error: "unsharded ingester on a sharded server (configure Options.IngestSharded)"}
 	}
 	var batch delta.Batch
 	if err := json.NewDecoder(r.Body).Decode(&batch); err != nil {
@@ -551,7 +710,21 @@ func (s *Server) handleIngest(st *state, r *http.Request) (int, any) {
 	// apply and publish in the same order (readers never take this lock).
 	s.swapMu.Lock()
 	defer s.swapMu.Unlock()
-	snap, d, err := s.opts.Ingest(batch)
+	var (
+		snap    *ontology.Snapshot
+		d       *delta.Delta
+		touched []bool
+		err     error
+		sharded *ontology.ShardedSnapshot
+	)
+	if s.opts.IngestSharded != nil {
+		sharded, d, touched, err = s.opts.IngestSharded(batch)
+		if err == nil {
+			snap = sharded.Union()
+		}
+	} else {
+		snap, d, err = s.opts.Ingest(batch)
+	}
 	if err != nil {
 		// Batch-validation failures are the client's fault; anything else
 		// is an internal delta-pipeline failure and must surface as 5xx.
@@ -560,12 +733,29 @@ func (s *Server) handleIngest(st *state, r *http.Request) (int, any) {
 		}
 		return http.StatusInternalServerError, errorBody{Error: "ingest: " + err.Error()}
 	}
-	gen := s.publishLocked(snap, s.store.Push(snap))
+	var gen uint64
+	if sharded != nil {
+		// Republish only the shards the delta touched: untouched shards
+		// keep their projection and their generation.
+		gen = s.publishShardedLocked(sharded, touched)
+	} else {
+		gen = s.publishLocked(snap, s.store.Push(snap))
+	}
 	resp := map[string]any{
 		"old_generation": st.gen,
 		"generation":     gen,
 		"nodes":          snap.NodeCount(),
 		"edges":          snap.EdgeCount(),
+	}
+	if sharded != nil {
+		var ts []int
+		for i, t := range touched {
+			if t {
+				ts = append(ts, i)
+			}
+		}
+		resp["touched_shards"] = ts
+		resp["shard_generations"] = s.shardStores.CurrentGens()
 	}
 	if d != nil {
 		resp["delta"] = map[string]any{
@@ -594,7 +784,24 @@ func (s *Server) handleRollback(st *state, r *http.Request) (int, any) {
 	if err != nil {
 		return http.StatusConflict, errorBody{Error: err.Error()}
 	}
-	gen := s.publishLocked(g.Snap, g.Gen)
+	var gen uint64
+	if st.shards != nil {
+		// Rollback is a whole-world revert: re-partition the previous
+		// union and republish every shard (shard generations advance — a
+		// rolled-back world is still a new per-shard publication).
+		ss, serr := ontology.ShardSnapshot(g.Snap, st.shards.NumShards())
+		if serr != nil {
+			return http.StatusInternalServerError, errorBody{Error: "shard snapshot: " + serr.Error()}
+		}
+		for i := 0; i < ss.NumShards(); i++ {
+			s.shardStores.Push(i, ss.Shard(i))
+		}
+		// The union generation is reused (the store already popped to
+		// g.Gen), so publish directly instead of re-pushing.
+		gen = s.storeShardedStateLocked(ss, g.Gen)
+	} else {
+		gen = s.publishLocked(g.Snap, g.Gen)
+	}
 	return http.StatusOK, map[string]any{
 		"old_generation": st.gen,
 		"generation":     gen,
