@@ -61,6 +61,8 @@ func run(args []string) int {
 		err = runBuild(rest)
 	case "update":
 		err = runUpdate(rest)
+	case "shard":
+		err = runShard(rest)
 	case "stats":
 		err = runStats(rest)
 	case "query":
@@ -113,6 +115,7 @@ func usage(w *os.File) {
 
 subcommands:
   build   build the ontology and save it           (-out ao.json [-tiny] [-shards K])
+  shard   export per-shard projection files        (-in ao.json -shards K [-out-dir .])
   update  apply incremental update batches offline (-docs new.json [-in ao.json] [-out path] [-tiny] [-shards K])
   stats   print node/edge statistics               (-in ao.json)
   query   conceptualize/rewrite a query            (-q "best ...")
@@ -244,6 +247,43 @@ func loadBatches(path string) ([]delta.Batch, error) {
 		return nil, usagef("update: %s is not a JSON delta batch: %v", path, err)
 	}
 	return []delta.Batch{b}, nil
+}
+
+// runShard partitions a saved ontology K ways and exports one
+// self-contained projection file per shard — the boot artifacts for
+// per-shard giantd processes (giantd -shard i/K -in shard-i-of-K.json).
+func runShard(args []string) error {
+	fs := newFlagSet("shard")
+	in := fs.String("in", "", "ontology JSON path (from giantctl build -out)")
+	shards := fs.Int("shards", 0, "shard count K (>= 1)")
+	outDir := fs.String("out-dir", ".", "directory for the per-shard files")
+	if err := parse(fs, args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return usagef("shard: need -in <ontology.json>")
+	}
+	if *shards < 1 {
+		return usagef("shard: need -shards K (>= 1)")
+	}
+	snap, err := ontology.LoadSnapshotFile(*in)
+	if err != nil {
+		return err
+	}
+	ss, err := ontology.ShardSnapshot(snap, *shards)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < ss.NumShards(); i++ {
+		p := ss.Projection(i)
+		path := fmt.Sprintf("%s/shard-%d-of-%d.json", strings.TrimRight(*outDir, "/"), i, ss.NumShards())
+		if err := p.SaveFile(path); err != nil {
+			return err
+		}
+		fmt.Printf("shard %d/%d: %d home nodes (+%d ghosts), %d edges -> %s\n",
+			i, ss.NumShards(), p.HomeCount, p.Snap.NodeCount()-p.HomeCount, p.Snap.EdgeCount(), path)
+	}
+	return nil
 }
 
 func runStats(args []string) error {

@@ -33,6 +33,19 @@
 // computing the delta shard-parallel. Results are identical to -shards 1;
 // only scheduling and the unit of publication change.
 //
+// With -shard i/k the daemon serves a SINGLE shard of a k-way partition —
+// the backend of the multi-process tier (put cmd/giantrouter in front of k
+// of these). /healthz and /v1/stats expose the shard id and per-shard
+// generation, /v1/search scans only the shard's home nodes, and /v1/node
+// resolves only nodes homed on the shard, rendering union node IDs so the
+// router can merge responses byte-identically to a single sharded process.
+// In -build mode each per-shard daemon runs the full (deterministic)
+// mining system and a POSTed /v1/ingest batch — normally broadcast by the
+// router — republishes, and bumps the generation of, only this shard when
+// the delta touched it. With -in, the artifact may be a per-shard file
+// written by `giantctl shard` or a whole-ontology file (the shard's
+// projection is then derived at boot).
+//
 // Rollback and reload operate on the SERVING tier only: in -build mode
 // the in-process mining system keeps its accumulated click graph and
 // ontology, so a rollback is a serving-side mitigation — the next
@@ -50,6 +63,8 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -72,17 +87,39 @@ func main() {
 		history = flag.Int("history", ontology.DefaultRetention, "snapshot generations retained for /v1/rollback")
 		watch   = flag.Duration("watch", 0, "poll -in for changes at this interval and hot-swap automatically (0 disables)")
 		shards  = flag.Int("shards", 1, "partition the ontology K ways: per-shard generations, scatter-gather search, shard-parallel ingest (1 = legacy)")
+		shard   = flag.String("shard", "", "serve a single shard of a k-way partition as i/k (e.g. 0/4): the per-shard backend of cmd/giantrouter")
 	)
 	flag.Parse()
 	if *watch > 0 && (*build || *in == "") {
 		log.Printf("warning: -watch only applies when serving a file with -in; ignoring it")
 	}
-	if err := run(*in, *addr, *build, *tiny, *cache, *grace, *history, *watch, *shards); err != nil {
+	if err := run(*in, *addr, *build, *tiny, *cache, *grace, *history, *watch, *shards, *shard); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(in, addr string, build, tiny bool, cache int, grace time.Duration, history int, watch time.Duration, shards int) error {
+// parseShardSpec parses an "i/k" shard identity. The whole spec must be
+// consumed — trailing garbage would silently boot the wrong partition.
+func parseShardSpec(spec string) (i, k int, err error) {
+	is, ks, found := strings.Cut(spec, "/")
+	if !found {
+		return 0, 0, fmt.Errorf("invalid -shard %q (want i/k, e.g. 0/4)", spec)
+	}
+	i, err1 := strconv.Atoi(is)
+	k, err2 := strconv.Atoi(ks)
+	if err1 != nil || err2 != nil {
+		return 0, 0, fmt.Errorf("invalid -shard %q (want i/k, e.g. 0/4)", spec)
+	}
+	if k < 1 || i < 0 || i >= k {
+		return 0, 0, fmt.Errorf("invalid -shard %q: shard index must be in [0,%d)", spec, k)
+	}
+	return i, k, nil
+}
+
+func run(in, addr string, build, tiny bool, cache int, grace time.Duration, history int, watch time.Duration, shards int, shardSpec string) error {
+	if shardSpec != "" {
+		return runShard(in, addr, build, tiny, cache, grace, history, watch, shards, shardSpec)
+	}
 	opts := serve.Options{CacheSize: cache, History: history}
 	var snap *ontology.Snapshot
 	var sharded *ontology.ShardedSnapshot // sharded initial state (when -shards > 1)
@@ -170,7 +207,7 @@ func run(in, addr string, build, tiny bool, cache int, grace time.Duration, hist
 	defer stop()
 
 	if watch > 0 && in != "" && !build {
-		go watchFile(ctx, in, watch, srv)
+		go newWatcher(in).run(ctx, watch, snapshotApplier(in, srv))
 	}
 
 	err := serve.Run(ctx, addr, srv.Handler(), grace)
@@ -180,17 +217,129 @@ func run(in, addr string, build, tiny bool, cache int, grace time.Duration, hist
 	return err
 }
 
-// watchFile is the background updater for file-served deployments: it
-// polls the ontology file's modification time and, whenever the offline
-// pipeline publishes a new artifact, loads and hot-swaps it through the
-// same atomic path /v1/reload uses. Load failures (e.g. a half-written
-// file) leave the current generation serving and are retried on the next
-// tick.
-func watchFile(ctx context.Context, path string, every time.Duration, srv *serve.Server) {
-	var lastMod time.Time
-	if fi, err := os.Stat(path); err == nil {
-		lastMod = fi.ModTime()
+// runShard serves a single shard of a k-way partition (-shard i/k): the
+// per-shard backend of the multi-process tier.
+func runShard(in, addr string, build, tiny bool, cache int, grace time.Duration, history int, watch time.Duration, shards int, shardSpec string) error {
+	idx, k, err := parseShardSpec(shardSpec)
+	if err != nil {
+		return err
 	}
+	if shards > 1 && shards != k {
+		return fmt.Errorf("-shards %d conflicts with -shard %s (the shard count comes from i/k)", shards, shardSpec)
+	}
+	opts := serve.Options{CacheSize: cache, History: history}
+	var proj *ontology.ShardProjection
+	switch {
+	case build:
+		cfg := giant.DefaultConfig()
+		if tiny {
+			cfg = giant.TinyConfig()
+		}
+		cfg.Shards = k
+		log.Printf("building ontology (tiny=%v) to serve shard %d/%d...", tiny, idx, k)
+		sys, err := giant.Build(cfg)
+		if err != nil {
+			return err
+		}
+		if proj, err = sys.ShardProjection(idx); err != nil {
+			return err
+		}
+		opts.ConceptContextFn = sys.ConceptContext
+		opts.Duet = sys.EventTagger().Duet
+		opts.ShardLoader = func() (*ontology.ShardProjection, error) {
+			rebuilt, err := giant.Build(cfg)
+			if err != nil {
+				return nil, err
+			}
+			return rebuilt.ShardProjection(idx)
+		}
+		// Live ingest: the router broadcasts every batch to every backend;
+		// each backend applies it through its own (deterministic) mining
+		// system and republishes — minting a new per-shard generation —
+		// only when the delta touched ITS shard.
+		opts.ShardIngest = func(b delta.Batch) (*ontology.ShardProjection, *delta.Delta, []bool, error) {
+			next, d, touched, err := sys.IngestSharded(b)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			log.Printf("ingested batch: %s", d.Summary())
+			return next.Projection(idx), d, touched, nil
+		}
+	case in != "":
+		if proj, err = ontology.LoadShardInput(in, idx, k); err != nil {
+			return err
+		}
+		opts.ShardLoader = func() (*ontology.ShardProjection, error) {
+			return ontology.LoadShardInput(in, idx, k)
+		}
+	default:
+		return fmt.Errorf("need -in <shard-or-ontology.json> or -build (see giantctl shard)")
+	}
+
+	srv := serve.NewShard(proj, opts)
+	log.Printf("serving shard %d/%d (%d home nodes, %s) on %s", idx, k, proj.HomeCount, proj.Snap, addr)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if watch > 0 && in != "" && !build {
+		go newWatcher(in).run(ctx, watch, func() (uint64, string, error) {
+			p, err := ontology.LoadShardInput(in, idx, k)
+			if err != nil {
+				return 0, "", err
+			}
+			gen, err := srv.SwapShard(p)
+			return gen, fmt.Sprintf("shard %d/%d %s", p.Shard, p.NumShards, p.Snap), err
+		})
+	}
+
+	err = serve.Run(ctx, addr, srv.Handler(), grace)
+	if err == nil {
+		log.Printf("shut down cleanly")
+	}
+	return err
+}
+
+// snapshotApplier is the watch apply step for whole-ontology files: load
+// the artifact and hot-swap it through the same atomic path /v1/reload
+// uses.
+func snapshotApplier(path string, srv *serve.Server) func() (uint64, string, error) {
+	return func() (uint64, string, error) {
+		snap, err := ontology.LoadSnapshotFile(path)
+		if err != nil {
+			return 0, "", err
+		}
+		gen, err := srv.SwapSnapshot(snap)
+		return gen, snap.String(), err
+	}
+}
+
+// watcher is the background updater for file-served deployments: it polls
+// the artifact's modification time and, whenever the offline pipeline
+// publishes a new version, runs an apply step that loads and atomically
+// publishes it.
+type watcher struct {
+	path    string
+	lastMod time.Time
+}
+
+// newWatcher snapshots the artifact's current modification time
+// synchronously, so versions published after construction — and only
+// those — are picked up by run.
+func newWatcher(path string) *watcher {
+	w := &watcher{path: path}
+	if fi, err := os.Stat(path); err == nil {
+		w.lastMod = fi.ModTime()
+	}
+	return w
+}
+
+// run polls until ctx is cancelled. A failed apply (e.g. a half-written
+// file) leaves the current generation serving and leaves the recorded
+// modification time untouched, so the next tick retries; a later
+// successful read therefore publishes exactly one new generation no
+// matter how many ticks the failure spanned.
+func (w *watcher) run(ctx context.Context, every time.Duration, apply func() (uint64, string, error)) {
 	ticker := time.NewTicker(every)
 	defer ticker.Stop()
 	for {
@@ -199,22 +348,17 @@ func watchFile(ctx context.Context, path string, every time.Duration, srv *serve
 			return
 		case <-ticker.C:
 		}
-		fi, err := os.Stat(path)
-		if err != nil || !fi.ModTime().After(lastMod) {
+		fi, err := os.Stat(w.path)
+		if err != nil || !fi.ModTime().After(w.lastMod) {
 			continue
 		}
-		snap, err := ontology.LoadSnapshotFile(path)
+		gen, desc, err := apply()
 		if err != nil {
-			log.Printf("watch: %s changed but failed to load (will retry): %v", path, err)
+			// lastMod stays put so the next tick retries.
+			log.Printf("watch: %s changed but failed to apply (will retry): %v", w.path, err)
 			continue
 		}
-		gen, err := srv.SwapSnapshot(snap)
-		if err != nil {
-			// lastMod stays put so the next tick retries the publish.
-			log.Printf("watch: %s loaded but failed to publish (will retry): %v", path, err)
-			continue
-		}
-		lastMod = fi.ModTime()
-		log.Printf("watch: hot-swapped %s as generation %d", snap, gen)
+		w.lastMod = fi.ModTime()
+		log.Printf("watch: hot-swapped %s as generation %d", desc, gen)
 	}
 }

@@ -1,0 +1,90 @@
+// Command giantrouter is the front door of the multi-process serving
+// tier: a thin HTTP daemon that fans requests out over K per-shard giantd
+// backends (giantd -shard i/k), speaking the same ontology.HomeShard
+// phrase hash the in-process sharded server uses.
+//
+//	# boot one giantd per shard, then the router in front:
+//	giantd -build -tiny -shard 0/2 -addr :8081 &
+//	giantd -build -tiny -shard 1/2 -addr :8082 &
+//	giantrouter -addr :8080 -backends http://localhost:8081,http://localhost:8082
+//
+//	curl localhost:8080/healthz                      # per-backend health
+//	curl 'localhost:8080/v1/search?q=sedan'          # scatter-gather merge
+//	curl 'localhost:8080/v1/node?phrase=family+sedans&type=concept'
+//	curl localhost:8080/v1/stats                     # per-shard generations
+//	curl -X POST localhost:8080/v1/ingest -d @batch.json   # broadcast
+//
+// Backends are listed in shard order: -backends URL_0,URL_1,...,URL_{k-1}
+// where URL_i serves shard i of k (the router cross-checks this against
+// each backend's /v1/stats shard identity). /v1/search and /v1/node
+// responses are byte-identical to a single sharded giantd over the same
+// world; /v1/ingest broadcasts to every backend with all-or-nothing
+// generation accounting.
+//
+// Degraded mode is configurable: by default fan-out reads fail closed
+// with 503 when a backend is unreachable; with -fail-open they return the
+// reachable shards' results marked "partial": true. Point-routed
+// endpoints (node by typed phrase, tag, query rewrite, story) answer 502
+// when their target shard is down, and writes are always fail-closed.
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"giant/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("giantrouter: ")
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		backends = flag.String("backends", "", "comma-separated per-shard giantd base URLs, in shard order (URL_i serves shard i)")
+		timeout  = flag.Duration("timeout", 5*time.Second, "per-backend read timeout")
+		writeTO  = flag.Duration("write-timeout", 2*time.Minute, "per-backend timeout for ingest/reload broadcasts (backends re-mine per batch)")
+		failOpen = flag.Bool("fail-open", false, "serve partial fan-out results (marked \"partial\": true) instead of 503 when a shard is unreachable")
+		parallel = flag.Int("parallel", 0, "fan-out worker pool size (0 = min(shards, GOMAXPROCS))")
+		probe    = flag.Duration("probe", 2*time.Second, "background health-probe interval (0 disables)")
+		grace    = flag.Duration("grace", 5*time.Second, "graceful-shutdown drain timeout")
+	)
+	flag.Parse()
+	if *backends == "" {
+		log.Fatal("need -backends http://host:port,... (one per shard, in shard order)")
+	}
+	urls := strings.Split(*backends, ",")
+	for i := range urls {
+		urls[i] = strings.TrimSpace(strings.TrimRight(urls[i], "/"))
+	}
+	rt, err := serve.NewRouter(serve.RouterOptions{
+		Backends:      urls,
+		Timeout:       *timeout,
+		WriteTimeout:  *writeTO,
+		FailOpen:      *failOpen,
+		Parallelism:   *parallel,
+		ProbeInterval: *probe,
+		Logf:          log.Printf,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer rt.Close()
+	mode := "fail-closed"
+	if *failOpen {
+		mode = "fail-open"
+	}
+	log.Printf("routing %d shards (%s) on %s", rt.NumShards(), mode, *addr)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := serve.Run(ctx, *addr, rt.Handler(), *grace); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("shut down cleanly")
+}

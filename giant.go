@@ -652,6 +652,21 @@ func (sys *System) shardedLocked() (*ontology.ShardedSnapshot, error) {
 	return ss, nil
 }
 
+// ShardProjection returns shard i's serving projection — the boot
+// artifact of a per-shard giantd process (see ontology.ShardProjection):
+// the shard's standalone snapshot plus its routing identity and the
+// local→union node-ID table. Requires Cfg.Shards to cover i.
+func (sys *System) ShardProjection(i int) (*ontology.ShardProjection, error) {
+	ss, err := sys.ShardedSnapshot()
+	if err != nil {
+		return nil, err
+	}
+	if i < 0 || i >= ss.NumShards() {
+		return nil, fmt.Errorf("giant: shard %d out of range for %d shards", i, ss.NumShards())
+	}
+	return ss.Projection(i), nil
+}
+
 // ConceptContext returns a copy of the concept phrase -> top clicked
 // titles map the build collected, so a serving tier can construct
 // context-enriched concept taggers over a snapshot. It is a snapshot in

@@ -528,11 +528,20 @@ func writePersisted(w io.Writer, p persisted) error {
 	return enc.Encode(p)
 }
 
-// ReadJSON deserializes an ontology written by WriteJSON.
+// ReadJSON deserializes an ontology written by WriteJSON. A shard
+// projection file (giantctl shard) is rejected: its node list is one
+// shard's home nodes plus ghosts under local IDs — a plausible-looking
+// but wrong world if ever adopted as the whole ontology.
 func ReadJSON(r io.Reader) (*Ontology, error) {
-	var p persisted
+	var p struct {
+		persisted
+		NumShards int `json:"num_shards"`
+	}
 	if err := json.NewDecoder(r).Decode(&p); err != nil {
 		return nil, fmt.Errorf("ontology: decode: %w", err)
+	}
+	if p.NumShards > 0 {
+		return nil, fmt.Errorf("ontology: this is a shard projection file (%d shards); boot it with giantd -shard i/%d or load it with LoadShardFile", p.NumShards, p.NumShards)
 	}
 	return fromNodesEdges(p.Nodes, p.Edges)
 }

@@ -246,6 +246,30 @@ func (ss *ShardedSnapshot) Search(needle string, limit int) []Node {
 	return out
 }
 
+// Projection packages shard i's snapshot as a self-describing
+// ShardProjection — the boot artifact for a per-shard serving process.
+// The local→union ID table is derived through the union phrase index
+// (exactly the remap scatter-gather Search performs), so a per-shard
+// server renders the same node IDs the composed view renders.
+func (ss *ShardedSnapshot) Projection(i int) *ShardProjection {
+	snap := ss.shards[i]
+	ids := make([]NodeID, len(snap.nodes))
+	for j := range snap.nodes {
+		n := &snap.nodes[j]
+		if uid, ok := ss.union.Lookup(n.Type, n.Phrase); ok {
+			ids[j] = uid
+		} else {
+			ids[j] = -1
+		}
+	}
+	p := &ShardProjection{
+		Snap: snap, Shard: i, NumShards: ss.k,
+		HomeCount: ss.homeCount[i], UnionIDs: ids,
+	}
+	p.index()
+	return p
+}
+
 // ShardStats summarizes one shard's projection for stats endpoints: home
 // node counts per type plus the number of edges stored in the projection
 // (cross-shard edges are stored once per endpoint shard).

@@ -1,0 +1,242 @@
+package ontology
+
+// ShardProjection is the boot artifact of a per-shard serving process: one
+// shard's self-contained Snapshot plus the routing identity (shard index,
+// shard count, home-node prefix length) and the local→union node-ID table
+// that lets the shard render responses in the composed view's ID space. A
+// projection round-trips through JSON (SaveFile / LoadShardFile), so the
+// offline tier can export K shard files and K independent giantd processes
+// can each boot from exactly one of them — no process ever needs the union.
+//
+// Layout invariants (established by ShardedSnapshot.Projection and
+// re-validated on load):
+//
+//   - Snap.nodes[:HomeCount] are the shard's home nodes in union ID order;
+//     the rest are ghost copies of remote endpoints.
+//   - UnionIDs[local] is the union node ID the local node resolves to via
+//     the union phrase index — the same remap scatter-gather Search uses.
+//   - Every union edge is "owned" by exactly one shard: the home shard of
+//     its source node. Summing owned-edge counts across shards therefore
+//     reproduces the union edge count even though cross-shard edges are
+//     stored on both endpoint shards.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// ErrNotShardFile reports that a file parsed as JSON but carries no shard
+// identity — i.e. it is (at most) a plain ontology artifact, not a shard
+// projection. LoadShardInput falls back to the plain loader only on this
+// error; a file that CLAIMS a shard identity but fails validation is
+// corrupt and must surface as such, never silently re-interpreted.
+var ErrNotShardFile = errors.New("ontology: not a shard projection file")
+
+// ShardProjection bundles one shard's snapshot with its routing identity.
+// Fields are read-only after construction; use ShardedSnapshot.Projection
+// or ReadShardProjection to build one with its indexes populated.
+type ShardProjection struct {
+	Snap      *Snapshot
+	Shard     int
+	NumShards int
+	// HomeCount is the length of the home-node prefix of Snap's node list;
+	// nodes at local ID >= HomeCount are ghosts.
+	HomeCount int
+	// UnionIDs maps local node IDs to union node IDs (-1 when the union
+	// held no resolvable key, which a well-formed projection never has).
+	UnionIDs []NodeID
+
+	byUnion map[NodeID]NodeID // union ID -> local ID
+}
+
+// index builds the reverse union→local table; called once at construction.
+func (p *ShardProjection) index() {
+	p.byUnion = make(map[NodeID]NodeID, len(p.UnionIDs))
+	for local, uid := range p.UnionIDs {
+		if uid < 0 {
+			continue
+		}
+		if _, dup := p.byUnion[uid]; !dup {
+			p.byUnion[uid] = NodeID(local)
+		}
+	}
+}
+
+// validate checks the projection invariants shared by the derive and load
+// paths.
+func (p *ShardProjection) validate() error {
+	if p.NumShards < 1 {
+		return fmt.Errorf("ontology: shard projection has %d shards", p.NumShards)
+	}
+	if p.Shard < 0 || p.Shard >= p.NumShards {
+		return fmt.Errorf("ontology: shard index %d out of range for %d shards", p.Shard, p.NumShards)
+	}
+	if p.HomeCount < 0 || p.HomeCount > p.Snap.Len() {
+		return fmt.Errorf("ontology: home count %d out of range for %d nodes", p.HomeCount, p.Snap.Len())
+	}
+	if len(p.UnionIDs) != p.Snap.Len() {
+		return fmt.Errorf("ontology: %d union IDs for %d nodes", len(p.UnionIDs), p.Snap.Len())
+	}
+	return nil
+}
+
+// IsHome reports whether the local node ID is a home node (not a ghost).
+func (p *ShardProjection) IsHome(local NodeID) bool {
+	return local >= 0 && int(local) < p.HomeCount
+}
+
+// UnionID maps a local node ID to its union node ID.
+func (p *ShardProjection) UnionID(local NodeID) NodeID {
+	if int(local) < 0 || int(local) >= len(p.UnionIDs) {
+		return -1
+	}
+	return p.UnionIDs[local]
+}
+
+// LocalOf maps a union node ID back to the local node ID, ok=false when
+// this shard's projection holds no copy of that node.
+func (p *ShardProjection) LocalOf(union NodeID) (NodeID, bool) {
+	local, ok := p.byUnion[union]
+	return local, ok
+}
+
+// SearchHome is the per-shard half of scatter-gather search: a substring
+// scan over the home-node prefix only (ghosts are scanned by their own home
+// shard), early-exiting at limit. Hit IDs are local; callers render them
+// through UnionID. Merging every shard's SearchHome output in union-ID
+// order reproduces Snapshot.Search over the union exactly.
+func (p *ShardProjection) SearchHome(needle string, limit int) []Node {
+	needle = strings.ToLower(needle)
+	if needle == "" {
+		return nil
+	}
+	return searchNodes(p.Snap.nodes[:p.HomeCount], needle, limit)
+}
+
+// HomeStats summarizes the shard's owned slice of the union: home nodes by
+// type and owned edges (source homed here) by type. Summing HomeStats
+// across all shards reproduces the union's ComputeStats.
+func (p *ShardProjection) HomeStats() Stats {
+	s := Stats{NodesByType: map[string]int{}, EdgesByType: map[string]int{}}
+	for i := 0; i < p.HomeCount; i++ {
+		s.NodesByType[p.Snap.nodes[i].Type.String()]++
+	}
+	for i := range p.Snap.edges {
+		if int(p.Snap.edges[i].Src) < p.HomeCount {
+			s.EdgesByType[p.Snap.edges[i].Type.String()]++
+		}
+	}
+	return s
+}
+
+// OwnedEdgeCount counts the edges this shard owns (source homed here); the
+// sum across shards equals the union edge count.
+func (p *ShardProjection) OwnedEdgeCount() int {
+	n := 0
+	for i := range p.Snap.edges {
+		if int(p.Snap.edges[i].Src) < p.HomeCount {
+			n++
+		}
+	}
+	return n
+}
+
+// shardPersisted is the wire form of a shard projection file. The presence
+// of num_shards distinguishes it from a plain ontology file.
+type shardPersisted struct {
+	Shard     int      `json:"shard"`
+	NumShards int      `json:"num_shards"`
+	HomeCount int      `json:"home_count"`
+	UnionIDs  []NodeID `json:"union_ids"`
+	Nodes     []Node   `json:"nodes"`
+	Edges     []Edge   `json:"edges"`
+}
+
+// WriteJSON serializes the projection; ReadShardProjection inverts it.
+func (p *ShardProjection) WriteJSON(w io.Writer) error {
+	return json.NewEncoder(w).Encode(shardPersisted{
+		Shard: p.Shard, NumShards: p.NumShards, HomeCount: p.HomeCount,
+		UnionIDs: p.UnionIDs, Nodes: p.Snap.nodes, Edges: p.Snap.edges,
+	})
+}
+
+// SaveFile writes the projection to path.
+func (p *ShardProjection) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return p.WriteJSON(f)
+}
+
+// ReadShardProjection reads a shard projection written by WriteJSON,
+// re-indexing and re-validating it exactly as the derive path does.
+func ReadShardProjection(r io.Reader) (*ShardProjection, error) {
+	var sp shardPersisted
+	if err := json.NewDecoder(r).Decode(&sp); err != nil {
+		return nil, fmt.Errorf("ontology: decode shard projection: %w", err)
+	}
+	if sp.NumShards == 0 {
+		return nil, fmt.Errorf("%w (no num_shards; use LoadSnapshotFile for plain ontology files)", ErrNotShardFile)
+	}
+	snap, err := BuildSnapshot(sp.Nodes, sp.Edges)
+	if err != nil {
+		return nil, err
+	}
+	p := &ShardProjection{
+		Snap: snap, Shard: sp.Shard, NumShards: sp.NumShards,
+		HomeCount: sp.HomeCount, UnionIDs: sp.UnionIDs,
+	}
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	p.index()
+	return p, nil
+}
+
+// LoadShardFile reads a shard projection from the JSON file at path.
+func LoadShardFile(path string) (*ShardProjection, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadShardProjection(f)
+}
+
+// LoadShardInput resolves the -in artifact of a per-shard server: a shard
+// projection file boots directly (its identity must match shard/numShards),
+// while a plain ontology file is partitioned on the fly and shard i's
+// projection derived — handy when only the union artifact is distributed.
+func LoadShardInput(path string, shard, numShards int) (*ShardProjection, error) {
+	p, err := LoadShardFile(path)
+	if err == nil {
+		if p.Shard != shard || p.NumShards != numShards {
+			return nil, fmt.Errorf("ontology: %s holds shard %d/%d, want %d/%d", path, p.Shard, p.NumShards, shard, numShards)
+		}
+		return p, nil
+	}
+	if !errors.Is(err, ErrNotShardFile) {
+		// The file claims to be (or fails to even parse as) a shard
+		// projection: surface that, don't reinterpret a corrupt artifact
+		// as a plain ontology and silently serve a wrong world.
+		return nil, fmt.Errorf("ontology: load %s: %w", path, err)
+	}
+	if shard < 0 || shard >= numShards {
+		return nil, fmt.Errorf("ontology: shard index %d out of range for %d shards", shard, numShards)
+	}
+	snap, err := LoadSnapshotFile(path)
+	if err != nil {
+		return nil, err
+	}
+	ss, err := ShardSnapshot(snap, numShards)
+	if err != nil {
+		return nil, err
+	}
+	return ss.Projection(shard), nil
+}

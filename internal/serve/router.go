@@ -1,0 +1,892 @@
+package serve
+
+// Router is the multi-process scatter-gather tier: a thin HTTP daemon
+// (cmd/giantrouter) that fans requests out over K per-shard giantd
+// backends, one per ontology.ShardedSnapshot projection, speaking the same
+// ontology.HomeShard phrase hash the in-process sharded server uses.
+//
+// The contract mirrors PR 4's determinism guarantee across process
+// boundaries: for /v1/search and /v1/node, the router's merged responses
+// are byte-identical to a single-process serve.NewSharded server over the
+// same world, for every shard count (router_test.go pins this for
+// K ∈ {1, 2, 4} through a day-by-day ingest replay).
+//
+//	/v1/search         fan-out to every shard (each scans only its home
+//	                   nodes, early-exiting at the limit), merge in union
+//	                   node-ID order, truncate
+//	/v1/node           route by HomeShard(type, phrase) when the request
+//	                   names both; otherwise scatter and pick the union's
+//	                   lookup-precedence winner (phrase beats alias, then
+//	                   NodeType order, then union ID). The transitive IsA
+//	                   ancestor chain is assembled by walking each
+//	                   parent's home shard level by level.
+//	/v1/stats          fan-out; per-shard generations listed verbatim,
+//	                   whole-world counts from each shard's owned slice
+//	/v1/metrics        fan-out; router's own counters plus per-backend
+//	/v1/ingest         broadcast to every backend (each holds the full
+//	                   mining system and re-derives only its own shard)
+//	                   with all-or-nothing generation accounting
+//	/v1/reload         broadcast, all-or-nothing
+//	/v1/tag,           routed to one shard by phrase hash and proxied
+//	/v1/query/rewrite, verbatim (projection-local approximation of the
+//	/v1/story          union — see docs/ARCHITECTURE.md)
+//
+// Degraded mode is configurable (RouterOptions.FailOpen): when a backend
+// is unreachable, fan-out reads either fail closed with 503 or return the
+// reachable shards' results marked "partial": true. Point-routed
+// endpoints return 502 for an unreachable target in both modes, and
+// writes (/v1/ingest, /v1/reload) are always fail-closed.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"runtime"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"giant/internal/ontology"
+	"giant/internal/par"
+)
+
+// RouterOptions configure a Router.
+type RouterOptions struct {
+	// Backends are the per-shard giantd base URLs, in shard order:
+	// Backends[i] must serve shard i of len(Backends).
+	Backends []string
+	// Client overrides the HTTP client used for backend calls; nil builds
+	// a dedicated one whose idle connections Close releases.
+	Client *http.Client
+	// Timeout bounds each backend read call; 0 means 5s.
+	Timeout time.Duration
+	// WriteTimeout bounds each backend call of a write broadcast
+	// (/v1/ingest, /v1/reload) — in -build mode a backend re-mines the
+	// affected click-graph neighbourhood per batch, which can far exceed
+	// the read timeout, and a premature router-side timeout would report
+	// a divergence that never happened. 0 means 2m.
+	WriteTimeout time.Duration
+	// FailOpen selects the degraded-mode policy for fan-out reads: false
+	// (the default) fails closed with 503 when any shard is unreachable,
+	// true returns the reachable shards' results with "partial": true.
+	FailOpen bool
+	// Parallelism bounds the fan-out worker pool; <= 0 means
+	// min(len(Backends), GOMAXPROCS).
+	Parallelism int
+	// MaxSearchResults caps /v1/search result counts and must match the
+	// backends' cap for byte-identical merges; 0 means 100.
+	MaxSearchResults int
+	// ProbeInterval enables a background health prober hitting every
+	// backend's /healthz; 0 disables it (health marks still update on
+	// every proxied call).
+	ProbeInterval time.Duration
+	// Logf, when set, receives operational log lines — most usefully the
+	// backend health transitions ("shard 1 down: ...", "shard 1
+	// recovered") detected by traffic and the prober. Nil disables.
+	Logf func(format string, args ...any)
+}
+
+// Router fans requests out over per-shard backends.
+type Router struct {
+	opts    RouterOptions
+	k       int
+	client  *http.Client
+	mux     *http.ServeMux
+	metrics *metricsRegistry
+	// down[i] marks backend i unreachable, updated by every backend call
+	// and by the background prober; transitions are logged through
+	// Options.Logf, so an idle router still notices — and reports — a
+	// backend dying or recovering within one probe interval.
+	down []atomic.Bool
+	// ingestMu serializes ingest and reload broadcasts so concurrent
+	// writers reach every backend in the same order.
+	ingestMu sync.Mutex
+	stop     chan struct{}
+	stopOnce sync.Once
+	probeWG  sync.WaitGroup
+}
+
+var routerEndpointNames = []string{
+	"healthz", "stats", "node", "search", "tag", "query_rewrite", "story", "metrics", "reload", "ingest",
+}
+
+// NewRouter builds a Router over the given per-shard backends.
+func NewRouter(opts RouterOptions) (*Router, error) {
+	if len(opts.Backends) == 0 {
+		return nil, fmt.Errorf("serve: router needs at least one backend")
+	}
+	for i, b := range opts.Backends {
+		u, err := url.Parse(b)
+		if err != nil || u.Scheme == "" || u.Host == "" {
+			return nil, fmt.Errorf("serve: backend %d: invalid URL %q", i, b)
+		}
+	}
+	if opts.Timeout <= 0 {
+		opts.Timeout = 5 * time.Second
+	}
+	if opts.WriteTimeout <= 0 {
+		opts.WriteTimeout = 2 * time.Minute
+	}
+	if opts.MaxSearchResults <= 0 {
+		opts.MaxSearchResults = 100
+	}
+	rt := &Router{
+		opts:    opts,
+		k:       len(opts.Backends),
+		client:  opts.Client,
+		metrics: newMetricsRegistry(routerEndpointNames),
+		down:    make([]atomic.Bool, len(opts.Backends)),
+		stop:    make(chan struct{}),
+	}
+	if rt.client == nil {
+		rt.client = &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 4}}
+	}
+	rt.routes()
+	if opts.ProbeInterval > 0 {
+		rt.probeWG.Add(1)
+		go rt.probeLoop()
+	}
+	return rt, nil
+}
+
+// NumShards returns the backend (= shard) count.
+func (rt *Router) NumShards() int { return rt.k }
+
+// Handler returns the router's HTTP handler.
+func (rt *Router) Handler() http.Handler { return rt.mux }
+
+// Close stops the background prober and releases idle backend
+// connections. The router must not be used afterwards.
+func (rt *Router) Close() {
+	rt.stopOnce.Do(func() { close(rt.stop) })
+	rt.probeWG.Wait()
+	rt.client.CloseIdleConnections()
+}
+
+// workers resolves the fan-out pool size.
+func (rt *Router) workers() int {
+	if rt.opts.Parallelism > 0 {
+		return rt.opts.Parallelism
+	}
+	if n := runtime.GOMAXPROCS(0); n < rt.k {
+		return n
+	}
+	return rt.k
+}
+
+// probeLoop keeps the health marks fresh while traffic is idle.
+func (rt *Router) probeLoop() {
+	defer rt.probeWG.Done()
+	ticker := time.NewTicker(rt.opts.ProbeInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-rt.stop:
+			return
+		case <-ticker.C:
+		}
+		rt.fanout(context.Background(), http.MethodGet, "/healthz", nil)
+	}
+}
+
+// backendResult is one backend call's outcome.
+type backendResult struct {
+	shard  int
+	status int
+	body   []byte
+	err    error
+}
+
+func (br *backendResult) ok() bool { return br.err == nil && br.status == http.StatusOK }
+
+// call performs one backend read under the read timeout, updating the
+// backend's health mark from the transport outcome.
+func (rt *Router) call(ctx context.Context, shard int, method, pathAndQuery string, body []byte) backendResult {
+	return rt.callTimeout(ctx, rt.opts.Timeout, shard, method, pathAndQuery, body)
+}
+
+func (rt *Router) callTimeout(ctx context.Context, timeout time.Duration, shard int, method, pathAndQuery string, body []byte) backendResult {
+	res := backendResult{shard: shard}
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, rt.opts.Backends[shard]+pathAndQuery, rd)
+	if err != nil {
+		res.err = err
+		return res
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		res.err = fmt.Errorf("shard %d: %w", shard, err)
+		rt.markDown(shard, res.err)
+		return res
+	}
+	defer resp.Body.Close()
+	res.status = resp.StatusCode
+	res.body, res.err = io.ReadAll(resp.Body)
+	switch {
+	case res.err != nil:
+		rt.markDown(shard, res.err)
+	case res.status >= 500:
+		// Reachable but unhealthy counts as down — the same judgement the
+		// fan-out merges apply — so the transition log can't claim a
+		// recovery for a backend that restarts into a broken state.
+		rt.markDown(shard, fmt.Errorf("status %d", res.status))
+	default:
+		rt.markUp(shard)
+	}
+	return res
+}
+
+// markDown / markUp flip a backend's health mark, logging the transition
+// (and only the transition) through Options.Logf.
+func (rt *Router) markDown(shard int, cause error) {
+	if !rt.down[shard].Swap(true) && rt.opts.Logf != nil {
+		rt.opts.Logf("shard %d down: %v", shard, cause)
+	}
+}
+
+func (rt *Router) markUp(shard int) {
+	if rt.down[shard].Swap(false) && rt.opts.Logf != nil {
+		rt.opts.Logf("shard %d recovered", shard)
+	}
+}
+
+// fanout calls every backend concurrently on a bounded worker pool and
+// returns the per-shard results in shard order.
+func (rt *Router) fanout(ctx context.Context, method, pathAndQuery string, body []byte) []backendResult {
+	out := make([]backendResult, rt.k)
+	par.ForEachIndexed(rt.workers(), rt.k, func(i int) {
+		out[i] = rt.call(ctx, i, method, pathAndQuery, body)
+	})
+	return out
+}
+
+// broadcast is fanout for writes: the write timeout applies, and the
+// context is detached from the client request — once a broadcast starts,
+// a client disconnect must not abandon it half-applied across the fleet.
+func (rt *Router) broadcast(ctx context.Context, method, pathAndQuery string, body []byte) []backendResult {
+	ctx = context.WithoutCancel(ctx)
+	out := make([]backendResult, rt.k)
+	par.ForEachIndexed(rt.workers(), rt.k, func(i int) {
+		out[i] = rt.callTimeout(ctx, rt.opts.WriteTimeout, i, method, pathAndQuery, body)
+	})
+	return out
+}
+
+// failedShards lists the shards whose call failed (transport error or
+// non-200), in shard order.
+func failedShards(results []backendResult) []int {
+	var out []int
+	for i := range results {
+		if !results[i].ok() {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func (rt *Router) routes() {
+	rt.mux = http.NewServeMux()
+	rt.mux.HandleFunc("/healthz", rt.endpoint("healthz", rt.handleHealthz))
+	rt.mux.HandleFunc("/v1/stats", rt.endpoint("stats", rt.handleStats))
+	rt.mux.HandleFunc("/v1/node", rt.endpoint("node", rt.handleNode))
+	rt.mux.HandleFunc("/v1/search", rt.endpoint("search", rt.handleSearch))
+	rt.mux.HandleFunc("/v1/metrics", rt.endpoint("metrics", rt.handleMetrics))
+	rt.mux.HandleFunc("/v1/ingest", rt.endpoint("ingest", rt.handleIngest))
+	rt.mux.HandleFunc("/v1/reload", rt.endpoint("reload", rt.handleReload))
+	rt.mux.HandleFunc("/v1/tag", rt.routed("tag", func(r *http.Request) int {
+		key := r.URL.Query().Get("title")
+		if key == "" {
+			key = r.URL.Query().Get("content")
+		}
+		if r.Method == http.MethodPost {
+			// Body-carried documents hash by raw body below (routeBody).
+			return -1
+		}
+		return ontology.HomeShard(ontology.Concept, key, rt.k)
+	}))
+	rt.mux.HandleFunc("/v1/query/rewrite", rt.routed("query_rewrite", func(r *http.Request) int {
+		return ontology.HomeShard(ontology.Concept, r.URL.Query().Get("q"), rt.k)
+	}))
+	rt.mux.HandleFunc("/v1/story", rt.routed("story", func(r *http.Request) int {
+		return ontology.HomeShard(ontology.Event, r.URL.Query().Get("seed"), rt.k)
+	}))
+}
+
+// endpoint wraps a router handler with metrics; handlers return a status
+// plus either a pre-rendered body ([]byte, proxied verbatim) or a
+// JSON-marshalable payload.
+func (rt *Router) endpoint(name string, fn func(r *http.Request) (int, any)) http.HandlerFunc {
+	m := rt.metrics.endpoints[name]
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		status, payload := fn(r)
+		var body []byte
+		if raw, ok := payload.([]byte); ok {
+			body = raw
+		} else {
+			var err error
+			body, err = json.Marshal(payload)
+			if err != nil {
+				status = http.StatusInternalServerError
+				body, _ = json.Marshal(errorBody{Error: "encode response: " + err.Error()})
+			}
+			body = append(body, '\n')
+		}
+		writeBody(w, status, body, false)
+		m.observe(status, time.Since(start), false)
+	}
+}
+
+// routed proxies a request to a single shard chosen by the route function
+// (phrase-hash routing), forwarding the backend response verbatim. An
+// unreachable target is a 502 in both degraded modes — a point route has
+// no partial result to return.
+func (rt *Router) routed(name string, route func(r *http.Request) int) http.HandlerFunc {
+	return rt.endpoint(name, func(r *http.Request) (int, any) {
+		var body []byte
+		if r.Body != nil {
+			body, _ = io.ReadAll(r.Body)
+		}
+		shard := route(r)
+		if shard < 0 {
+			shard = ontology.HomeShard(ontology.Concept, string(body), rt.k)
+		}
+		pathAndQuery := r.URL.Path
+		if r.URL.RawQuery != "" {
+			pathAndQuery += "?" + r.URL.RawQuery
+		}
+		var reqBody []byte
+		if r.Method != http.MethodGet {
+			reqBody = body
+		}
+		res := rt.call(r.Context(), shard, r.Method, pathAndQuery, reqBody)
+		if res.err != nil {
+			return http.StatusBadGateway, errorBody{Error: fmt.Sprintf("shard %d unavailable: %v", shard, res.err)}
+		}
+		return res.status, res.body
+	})
+}
+
+func (rt *Router) handleHealthz(r *http.Request) (int, any) {
+	results := rt.fanout(r.Context(), http.MethodGet, "/healthz", nil)
+	type backendHealth struct {
+		Shard      int    `json:"shard"`
+		URL        string `json:"url"`
+		Healthy    bool   `json:"healthy"`
+		Generation uint64 `json:"generation,omitempty"`
+		Error      string `json:"error,omitempty"`
+	}
+	backends := make([]backendHealth, rt.k)
+	status := "ok"
+	for i := range results {
+		b := backendHealth{Shard: i, URL: rt.opts.Backends[i], Healthy: results[i].ok()}
+		if results[i].ok() {
+			var h struct {
+				Generation uint64 `json:"generation"`
+			}
+			if json.Unmarshal(results[i].body, &h) == nil {
+				b.Generation = h.Generation
+			}
+		} else {
+			status = "degraded"
+			if results[i].err != nil {
+				b.Error = results[i].err.Error()
+			} else {
+				b.Error = fmt.Sprintf("status %d", results[i].status)
+			}
+		}
+		backends[i] = b
+	}
+	return http.StatusOK, map[string]any{"status": status, "shards": rt.k, "backends": backends}
+}
+
+// handleSearch fans /v1/search out to every shard and merges the hits in
+// union node-ID order — the cross-process twin of ShardedSnapshot.Search.
+func (rt *Router) handleSearch(r *http.Request) (int, any) {
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		return http.StatusBadRequest, errorBody{Error: "need ?q="}
+	}
+	limit := 10
+	if ls := r.URL.Query().Get("limit"); ls != "" {
+		l, err := strconv.Atoi(ls)
+		if err != nil || l <= 0 {
+			return http.StatusBadRequest, errorBody{Error: "invalid limit: " + ls}
+		}
+		limit = l
+	}
+	if limit > rt.opts.MaxSearchResults {
+		limit = rt.opts.MaxSearchResults
+	}
+	v := url.Values{}
+	v.Set("q", q)
+	v.Set("limit", strconv.Itoa(limit))
+	results := rt.fanout(r.Context(), http.MethodGet, "/v1/search?"+v.Encode(), nil)
+	failed := failedShards(results)
+	if len(failed) > 0 && !rt.opts.FailOpen {
+		return http.StatusServiceUnavailable, errorBody{Error: fmt.Sprintf("shards %v unavailable (fail-closed)", failed)}
+	}
+	var hits []searchHit
+	for i := range results {
+		if !results[i].ok() {
+			continue
+		}
+		var parsed struct {
+			Results []searchHit `json:"results"`
+		}
+		if err := json.Unmarshal(results[i].body, &parsed); err != nil {
+			return http.StatusBadGateway, errorBody{Error: fmt.Sprintf("shard %d: bad search response: %v", i, err)}
+		}
+		hits = append(hits, parsed.Results...)
+	}
+	// Merge in union ID order: within a shard, home nodes preserve union
+	// order, so each shard's first `limit` matches are a superset of its
+	// contribution to the global first `limit`.
+	sort.SliceStable(hits, func(a, b int) bool { return hits[a].ID < hits[b].ID })
+	if len(hits) > limit {
+		hits = hits[:limit]
+	}
+	if hits == nil {
+		hits = []searchHit{}
+	}
+	resp := map[string]any{"query": q, "count": len(hits), "results": hits}
+	if len(failed) > 0 {
+		resp["partial"] = true
+		resp["missing_shards"] = failed
+	}
+	return http.StatusOK, resp
+}
+
+// handleNode answers a node lookup in the composed view. A (type, phrase)
+// request routes straight to HomeShard(type, phrase) — the node named by a
+// canonical phrase is always homed there; an alias, ID or untyped lookup
+// scatters instead, and the winner is chosen by the union's precedence
+// order: phrase matches beat alias matches, then NodeType order, then
+// union ID (each a first-win rule of the union index). The home shard's
+// response carries the node, its complete parent/children lists and its
+// direct IsA parents; the transitive ancestor chain is assembled by
+// walking each ancestor's own home shard, level by level — reproducing the
+// union's BFS exactly, because every hop queries the one shard holding
+// that node's complete in-edge set.
+func (rt *Router) handleNode(r *http.Request) (int, any) {
+	q := r.URL.Query()
+	var (
+		chosen *shardNodeDetail
+		seed   *shardNodeDetail // primary's alias answer, pre-competing in the scatter
+		skip   = -1             // shard already queried by the typed fast path
+	)
+	switch {
+	case q.Get("id") != "":
+		if _, err := strconv.Atoi(q.Get("id")); err != nil {
+			return http.StatusBadRequest, errorBody{Error: "invalid id: " + q.Get("id")}
+		}
+	case q.Get("phrase") != "":
+		if ts := q.Get("type"); ts != "" {
+			t, err := ontology.ParseNodeType(ts)
+			if err != nil {
+				return http.StatusBadRequest, errorBody{Error: err.Error()}
+			}
+			primary := ontology.HomeShard(t, q.Get("phrase"), rt.k)
+			res := rt.call(r.Context(), primary, http.MethodGet, "/v1/node?"+r.URL.RawQuery, nil)
+			if res.err != nil {
+				return http.StatusBadGateway, errorBody{Error: fmt.Sprintf("shard %d unavailable: %v", primary, res.err)}
+			}
+			if res.status == http.StatusOK {
+				var d shardNodeDetail
+				if err := json.Unmarshal(res.body, &d); err != nil {
+					return http.StatusBadGateway, errorBody{Error: fmt.Sprintf("shard %d: bad node response: %v", primary, err)}
+				}
+				// Only a phrase match short-circuits: the canonical phrase
+				// can live on no other shard. An alias answer must compete
+				// in the scatter below — the union's first-win alias
+				// resolution may prefer a same-typed alias homed elsewhere
+				// with a smaller union ID.
+				if d.Match == "phrase" {
+					chosen = &d
+				} else {
+					seed = &d
+				}
+			}
+			// 404 (or an alias-only answer) falls through to the scatter —
+			// the phrase may be an alias of a node homed on any shard —
+			// with the primary's answer seeded so it is not re-queried.
+			skip = primary
+		}
+	default:
+		return http.StatusBadRequest, errorBody{Error: "need ?id= or ?phrase="}
+	}
+	if chosen == nil {
+		best, failed, status := rt.scatterNode(r.Context(), r.URL.RawQuery, skip, seed)
+		if status != 0 {
+			return status, errorBody{Error: fmt.Sprintf("shards %v unavailable", failed)}
+		}
+		if best == nil {
+			return http.StatusNotFound, errorBody{Error: "node not found"}
+		}
+		chosen = best
+	}
+	ancestors, err := rt.assembleAncestors(r.Context(), chosen)
+	if err != nil {
+		return http.StatusBadGateway, errorBody{Error: "assemble ancestors: " + err.Error()}
+	}
+	d := chosen.nodeDetail
+	d.Ancestors = ancestors
+	return http.StatusOK, d
+}
+
+// scatterNode fans one /v1/node query out to every shard (except skip, a
+// shard the caller already queried — its answer, if any, enters as seed)
+// and picks the union-precedence winner among the answers. A non-zero
+// returned status aborts the lookup (degraded fleet under the fail-closed
+// policy, or no answer at all while shards were missing).
+func (rt *Router) scatterNode(ctx context.Context, rawQuery string, skip int, seed *shardNodeDetail) (*shardNodeDetail, []int, int) {
+	shards := make([]int, 0, rt.k)
+	for i := 0; i < rt.k; i++ {
+		if i != skip {
+			shards = append(shards, i)
+		}
+	}
+	results := make([]backendResult, len(shards))
+	par.ForEachIndexed(rt.workers(), len(shards), func(j int) {
+		results[j] = rt.call(ctx, shards[j], http.MethodGet, "/v1/node?"+rawQuery, nil)
+	})
+	var failed []int
+	best := seed
+	var bestRank [3]int
+	if best != nil {
+		bestRank = nodeMatchRank(best)
+	}
+	for i := range results {
+		switch {
+		case results[i].err != nil:
+			failed = append(failed, results[i].shard)
+		case results[i].status == http.StatusOK:
+			var d shardNodeDetail
+			if err := json.Unmarshal(results[i].body, &d); err != nil {
+				failed = append(failed, results[i].shard)
+				continue
+			}
+			rank := nodeMatchRank(&d)
+			if best == nil || rankLess(rank, bestRank) {
+				best, bestRank = &d, rank
+			}
+		case results[i].status != http.StatusNotFound:
+			// 404 is a legitimate "not homed here"; anything else
+			// (500 mid-swap, 503) means the shard could not answer and
+			// must count as failed — a reachable-but-unhealthy shard is
+			// not a license to report "node not found".
+			failed = append(failed, results[i].shard)
+		}
+	}
+	if len(failed) > 0 && !rt.opts.FailOpen {
+		return nil, failed, http.StatusServiceUnavailable
+	}
+	if best == nil && len(failed) > 0 {
+		return nil, failed, http.StatusBadGateway
+	}
+	return best, failed, 0
+}
+
+// nodeMatchRank orders scatter answers by the union's lookup precedence:
+// phrase matches before alias matches, then NodeType order, then union ID.
+func nodeMatchRank(d *shardNodeDetail) [3]int {
+	mr := 0
+	if d.Match == "alias" {
+		mr = 1
+	}
+	tr := 0
+	if t, err := ontology.ParseNodeType(d.Node.Type); err == nil {
+		tr = int(t)
+	}
+	return [3]int{mr, tr, int(d.Node.ID)}
+}
+
+func rankLess(a, b [3]int) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+// assembleAncestors rebuilds the transitive IsA ancestor chain of a node
+// from per-shard answers, reproducing Snapshot.Ancestors' BFS order: the
+// frontier is processed level by level, every node's direct parents arrive
+// in union in-edge order from its home shard, and first-seen wins.
+func (rt *Router) assembleAncestors(ctx context.Context, d *shardNodeDetail) ([]string, error) {
+	seen := map[ontology.NodeID]bool{d.Node.ID: true}
+	var out []string
+	adopt := func(refs []isaRef) []isaRef {
+		var added []isaRef
+		for _, ref := range refs {
+			if seen[ref.ID] {
+				continue
+			}
+			seen[ref.ID] = true
+			out = append(out, ref.Phrase)
+			added = append(added, ref)
+		}
+		return added
+	}
+	frontier := adopt(d.IsAParents)
+	for len(frontier) > 0 {
+		// One level's fetches are independent — run them through the
+		// bounded fan-out pool (one round-trip per level, not per node) —
+		// then adopt in frontier order, which is what fixes the BFS
+		// ordering; the fetch order never observes `seen`.
+		parents := make([][]isaRef, len(frontier))
+		errs := make([]error, len(frontier))
+		par.ForEachIndexed(rt.workers(), len(frontier), func(i int) {
+			parents[i], errs[i] = rt.fetchIsAParents(ctx, frontier[i])
+		})
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+		var next []isaRef
+		for i := range frontier {
+			next = append(next, adopt(parents[i])...)
+		}
+		frontier = next
+	}
+	return out, nil
+}
+
+// fetchIsAParents asks an ancestor's home shard for its direct IsA
+// parents (a cacheable point lookup on the backend).
+func (rt *Router) fetchIsAParents(ctx context.Context, ref isaRef) ([]isaRef, error) {
+	t, err := ontology.ParseNodeType(ref.Type)
+	if err != nil {
+		return nil, fmt.Errorf("ancestor %q: %w", ref.Phrase, err)
+	}
+	shard := ontology.HomeShard(t, ref.Phrase, rt.k)
+	v := url.Values{}
+	v.Set("phrase", ref.Phrase)
+	v.Set("type", ref.Type)
+	res := rt.call(ctx, shard, http.MethodGet, "/v1/node?"+v.Encode(), nil)
+	if res.err != nil {
+		return nil, fmt.Errorf("shard %d unavailable: %w", shard, res.err)
+	}
+	if res.status != http.StatusOK {
+		return nil, fmt.Errorf("shard %d: ancestor %q: status %d", shard, ref.Phrase, res.status)
+	}
+	var parsed shardNodeDetail
+	if err := json.Unmarshal(res.body, &parsed); err != nil {
+		return nil, fmt.Errorf("shard %d: bad node response: %w", shard, err)
+	}
+	return parsed.IsAParents, nil
+}
+
+// handleStats fans /v1/stats out and reassembles the in-process sharded
+// stats shape: exact whole-world counts from each shard's owned slice and
+// the per-shard generation list verbatim.
+func (rt *Router) handleStats(r *http.Request) (int, any) {
+	results := rt.fanout(r.Context(), http.MethodGet, "/v1/stats", nil)
+	failed := failedShards(results)
+	if len(failed) > 0 && !rt.opts.FailOpen {
+		return http.StatusServiceUnavailable, errorBody{Error: fmt.Sprintf("shards %v unavailable (fail-closed)", failed)}
+	}
+	type shardBlock struct {
+		Shard       int            `json:"shard"`
+		Shards      int            `json:"shards"`
+		Generation  uint64         `json:"generation"`
+		Nodes       int            `json:"nodes"`
+		Edges       int            `json:"edges"`
+		OwnedEdges  int            `json:"owned_edges"`
+		NodesByType map[string]int `json:"nodes_by_type"`
+		EdgesByType map[string]int `json:"edges_by_type"`
+	}
+	nodes, edges := 0, 0
+	nodesByType, edgesByType := map[string]int{}, map[string]int{}
+	shards := make([]shardSummary, 0, rt.k)
+	for i := range results {
+		if !results[i].ok() {
+			continue
+		}
+		var parsed struct {
+			Shard *shardBlock `json:"shard"`
+		}
+		if err := json.Unmarshal(results[i].body, &parsed); err != nil || parsed.Shard == nil {
+			return http.StatusBadGateway, errorBody{Error: fmt.Sprintf("shard %d: not a per-shard stats response (is the backend running with -shard?)", i)}
+		}
+		sb := parsed.Shard
+		if sb.Shard != i || sb.Shards != rt.k {
+			return http.StatusBadGateway, errorBody{Error: fmt.Sprintf("backend %d serves shard %d/%d, want %d/%d (check -backends order)", i, sb.Shard, sb.Shards, i, rt.k)}
+		}
+		nodes += sb.Nodes
+		edges += sb.OwnedEdges
+		for k, v := range sb.NodesByType {
+			nodesByType[k] += v
+		}
+		for k, v := range sb.EdgesByType {
+			edgesByType[k] += v
+		}
+		shards = append(shards, shardSummary{Shard: i, Generation: sb.Generation, Nodes: sb.Nodes, Edges: sb.Edges})
+	}
+	resp := map[string]any{
+		"nodes":         nodes,
+		"edges":         edges,
+		"nodes_by_type": nodesByType,
+		"edges_by_type": edgesByType,
+		"shards":        shards,
+	}
+	if len(failed) > 0 {
+		resp["partial"] = true
+		resp["missing_shards"] = failed
+	}
+	return http.StatusOK, resp
+}
+
+func (rt *Router) handleMetrics(r *http.Request) (int, any) {
+	results := rt.fanout(r.Context(), http.MethodGet, "/v1/metrics", nil)
+	backends := make([]any, rt.k)
+	for i := range results {
+		if results[i].ok() {
+			var m json.RawMessage = results[i].body
+			backends[i] = m
+		} else {
+			backends[i] = map[string]any{"shard": i, "error": "unavailable"}
+		}
+	}
+	return http.StatusOK, map[string]any{
+		"uptime_seconds": time.Since(rt.metrics.start).Seconds(),
+		"endpoints":      rt.metrics.snapshot(),
+		"backends":       backends,
+	}
+}
+
+// handleIngest broadcasts the batch to every backend — each holds the full
+// mining system and republishes only its own shard — with all-or-nothing
+// generation accounting: the merged generation report is returned only
+// when every backend applied the batch; a partial application surfaces as
+// 502 naming the shards that diverged. Writes are always fail-closed.
+func (rt *Router) handleIngest(r *http.Request) (int, any) {
+	if r.Method != http.MethodPost {
+		return http.StatusMethodNotAllowed, errorBody{Error: "use POST"}
+	}
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		return http.StatusBadRequest, errorBody{Error: "read body: " + err.Error()}
+	}
+	rt.ingestMu.Lock()
+	defer rt.ingestMu.Unlock()
+	results := rt.broadcast(r.Context(), http.MethodPost, "/v1/ingest", body)
+	return rt.mergeBroadcast(results, "ingest")
+}
+
+// handleReload broadcasts /v1/reload with the same all-or-nothing
+// accounting as ingest.
+func (rt *Router) handleReload(r *http.Request) (int, any) {
+	if r.Method != http.MethodPost {
+		return http.StatusMethodNotAllowed, errorBody{Error: "use POST"}
+	}
+	rt.ingestMu.Lock()
+	defer rt.ingestMu.Unlock()
+	results := rt.broadcast(r.Context(), http.MethodPost, "/v1/reload", nil)
+	return rt.mergeBroadcast(results, "reload")
+}
+
+// shardWriteResp is the slice of a backend write response the router
+// aggregates.
+type shardWriteResp struct {
+	Generation    uint64         `json:"generation"`
+	TouchedShards []int          `json:"touched_shards"`
+	HomeNodes     int            `json:"home_nodes"`
+	Delta         map[string]any `json:"delta"`
+}
+
+// mergeBroadcast aggregates a write broadcast. Every backend succeeded →
+// merged 200. Every backend rejected with the same 4xx (deterministic
+// validation) → that status with the first body, so client-fault statuses
+// (400/422) survive the fan-out. Anything else → 502 with per-shard
+// status detail: the fleet's generations may have diverged and the
+// operator must reconcile (the response names exactly which shards
+// applied).
+func (rt *Router) mergeBroadcast(results []backendResult, what string) (int, any) {
+	allOK, all4xx := true, true
+	first4xx := 0
+	for i := range results {
+		if results[i].ok() {
+			all4xx = false
+			continue
+		}
+		allOK = false
+		if results[i].err != nil || results[i].status < 400 || results[i].status >= 500 {
+			all4xx = false
+		} else if first4xx == 0 {
+			first4xx = results[i].status
+		} else if results[i].status != first4xx {
+			all4xx = false
+		}
+	}
+	if all4xx && first4xx != 0 {
+		return first4xx, results[0].body
+	}
+	parsed := make([]shardWriteResp, rt.k)
+	for i := range results {
+		if results[i].ok() {
+			if err := json.Unmarshal(results[i].body, &parsed[i]); err != nil {
+				allOK = false
+			}
+		}
+	}
+	if !allOK {
+		type shardStatus struct {
+			Shard   int    `json:"shard"`
+			Applied bool   `json:"applied"`
+			Status  int    `json:"status,omitempty"`
+			Error   string `json:"error,omitempty"`
+		}
+		detail := make([]shardStatus, rt.k)
+		for i := range results {
+			detail[i] = shardStatus{Shard: i, Applied: results[i].ok(), Status: results[i].status}
+			if results[i].err != nil {
+				detail[i].Error = results[i].err.Error()
+			}
+		}
+		return http.StatusBadGateway, map[string]any{
+			"error":  fmt.Sprintf("partial %s application: generations may have diverged; reconcile the shards marked applied=false", what),
+			"shards": detail,
+		}
+	}
+	gens := make([]uint64, rt.k)
+	nodes := 0
+	for i := range parsed {
+		gens[i] = parsed[i].Generation
+		nodes += parsed[i].HomeNodes
+	}
+	resp := map[string]any{
+		"shards":            rt.k,
+		"shard_generations": gens,
+		"nodes":             nodes,
+	}
+	if what == "ingest" {
+		// Touched flags are deterministic across backends; report the
+		// first one's view.
+		ts := parsed[0].TouchedShards
+		if ts == nil {
+			ts = []int{}
+		}
+		resp["touched_shards"] = ts
+		if parsed[0].Delta != nil {
+			resp["delta"] = parsed[0].Delta
+		}
+	}
+	return http.StatusOK, resp
+}

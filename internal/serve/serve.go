@@ -40,6 +40,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/url"
 	"strconv"
 	"strings"
 	"sync"
@@ -72,6 +73,19 @@ type Options struct {
 	// generation of — only the touched shards. When set it takes precedence
 	// over Ingest; it requires the server to have been built with NewSharded.
 	IngestSharded func(delta.Batch) (*ontology.ShardedSnapshot, *delta.Delta, []bool, error)
+	// ShardIngest is the per-shard-process analogue (servers built with
+	// NewShard): the host applies the batch through its full mining system
+	// and returns THIS shard's advanced projection plus the merged delta
+	// and the touched-shard flags. The server republishes — and bumps its
+	// generation — only when its own shard was touched; an untouched ingest
+	// still refreshes the serving state (the union ID table may have
+	// shifted) without minting a new generation, which is what keeps
+	// per-shard generations identical to the in-process NewSharded path.
+	ShardIngest func(delta.Batch) (*ontology.ShardProjection, *delta.Delta, []bool, error)
+	// ShardLoader supplies a replacement shard projection for /v1/reload on
+	// a NewShard server (typically re-reading the shard file or re-running
+	// the build). Nil disables the endpoint in shard mode.
+	ShardLoader func() (*ontology.ShardProjection, error)
 	// History bounds the versioned snapshot store backing /v1/rollback;
 	// 0 means ontology.DefaultRetention.
 	History int
@@ -117,6 +131,15 @@ type state struct {
 	// /v1/stats reports the per-shard generations below.
 	shards    *ontology.ShardedSnapshot
 	shardGens []uint64
+	// shardCaches are the sharded server's per-shard response caches:
+	// /v1/node responses are keyed by the resolved node's home shard, and a
+	// shard's cache carries over across publishes that leave its projection
+	// untouched — so a foreign shard's republication no longer evicts them.
+	shardCaches []*lruCache
+	// proj identifies a per-shard-process server (NewShard): snap is then
+	// one shard's projection, search scans only its home-node prefix, and
+	// node responses render union IDs through the projection's ID table.
+	proj *ontology.ShardProjection
 }
 
 // Server serves a hot-swappable ontology snapshot over HTTP.
@@ -130,6 +153,7 @@ type Server struct {
 	mux         *http.ServeMux
 	enc         storytree.Encoder
 	story       storytree.Options
+	shardMode   bool // built with NewShard: serves one shard projection
 }
 
 // endpointNames fixes the metrics registry key set.
@@ -179,6 +203,25 @@ func NewSharded(ss *ontology.ShardedSnapshot, opts Options) *Server {
 	return s
 }
 
+// NewShard builds a per-shard-process Server over one shard's projection —
+// the backend of the multi-process serving tier (cmd/giantrouter fans out
+// over K of these). /v1/search scans only the projection's home-node
+// prefix and /v1/node resolves home nodes only, both rendering union node
+// IDs through the projection's ID table, so a router merging K shard
+// responses reproduces the in-process NewSharded output byte for byte.
+// /healthz and /v1/stats carry the shard identity and per-shard
+// generation; /v1/tag, /v1/query/rewrite and /v1/story serve from the
+// projection (an approximation of the union — see docs/ARCHITECTURE.md).
+func NewShard(p *ontology.ShardProjection, opts Options) *Server {
+	s := newServer(opts)
+	s.shardMode = true
+	s.swapMu.Lock()
+	s.publishShardLocked(p, true)
+	s.swapMu.Unlock()
+	s.routes()
+	return s
+}
+
 // SwapSharded publishes a sharded snapshot: shards flagged touched (nil =
 // all) are pushed into their per-shard generation stores, the union joins
 // the whole-world store for /v1/rollback, and the serving state swaps
@@ -187,7 +230,7 @@ func NewSharded(ss *ontology.ShardedSnapshot, opts Options) *Server {
 func (s *Server) SwapSharded(ss *ontology.ShardedSnapshot, touched []bool) uint64 {
 	s.swapMu.Lock()
 	defer s.swapMu.Unlock()
-	return s.publishShardedLocked(ss, touched)
+	return s.publishShardedLocked(ss, touched, false)
 }
 
 // publishShardedLocked pushes the touched shards and publishes the sharded
@@ -198,29 +241,54 @@ func (s *Server) SwapSharded(ss *ontology.ShardedSnapshot, touched []bool) uint6
 // ingest lineage diverges from the served state (e.g. the first ingest
 // after a /v1/rollback or /v1/reload, which republished a re-partitioned
 // world the mining system never adopted).
-func (s *Server) publishShardedLocked(ss *ontology.ShardedSnapshot, touched []bool) uint64 {
+// carryCaches additionally carries the per-shard /v1/node response caches
+// of untouched shards into the new state — sound only when the publish is
+// an append-only delta (no retirements, whose dense renumbering can shift
+// union IDs embedded in cached bodies of untouched shards).
+func (s *Server) publishShardedLocked(ss *ontology.ShardedSnapshot, touched []bool, carryCaches bool) uint64 {
 	prev := s.cur.Load()
+	republished := make([]bool, ss.NumShards())
 	for i := 0; i < ss.NumShards(); i++ {
 		republish := touched == nil || (i < len(touched) && touched[i])
 		if !republish && (prev == nil || prev.shards == nil ||
 			prev.shards.NumShards() != ss.NumShards() || prev.shards.Shard(i) != ss.Shard(i)) {
 			republish = true
 		}
+		republished[i] = republish
 		if republish {
 			s.shardStores.Push(i, ss.Shard(i))
 		}
 	}
-	return s.storeShardedStateLocked(ss, s.store.Push(ss.Union()))
+	var caches []*lruCache
+	if carryCaches && prev != nil && len(prev.shardCaches) == ss.NumShards() {
+		caches = make([]*lruCache, ss.NumShards())
+		for i := range caches {
+			if republished[i] {
+				caches[i] = newLRUCache(s.opts.CacheSize)
+			} else {
+				caches[i] = prev.shardCaches[i]
+			}
+		}
+	}
+	return s.storeShardedStateLocked(ss, s.store.Push(ss.Union()), caches)
 }
 
 // storeShardedStateLocked indexes and atomically publishes the sharded
 // serving state under the given union generation (already pushed or
 // reused by the caller); the caller holds swapMu and has pushed the shard
-// stores it wants bumped.
-func (s *Server) storeShardedStateLocked(ss *ontology.ShardedSnapshot, gen uint64) uint64 {
+// stores it wants bumped. caches, when non-nil, supplies the per-shard
+// node caches to install (nil installs fresh empty ones).
+func (s *Server) storeShardedStateLocked(ss *ontology.ShardedSnapshot, gen uint64, caches []*lruCache) uint64 {
 	st := s.buildState(ss.Union(), gen)
 	st.shards = ss
 	st.shardGens = s.shardStores.CurrentGens()
+	if caches == nil {
+		caches = make([]*lruCache, ss.NumShards())
+		for i := range caches {
+			caches[i] = newLRUCache(s.opts.CacheSize)
+		}
+	}
+	st.shardCaches = caches
 	s.cur.Store(st)
 	return gen
 }
@@ -271,14 +339,53 @@ func (s *Server) buildState(snap *ontology.Snapshot, gen uint64) *state {
 func (s *Server) SwapSnapshot(snap *ontology.Snapshot) (uint64, error) {
 	s.swapMu.Lock()
 	defer s.swapMu.Unlock()
+	if s.shardMode {
+		return 0, errors.New("serve: SwapSnapshot on a per-shard server (use SwapShard with a shard projection)")
+	}
 	if st := s.cur.Load(); st.shards != nil {
 		ss, err := ontology.ShardSnapshot(snap, st.shards.NumShards())
 		if err != nil {
 			return 0, err
 		}
-		return s.publishShardedLocked(ss, nil), nil
+		return s.publishShardedLocked(ss, nil, false), nil
 	}
 	return s.publishLocked(snap, s.store.Push(snap)), nil
+}
+
+// SwapShard publishes a replacement projection on a per-shard server (the
+// shard-mode analogue of Swap, used by reload and file watchers). The
+// projection must carry the same shard identity the server was built with.
+func (s *Server) SwapShard(p *ontology.ShardProjection) (uint64, error) {
+	s.swapMu.Lock()
+	defer s.swapMu.Unlock()
+	st := s.cur.Load()
+	if st == nil || st.proj == nil {
+		return 0, errors.New("serve: SwapShard on a server not built with NewShard")
+	}
+	if st.proj.Shard != p.Shard || st.proj.NumShards != p.NumShards {
+		return 0, fmt.Errorf("serve: SwapShard got shard %d/%d, serving %d/%d",
+			p.Shard, p.NumShards, st.proj.Shard, st.proj.NumShards)
+	}
+	return s.publishShardLocked(p, true), nil
+}
+
+// publishShardLocked publishes a per-shard serving state: a republish
+// pushes the projection into the generation store (minting a new
+// generation), while republish=false refreshes the state — fresh union-ID
+// table, fresh cache — under the CURRENT generation, which is how an
+// ingest that left this shard untouched keeps its generation while still
+// tracking union renumbering. The caller holds swapMu.
+func (s *Server) publishShardLocked(p *ontology.ShardProjection, republish bool) uint64 {
+	var gen uint64
+	if republish {
+		gen = s.store.Push(p.Snap)
+	} else if cur := s.cur.Load(); cur != nil {
+		gen = cur.gen
+	}
+	st := s.buildState(p.Snap, gen)
+	st.proj = p
+	s.cur.Store(st)
+	return gen
 }
 
 // Current returns the snapshot serving right now.
@@ -298,10 +405,14 @@ func (s *Server) Handler() http.Handler {
 }
 
 func (s *Server) routes() {
+	nodeHandler := s.handleNode
+	if s.shardMode {
+		nodeHandler = s.handleShardNode
+	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/healthz", s.endpoint("healthz", false, s.handleHealthz))
 	s.mux.HandleFunc("/v1/stats", s.endpoint("stats", false, s.handleStats))
-	s.mux.HandleFunc("/v1/node", s.endpoint("node", true, s.handleNode))
+	s.mux.HandleFunc("/v1/node", s.endpoint("node", true, nodeHandler))
 	s.mux.HandleFunc("/v1/search", s.endpoint("search", true, s.handleSearch))
 	s.mux.HandleFunc("/v1/tag", s.endpoint("tag", false, s.handleTag))
 	s.mux.HandleFunc("/v1/query/rewrite", s.endpoint("query_rewrite", true, s.handleQueryRewrite))
@@ -322,15 +433,19 @@ type errorBody struct {
 type handlerFunc func(st *state, r *http.Request) (int, any)
 
 // endpoint wraps an endpoint with metrics and, for cacheable GETs, the
-// per-snapshot LRU response cache (keyed by request URI, 200s only).
+// per-snapshot LRU response cache (keyed by request URI, 200s only). On a
+// sharded server, /v1/node entries live in the resolved node's home-shard
+// cache, which survives publishes that leave that shard untouched.
 func (s *Server) endpoint(name string, cacheable bool, fn handlerFunc) http.HandlerFunc {
 	m := s.metrics.endpoints[name]
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		st := s.cur.Load()
 		useCache := cacheable && r.Method == http.MethodGet
+		var cache *lruCache
 		if useCache {
-			if body := st.cache.get(r.URL.RequestURI()); body != nil {
+			cache = st.cacheFor(name, r)
+			if body := cache.get(r.URL.RequestURI()); body != nil {
 				writeBody(w, http.StatusOK, body, true)
 				m.observe(http.StatusOK, time.Since(start), true)
 				return
@@ -347,11 +462,73 @@ func (s *Server) endpoint(name string, cacheable bool, fn handlerFunc) http.Hand
 		// may append to (and thereby mutate) the shared backing array later.
 		body = append(body, '\n')
 		if useCache && status == http.StatusOK {
-			st.cache.put(r.URL.RequestURI(), body)
+			cache.put(r.URL.RequestURI(), body)
 		}
 		writeBody(w, status, body, false)
 		m.observe(status, time.Since(start), false)
 	}
+}
+
+// cacheFor picks the response cache for one cacheable GET. /v1/node on a
+// sharded (in-process) server is keyed by the resolved node's home shard:
+// those entries are the regression scaffold for shard-local caching — a
+// foreign shard's republication must not evict responses whose home shard
+// is untouched. Scatter-gather search and the union-derived endpoints stay
+// in the per-state cache that dies with its state.
+func (st *state) cacheFor(name string, r *http.Request) *lruCache {
+	if name != "node" || st.shards == nil || len(st.shardCaches) == 0 {
+		return st.cache
+	}
+	if sh, ok := st.nodeHomeShard(r); ok {
+		return st.shardCaches[sh]
+	}
+	return st.cache
+}
+
+// nodeHomeShard resolves a /v1/node request to the home shard of the node
+// it would answer with (the same resolver handleNode uses); ok=false when
+// the request is malformed or the node is unknown.
+func (st *state) nodeHomeShard(r *http.Request) (int, bool) {
+	node, ok, badReq, _ := resolveNodeQuery(st.snap, r.URL.Query())
+	if badReq != 0 || !ok {
+		return 0, false
+	}
+	return ontology.HomeShard(node.Type, node.Phrase, st.shards.NumShards()), true
+}
+
+// resolveNodeQuery is THE /v1/node resolution order, shared by the
+// handler and the cache-shard router so the two can never diverge: ?id=
+// first, then ?phrase= with ?type= (canonical phrase before alias), then
+// an untyped LookupAny. A non-zero badReq reports a malformed request
+// with its error body; otherwise ok reports whether a node resolved.
+func resolveNodeQuery(snap *ontology.Snapshot, q url.Values) (node ontology.Node, ok bool, badReq int, errb errorBody) {
+	switch {
+	case q.Get("id") != "":
+		id, err := strconv.Atoi(q.Get("id"))
+		if err != nil {
+			return ontology.Node{}, false, http.StatusBadRequest, errorBody{Error: "invalid id: " + q.Get("id")}
+		}
+		node, ok = snap.Get(ontology.NodeID(id))
+	case q.Get("phrase") != "":
+		phrase := q.Get("phrase")
+		if ts := q.Get("type"); ts != "" {
+			t, err := ontology.ParseNodeType(ts)
+			if err != nil {
+				return ontology.Node{}, false, http.StatusBadRequest, errorBody{Error: err.Error()}
+			}
+			node, ok = snap.Find(t, phrase)
+			if !ok {
+				if id, aok := snap.LookupAlias(t, phrase); aok {
+					node, ok = snap.Get(id)
+				}
+			}
+		} else if id, aok := snap.LookupAny(phrase); aok {
+			node, ok = snap.Get(id)
+		}
+	default:
+		return ontology.Node{}, false, http.StatusBadRequest, errorBody{Error: "need ?id= or ?phrase="}
+	}
+	return node, ok, 0, errorBody{}
 }
 
 func writeBody(w http.ResponseWriter, status int, body []byte, cacheHit bool) {
@@ -371,6 +548,11 @@ func (s *Server) handleHealthz(st *state, r *http.Request) (int, any) {
 	}
 	if st.shards != nil {
 		resp["shards"] = st.shards.NumShards()
+	}
+	if st.proj != nil {
+		resp["shard"] = st.proj.Shard
+		resp["shards"] = st.proj.NumShards
+		resp["home_nodes"] = st.proj.HomeCount
 	}
 	return http.StatusOK, resp
 }
@@ -425,6 +607,23 @@ func (s *Server) handleStats(st *state, r *http.Request) (int, any) {
 		}
 		resp["shards"] = shards
 	}
+	if st.proj != nil {
+		// Per-shard process: report the owned slice of the union so a
+		// router can sum exact whole-world counts (home nodes partition the
+		// union; every union edge is owned by exactly one shard — the home
+		// of its source).
+		hs := st.proj.HomeStats()
+		resp["shard"] = map[string]any{
+			"shard":         st.proj.Shard,
+			"shards":        st.proj.NumShards,
+			"generation":    st.gen,
+			"nodes":         st.proj.HomeCount,
+			"edges":         st.snap.EdgeCount(), // stored (incl. ghost copies)
+			"owned_edges":   st.proj.OwnedEdgeCount(),
+			"nodes_by_type": hs.NodesByType,
+			"edges_by_type": hs.EdgesByType,
+		}
+	}
 	return http.StatusOK, resp
 }
 
@@ -457,38 +656,9 @@ type nodeDetail struct {
 }
 
 func (s *Server) handleNode(st *state, r *http.Request) (int, any) {
-	q := r.URL.Query()
-	var (
-		node ontology.Node
-		ok   bool
-	)
-	switch {
-	case q.Get("id") != "":
-		id, err := strconv.Atoi(q.Get("id"))
-		if err != nil {
-			return http.StatusBadRequest, errorBody{Error: "invalid id: " + q.Get("id")}
-		}
-		node, ok = st.snap.Get(ontology.NodeID(id))
-	case q.Get("phrase") != "":
-		phrase := q.Get("phrase")
-		if ts := q.Get("type"); ts != "" {
-			t, err := ontology.ParseNodeType(ts)
-			if err != nil {
-				return http.StatusBadRequest, errorBody{Error: err.Error()}
-			}
-			node, ok = st.snap.Find(t, phrase)
-			if !ok {
-				if id, aok := st.snap.LookupAlias(t, phrase); aok {
-					node, ok = st.snap.Get(id)
-				}
-			}
-		} else {
-			if id, aok := st.snap.LookupAny(phrase); aok {
-				node, ok = st.snap.Get(id)
-			}
-		}
-	default:
-		return http.StatusBadRequest, errorBody{Error: "need ?id= or ?phrase="}
+	node, ok, badReq, errb := resolveNodeQuery(st.snap, r.URL.Query())
+	if badReq != 0 {
+		return badReq, errb
 	}
 	if !ok {
 		return http.StatusNotFound, errorBody{Error: "node not found"}
@@ -532,23 +702,36 @@ func (s *Server) handleSearch(st *state, r *http.Request) (int, any) {
 	}
 	// Sharded states scatter-gather: every shard scans only its home
 	// nodes concurrently and early-exits at the result cap; the merged
-	// hits are identical to the single-snapshot scan.
+	// hits are identical to the single-snapshot scan. A per-shard process
+	// scans only its own home-node prefix and renders union IDs — the
+	// router's merge of K such responses is the same scatter-gather,
+	// stretched across process boundaries.
 	var results []ontology.Node
-	if st.shards != nil {
+	idOf := func(n *ontology.Node) ontology.NodeID { return n.ID }
+	switch {
+	case st.proj != nil:
+		results = st.proj.SearchHome(q, limit)
+		idOf = func(n *ontology.Node) ontology.NodeID { return st.proj.UnionID(n.ID) }
+	case st.shards != nil:
 		results = st.shards.Search(q, limit)
-	} else {
+	default:
 		results = st.snap.Search(q, limit)
 	}
-	type hit struct {
-		ID     ontology.NodeID `json:"id"`
-		Type   string          `json:"type"`
-		Phrase string          `json:"phrase"`
-	}
-	hits := make([]hit, 0, len(results))
-	for _, n := range results {
-		hits = append(hits, hit{ID: n.ID, Type: n.Type.String(), Phrase: n.Phrase})
+	hits := make([]searchHit, 0, len(results))
+	for i := range results {
+		n := &results[i]
+		hits = append(hits, searchHit{ID: idOf(n), Type: n.Type.String(), Phrase: n.Phrase})
 	}
 	return http.StatusOK, map[string]any{"query": q, "count": len(hits), "results": hits}
+}
+
+// searchHit is the wire form of one /v1/search result (IDs are union IDs
+// in every serving mode, which is what lets the router merge shard
+// responses in union order).
+type searchHit struct {
+	ID     ontology.NodeID `json:"id"`
+	Type   string          `json:"type"`
+	Phrase string          `json:"phrase"`
 }
 
 // tagRequest is the /v1/tag input, via JSON body (POST) or query params
@@ -641,10 +824,14 @@ func (s *Server) handleStory(st *state, r *http.Request) (int, any) {
 }
 
 func (s *Server) handleMetrics(st *state, r *http.Request) (int, any) {
+	entries := st.cache.len()
+	for _, c := range st.shardCaches {
+		entries += c.len()
+	}
 	return http.StatusOK, Metrics{
 		UptimeSeconds: time.Since(s.metrics.start).Seconds(),
 		Generation:    st.gen,
-		CacheEntries:  st.cache.len(),
+		CacheEntries:  entries,
 		Endpoints:     s.metrics.snapshot(),
 	}
 }
@@ -652,6 +839,28 @@ func (s *Server) handleMetrics(st *state, r *http.Request) (int, any) {
 func (s *Server) handleReload(st *state, r *http.Request) (int, any) {
 	if r.Method != http.MethodPost {
 		return http.StatusMethodNotAllowed, errorBody{Error: "use POST"}
+	}
+	if s.shardMode {
+		// Per-shard process: reload through the shard-projection loader.
+		if s.opts.ShardLoader == nil {
+			return http.StatusServiceUnavailable, errorBody{Error: "no shard loader configured"}
+		}
+		p, err := s.opts.ShardLoader()
+		if err != nil {
+			return http.StatusBadGateway, errorBody{Error: "load shard projection: " + err.Error()}
+		}
+		gen, err := s.SwapShard(p)
+		if err != nil {
+			return http.StatusInternalServerError, errorBody{Error: "swap shard projection: " + err.Error()}
+		}
+		return http.StatusOK, map[string]any{
+			"old_generation": st.gen,
+			"generation":     gen,
+			"shard":          p.Shard,
+			"home_nodes":     p.HomeCount,
+			"nodes":          p.Snap.NodeCount(),
+			"edges":          p.Snap.EdgeCount(),
+		}
 	}
 	if s.opts.Loader == nil {
 		return http.StatusServiceUnavailable, errorBody{Error: "no snapshot loader configured"}
@@ -688,15 +897,23 @@ func (s *Server) handleIngest(st *state, r *http.Request) (int, any) {
 	if r.Method != http.MethodPost {
 		return http.StatusMethodNotAllowed, errorBody{Error: "use POST"}
 	}
-	if s.opts.Ingest == nil && s.opts.IngestSharded == nil {
+	if s.opts.Ingest == nil && s.opts.IngestSharded == nil && s.opts.ShardIngest == nil {
 		return http.StatusServiceUnavailable, errorBody{Error: "no ingester configured (run giantd with -build)"}
 	}
-	if s.opts.IngestSharded != nil && s.shardStores == nil {
+	if s.opts.ShardIngest != nil && !s.shardMode {
+		return http.StatusServiceUnavailable, errorBody{Error: "per-shard ingester on a non-shard server (build it with serve.NewShard)"}
+	}
+	if s.shardMode && s.opts.ShardIngest == nil {
+		// A whole-world ingester on a per-shard server would publish a
+		// state with no shard identity, silently de-sharding the backend.
+		return http.StatusServiceUnavailable, errorBody{Error: "whole-world ingester on a per-shard server (configure Options.ShardIngest)"}
+	}
+	if !s.shardMode && s.opts.IngestSharded != nil && s.shardStores == nil {
 		// The sharded ingest path publishes per shard; a server built
 		// with New has no shard stores to publish into.
 		return http.StatusServiceUnavailable, errorBody{Error: "sharded ingester on an unsharded server (build it with serve.NewSharded)"}
 	}
-	if s.opts.IngestSharded == nil && s.shardStores != nil {
+	if !s.shardMode && s.opts.IngestSharded == nil && s.shardStores != nil {
 		// And the mirror image: a plain ingester would publish an
 		// unsharded state, silently dropping scatter-gather serving and
 		// per-shard generations on a NewSharded server.
@@ -716,13 +933,20 @@ func (s *Server) handleIngest(st *state, r *http.Request) (int, any) {
 		touched []bool
 		err     error
 		sharded *ontology.ShardedSnapshot
+		proj    *ontology.ShardProjection
 	)
-	if s.opts.IngestSharded != nil {
+	switch {
+	case s.opts.ShardIngest != nil:
+		proj, d, touched, err = s.opts.ShardIngest(batch)
+		if err == nil {
+			snap = proj.Snap
+		}
+	case s.opts.IngestSharded != nil:
 		sharded, d, touched, err = s.opts.IngestSharded(batch)
 		if err == nil {
 			snap = sharded.Union()
 		}
-	} else {
+	default:
 		snap, d, err = s.opts.Ingest(batch)
 	}
 	if err != nil {
@@ -734,11 +958,26 @@ func (s *Server) handleIngest(st *state, r *http.Request) (int, any) {
 		return http.StatusInternalServerError, errorBody{Error: "ingest: " + err.Error()}
 	}
 	var gen uint64
-	if sharded != nil {
+	republished := false
+	switch {
+	case proj != nil:
+		// Per-shard process: republish — and mint a generation — only when
+		// the delta touched this shard (or the served projection diverged
+		// from the one serving RIGHT NOW, read under the swap lock); an
+		// untouched ingest still refreshes the state so union IDs stay
+		// current, keeping responses identical to the in-process path.
+		cur := s.cur.Load()
+		republished = touched == nil ||
+			(proj.Shard < len(touched) && touched[proj.Shard]) ||
+			cur == nil || cur.proj == nil || cur.proj.Snap != proj.Snap
+		gen = s.publishShardLocked(proj, republished)
+	case sharded != nil:
 		// Republish only the shards the delta touched: untouched shards
-		// keep their projection and their generation.
-		gen = s.publishShardedLocked(sharded, touched)
-	} else {
+		// keep their projection and their generation. Per-shard node
+		// caches carry over for untouched shards only when the delta
+		// provably cannot change any cached body (see carriesNodeCaches).
+		gen = s.publishShardedLocked(sharded, touched, carriesNodeCaches(d))
+	default:
 		gen = s.publishLocked(snap, s.store.Push(snap))
 	}
 	resp := map[string]any{
@@ -747,7 +986,7 @@ func (s *Server) handleIngest(st *state, r *http.Request) (int, any) {
 		"nodes":          snap.NodeCount(),
 		"edges":          snap.EdgeCount(),
 	}
-	if sharded != nil {
+	if sharded != nil || proj != nil {
 		var ts []int
 		for i, t := range touched {
 			if t {
@@ -755,7 +994,15 @@ func (s *Server) handleIngest(st *state, r *http.Request) (int, any) {
 			}
 		}
 		resp["touched_shards"] = ts
+	}
+	if sharded != nil {
 		resp["shard_generations"] = s.shardStores.CurrentGens()
+	}
+	if proj != nil {
+		resp["shard"] = proj.Shard
+		resp["shards"] = proj.NumShards
+		resp["republished"] = republished
+		resp["home_nodes"] = proj.HomeCount
 	}
 	if d != nil {
 		resp["delta"] = map[string]any{
@@ -771,12 +1018,41 @@ func (s *Server) handleIngest(st *state, r *http.Request) (int, any) {
 	return http.StatusOK, resp
 }
 
+// carriesNodeCaches decides whether untouched shards' /v1/node caches may
+// survive a sharded ingest publish. A cached body can go stale two ways a
+// touched-shard eviction does not cover: retirements renumber union IDs
+// of every later node, and a new IsA edge — even between two nodes homed
+// on touched shards — extends the TRANSITIVE ancestor chain of their
+// descendants on any shard. Direct parents/children are safe (an added
+// edge touches both endpoints' home shards), as are reweights (node
+// bodies render no weights), touches and non-IsA additions.
+func carriesNodeCaches(d *delta.Delta) bool {
+	if d == nil {
+		return true
+	}
+	if len(d.Retire) > 0 {
+		return false
+	}
+	for i := range d.Edges {
+		if d.Edges[i].Type == ontology.IsA {
+			return false
+		}
+	}
+	return true
+}
+
 // handleRollback reverts serving to the previous retained generation —
 // the operational escape hatch when an ingested batch turns out bad. The
 // discarded generation's number is never reused.
 func (s *Server) handleRollback(st *state, r *http.Request) (int, any) {
 	if r.Method != http.MethodPost {
 		return http.StatusMethodNotAllowed, errorBody{Error: "use POST"}
+	}
+	if s.shardMode {
+		// A rollback is a whole-world revert: rolling back one shard of a
+		// multi-process deployment would silently desynchronize it from
+		// its peers' ingest lineage.
+		return http.StatusServiceUnavailable, errorBody{Error: "rollback is not supported on a per-shard server (restart the fleet from a known-good artifact instead)"}
 	}
 	s.swapMu.Lock()
 	defer s.swapMu.Unlock()
@@ -798,7 +1074,7 @@ func (s *Server) handleRollback(st *state, r *http.Request) (int, any) {
 		}
 		// The union generation is reused (the store already popped to
 		// g.Gen), so publish directly instead of re-pushing.
-		gen = s.storeShardedStateLocked(ss, g.Gen)
+		gen = s.storeShardedStateLocked(ss, g.Gen, nil)
 	} else {
 		gen = s.publishLocked(g.Snap, g.Gen)
 	}

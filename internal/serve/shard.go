@@ -1,0 +1,127 @@
+package serve
+
+// Per-shard-process node serving (servers built with NewShard). A shard
+// backend resolves /v1/node only for nodes HOMED on its shard — ghost
+// copies answer 404 so that exactly one backend in the fleet answers any
+// lookup, and it is the one holding the node's complete incident edge set.
+// Responses render union node IDs through the projection's ID table and
+// carry two extra fields the router uses to reassemble the composed view:
+//
+//   - "match": how the lookup resolved ("id", "phrase" or "alias"), which
+//     lets the router reproduce the union's lookup-precedence order
+//     (phrase matches under any type beat alias matches) when it has to
+//     scatter an un-routable lookup across all shards; and
+//   - "isa_parents": the node's direct IsA parents with union IDs, in
+//     union in-edge order, from which the router assembles the transitive
+//     ancestor chain by walking parent→home-shard→parent — a home node's
+//     incident edges are exact, so the level-by-level walk reproduces the
+//     union BFS byte for byte.
+
+import (
+	"net/http"
+	"strconv"
+
+	"giant/internal/ontology"
+)
+
+// isaRef identifies one IsA parent for router-side ancestor assembly.
+type isaRef struct {
+	ID     ontology.NodeID `json:"id"` // union ID
+	Type   string          `json:"type"`
+	Phrase string          `json:"phrase"`
+}
+
+// shardNodeDetail is the per-shard /v1/node payload: the standard
+// nodeDetail (ancestors limited to what the projection stores) plus the
+// router-facing match kind and direct-IsA-parent list.
+type shardNodeDetail struct {
+	nodeDetail
+	Match      string   `json:"match"`
+	IsAParents []isaRef `json:"isa_parents,omitempty"`
+}
+
+// handleShardNode is handleNode for a per-shard backend: resolution is
+// restricted to home nodes and the rendered IDs are union IDs.
+func (s *Server) handleShardNode(st *state, r *http.Request) (int, any) {
+	p := st.proj
+	q := r.URL.Query()
+	local := ontology.NodeID(-1)
+	match := ""
+	switch {
+	case q.Get("id") != "":
+		// IDs on the wire are union IDs; only the home copy answers.
+		id, err := strconv.Atoi(q.Get("id"))
+		if err != nil {
+			return http.StatusBadRequest, errorBody{Error: "invalid id: " + q.Get("id")}
+		}
+		if l, ok := p.LocalOf(ontology.NodeID(id)); ok && p.IsHome(l) {
+			local, match = l, "id"
+		}
+	case q.Get("phrase") != "":
+		phrase := q.Get("phrase")
+		if ts := q.Get("type"); ts != "" {
+			t, err := ontology.ParseNodeType(ts)
+			if err != nil {
+				return http.StatusBadRequest, errorBody{Error: err.Error()}
+			}
+			if id, ok := p.Snap.Lookup(t, phrase); ok && p.IsHome(id) {
+				local, match = id, "phrase"
+			} else if id, ok := p.Snap.LookupAlias(t, phrase); ok && p.IsHome(id) {
+				local, match = id, "alias"
+			}
+		} else {
+			// LookupAny restricted to home nodes: phrase under any type
+			// first, then aliases — the union's precedence order. Because
+			// same-keyed nodes share a home shard, the home-restricted
+			// first match is the union's first match.
+			for t := 0; t < ontology.NumNodeTypes && local < 0; t++ {
+				if id, ok := p.Snap.Lookup(ontology.NodeType(t), phrase); ok && p.IsHome(id) {
+					local, match = id, "phrase"
+				}
+			}
+			for t := 0; t < ontology.NumNodeTypes && local < 0; t++ {
+				if id, ok := p.Snap.LookupAlias(ontology.NodeType(t), phrase); ok && p.IsHome(id) {
+					local, match = id, "alias"
+				}
+			}
+		}
+	default:
+		return http.StatusBadRequest, errorBody{Error: "need ?id= or ?phrase="}
+	}
+	if local < 0 {
+		return http.StatusNotFound, errorBody{Error: "node not found"}
+	}
+	node, _ := p.Snap.Get(local)
+	d := shardNodeDetail{Match: match}
+	api := toAPINode(node)
+	api.ID = p.UnionID(local)
+	d.Node = api
+	for et := ontology.EdgeType(0); et < ontology.NumEdgeTypes; et++ {
+		for _, pn := range p.Snap.Parents(local, et) {
+			if d.Parents == nil {
+				d.Parents = map[string][]string{}
+			}
+			d.Parents[et.String()] = append(d.Parents[et.String()], pn.Phrase)
+			if et == ontology.IsA {
+				d.IsAParents = append(d.IsAParents, isaRef{
+					ID: p.UnionID(pn.ID), Type: pn.Type.String(), Phrase: pn.Phrase,
+				})
+			}
+		}
+		for _, cn := range p.Snap.Children(local, et) {
+			if d.Children == nil {
+				d.Children = map[string][]string{}
+			}
+			d.Children[et.String()] = append(d.Children[et.String()], cn.Phrase)
+		}
+	}
+	// Ancestors over the projection alone: complete through the first
+	// level (a home node's incident edges are exact) but possibly
+	// truncated beyond it — a ghost ancestor's own parents live on other
+	// shards. The router rebuilds the full chain from isa_parents; this
+	// field keeps a standalone shard backend useful for inspection.
+	for _, a := range p.Snap.Ancestors(local) {
+		d.Ancestors = append(d.Ancestors, a.Phrase)
+	}
+	return http.StatusOK, d
+}

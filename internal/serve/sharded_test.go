@@ -2,7 +2,9 @@ package serve
 
 import (
 	"fmt"
+	"io"
 	"net/http/httptest"
+	"net/url"
 	"reflect"
 	"testing"
 
@@ -158,6 +160,149 @@ func TestShardedIngestPublishesTouchedShardsOnly(t *testing.T) {
 	// Both lineage nodes serve again.
 	getJSON(t, ts.Client(), ts.URL+"/v1/node?phrase=hybrid+sedans+1", 200)
 	getJSON(t, ts.Client(), ts.URL+"/v1/node?phrase=hybrid+sedans+2", 200)
+}
+
+// TestShardedNodeCacheSurvivesForeignRepublication pins shard-local cache
+// keying on the in-process sharded server (the ROADMAP's shard-local
+// cache item): /v1/node responses are cached under the resolved node's
+// home shard, so an append-only ingest that republishes a FOREIGN shard
+// must not evict them — while entries homed on the touched shard, and the
+// union-spanning /v1/search cache, must drop.
+func TestShardedNodeCacheSurvivesForeignRepublication(t *testing.T) {
+	const k = 4
+	snap := testOntology(0).Snapshot()
+	ss, err := ontology.ShardSnapshot(snap, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The fake ingester adds one concept per batch; its home shard is
+	// deterministic, so every other shard stays untouched.
+	lineage := ss
+	day := 0
+	mode := "add"
+	opts := Options{CacheSize: 64}
+	opts.IngestSharded = func(b delta.Batch) (*ontology.ShardedSnapshot, *delta.Delta, []bool, error) {
+		var d *delta.Delta
+		switch mode {
+		case "retire":
+			d = &delta.Delta{Day: b.Day, Retire: []delta.Ref{{Type: ontology.Concept, Phrase: "hybrid sedans 1"}}}
+		case "isa":
+			// An IsA edge between two already-ingested concepts: it can
+			// extend transitive ancestor chains on ANY shard, so every
+			// carried node cache must drop even though only the
+			// endpoints' shards republish.
+			d = &delta.Delta{Day: b.Day, Edges: []delta.EdgeAdd{{
+				SrcType: ontology.Concept, Src: "hybrid sedans 1",
+				DstType: ontology.Concept, Dst: "hybrid sedans 2",
+				Type: ontology.IsA, Weight: 1,
+			}}}
+		default:
+			day++
+			d = &delta.Delta{Day: b.Day, Add: []delta.NodeAdd{{Type: ontology.Concept, Phrase: fmt.Sprintf("hybrid sedans %d", day), Day: b.Day}}}
+		}
+		next, merged, touched, err := delta.ApplySharded(lineage, []*delta.Delta{d})
+		if err == nil {
+			lineage = next
+		}
+		return next, merged, touched, err
+	}
+	srv := NewSharded(ss, opts)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	c := ts.Client()
+
+	home := ontology.HomeShard(ontology.Concept, "hybrid sedans 1", k)
+	home2 := ontology.HomeShard(ontology.Concept, "hybrid sedans 2", k)
+	// Pick one probe node homed on the to-be-touched shard and one homed
+	// on a shard no delta in this test ever touches.
+	var onTouched, onForeign string
+	onForeignShard := -1
+	for _, n := range snap.Nodes() {
+		u := fmt.Sprintf("/v1/node?phrase=%s&type=%s", url.QueryEscape(n.Phrase), n.Type.String())
+		switch s := ontology.HomeShard(n.Type, n.Phrase, k); {
+		case s == home:
+			if onTouched == "" {
+				onTouched = u
+			}
+		case s != home2 && onForeign == "":
+			onForeign, onForeignShard = u, s
+		}
+	}
+	if onTouched == "" || onForeign == "" {
+		t.Fatalf("test ontology has no node pair straddling shard %d", home)
+	}
+	searchURL := "/v1/search?q=sedan&limit=5"
+
+	cacheState := func(url string) string {
+		t.Helper()
+		resp, err := c.Get(ts.URL + url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("GET %s = %d", url, resp.StatusCode)
+		}
+		if resp.Header.Get("X-Cache") == "hit" {
+			return "hit"
+		}
+		return "miss"
+	}
+	// warm primes a URL's cache from any prior state.
+	warm := func(u string) {
+		t.Helper()
+		cacheState(u)
+		if cacheState(u) != "hit" {
+			t.Fatalf("cache did not warm for %s", u)
+		}
+	}
+	for _, u := range []string{onTouched, onForeign, searchURL} {
+		warm(u)
+	}
+
+	// Ingest republishes only the home shard of the new concept.
+	resp := postJSON(t, c, ts.URL+"/v1/ingest", `{"day":12}`, 200)
+	touched := resp["touched_shards"].([]any)
+	if len(touched) != 1 || int(touched[0].(float64)) != home {
+		t.Fatalf("touched shards = %v, want [%d]", touched, home)
+	}
+
+	if got := cacheState(onForeign); got != "hit" {
+		t.Fatalf("foreign-shard republication evicted an untouched shard's node cache (%s = %s)", onForeign, got)
+	}
+	if got := cacheState(onTouched); got != "miss" {
+		t.Fatalf("touched shard's node cache survived its own republication (%s = %s)", onTouched, got)
+	}
+	if got := cacheState(searchURL); got != "miss" {
+		t.Fatalf("union-spanning search cache survived a republication (%s = %s)", searchURL, got)
+	}
+
+	// Seed a second concept, then an IsA-edge-only delta between the two
+	// ingested concepts: transitive ancestor chains can change on shards
+	// the delta never touches, so carried caches must drop fleet-wide.
+	postJSON(t, c, ts.URL+"/v1/ingest", `{"day":13}`, 200)
+	warm(onForeign)
+	mode = "isa"
+	resp = postJSON(t, c, ts.URL+"/v1/ingest", `{"day":14}`, 200)
+	for _, s := range resp["touched_shards"].([]any) {
+		if int(s.(float64)) == onForeignShard {
+			// The probe's shard must stay untouched, or the eviction below
+			// would be explained by its own republication.
+			t.Fatalf("IsA delta touched the foreign probe's shard %d (touched %v)", onForeignShard, resp["touched_shards"])
+		}
+	}
+	if got := cacheState(onForeign); got != "miss" {
+		t.Fatalf("node cache survived an IsA-edge delta that can extend ancestor chains (%s = %s)", onForeign, got)
+	}
+
+	// A retiring delta renumbers union IDs: every carried cache must drop.
+	warm(onForeign)
+	mode = "retire"
+	postJSON(t, c, ts.URL+"/v1/ingest", `{"day":15}`, 200)
+	if got := cacheState(onForeign); got != "miss" {
+		t.Fatalf("node cache survived a retiring delta that renumbers union IDs (%s = %s)", onForeign, got)
+	}
 }
 
 // TestIngestModeMismatchRejected: wiring the wrong ingester shape for the
