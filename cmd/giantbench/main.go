@@ -26,6 +26,7 @@ func main() {
 	parallel := flag.Bool("parallel", false, "measure pipeline speedup: build at Parallelism=1 then GOMAXPROCS and verify identical output")
 	ingest := flag.Bool("ingest", false, "measure delta-ingest throughput at -shards {1,K} and verify equivalent output")
 	shardsFlag := flag.Int("shards", 4, "with -ingest: the sharded side of the throughput sweep")
+	load := flag.Bool("load", false, "measure snapshot boot time from JSON vs GIANTBIN artifacts and verify identical content")
 	flag.Parse()
 
 	scale := experiments.ScaleDefault
@@ -40,6 +41,12 @@ func main() {
 	}
 	if *ingest {
 		if err := runIngestSweep(scale, *shardsFlag); err != nil {
+			log.Fatalf("giantbench: %v", err)
+		}
+		return
+	}
+	if *load {
+		if err := runLoadBench(scale); err != nil {
 			log.Fatalf("giantbench: %v", err)
 		}
 		return
@@ -234,6 +241,90 @@ func runIngestSweep(scale experiments.Scale, k int) error {
 	fmt.Printf("  output equivalent: %v nodes, %v edges\n", st.NodesByType, st.EdgesByType)
 	if dShard > 0 {
 		fmt.Printf("  speedup: %.2fx at %d shards (GOMAXPROCS=%d)\n", dBase.Seconds()/dShard.Seconds(), k, runtime.GOMAXPROCS(0))
+	}
+	return nil
+}
+
+// runLoadBench is the boot-time benchmark behind the binary format: build
+// once, save the snapshot in both formats, and time LoadSnapshotFile on
+// each (best of several rounds, matching how a restarting giantd pays the
+// cost exactly once). The loaded snapshots are verified content-identical
+// by re-serializing to JSON before any number is reported.
+func runLoadBench(scale experiments.Scale) error {
+	cfg := giant.DefaultConfig()
+	if scale == experiments.ScaleTiny {
+		cfg = giant.TinyConfig()
+	}
+	sys, err := giant.Build(cfg)
+	if err != nil {
+		return err
+	}
+	dir, err := os.MkdirTemp("", "giantbench-load-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	snap := sys.Ontology.Snapshot()
+	jsonPath := dir + "/ao.json"
+	binPath := dir + "/ao.bin"
+	if err := snap.SaveFile(jsonPath); err != nil {
+		return err
+	}
+	if err := snap.SaveBinaryFile(binPath); err != nil {
+		return err
+	}
+
+	const rounds = 7
+	timeLoad := func(path string) (time.Duration, *ontology.Snapshot, error) {
+		best := time.Duration(0)
+		var last *ontology.Snapshot
+		for i := 0; i < rounds; i++ {
+			t0 := time.Now()
+			s, err := ontology.LoadSnapshotFile(path)
+			d := time.Since(t0)
+			if err != nil {
+				return 0, nil, err
+			}
+			if best == 0 || d < best {
+				best = d
+			}
+			last = s
+		}
+		return best, last, nil
+	}
+
+	fmt.Println("snapshot load benchmark (boot time)")
+	sizeOf := func(path string) int64 {
+		fi, err := os.Stat(path)
+		if err != nil {
+			return -1
+		}
+		return fi.Size()
+	}
+	dJSON, fromJSON, err := timeLoad(jsonPath)
+	if err != nil {
+		return fmt.Errorf("json load: %w", err)
+	}
+	fmt.Printf("  json:   %10v  (%d bytes)\n", dJSON, sizeOf(jsonPath))
+	dBin, fromBin, err := timeLoad(binPath)
+	if err != nil {
+		return fmt.Errorf("binary load: %w", err)
+	}
+	fmt.Printf("  binary: %10v  (%d bytes)\n", dBin, sizeOf(binPath))
+
+	var a, b bytes.Buffer
+	if err := fromJSON.WriteJSON(&a); err != nil {
+		return err
+	}
+	if err := fromBin.WriteJSON(&b); err != nil {
+		return err
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		return fmt.Errorf("snapshots loaded from the two formats differ")
+	}
+	fmt.Printf("  content identical: %d nodes, %d edges\n", fromBin.NodeCount(), fromBin.EdgeCount())
+	if dBin > 0 {
+		fmt.Printf("  speedup: %.1fx\n", dJSON.Seconds()/dBin.Seconds())
 	}
 	return nil
 }

@@ -4,6 +4,8 @@
 //	giantctl build -out ao.json        build the ontology and save it
 //	giantctl update -in ao.json -docs new.json -out ao2.json
 //	                                   apply incremental update batches offline
+//	giantctl convert -in ao.json -out ao.bin -format binary
+//	                                   re-encode a snapshot or shard artifact
 //	giantctl stats -in ao.json         print node/edge statistics
 //	giantctl query -q "best ..."       conceptualize/rewrite a query
 //	giantctl tag -title "..."          tag a document
@@ -63,6 +65,8 @@ func run(args []string) int {
 		err = runUpdate(rest)
 	case "shard":
 		err = runShard(rest)
+	case "convert":
+		err = runConvert(rest)
 	case "stats":
 		err = runStats(rest)
 	case "query":
@@ -114,14 +118,19 @@ func usage(w *os.File) {
 	fmt.Fprintln(w, `usage: giantctl <subcommand> [flags]
 
 subcommands:
-  build   build the ontology and save it           (-out ao.json [-tiny] [-shards K])
-  shard   export per-shard projection files        (-in ao.json -shards K [-out-dir .])
-  update  apply incremental update batches offline (-docs new.json [-in ao.json] [-out path] [-tiny] [-shards K])
+  build   build the ontology and save it           (-out ao.json [-format json|binary] [-tiny] [-shards K])
+  shard   export per-shard projection files        (-in ao.json -shards K [-out-dir .] [-format json|binary])
+  update  apply incremental update batches offline (-docs new.json [-in ao.json] [-out path] [-format json|binary] [-tiny] [-shards K])
+  convert re-encode a snapshot or shard artifact   (-in path -out path [-format json|binary])
   stats   print node/edge statistics               (-in ao.json)
   query   conceptualize/rewrite a query            (-q "best ...")
   tag     tag a document                           (-title "..." [-content ...] [-entities a,b])
   story   print a story tree                       ([-seed "..."])
   help    print this message
+
+Artifacts are loadable in either format everywhere (-in flags, giantd -in):
+loaders auto-detect by magic. JSON is the debug/interchange format; binary
+(GIANTBIN) is the columnar format built for millisecond boot.
 
 exit codes: 0 success, 1 runtime failure, 2 usage error`)
 }
@@ -157,19 +166,37 @@ func buildShardedSystem(tiny bool, shards int) (*giant.System, error) {
 	return giant.Build(cfg)
 }
 
+// formatFlag registers the shared -format flag on a flag set.
+func formatFlag(fs *flag.FlagSet) *string {
+	return fs.String("format", "json", "output format: json or binary")
+}
+
+// saveOntology writes the ontology to path in the requested format.
+func saveOntology(o *ontology.Ontology, path string, f ontology.FileFormat) error {
+	if f == ontology.FormatBinary {
+		return o.Snapshot().SaveBinaryFile(path)
+	}
+	return o.SaveFile(path)
+}
+
 func runBuild(args []string) error {
 	fs := newFlagSet("build")
-	out := fs.String("out", "ao.json", "output path for the ontology JSON")
+	out := fs.String("out", "ao.json", "output path for the ontology")
+	format := formatFlag(fs)
 	tiny := fs.Bool("tiny", false, "use the tiny configuration")
 	shards := fs.Int("shards", 1, "mine shard-parallel over K click-graph shards (output is identical for any K)")
 	if err := parse(fs, args); err != nil {
 		return err
 	}
+	ff, err := ontology.ParseFileFormat(*format)
+	if err != nil {
+		return usagef("build: %v", err)
+	}
 	sys, err := buildShardedSystem(*tiny, *shards)
 	if err != nil {
 		return err
 	}
-	if err := sys.Ontology.SaveFile(*out); err != nil {
+	if err := saveOntology(sys.Ontology, *out, ff); err != nil {
 		return err
 	}
 	st := sys.Ontology.ComputeStats()
@@ -182,9 +209,10 @@ func runBuild(args []string) error {
 // -docs batches through delta mining, and save the updated generation.
 func runUpdate(args []string) error {
 	fs := newFlagSet("update")
-	in := fs.String("in", "", "base ontology JSON (default: the freshly built one)")
+	in := fs.String("in", "", "base ontology artifact, either format (default: the freshly built one)")
 	docs := fs.String("docs", "", "update batch JSON: a delta.Batch object or an array of them (required)")
-	out := fs.String("out", "ao-updated.json", "output path for the updated ontology JSON")
+	out := fs.String("out", "ao-updated.json", "output path for the updated ontology")
+	format := formatFlag(fs)
 	tiny := fs.Bool("tiny", false, "use the tiny configuration (must match the build that produced -in)")
 	shards := fs.Int("shards", 1, "apply batches shard-parallel over K shards (equivalent node/edge sets for any K)")
 	if err := parse(fs, args); err != nil {
@@ -192,6 +220,10 @@ func runUpdate(args []string) error {
 	}
 	if *docs == "" {
 		return usagef("update: -docs is required (a JSON delta.Batch or array of batches)")
+	}
+	ff, err := ontology.ParseFileFormat(*format)
+	if err != nil {
+		return usagef("update: %v", err)
 	}
 	batches, err := loadBatches(*docs)
 	if err != nil {
@@ -220,7 +252,7 @@ func runUpdate(args []string) error {
 		}
 		fmt.Printf("batch %d applied: %s\n", i, d.Summary())
 	}
-	if err := sys.Ontology.SaveFile(*out); err != nil {
+	if err := saveOntology(sys.Ontology, *out, ff); err != nil {
 		return err
 	}
 	st := sys.Ontology.ComputeStats()
@@ -254,17 +286,22 @@ func loadBatches(path string) ([]delta.Batch, error) {
 // per-shard giantd processes (giantd -shard i/K -in shard-i-of-K.json).
 func runShard(args []string) error {
 	fs := newFlagSet("shard")
-	in := fs.String("in", "", "ontology JSON path (from giantctl build -out)")
+	in := fs.String("in", "", "ontology artifact path, either format (from giantctl build -out)")
 	shards := fs.Int("shards", 0, "shard count K (>= 1)")
 	outDir := fs.String("out-dir", ".", "directory for the per-shard files")
+	format := formatFlag(fs)
 	if err := parse(fs, args); err != nil {
 		return err
 	}
 	if *in == "" {
-		return usagef("shard: need -in <ontology.json>")
+		return usagef("shard: need -in <ontology artifact>")
 	}
 	if *shards < 1 {
 		return usagef("shard: need -shards K (>= 1)")
+	}
+	ff, err := ontology.ParseFileFormat(*format)
+	if err != nil {
+		return usagef("shard: %v", err)
 	}
 	snap, err := ontology.LoadSnapshotFile(*in)
 	if err != nil {
@@ -274,15 +311,62 @@ func runShard(args []string) error {
 	if err != nil {
 		return err
 	}
+	ext := "json"
+	if ff == ontology.FormatBinary {
+		ext = "bin"
+	}
 	for i := 0; i < ss.NumShards(); i++ {
 		p := ss.Projection(i)
-		path := fmt.Sprintf("%s/shard-%d-of-%d.json", strings.TrimRight(*outDir, "/"), i, ss.NumShards())
-		if err := p.SaveFile(path); err != nil {
+		path := fmt.Sprintf("%s/shard-%d-of-%d.%s", strings.TrimRight(*outDir, "/"), i, ss.NumShards(), ext)
+		if err := p.SaveFileFormat(path, ff); err != nil {
 			return err
 		}
 		fmt.Printf("shard %d/%d: %d home nodes (+%d ghosts), %d edges -> %s\n",
 			i, ss.NumShards(), p.HomeCount, p.Snap.NodeCount()-p.HomeCount, p.Snap.EdgeCount(), path)
 	}
+	return nil
+}
+
+// runConvert re-encodes a snapshot or shard artifact between JSON and
+// GIANTBIN. The input kind is auto-detected: shard projection files stay
+// shard projections (identity and union-ID table preserved), plain
+// snapshots stay snapshots. JSON→binary→JSON round-trips byte-identically.
+func runConvert(args []string) error {
+	fs := newFlagSet("convert")
+	in := fs.String("in", "", "input artifact: snapshot or shard projection, either format (required)")
+	out := fs.String("out", "", "output path (required)")
+	format := fs.String("format", "binary", "output format: json or binary")
+	if err := parse(fs, args); err != nil {
+		return err
+	}
+	if *in == "" || *out == "" {
+		return usagef("convert: need -in <artifact> and -out <path>")
+	}
+	ff, err := ontology.ParseFileFormat(*format)
+	if err != nil {
+		return usagef("convert: %v", err)
+	}
+	p, err := ontology.LoadShardFile(*in)
+	if err == nil {
+		if err := p.SaveFileFormat(*out, ff); err != nil {
+			return err
+		}
+		fmt.Printf("converted shard %d/%d: %d nodes, %d edges -> %s (%s)\n",
+			p.Shard, p.NumShards, p.Snap.NodeCount(), p.Snap.EdgeCount(), *out, ff)
+		return nil
+	}
+	if !errors.Is(err, ontology.ErrNotShardFile) {
+		return fmt.Errorf("convert: load %s: %w", *in, err)
+	}
+	snap, err := ontology.LoadSnapshotFile(*in)
+	if err != nil {
+		return err
+	}
+	if err := snap.SaveFileFormat(*out, ff); err != nil {
+		return err
+	}
+	fmt.Printf("converted snapshot: %d nodes, %d edges -> %s (%s)\n",
+		snap.NodeCount(), snap.EdgeCount(), *out, ff)
 	return nil
 }
 

@@ -4,6 +4,11 @@
 //	giantctl build -out ao.json       # offline: build the ontology
 //	giantd -in ao.json -addr :8080    # online: serve it
 //
+// The -in artifact may be JSON or the GIANTBIN binary format (giantctl
+// -format binary / giantctl convert); the loader auto-detects by magic.
+// Binary artifacts boot in milliseconds, which is what makes -watch
+// hot-swaps and rolling restarts cheap at web scale.
+//
 // With -build instead of -in, giantd runs the offline pipeline itself at
 // startup (handy for demos; -tiny shrinks the build) and serves the result,
 // keeping the trained event matcher and concept context for richer tagging.
@@ -78,7 +83,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("giantd: ")
 	var (
-		in      = flag.String("in", "", "ontology JSON path (from giantctl build -out)")
+		in      = flag.String("in", "", "ontology artifact path, JSON or binary (from giantctl build -out)")
 		addr    = flag.String("addr", ":8080", "listen address")
 		build   = flag.Bool("build", false, "run the offline pipeline at startup instead of loading -in")
 		tiny    = flag.Bool("tiny", false, "with -build: use the tiny configuration")
@@ -185,7 +190,7 @@ func run(in, addr string, build, tiny bool, cache int, grace time.Duration, hist
 		}
 		opts.Loader = func() (*ontology.Snapshot, error) { return ontology.LoadSnapshotFile(in) }
 	default:
-		return fmt.Errorf("need -in <ontology.json> or -build (see giantctl build -out)")
+		return fmt.Errorf("need -in <ontology artifact> or -build (see giantctl build -out)")
 	}
 
 	var srv *serve.Server
@@ -273,7 +278,7 @@ func runShard(in, addr string, build, tiny bool, cache int, grace time.Duration,
 			return ontology.LoadShardInput(in, idx, k)
 		}
 	default:
-		return fmt.Errorf("need -in <shard-or-ontology.json> or -build (see giantctl shard)")
+		return fmt.Errorf("need -in <shard or ontology artifact> or -build (see giantctl shard)")
 	}
 
 	srv := serve.NewShard(proj, opts)

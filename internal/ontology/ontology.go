@@ -6,6 +6,7 @@
 package ontology
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -574,24 +575,29 @@ func FromSnapshot(s *Snapshot) (*Ontology, error) {
 	return fromNodesEdges(s.Nodes(), s.Edges())
 }
 
-// SaveFile writes the ontology to path.
+// SaveFile writes the ontology to path as JSON, crash-safely (see
+// Snapshot.SaveFile).
 func (o *Ontology) SaveFile(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	return o.WriteJSON(f)
+	return writeFileAtomic(path, o.WriteJSON)
 }
 
-// LoadFile reads an ontology from path.
+// LoadFile reads an ontology from path, auto-detecting the format by
+// magic: a GIANTBIN snapshot decodes through the columnar path and is
+// rebuilt into a mutable Ontology; anything else parses as JSON. Binary
+// shard projection files are rejected just like their JSON counterparts.
 func LoadFile(path string) (*Ontology, error) {
-	f, err := os.Open(path)
+	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
-	return ReadJSON(f)
+	if IsBinary(data) {
+		snap, err := DecodeSnapshotBinary(data)
+		if err != nil {
+			return nil, fmt.Errorf("ontology: load %s: %w", path, err)
+		}
+		return FromSnapshot(snap)
+	}
+	return ReadJSON(bytes.NewReader(data))
 }
 
 // Dump renders a sorted human-readable listing (debugging aid).

@@ -21,6 +21,7 @@ package ontology
 //     stored on both endpoint shards.
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -164,14 +165,19 @@ func (p *ShardProjection) WriteJSON(w io.Writer) error {
 	})
 }
 
-// SaveFile writes the projection to path.
+// SaveFile writes the projection to path as JSON, crash-safely (see
+// Snapshot.SaveFile).
 func (p *ShardProjection) SaveFile(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
+	return writeFileAtomic(path, p.WriteJSON)
+}
+
+// SaveFileFormat writes the projection to path in the given format,
+// crash-safely.
+func (p *ShardProjection) SaveFileFormat(path string, format FileFormat) error {
+	if format == FormatBinary {
+		return p.SaveBinaryFile(path)
 	}
-	defer f.Close()
-	return p.WriteJSON(f)
+	return p.SaveFile(path)
 }
 
 // ReadShardProjection reads a shard projection written by WriteJSON,
@@ -199,14 +205,20 @@ func ReadShardProjection(r io.Reader) (*ShardProjection, error) {
 	return p, nil
 }
 
-// LoadShardFile reads a shard projection from the JSON file at path.
+// LoadShardFile reads a shard projection from the file at path,
+// auto-detecting the format by magic: GIANTBIN artifacts decode through
+// the columnar path, anything else parses as JSON. A binary snapshot
+// (union) artifact yields ErrNotShardFile, mirroring the JSON behaviour,
+// so LoadShardInput's derive fallback works for both formats.
 func LoadShardFile(path string) (*ShardProjection, error) {
-	f, err := os.Open(path)
+	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
-	return ReadShardProjection(f)
+	if IsBinary(data) {
+		return DecodeShardBinary(data)
+	}
+	return ReadShardProjection(bytes.NewReader(data))
 }
 
 // LoadShardInput resolves the -in artifact of a per-shard server: a shard

@@ -1,6 +1,7 @@
 package ontology
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"os"
@@ -68,14 +69,23 @@ func SnapshotFromJSON(r io.Reader) (*Snapshot, error) {
 	return o.Snapshot(), nil
 }
 
-// LoadSnapshotFile reads a Snapshot from the JSON file at path.
+// LoadSnapshotFile reads a Snapshot from the file at path, auto-detecting
+// the format by magic: GIANTBIN artifacts take the near-zero-allocation
+// columnar decode path, anything else is parsed as JSON. A binary shard
+// projection file is rejected — it is one shard's world, not the union.
 func LoadSnapshotFile(path string) (*Snapshot, error) {
-	f, err := os.Open(path)
+	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
-	return SnapshotFromJSON(f)
+	if IsBinary(data) {
+		snap, err := DecodeSnapshotBinary(data)
+		if err != nil {
+			return nil, fmt.Errorf("ontology: load %s: %w", path, err)
+		}
+		return snap, nil
+	}
+	return SnapshotFromJSON(bytes.NewReader(data))
 }
 
 // BuildSnapshot indexes explicit node and edge lists into a Snapshot. The
@@ -106,12 +116,22 @@ func BuildSnapshot(nodes []Node, edges []Edge) (*Snapshot, error) {
 // slices the snapshot may own.
 func newSnapshot(nodes []Node, edges []Edge) *Snapshot {
 	s := &Snapshot{nodes: nodes, edges: edges}
+	s.buildCSR()
+	s.indexMaps()
+	return s
+}
+
+// indexMaps builds the derived in-memory indexes that are never persisted:
+// the per-type phrase and alias maps, the per-type ID lists, and the
+// precomputed statistics. The binary decode path calls this after wiring
+// the file-backed node, edge, and CSR columns directly into the snapshot.
+func (s *Snapshot) indexMaps() {
 	for t := 0; t < NumNodeTypes; t++ {
 		s.byPhrase[t] = make(map[string]NodeID)
 		s.byAlias[t] = make(map[string]NodeID)
 	}
-	for i := range nodes {
-		n := &nodes[i]
+	for i := range s.nodes {
+		n := &s.nodes[i]
 		t := int(n.Type)
 		if t >= NumNodeTypes {
 			continue
@@ -129,38 +149,41 @@ func newSnapshot(nodes []Node, edges []Edge) *Snapshot {
 		s.byType[t] = append(s.byType[t], n.ID)
 	}
 
-	// CSR adjacency: count degrees, then fill grouped edge indices.
-	nv := len(nodes)
+	s.stats = Stats{NodesByType: map[string]int{}, EdgesByType: map[string]int{}}
+	for i := range s.nodes {
+		s.stats.NodesByType[s.nodes[i].Type.String()]++
+	}
+	for i := range s.edges {
+		s.stats.EdgesByType[s.edges[i].Type.String()]++
+	}
+}
+
+// buildCSR computes the CSR adjacency from the edge list: count degrees,
+// then fill grouped edge indices. The binary format persists these four
+// arrays verbatim, so its decode path skips this work entirely.
+func (s *Snapshot) buildCSR() {
+	nv := len(s.nodes)
 	s.outOff = make([]int32, nv+1)
 	s.inOff = make([]int32, nv+1)
-	for i := range edges {
-		s.outOff[edges[i].Src+1]++
-		s.inOff[edges[i].Dst+1]++
+	for i := range s.edges {
+		s.outOff[s.edges[i].Src+1]++
+		s.inOff[s.edges[i].Dst+1]++
 	}
 	for v := 0; v < nv; v++ {
 		s.outOff[v+1] += s.outOff[v]
 		s.inOff[v+1] += s.inOff[v]
 	}
-	s.outIdx = make([]int32, len(edges))
-	s.inIdx = make([]int32, len(edges))
+	s.outIdx = make([]int32, len(s.edges))
+	s.inIdx = make([]int32, len(s.edges))
 	outNext := append([]int32(nil), s.outOff[:nv]...)
 	inNext := append([]int32(nil), s.inOff[:nv]...)
-	for i := range edges {
-		e := &edges[i]
+	for i := range s.edges {
+		e := &s.edges[i]
 		s.outIdx[outNext[e.Src]] = int32(i)
 		outNext[e.Src]++
 		s.inIdx[inNext[e.Dst]] = int32(i)
 		inNext[e.Dst]++
 	}
-
-	s.stats = Stats{NodesByType: map[string]int{}, EdgesByType: map[string]int{}}
-	for i := range nodes {
-		s.stats.NodesByType[nodes[i].Type.String()]++
-	}
-	for i := range edges {
-		s.stats.EdgesByType[edges[i].Type.String()]++
-	}
-	return s
 }
 
 // Lookup resolves a (type, phrase) pair to a node ID without allocating:
@@ -380,14 +403,21 @@ func (s *Snapshot) WriteJSON(w io.Writer) error {
 	return writePersisted(w, persisted{Nodes: s.nodes, Edges: s.edges})
 }
 
-// SaveFile writes the snapshot to path.
+// SaveFile writes the snapshot to path as JSON. The write is crash-safe:
+// bytes land in a temp file in the destination directory and are renamed
+// into place only after a successful fsync, so a watcher polling the path
+// (giantd -watch) can never observe a partially written artifact.
 func (s *Snapshot) SaveFile(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
+	return writeFileAtomic(path, s.WriteJSON)
+}
+
+// SaveFileFormat writes the snapshot to path in the given format,
+// crash-safely.
+func (s *Snapshot) SaveFileFormat(path string, format FileFormat) error {
+	if format == FormatBinary {
+		return s.SaveBinaryFile(path)
 	}
-	defer f.Close()
-	return s.WriteJSON(f)
+	return s.SaveFile(path)
 }
 
 // Search returns up to limit nodes whose phrase or alias contains the

@@ -1,7 +1,10 @@
 package ontology
 
 import (
+	"bytes"
 	"fmt"
+	"io"
+	"os"
 	"sync"
 )
 
@@ -94,6 +97,51 @@ func (st *Store) Rollback() (Generation, error) {
 	}
 	st.gens = st.gens[:len(st.gens)-1]
 	return st.gens[len(st.gens)-1], nil
+}
+
+// SaveCurrent writes the current generation's snapshot to path as a
+// GIANTBIN artifact with the generation number stamped into the header,
+// returning that generation. A replica hydrating from the file (Hydrate)
+// can therefore report which donor generation it booted from. Fails on an
+// empty store.
+func (st *Store) SaveCurrent(path string) (uint64, error) {
+	cur, ok := st.Current()
+	if !ok {
+		return 0, fmt.Errorf("ontology: store is empty; nothing to save")
+	}
+	err := writeFileAtomic(path, func(w io.Writer) error {
+		return encodeBinary(w, cur.Snap, nil, cur.Gen)
+	})
+	if err != nil {
+		return 0, err
+	}
+	return cur.Gen, nil
+}
+
+// Hydrate loads the snapshot file at path (either format) and pushes it as
+// this store's new current generation. It returns the local generation
+// number assigned by the push and the donor generation stamped in the file
+// (0 for JSON artifacts or unstamped binaries) — the replica-hydration
+// seam: ship a SaveCurrent artifact to a fresh process, Hydrate it, and
+// the process serves the donor's world without replaying any deltas.
+func (st *Store) Hydrate(path string) (local, donor uint64, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, 0, err
+	}
+	var snap *Snapshot
+	if IsBinary(data) {
+		snap, donor, err = decodeSnapshotBinaryGen(data)
+		if err != nil {
+			return 0, 0, fmt.Errorf("ontology: hydrate %s: %w", path, err)
+		}
+	} else {
+		snap, err = SnapshotFromJSON(bytes.NewReader(data))
+		if err != nil {
+			return 0, 0, err
+		}
+	}
+	return st.Push(snap), donor, nil
 }
 
 // Len returns the number of retained generations.

@@ -697,3 +697,102 @@ func TestRouterRoutedEndpoints(t *testing.T) {
 		t.Fatalf("routed endpoint with dead target = %d: %s", status, body)
 	}
 }
+
+// TestShardFileFormatEquivalence is the binary-format serving pin: the
+// same shard booted from a GIANTBIN artifact and from its JSON twin must
+// be indistinguishable — byte for byte on /v1/search and /v1/node at the
+// backend, and byte for byte on the router's merged /v1/search, /v1/node
+// and /v1/stats when a whole fleet boots from each format. This is the
+// exact giantd -shard i/k -in shard-i.{json,bin} boot path: artifacts are
+// written to disk and loaded back through ontology.LoadShardFile's magic
+// auto-detection.
+func TestShardFileFormatEquivalence(t *testing.T) {
+	const k = 2
+	union := testOntology(0).Snapshot()
+	ss, err := ontology.ShardSnapshot(union, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	type fleet struct {
+		backendTS []*httptest.Server
+		routerTS  *httptest.Server
+	}
+	boot := func(ext string, save func(p *ontology.ShardProjection, path string) error) fleet {
+		var fl fleet
+		urls := make([]string, k)
+		for i := 0; i < k; i++ {
+			path := fmt.Sprintf("%s/shard-%d-of-%d.%s", dir, i, k, ext)
+			if err := save(ss.Projection(i), path); err != nil {
+				t.Fatalf("save %s: %v", path, err)
+			}
+			proj, err := ontology.LoadShardFile(path)
+			if err != nil {
+				t.Fatalf("load %s: %v", path, err)
+			}
+			ts := httptest.NewServer(NewShard(proj, Options{}).Handler())
+			t.Cleanup(ts.Close)
+			fl.backendTS = append(fl.backendTS, ts)
+			urls[i] = ts.URL
+		}
+		rt, err := NewRouter(RouterOptions{Backends: urls})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(rt.Close)
+		fl.routerTS = httptest.NewServer(rt.Handler())
+		t.Cleanup(fl.routerTS.Close)
+		return fl
+	}
+	jsonFleet := boot("json", (*ontology.ShardProjection).SaveFile)
+	binFleet := boot("bin", (*ontology.ShardProjection).SaveBinaryFile)
+
+	var paths []string
+	for _, n := range union.Nodes() {
+		v := url.Values{}
+		v.Set("phrase", n.Phrase)
+		paths = append(paths, "/v1/node?"+v.Encode(), fmt.Sprintf("/v1/node?id=%d", n.ID))
+		v.Set("type", n.Type.String())
+		paths = append(paths, "/v1/node?"+v.Encode())
+		for _, a := range n.Aliases {
+			av := url.Values{}
+			av.Set("phrase", a)
+			av.Set("type", n.Type.String())
+			paths = append(paths, "/v1/node?"+av.Encode())
+		}
+	}
+	for _, q := range []string{"sedan", "model", "a", "zzz-no-hit"} {
+		for _, limit := range []string{"1", "5", "100"} {
+			paths = append(paths, "/v1/search?"+url.Values{"q": {q}, "limit": {limit}}.Encode())
+		}
+	}
+
+	same := func(what, jsonURL, binURL, path string) {
+		t.Helper()
+		jStatus, jBody := getRaw(t, http.DefaultClient, jsonURL+path)
+		bStatus, bBody := getRaw(t, http.DefaultClient, binURL+path)
+		if jStatus != bStatus || !bytes.Equal(jBody, bBody) {
+			t.Fatalf("%s %s: formats diverge\njson (%d):   %s\nbinary (%d): %s",
+				what, path, jStatus, jBody, bStatus, bBody)
+		}
+	}
+	for _, p := range paths {
+		same("router", jsonFleet.routerTS.URL, binFleet.routerTS.URL, p)
+		for i := 0; i < k; i++ {
+			same(fmt.Sprintf("backend %d", i), jsonFleet.backendTS[i].URL, binFleet.backendTS[i].URL, p)
+		}
+	}
+	// The routers' merged stats are fully deterministic: byte-identical.
+	same("router", jsonFleet.routerTS.URL, binFleet.routerTS.URL, "/v1/stats")
+	// Backend stats embed a load timestamp; everything else must agree.
+	for i := 0; i < k; i++ {
+		j := getJSON(t, http.DefaultClient, jsonFleet.backendTS[i].URL+"/v1/stats", 200)
+		b := getJSON(t, http.DefaultClient, binFleet.backendTS[i].URL+"/v1/stats", 200)
+		delete(j, "loaded_at")
+		delete(b, "loaded_at")
+		if !reflect.DeepEqual(j, b) {
+			t.Fatalf("backend %d stats diverge\njson:   %v\nbinary: %v", i, j, b)
+		}
+	}
+}
