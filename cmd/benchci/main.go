@@ -9,7 +9,10 @@
 // every benchmark present in both runs and slower than -min-ns in the
 // baseline is compared; a ratio above -max-ratio fails the run with exit
 // code 1. -write-baseline regenerates the committed baseline instead of
-// comparing.
+// comparing. -rel adds machine-independent gates WITHIN the run: e.g.
+// -rel 'BenchmarkServeSearch/sharded=4:BenchmarkServeSearch/snapshot:3.0'
+// fails when the sharded search exceeds 3x the single-snapshot scan, no
+// matter how fast the machine is.
 //
 // Exit codes: 0 ok, 1 regression (or runtime failure), 2 usage error.
 package main
@@ -46,6 +49,7 @@ func run() int {
 		minNs         = flag.Float64("min-ns", 1e6, "ignore benchmarks faster than this in the baseline (single-iteration timings below ~1ms are noise)")
 		writeBaseline = flag.Bool("write-baseline", false, "write -out as a new baseline and skip comparison")
 		requireAll    = flag.Bool("require-all", false, "fail when a baseline benchmark is missing from this run (off by default: GOMAXPROCS-parameterized sub-benchmark names legitimately vary across machines)")
+		rel           = flag.String("rel", "", "comma-separated relative gates `name:reference:max-ratio`: fail when name's ns/op exceeds max-ratio x reference's ns/op, both taken from THIS run (machine-independent, unlike the baseline comparison)")
 		note          = flag.String("note", "go test -short -run '^$' -bench . -benchtime 1x ./...", "provenance note stored in the report")
 	)
 	flag.Parse()
@@ -69,6 +73,19 @@ func run() int {
 		return 1
 	}
 	fmt.Printf("benchci: wrote %d benchmarks to %s\n", len(report.Benchmarks), *outPath)
+	if *rel != "" {
+		failures, err := checkRelative(report.Benchmarks, *rel)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchci: %v\n", err)
+			return 2
+		}
+		if len(failures) > 0 {
+			for _, f := range failures {
+				fmt.Fprintln(os.Stderr, "benchci: REGRESSION:", f)
+			}
+			return 1
+		}
+	}
 	if *writeBaseline || *baselinePath == "" {
 		return 0
 	}
@@ -138,6 +155,38 @@ func stripProcs(name string) string {
 		return name
 	}
 	return name[:i]
+}
+
+// checkRelative evaluates the -rel gates against the current run: each
+// spec is name:reference:max-ratio, and both benchmarks must be present —
+// a gate that cannot run is a configuration error, not a pass.
+func checkRelative(cur map[string]float64, spec string) (failures []string, err error) {
+	for _, g := range strings.Split(spec, ",") {
+		g = strings.TrimSpace(g)
+		if g == "" {
+			continue
+		}
+		parts := strings.Split(g, ":")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("bad -rel gate %q (want name:reference:max-ratio)", g)
+		}
+		max, perr := strconv.ParseFloat(parts[2], 64)
+		if perr != nil || max <= 0 {
+			return nil, fmt.Errorf("bad -rel ratio in %q", g)
+		}
+		c, okC := cur[parts[0]]
+		r, okR := cur[parts[1]]
+		if !okC || !okR || r == 0 {
+			return nil, fmt.Errorf("-rel gate %q: benchmark missing from this run", g)
+		}
+		if c > max*r {
+			failures = append(failures, fmt.Sprintf("%s: %.0f ns/op is %.2fx of %s (%.0f ns/op), max %.2fx",
+				parts[0], c, c/r, parts[1], r, max))
+		} else {
+			fmt.Printf("benchci: rel ok: %s is %.2fx of %s (max %.2fx)\n", parts[0], c/r, parts[1], max)
+		}
+	}
+	return failures, nil
 }
 
 // compare returns human-readable regression descriptions, the number of

@@ -27,6 +27,7 @@ func main() {
 	ingest := flag.Bool("ingest", false, "measure delta-ingest throughput at -shards {1,K} and verify equivalent output")
 	shardsFlag := flag.Int("shards", 4, "with -ingest: the sharded side of the throughput sweep")
 	load := flag.Bool("load", false, "measure snapshot boot time from JSON vs GIANTBIN artifacts and verify identical content")
+	search := flag.Bool("search", false, "measure search latency distribution (p50/p95/p99) on snapshot vs -shards sharded, with per-shard fan-out counts, and verify identical results")
 	flag.Parse()
 
 	scale := experiments.ScaleDefault
@@ -47,6 +48,12 @@ func main() {
 	}
 	if *load {
 		if err := runLoadBench(scale); err != nil {
+			log.Fatalf("giantbench: %v", err)
+		}
+		return
+	}
+	if *search {
+		if err := runSearchSweep(scale, *shardsFlag); err != nil {
 			log.Fatalf("giantbench: %v", err)
 		}
 		return
@@ -326,6 +333,93 @@ func runLoadBench(scale experiments.Scale) error {
 	if dBin > 0 {
 		fmt.Printf("  speedup: %.1fx\n", dJSON.Seconds()/dBin.Seconds())
 	}
+	return nil
+}
+
+// runSearchSweep is the scatter-gather search benchmark: build once,
+// shard the snapshot at -shards, and replay a query mix (full phrases,
+// leading words, misses) through both read paths, timing every call so
+// the tail is visible. Before any number is reported the two paths are
+// verified to return identical results, and the sweep prints the routing
+// index's fan-out profile: shards consulted per query after term-gram
+// pruning, and the fraction of queries answered by a single shard.
+func runSearchSweep(scale experiments.Scale, k int) error {
+	if k < 2 {
+		return fmt.Errorf("-shards must be >= 2 for the search sweep (got %d)", k)
+	}
+	cfg := giant.DefaultConfig()
+	if scale == experiments.ScaleTiny {
+		cfg = giant.TinyConfig()
+	}
+	sys, err := giant.Build(cfg)
+	if err != nil {
+		return err
+	}
+	snap := sys.Ontology.Snapshot()
+	ss, err := ontology.ShardSnapshot(snap, k)
+	if err != nil {
+		return err
+	}
+
+	var queries []string
+	nodes := snap.Nodes()
+	stride := len(nodes)/48 + 1
+	for i := 0; i < len(nodes); i += stride {
+		p := nodes[i].Phrase
+		queries = append(queries, p)
+		if sp := strings.IndexByte(p, ' '); sp > 0 {
+			queries = append(queries, p[:sp])
+		}
+	}
+	queries = append(queries, "zzz-no-hit-1", "zzz-no-hit-2", "zzz-no-hit-3")
+
+	const limit, rounds = 10, 200
+	for _, q := range queries {
+		a, b := snap.Search(q, limit), ss.Search(q, limit)
+		if len(a) != len(b) {
+			return fmt.Errorf("search %q: snapshot %d hits, sharded %d", q, len(a), len(b))
+		}
+		for i := range a {
+			if a[i].ID != b[i].ID {
+				return fmt.Errorf("search %q hit %d: snapshot node %d, sharded node %d", q, i, a[i].ID, b[i].ID)
+			}
+		}
+	}
+
+	sweep := func(search func(string, int) []ontology.Node) []time.Duration {
+		samples := make([]time.Duration, 0, rounds*len(queries))
+		for r := 0; r < rounds; r++ {
+			for _, q := range queries {
+				t0 := time.Now()
+				search(q, limit)
+				samples = append(samples, time.Since(t0))
+			}
+		}
+		sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+		return samples
+	}
+	pct := func(s []time.Duration, p float64) time.Duration {
+		return s[int(p*float64(len(s)-1)+0.5)]
+	}
+
+	fmt.Printf("search latency sweep (%d queries x %d rounds, limit %d)\n", len(queries), rounds, limit)
+	snapS := sweep(snap.Search)
+	fmt.Printf("  snapshot:  p50 %10v  p95 %10v  p99 %10v\n", pct(snapS, 0.50), pct(snapS, 0.95), pct(snapS, 0.99))
+	shardS := sweep(ss.Search)
+	fmt.Printf("  sharded=%d: p50 %10v  p95 %10v  p99 %10v\n", k, pct(shardS, 0.50), pct(shardS, 0.95), pct(shardS, 0.99))
+
+	consulted, oneShard := 0, 0
+	for _, q := range queries {
+		c := len(ss.CandidateShards(strings.ToLower(q)))
+		consulted += c
+		if c == 1 {
+			oneShard++
+		}
+	}
+	fmt.Printf("  fan-out: %.2f shards/query after gram routing, %d/%d queries consult a single shard\n",
+		float64(consulted)/float64(len(queries)), oneShard, len(queries))
+	fmt.Printf("  results identical across both paths; p50 gap %.2fx\n",
+		float64(pct(shardS, 0.50))/float64(pct(snapS, 0.50)))
 	return nil
 }
 

@@ -21,11 +21,20 @@
 // world; /v1/ingest broadcasts to every backend with all-or-nothing
 // generation accounting.
 //
+// Search is routed, not blindly scattered: the router keeps a term→shard
+// routing index built from each backend's /v1/stats term grams and
+// consults only the shards that can match, caching each shard's partial
+// keyed by (shard, generation, query) — -search-cache sizes the caches
+// (0 disables), and ?scatter=full on any search bypasses routing and
+// caching for debugging.
+//
 // Degraded mode is configurable: by default fan-out reads fail closed
 // with 503 when a backend is unreachable; with -fail-open they return the
 // reachable shards' results marked "partial": true. Point-routed
 // endpoints (node by typed phrase, tag, query rewrite, story) answer 502
-// when their target shard is down, and writes are always fail-closed.
+// when their target shard is down, and writes are always fail-closed. A
+// cached search partial can answer for a down backend, so a fully cached
+// query returns complete results where an uncached one would be partial.
 package main
 
 import (
@@ -53,6 +62,7 @@ func main() {
 		parallel = flag.Int("parallel", 0, "fan-out worker pool size (0 = min(shards, GOMAXPROCS))")
 		probe    = flag.Duration("probe", 2*time.Second, "background health-probe interval (0 disables)")
 		grace    = flag.Duration("grace", 5*time.Second, "graceful-shutdown drain timeout")
+		cache    = flag.Int("search-cache", 1024, "per-shard search-partial cache entries, keyed (shard, generation, query); a cached partial can mask a down backend for that query (0 disables)")
 	)
 	flag.Parse()
 	if *backends == "" {
@@ -69,6 +79,7 @@ func main() {
 		FailOpen:      *failOpen,
 		Parallelism:   *parallel,
 		ProbeInterval: *probe,
+		CacheSize:     *cache,
 		Logf:          log.Printf,
 	})
 	if err != nil {

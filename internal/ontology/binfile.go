@@ -114,6 +114,7 @@ const (
 	secCSROutIdx     = 20 // []int32, e
 	secCSRInIdx      = 21 // []int32, e
 	secUnionIDs      = 22 // []int32, n (shard files only)
+	secTermGrams     = 23 // TermGrams bitmaps (optional; home prefix for shards)
 )
 
 const (
@@ -337,6 +338,12 @@ func encodeBinary(w io.Writer, snap *Snapshot, proj *ShardProjection, gen uint64
 			ids[i] = int32(id)
 		}
 		add(secUnionIDs, i32col(ids))
+		// Persist the home-prefix term-gram index so a booting shard skips
+		// the rebuild. Deterministic in the home contents, so persisted and
+		// recomputed bytes are identical (the dual-format equivalence pin).
+		add(secTermGrams, proj.TermGrams().appendBytes(make([]byte, 0, termGramSize)))
+	} else {
+		add(secTermGrams, snap.TermGrams().appendBytes(make([]byte, 0, termGramSize)))
 	}
 
 	// Lay sections out at 64-byte-aligned offsets.
@@ -465,6 +472,21 @@ func (bf *binFile) section(id uint32, wantLen int) ([]byte, error) {
 		return nil, fmt.Errorf("%w: section %d is %d bytes, want %d", ErrCorrupt, id, len(sec), wantLen)
 	}
 	return sec, nil
+}
+
+// termGrams decodes the optional persisted term-gram section; (nil, nil)
+// when the artifact predates it, in which case the index is lazily
+// recomputed (identical bytes — the index is deterministic).
+func (bf *binFile) termGrams() (*TermGrams, error) {
+	sec, ok := bf.secs[secTermGrams]
+	if !ok {
+		return nil, nil
+	}
+	g, err := termGramsFromBytes(sec)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	return g, nil
 }
 
 // arena returns a required variable-length section.
@@ -752,6 +774,11 @@ func decodeSnapshotBinaryGen(data []byte) (*Snapshot, uint64, error) {
 		return nil, 0, fmt.Errorf("ontology: this is a binary shard projection file (shard %d/%d); boot it with giantd -shard %d/%d or load it with LoadShardFile",
 			bf.hdr.Shard, bf.hdr.NumShards, bf.hdr.Shard, bf.hdr.NumShards)
 	}
+	g, err := bf.termGrams()
+	if err != nil {
+		return nil, 0, err
+	}
+	snap.grams = g // nil when absent: TermGrams() recomputes lazily
 	return snap, bf.hdr.Generation, nil
 }
 
@@ -776,12 +803,20 @@ func DecodeShardBinary(data []byte) (*ShardProjection, error) {
 	for i, v := range ids32 {
 		ids[i] = NodeID(v)
 	}
+	g, err := bf.termGrams()
+	if err != nil {
+		return nil, err
+	}
 	p := &ShardProjection{
 		Snap:      snap,
 		Shard:     bf.hdr.Shard,
 		NumShards: bf.hdr.NumShards,
 		HomeCount: bf.hdr.HomeCount,
 		UnionIDs:  ids,
+		// The persisted grams cover the home prefix only — the projection's
+		// routing surface, never the embedded snapshot's (which spans ghosts
+		// too and recomputes its own index on demand).
+		grams: g,
 	}
 	if err := p.validate(); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)

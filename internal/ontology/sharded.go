@@ -32,8 +32,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"strings"
-
-	"giant/internal/par"
+	"sync"
 )
 
 // HomeShard returns the home shard of a (type, phrase) node key under a
@@ -48,6 +47,15 @@ func HomeShard(t NodeType, phrase string, k int) int {
 	return int(h.Sum32() % uint32(k))
 }
 
+// shardGramsBox lazily holds one shard's home-prefix term-gram index. It is
+// a separate allocation so Advance can carry an untouched shard's built
+// index to the next generation alongside its projection (grams depend only
+// on the shard's own home-node contents, never on the union).
+type shardGramsBox struct {
+	once sync.Once
+	g    *TermGrams
+}
+
 // ShardedSnapshot composes K per-shard Snapshots with a phrase→shard
 // routing index and the union index they project from.
 type ShardedSnapshot struct {
@@ -55,6 +63,16 @@ type ShardedSnapshot struct {
 	k         int
 	shards    []*Snapshot
 	homeCount []int // per shard: nodes[0:homeCount] are home, the rest ghosts
+	grams     []*shardGramsBox
+}
+
+// freshGramsBoxes allocates empty gram boxes for k shards.
+func freshGramsBoxes(k int) []*shardGramsBox {
+	out := make([]*shardGramsBox, k)
+	for i := range out {
+		out[i] = &shardGramsBox{}
+	}
+	return out
 }
 
 // ShardSnapshot partitions union into k per-shard projections. k <= 1
@@ -64,7 +82,7 @@ func ShardSnapshot(union *Snapshot, k int) (*ShardedSnapshot, error) {
 	if k < 1 {
 		k = 1
 	}
-	ss := &ShardedSnapshot{union: union, k: k, shards: make([]*Snapshot, k), homeCount: make([]int, k)}
+	ss := &ShardedSnapshot{union: union, k: k, shards: make([]*Snapshot, k), homeCount: make([]int, k), grams: freshGramsBoxes(k)}
 	if k == 1 {
 		ss.shards[0] = union
 		ss.homeCount[0] = union.Len()
@@ -93,12 +111,13 @@ func (ss *ShardedSnapshot) Advance(nextUnion *Snapshot, touched []bool) (*Sharde
 	if len(touched) != ss.k {
 		return nil, fmt.Errorf("ontology: Advance got %d touch flags for %d shards", len(touched), ss.k)
 	}
-	next := &ShardedSnapshot{union: nextUnion, k: ss.k, shards: make([]*Snapshot, ss.k), homeCount: make([]int, ss.k)}
+	next := &ShardedSnapshot{union: nextUnion, k: ss.k, shards: make([]*Snapshot, ss.k), homeCount: make([]int, ss.k), grams: freshGramsBoxes(ss.k)}
 	var homes []int
 	for s := 0; s < ss.k; s++ {
 		if !touched[s] {
 			next.shards[s] = ss.shards[s]
 			next.homeCount[s] = ss.homeCount[s]
+			next.grams[s] = ss.grams[s]
 			continue
 		}
 		if homes == nil {
@@ -213,12 +232,63 @@ func (ss *ShardedSnapshot) ShardOf(t NodeType, phrase string) (int, bool) {
 	return HomeShard(n.Type, n.Phrase, ss.k), true
 }
 
-// Search is the scatter-gather analogue of Snapshot.Search: every shard
-// scans only its home nodes concurrently, early-exiting once it has limit
-// matches, and the gathered hits are merged in union node-ID order. The
-// result is identical to Union().Search(needle, limit): within a shard,
-// home nodes preserve union ID order, so each shard's first limit matches
-// are a superset of its contribution to the global first limit.
+// ShardTermGrams returns shard i's home-prefix term-gram index, building
+// it on first use (safe under concurrent readers). Advance carries the
+// built index of an untouched shard to the next generation.
+func (ss *ShardedSnapshot) ShardTermGrams(i int) *TermGrams {
+	b := ss.grams[i]
+	b.once.Do(func() {
+		if b.g == nil {
+			b.g = BuildTermGrams(ss.shards[i].nodes[:ss.homeCount[i]])
+		}
+	})
+	return b.g
+}
+
+// CandidateShards routes an already-lowercased needle through the per-shard
+// term-gram indexes: the returned shards (ascending) are the only ones
+// whose home nodes could contain the needle. Exact in the negative — a
+// shard not listed contributes nothing to the full scatter.
+func (ss *ShardedSnapshot) CandidateShards(needle string) []int {
+	out := make([]int, 0, ss.k)
+	for s := 0; s < ss.k; s++ {
+		if ss.ShardTermGrams(s).MayContain(needle) {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// SearchShardHome returns shard i's first limit home matches for the
+// already-lowercased needle, in that shard's home order (= union ID
+// order), as the shard's local node copies. This is the context-free
+// cacheable partial unit of sharded search: it depends only on shard i's
+// home contents, never on peer shards or the union, so a cached partial
+// stays valid for as long as shard i's projection does — republishing a
+// peer cannot stale it. Callers render hits through the current union
+// index at merge time.
+func (ss *ShardedSnapshot) SearchShardHome(i int, needle string, limit int) []Node {
+	return searchNodes(ss.shards[i].nodes[:ss.homeCount[i]], needle, limit)
+}
+
+// Search is the scatter-gather analogue of Snapshot.Search, attacked from
+// two sides so the sharded path stays within small-constant distance of the
+// single-snapshot scan:
+//
+//   - Term-gram routing: only the shards whose home-gram index may contain
+//     the needle are consulted at all (most needles route to 0–2 shards).
+//   - Score-bounded merge: the candidate shards are walked through lazy
+//     match cursors merged in union node-ID order (the "score" — smaller is
+//     better, exactly Snapshot.Search's output order). A shard advances
+//     only while it holds the minimum, and the merge stops at limit, so no
+//     shard scans meaningfully past the union position of the limit-th
+//     match — the same early-termination bound the union scan enjoys,
+//     instead of every shard scanning to its own limit-th match.
+//
+// The result is identical to Union().Search(needle, limit): home nodes
+// partition the union and preserve union ID order within a shard, gram
+// pruning is a superset filter, and the k-way merge visits matches in
+// exactly ascending union ID.
 func (ss *ShardedSnapshot) Search(needle string, limit int) []Node {
 	if ss.k == 1 || limit <= 0 {
 		return ss.union.Search(needle, limit)
@@ -227,23 +297,61 @@ func (ss *ShardedSnapshot) Search(needle string, limit int) []Node {
 	if needle == "" {
 		return nil
 	}
-	perShard := make([][]Node, ss.k)
-	par.ForEachIndexed(ss.k, ss.k, func(s int) {
-		perShard[s] = searchNodes(ss.shards[s].nodes[:ss.homeCount[s]], needle, limit)
-	})
-	var out []Node
-	for _, hits := range perShard {
-		for _, n := range hits {
-			if id, ok := ss.union.Lookup(n.Type, n.Phrase); ok {
-				out = append(out, *ss.union.At(id))
-			}
+	cursors := make([]*searchCursor, 0, ss.k)
+	for s := 0; s < ss.k; s++ {
+		if !ss.ShardTermGrams(s).MayContain(needle) {
+			continue
+		}
+		c := &searchCursor{nodes: ss.shards[s].nodes[:ss.homeCount[s]], union: ss.union}
+		if c.advance(needle) {
+			cursors = append(cursors, c)
 		}
 	}
-	sortNodesByID(out)
-	if len(out) > limit {
-		out = out[:limit]
+	var out []Node
+	for len(cursors) > 0 && len(out) < limit {
+		best := 0
+		for i := 1; i < len(cursors); i++ {
+			if cursors[i].unionID < cursors[best].unionID {
+				best = i
+			}
+		}
+		out = append(out, *ss.union.At(cursors[best].unionID))
+		if !cursors[best].advance(needle) {
+			cursors[best] = cursors[len(cursors)-1]
+			cursors = cursors[:len(cursors)-1]
+		}
 	}
 	return out
+}
+
+// searchCursor walks one shard's home-node prefix to successive matches,
+// resolving each match's union ID (home copies keep the union's phrase
+// keys, so the union index is the authoritative renderer — exactly the
+// remap the eager scatter-gather performed per hit).
+type searchCursor struct {
+	nodes   []Node
+	union   *Snapshot
+	pos     int
+	unionID NodeID
+}
+
+// advance scans forward to the next home match, returning false when the
+// prefix is exhausted. A home node missing from the union index (which a
+// well-formed partition never produces) is skipped, matching the eager
+// merge's behaviour.
+func (c *searchCursor) advance(needle string) bool {
+	for ; c.pos < len(c.nodes); c.pos++ {
+		n := &c.nodes[c.pos]
+		if !nodeMatches(n, needle) {
+			continue
+		}
+		if id, ok := c.union.Lookup(n.Type, n.Phrase); ok {
+			c.unionID = id
+			c.pos++
+			return true
+		}
+	}
+	return false
 }
 
 // Projection packages shard i's snapshot as a self-describing

@@ -28,6 +28,7 @@ import (
 	"io"
 	"os"
 	"strings"
+	"sync"
 )
 
 // ErrNotShardFile reports that a file parsed as JSON but carries no shard
@@ -52,6 +53,13 @@ type ShardProjection struct {
 	UnionIDs []NodeID
 
 	byUnion map[NodeID]NodeID // union ID -> local ID
+
+	// grams is the lazily built term-gram index over the home-node prefix —
+	// the shard's term-routing surface (TermStats). The binary decode path
+	// may pre-populate it from the persisted section; JSON loads recompute
+	// it, deterministically yielding identical bytes.
+	gramsOnce sync.Once
+	grams     *TermGrams
 }
 
 // index builds the reverse union→local table; called once at construction.
@@ -109,13 +117,37 @@ func (p *ShardProjection) LocalOf(union NodeID) (NodeID, bool) {
 // scan over the home-node prefix only (ghosts are scanned by their own home
 // shard), early-exiting at limit. Hit IDs are local; callers render them
 // through UnionID. Merging every shard's SearchHome output in union-ID
-// order reproduces Snapshot.Search over the union exactly.
+// order reproduces Snapshot.Search over the union exactly. The home-prefix
+// term-gram index short-circuits needles no home node can contain.
 func (p *ShardProjection) SearchHome(needle string, limit int) []Node {
 	needle = strings.ToLower(needle)
 	if needle == "" {
 		return nil
 	}
+	if !p.TermGrams().MayContain(needle) {
+		return nil
+	}
 	return searchNodes(p.Snap.nodes[:p.HomeCount], needle, limit)
+}
+
+// TermGrams returns the term-gram index over the home-node prefix,
+// building it on first use (safe under concurrent readers). Ghosts are
+// excluded: they are scanned — and therefore routed — by their own home
+// shard.
+func (p *ShardProjection) TermGrams() *TermGrams {
+	p.gramsOnce.Do(func() {
+		if p.grams == nil {
+			p.grams = BuildTermGrams(p.Snap.nodes[:p.HomeCount])
+		}
+	})
+	return p.grams
+}
+
+// TermStats packages the shard's term-routing surface for /v1/stats: a
+// router decodes each shard's grams and consults only the shards whose
+// index may contain the query. Deterministic in the home-node contents.
+func (p *ShardProjection) TermStats() TermStats {
+	return TermStats{Grams: p.TermGrams().Encode()}
 }
 
 // HomeStats summarizes the shard's owned slice of the union: home nodes by

@@ -7,6 +7,7 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Snapshot is an immutable, read-optimized view of an Ontology, built once
@@ -37,6 +38,14 @@ type Snapshot struct {
 	outIdx, inIdx []int32
 
 	stats Stats
+
+	// grams is the lazily built term-gram presence index over every node's
+	// phrase and aliases, used by Search to skip the scan entirely when no
+	// node can contain the needle. gramsOnce guards the lazy build; the
+	// binary decode path may pre-populate grams from a persisted section
+	// before the snapshot is shared, in which case the build is skipped.
+	gramsOnce sync.Once
+	grams     *TermGrams
 }
 
 // Snapshot builds an immutable snapshot of the ontology's current state.
@@ -420,12 +429,29 @@ func (s *Snapshot) SaveFileFormat(path string, format FileFormat) error {
 	return s.SaveFile(path)
 }
 
+// TermGrams returns the snapshot's term-gram presence index, building it
+// on first use (safe under concurrent readers). The result is shared
+// immutable state and must not be modified.
+func (s *Snapshot) TermGrams() *TermGrams {
+	s.gramsOnce.Do(func() {
+		if s.grams == nil {
+			s.grams = BuildTermGrams(s.nodes)
+		}
+	})
+	return s.grams
+}
+
 // Search returns up to limit nodes whose phrase or alias contains the
 // (case-insensitive) needle, in node-ID order, early-exiting as soon as
-// limit matches are collected. A limit <= 0 means no limit.
+// limit matches are collected. A limit <= 0 means no limit. The term-gram
+// index short-circuits needles no node can contain — a superset check, so
+// pruned output is identical to the full scan's.
 func (s *Snapshot) Search(needle string, limit int) []Node {
 	needle = strings.ToLower(needle)
 	if needle == "" {
+		return nil
+	}
+	if !s.TermGrams().MayContain(needle) {
 		return nil
 	}
 	return searchNodes(s.nodes, needle, limit)

@@ -2,7 +2,10 @@ package serve
 
 import (
 	"container/list"
+	"strconv"
 	"sync"
+
+	"giant/internal/ontology"
 )
 
 // lruCache is a bounded least-recently-used cache of rendered responses.
@@ -68,4 +71,107 @@ func (c *lruCache) len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.order.Len()
+}
+
+// lruOf is the shared core of the search-partial caches: a bounded
+// mutex+list LRU over values of type V, distinguishing "cached empty"
+// from "absent" (a shard with zero matches for a query is a perfectly
+// good — and common — partial).
+type lruOf[V any] struct {
+	mu    sync.Mutex
+	cap   int
+	items map[string]*list.Element
+	order *list.List // front = most recently used
+}
+
+type entryOf[V any] struct {
+	key string
+	val V
+}
+
+// get returns the cached value for key and whether it was present.
+func (c *lruOf[V]) get(key string) (V, bool) {
+	var zero V
+	if c.cap <= 0 {
+		return zero, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return zero, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*entryOf[V]).val, true
+}
+
+// put stores val under key, evicting the least recently used entry when
+// the cache is full. The caller must not mutate val afterwards.
+func (c *lruOf[V]) put(key string, val V) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*entryOf[V]).val = val
+		c.order.MoveToFront(el)
+		return
+	}
+	for c.order.Len() >= c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.items, oldest.Value.(*entryOf[V]).key)
+	}
+	c.items[key] = c.order.PushFront(&entryOf[V]{key: key, val: val})
+}
+
+// len reports the current entry count.
+func (c *lruOf[V]) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// searchKey builds the partial-cache key for an already-lowercased needle
+// and a validated limit.
+func searchKey(needle string, limit int) string {
+	return needle + "\x00" + strconv.Itoa(limit)
+}
+
+// searchCache is the per-shard search-partial cache of a sharded server:
+// a bounded LRU of one shard's first limit home matches, keyed by
+// (needle, limit). Entries hold shard-LOCAL node copies — never union IDs
+// or rendered bodies — which is what makes a partial context-free: it
+// depends only on its shard's home contents, so it stays valid across any
+// publish that leaves that shard's projection untouched (the merge path
+// re-renders hits through the CURRENT union index on every read). Like
+// the node caches, invalidation is structural: a republished shard gets a
+// fresh cache, peers keep theirs.
+type searchCache struct {
+	lruOf[[]ontology.Node]
+}
+
+// newSearchCache builds a partial cache bounded to cap entries; cap <= 0
+// disables caching (get always misses, put is a no-op).
+func newSearchCache(cap int) *searchCache {
+	return &searchCache{lruOf[[]ontology.Node]{cap: cap, items: make(map[string]*list.Element), order: list.New()}}
+}
+
+// hitsCache is the router's per-shard search-partial cache: one backend's
+// parsed /v1/search hits keyed by (generation, needle, limit). Unlike the
+// in-process searchCache, entries carry union node IDs rendered BY the
+// backend at fetch time, so the generation in the key is load-bearing —
+// and because a backend's union-ID table can refresh WITHOUT a generation
+// bump (a peer's retirement renumbers union IDs on every shard), the
+// router additionally clears caches wholesale on any write whose delta
+// retired nodes (see Router invalidation rules in docs/ARCHITECTURE.md).
+type hitsCache struct {
+	lruOf[[]searchHit]
+}
+
+// newHitsCache builds a router partial cache bounded to cap entries;
+// cap <= 0 disables caching.
+func newHitsCache(cap int) *hitsCache {
+	return &hitsCache{lruOf[[]searchHit]{cap: cap, items: make(map[string]*list.Element), order: list.New()}}
 }

@@ -11,9 +11,14 @@ package serve
 // same world, for every shard count (router_test.go pins this for
 // K ∈ {1, 2, 4} through a day-by-day ingest replay).
 //
-//	/v1/search         fan-out to every shard (each scans only its home
-//	                   nodes, early-exiting at the limit), merge in union
-//	                   node-ID order, truncate
+//	/v1/search         routed fan-out: a generation-stamped term→shard
+//	                   routing index (rebuilt from each backend's
+//	                   /v1/stats term grams) prunes the scatter to the
+//	                   shards that can match; each consulted shard's
+//	                   partial is served from a per-shard cache keyed
+//	                   (shard, generation, query, limit); merge in union
+//	                   node-ID order, truncate. ?scatter=full bypasses
+//	                   routing and caching (debug / equivalence diffing).
 //	/v1/node           route by HomeShard(type, phrase) when the request
 //	                   names both; otherwise scatter and pick the union's
 //	                   lookup-precedence winner (phrase beats alias, then
@@ -48,6 +53,7 @@ import (
 	"runtime"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -82,6 +88,15 @@ type RouterOptions struct {
 	// MaxSearchResults caps /v1/search result counts and must match the
 	// backends' cap for byte-identical merges; 0 means 100.
 	MaxSearchResults int
+	// CacheSize bounds each per-shard search-partial cache (entries).
+	// Unlike serve.Options.CacheSize, 0 (the default) DISABLES partial
+	// caching: a cached partial is served without touching its backend, so
+	// caching deliberately trades degraded-mode visibility for
+	// availability — a query fully answerable from cache returns complete
+	// results even while a backend is down, instead of reporting
+	// "partial". That is a semantics change an operator must opt into
+	// (cmd/giantrouter does, via -search-cache).
+	CacheSize int
 	// ProbeInterval enables a background health prober hitting every
 	// backend's /healthz; 0 disables it (health marks still update on
 	// every proxied call).
@@ -110,6 +125,32 @@ type Router struct {
 	stop     chan struct{}
 	stopOnce sync.Once
 	probeWG  sync.WaitGroup
+	// routing is the term→shard routing index, lazily rebuilt from a
+	// /v1/stats fan-out whenever nil. Dropped (stored nil) by every write
+	// broadcast, by the prober on a generation discrepancy, and by a
+	// search that observes a backend generation diverging from the index.
+	routing   atomic.Pointer[routingIndex]
+	routingMu sync.Mutex // serializes index rebuilds (readers use routing)
+	// partials[i] caches backend i's parsed search hits keyed
+	// (generation, needle, limit); invalidation swaps in a fresh cache.
+	partials []atomic.Pointer[hitsCache]
+}
+
+// routingShard is one backend's entry in the routing index: its serving
+// generation and home-prefix term grams as of the index build. ok=false
+// (the backend failed to answer the stats fan-out) routes conservatively:
+// the shard is always consulted and its partials never cached.
+type routingShard struct {
+	gen   uint64
+	grams *ontology.TermGrams
+	ok    bool
+}
+
+// routingIndex is the router's term→shard posting index: per-shard term
+// grams to prune the scatter, with each shard's generation pinning the
+// partial-cache keys. Immutable once published.
+type routingIndex struct {
+	shards []routingShard
 }
 
 var routerEndpointNames = []string{
@@ -137,12 +178,16 @@ func NewRouter(opts RouterOptions) (*Router, error) {
 		opts.MaxSearchResults = 100
 	}
 	rt := &Router{
-		opts:    opts,
-		k:       len(opts.Backends),
-		client:  opts.Client,
-		metrics: newMetricsRegistry(routerEndpointNames),
-		down:    make([]atomic.Bool, len(opts.Backends)),
-		stop:    make(chan struct{}),
+		opts:     opts,
+		k:        len(opts.Backends),
+		client:   opts.Client,
+		metrics:  newMetricsRegistry(routerEndpointNames),
+		down:     make([]atomic.Bool, len(opts.Backends)),
+		stop:     make(chan struct{}),
+		partials: make([]atomic.Pointer[hitsCache], len(opts.Backends)),
+	}
+	for i := range rt.partials {
+		rt.partials[i].Store(newHitsCache(opts.CacheSize))
 	}
 	if rt.client == nil {
 		rt.client = &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 4}}
@@ -180,7 +225,11 @@ func (rt *Router) workers() int {
 	return rt.k
 }
 
-// probeLoop keeps the health marks fresh while traffic is idle.
+// probeLoop keeps the health marks fresh while traffic is idle, and
+// cross-checks each backend's /healthz generation against the routing
+// index: a discrepancy means the fleet changed behind the router's back
+// (an out-of-band write, or a backend restarted into a different world),
+// so the index and every cached partial are dropped.
 func (rt *Router) probeLoop() {
 	defer rt.probeWG.Done()
 	ticker := time.NewTicker(rt.opts.ProbeInterval)
@@ -191,8 +240,90 @@ func (rt *Router) probeLoop() {
 			return
 		case <-ticker.C:
 		}
-		rt.fanout(context.Background(), http.MethodGet, "/healthz", nil)
+		results := rt.fanout(context.Background(), http.MethodGet, "/healthz", nil)
+		idx := rt.routing.Load()
+		if idx == nil {
+			continue
+		}
+		for i := range results {
+			if !results[i].ok() {
+				continue
+			}
+			var h struct {
+				Generation uint64 `json:"generation"`
+			}
+			if json.Unmarshal(results[i].body, &h) != nil {
+				continue
+			}
+			if !idx.shards[i].ok || idx.shards[i].gen != h.Generation {
+				// Either the backend recovered since the index was built
+				// (re-index to regain pruning) or its generation moved
+				// without a routed write (distrust every cached partial).
+				rt.invalidateSearch(nil, true)
+				break
+			}
+		}
 	}
+}
+
+// invalidateSearch drops the routing index and resets search-partial
+// caches: every shard's when clearAll (a write retired nodes — union-ID
+// renumbering can stale even untouched shards' cached hits — or the
+// write's effect is unknown), otherwise only the listed touched shards'
+// (an append-only delta cannot change what an untouched backend returns).
+func (rt *Router) invalidateSearch(touched []int, clearAll bool) {
+	rt.routing.Store(nil)
+	if clearAll {
+		for i := range rt.partials {
+			rt.partials[i].Store(newHitsCache(rt.opts.CacheSize))
+		}
+		return
+	}
+	for _, s := range touched {
+		if s >= 0 && s < rt.k {
+			rt.partials[s].Store(newHitsCache(rt.opts.CacheSize))
+		}
+	}
+}
+
+// ensureRouting returns the current routing index, rebuilding it from a
+// /v1/stats fan-out when absent. Backends that fail to answer get an
+// ok=false entry — consulted on every search, never cached — so a partial
+// rebuild degrades pruning, not correctness.
+func (rt *Router) ensureRouting(ctx context.Context) *routingIndex {
+	if idx := rt.routing.Load(); idx != nil {
+		return idx
+	}
+	rt.routingMu.Lock()
+	defer rt.routingMu.Unlock()
+	if idx := rt.routing.Load(); idx != nil {
+		return idx
+	}
+	results := rt.fanout(ctx, http.MethodGet, "/v1/stats", nil)
+	idx := &routingIndex{shards: make([]routingShard, rt.k)}
+	for i := range results {
+		if !results[i].ok() {
+			continue
+		}
+		var parsed struct {
+			Shard *struct {
+				Generation uint64              `json:"generation"`
+				TermStats  *ontology.TermStats `json:"term_stats"`
+			} `json:"shard"`
+		}
+		if json.Unmarshal(results[i].body, &parsed) != nil || parsed.Shard == nil {
+			continue
+		}
+		rs := routingShard{gen: parsed.Shard.Generation, ok: true}
+		if parsed.Shard.TermStats != nil {
+			if g, err := ontology.DecodeTermGrams(parsed.Shard.TermStats.Grams); err == nil {
+				rs.grams = g
+			}
+		}
+		idx.shards[i] = rs
+	}
+	rt.routing.Store(idx)
+	return idx
 }
 
 // backendResult is one backend call's outcome.
@@ -414,8 +545,17 @@ func (rt *Router) handleHealthz(r *http.Request) (int, any) {
 	return http.StatusOK, map[string]any{"status": status, "shards": rt.k, "backends": backends}
 }
 
-// handleSearch fans /v1/search out to every shard and merges the hits in
-// union node-ID order — the cross-process twin of ShardedSnapshot.Search.
+// handleSearch answers /v1/search through the routed, cached scatter —
+// the cross-process twin of the in-process searchSharded path. The
+// routing index prunes the fan-out to the shards whose term grams may
+// contain the needle (pruning is a superset filter: a pruned-out shard
+// provably has zero matches, so results stay byte-identical to the full
+// scatter), and each consulted shard's partial is served from its
+// (generation, needle, limit)-keyed cache. A backend whose response
+// generation diverges from the index raced a republish: the index is
+// dropped and the request falls back to one fresh, uncached full scatter.
+// ?scatter=full forces that full path up front — the CI smoke diffs it
+// against the routed output on a live fleet.
 func (rt *Router) handleSearch(r *http.Request) (int, any) {
 	q := r.URL.Query().Get("q")
 	if q == "" {
@@ -435,23 +575,52 @@ func (rt *Router) handleSearch(r *http.Request) (int, any) {
 	v := url.Values{}
 	v.Set("q", q)
 	v.Set("limit", strconv.Itoa(limit))
-	results := rt.fanout(r.Context(), http.MethodGet, "/v1/search?"+v.Encode(), nil)
-	failed := failedShards(results)
+	pq := "/v1/search?" + v.Encode()
+	needle := strings.ToLower(q)
+	key := searchKey(needle, limit)
+
+	var idx *routingIndex
+	if r.URL.Query().Get("scatter") != "full" {
+		idx = rt.ensureRouting(r.Context())
+	}
+	candidates := make([]int, 0, rt.k)
+	if idx != nil {
+		for i := range idx.shards {
+			// ok=false (unknown surface) and grams==nil (backend predates
+			// term stats) both route conservatively.
+			if !idx.shards[i].ok || idx.shards[i].grams == nil || idx.shards[i].grams.MayContain(needle) {
+				candidates = append(candidates, i)
+			}
+		}
+	} else {
+		for i := 0; i < rt.k; i++ {
+			candidates = append(candidates, i)
+		}
+	}
+
+	perShard, failed, stale, badShard, badErr := rt.fetchPartials(r.Context(), candidates, pq, key, idx)
+	if stale {
+		// The index raced a republish: drop it (and the request's view of
+		// candidates) and re-scatter everywhere, uncached — the next
+		// request rebuilds a fresh index.
+		rt.routing.Store(nil)
+		candidates = candidates[:0]
+		for i := 0; i < rt.k; i++ {
+			candidates = append(candidates, i)
+		}
+		perShard, failed, _, badShard, badErr = rt.fetchPartials(r.Context(), candidates, pq, key, nil)
+	}
+	if badErr != nil {
+		return http.StatusBadGateway, errorBody{Error: fmt.Sprintf("shard %d: bad search response: %v", badShard, badErr)}
+	}
+	// Only consulted shards can be missing: a pruned-out shard contributes
+	// nothing by construction, down or not.
 	if len(failed) > 0 && !rt.opts.FailOpen {
 		return http.StatusServiceUnavailable, errorBody{Error: fmt.Sprintf("shards %v unavailable (fail-closed)", failed)}
 	}
 	var hits []searchHit
-	for i := range results {
-		if !results[i].ok() {
-			continue
-		}
-		var parsed struct {
-			Results []searchHit `json:"results"`
-		}
-		if err := json.Unmarshal(results[i].body, &parsed); err != nil {
-			return http.StatusBadGateway, errorBody{Error: fmt.Sprintf("shard %d: bad search response: %v", i, err)}
-		}
-		hits = append(hits, parsed.Results...)
+	for _, ph := range perShard {
+		hits = append(hits, ph...)
 	}
 	// Merge in union ID order: within a shard, home nodes preserve union
 	// order, so each shard's first `limit` matches are a superset of its
@@ -469,6 +638,56 @@ func (rt *Router) handleSearch(r *http.Request) (int, any) {
 		resp["missing_shards"] = failed
 	}
 	return http.StatusOK, resp
+}
+
+// fetchPartials gathers the per-shard search partials for the candidate
+// shards, in candidate order. When idx pins a shard's generation, its
+// partial is served from the (generation, needle, limit)-keyed cache and
+// a fetched partial is cached only if the backend's response generation
+// matches the pinned one; an explicit mismatch sets stale (the caller
+// re-scatters). idx == nil fetches everything uncached. Failed shards are
+// listed; a shard whose 200 body fails to parse aborts via badErr.
+func (rt *Router) fetchPartials(ctx context.Context, candidates []int, pq, key string, idx *routingIndex) (perShard [][]searchHit, failed []int, stale bool, badShard int, badErr error) {
+	perShard = make([][]searchHit, len(candidates))
+	cached := make([]bool, len(candidates))
+	results := make([]backendResult, len(candidates))
+	par.ForEachIndexed(rt.workers(), len(candidates), func(j int) {
+		sh := candidates[j]
+		if idx != nil && idx.shards[sh].ok {
+			fullKey := strconv.FormatUint(idx.shards[sh].gen, 10) + "\x00" + key
+			if hits, ok := rt.partials[sh].Load().get(fullKey); ok {
+				perShard[j], cached[j] = hits, true
+				return
+			}
+		}
+		results[j] = rt.call(ctx, sh, http.MethodGet, pq, nil)
+	})
+	for j, sh := range candidates {
+		if cached[j] {
+			continue
+		}
+		if !results[j].ok() {
+			failed = append(failed, sh)
+			continue
+		}
+		var parsed struct {
+			Results    []searchHit `json:"results"`
+			Generation *uint64     `json:"generation"`
+		}
+		if err := json.Unmarshal(results[j].body, &parsed); err != nil {
+			return nil, nil, false, sh, err
+		}
+		perShard[j] = parsed.Results
+		if idx != nil && idx.shards[sh].ok && parsed.Generation != nil {
+			if *parsed.Generation == idx.shards[sh].gen {
+				fullKey := strconv.FormatUint(idx.shards[sh].gen, 10) + "\x00" + key
+				rt.partials[sh].Load().put(fullKey, parsed.Results)
+			} else {
+				stale = true
+			}
+		}
+	}
+	return perShard, failed, stale, 0, nil
 }
 
 // handleNode answers a node lookup in the composed view. A (type, phrase)
@@ -787,7 +1006,37 @@ func (rt *Router) handleIngest(r *http.Request) (int, any) {
 	rt.ingestMu.Lock()
 	defer rt.ingestMu.Unlock()
 	results := rt.broadcast(r.Context(), http.MethodPost, "/v1/ingest", body)
-	return rt.mergeBroadcast(results, "ingest")
+	status, resp := rt.mergeBroadcast(results, "ingest")
+	rt.invalidateAfterIngest(status, resp)
+	return status, resp
+}
+
+// invalidateAfterIngest applies the search invalidation rules to a merged
+// ingest outcome. A clean apply whose delta is append-only clears only the
+// touched shards' partials (an untouched backend's answers cannot have
+// changed); a delta that retired nodes clears everything — dense union-ID
+// renumbering refreshes every backend's rendered IDs without bumping
+// untouched generations, which is exactly the staleness generation keys
+// cannot see. A uniform 4xx rejection changed nothing; any murkier
+// outcome (partial application) clears everything.
+func (rt *Router) invalidateAfterIngest(status int, resp any) {
+	if status >= 400 && status < 500 {
+		return
+	}
+	m, ok := resp.(map[string]any)
+	if status != http.StatusOK || !ok {
+		rt.invalidateSearch(nil, true)
+		return
+	}
+	touched, _ := m["touched_shards"].([]int)
+	delta, haveDelta := m["delta"].(map[string]any)
+	clearAll := !haveDelta
+	if haveDelta {
+		if retired, ok := delta["retired"].(float64); !ok || retired > 0 {
+			clearAll = true
+		}
+	}
+	rt.invalidateSearch(touched, clearAll)
 }
 
 // handleReload broadcasts /v1/reload with the same all-or-nothing
@@ -799,7 +1048,13 @@ func (rt *Router) handleReload(r *http.Request) (int, any) {
 	rt.ingestMu.Lock()
 	defer rt.ingestMu.Unlock()
 	results := rt.broadcast(r.Context(), http.MethodPost, "/v1/reload", nil)
-	return rt.mergeBroadcast(results, "reload")
+	status, resp := rt.mergeBroadcast(results, "reload")
+	// A reload replaces whole worlds: drop the routing index and every
+	// cached partial whenever any backend may have applied it.
+	if status < 400 || status >= 500 {
+		rt.invalidateSearch(nil, true)
+	}
+	return status, resp
 }
 
 // shardWriteResp is the slice of a backend write response the router

@@ -1,0 +1,764 @@
+package serve
+
+// The scatter-gather search pin: the sharded read path — term-gram shard
+// routing, per-shard partials served from generation-keyed caches, merged
+// through the current union — must be byte-identical to the plain
+// single-snapshot scan, for every shard count, every limit, cold and
+// warm, and through day-by-day ingest replay. The harness is
+// property-style: randomized (but seed-pinned) workloads of hit-heavy,
+// miss-heavy, prefix-shared and alias-typed queries, replayed against a
+// reference New(snap) server over the identical world.
+//
+// The same file pins the partial-cache lifecycle (republish one shard →
+// only that shard's partials drop; rollback/reload drop all), hammers
+// concurrent search against live ingest (every 200 body must equal SOME
+// published generation's answer — a cache/union mismatch cannot hide),
+// and covers the router: per-shard limit plumbing, cache invalidation on
+// writes vs ?scatter=full, and the documented cached-partial-masks-a-
+// down-backend tradeoff.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"giant/internal/delta"
+	"giant/internal/ontology"
+)
+
+// corpusWords share prefixes on purpose: "so"/"sol"/"son" style queries
+// must exercise gram pruning at every specificity level.
+var corpusWords = []string{
+	"solar", "solaris", "solstice", "sonar", "sonata", "sonnet",
+	"panel", "panther", "pantheon", "rover", "rocket", "rocker",
+	"engine", "enigma", "ember", "embark",
+}
+
+// randomSearchCorpus builds a seed-pinned ontology of n nodes with
+// prefix-sharing phrases and aliases on every fourth node.
+func randomSearchCorpus(r *rand.Rand, n int) *ontology.Ontology {
+	o := ontology.New()
+	for i := 0; i < n; i++ {
+		typ := ontology.Concept
+		if i%3 == 0 {
+			typ = ontology.Entity
+		}
+		phrase := fmt.Sprintf("%s %s %d",
+			corpusWords[r.Intn(len(corpusWords))], corpusWords[r.Intn(len(corpusWords))], i)
+		id := o.AddNode(typ, phrase)
+		if i%4 == 0 {
+			o.AddAlias(id, fmt.Sprintf("aka %s %d", corpusWords[r.Intn(len(corpusWords))], i))
+		}
+	}
+	return o
+}
+
+// searchWorkloads derives the four query families from the live node
+// set: substrings of phrases (hit-heavy), gibberish (miss-heavy), word
+// prefixes at every length (prefix-shared) and substrings of aliases
+// (alias-typed — matches reach the node only through its alias).
+func searchWorkloads(r *rand.Rand, nodes []ontology.Node) map[string][]string {
+	w := map[string][]string{}
+	for i := 0; i < 12 && len(nodes) > 0; i++ {
+		p := nodes[r.Intn(len(nodes))].Phrase
+		start := r.Intn(len(p))
+		max := len(p) - start
+		if max > 6 {
+			max = 6
+		}
+		w["hit-heavy"] = append(w["hit-heavy"], p[start:start+1+r.Intn(max)])
+	}
+	for i := 0; i < 8; i++ {
+		w["miss-heavy"] = append(w["miss-heavy"], fmt.Sprintf("zq%dxv", r.Intn(1000)))
+	}
+	for _, word := range corpusWords {
+		for _, l := range []int{2, 4, len(word)} {
+			w["prefix-shared"] = append(w["prefix-shared"], word[:l])
+		}
+	}
+	var aliases []string
+	for i := range nodes {
+		aliases = append(aliases, nodes[i].Aliases...)
+	}
+	for i := 0; i < 8 && len(aliases) > 0; i++ {
+		a := aliases[r.Intn(len(aliases))]
+		start := r.Intn(len(a))
+		max := len(a) - start
+		if max > 5 {
+			max = 5
+		}
+		w["alias-typed"] = append(w["alias-typed"], a[start:start+1+r.Intn(max)])
+	}
+	return w
+}
+
+// assertSearchEquivalent compares one query across the reference and the
+// sharded deployment, byte for byte, for every pinned limit.
+func assertSearchEquivalent(t *testing.T, refTS, gotTS *httptest.Server, family, q string) {
+	t.Helper()
+	for _, limit := range []int{1, 2, 4} {
+		v := url.Values{}
+		v.Set("q", q)
+		v.Set("limit", fmt.Sprint(limit))
+		path := "/v1/search?" + v.Encode()
+		refStatus, refBody := getRaw(t, refTS.Client(), refTS.URL+path)
+		gotStatus, gotBody := getRaw(t, gotTS.Client(), gotTS.URL+path)
+		if refStatus != gotStatus || !bytes.Equal(refBody, gotBody) {
+			t.Fatalf("%s %s: sharded (%d) %s != reference (%d) %s",
+				family, path, gotStatus, gotBody, refStatus, refBody)
+		}
+	}
+}
+
+// TestSearchEquivalenceRandomized: for K ∈ {1, 2, 4}, a NewSharded server
+// answers every workload query identically to a plain New server over the
+// same snapshot — twice, so the second pass reads the partials the first
+// pass cached.
+func TestSearchEquivalenceRandomized(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	snap := randomSearchCorpus(r, 120).Snapshot()
+	workloads := searchWorkloads(r, snap.Nodes())
+	refTS := httptest.NewServer(New(snap, Options{}).Handler())
+	t.Cleanup(refTS.Close)
+
+	for _, k := range []int{1, 2, 4} {
+		t.Run(fmt.Sprintf("k=%d", k), func(t *testing.T) {
+			ss, err := ontology.ShardSnapshot(snap, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotTS := httptest.NewServer(NewSharded(ss, Options{}).Handler())
+			t.Cleanup(gotTS.Close)
+			for pass := 0; pass < 2; pass++ {
+				for family, queries := range workloads {
+					for _, q := range queries {
+						assertSearchEquivalent(t, refTS, gotTS, family, q)
+					}
+				}
+			}
+		})
+	}
+}
+
+// replayDelta is the deterministic synthetic ingest script shared by the
+// replay and hammer tests: adds two matching nodes per day (one aliased),
+// an IsA edge on day 4, and a retirement on day 6 — the retirement is the
+// dangerous case, because it renumbers union IDs under every shard's
+// carried partials.
+func replayDelta(day int) *delta.Delta {
+	switch {
+	case day == 4:
+		return &delta.Delta{Day: day, Edges: []delta.EdgeAdd{{
+			SrcType: ontology.Concept, Src: "replay sonata 1",
+			DstType: ontology.Concept, Dst: "replay sonata 2",
+			Type: ontology.IsA, Weight: 1,
+		}}}
+	case day == 6:
+		return &delta.Delta{Day: day, Retire: []delta.Ref{{Type: ontology.Concept, Phrase: "replay sonata 2"}}}
+	default:
+		return &delta.Delta{Day: day, Add: []delta.NodeAdd{
+			{Type: ontology.Concept, Phrase: fmt.Sprintf("replay sonata %d", day), Day: day,
+				Aliases: []string{fmt.Sprintf("aka replay %d", day)}},
+			{Type: ontology.Entity, Phrase: fmt.Sprintf("replay panther %d", day), Day: day},
+		}}
+	}
+}
+
+// TestSearchEquivalenceIngestReplay replays the synthetic delta script
+// day by day through /v1/ingest for K ∈ {1, 2, 4}; after every day, the
+// evolved sharded server must answer each workload query byte-identically
+// to a fresh reference server over its own current union — cold and from
+// the carried partial caches.
+func TestSearchEquivalenceIngestReplay(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	base := randomSearchCorpus(r, 60).Snapshot()
+	queries := []string{"son", "replay", "panther", "aka replay", "zqnope", "sonata 1"}
+	const maxDay = 8
+
+	for _, k := range []int{1, 2, 4} {
+		t.Run(fmt.Sprintf("k=%d", k), func(t *testing.T) {
+			ss, err := ontology.ShardSnapshot(base, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lineage := ss
+			opts := Options{}
+			opts.IngestSharded = func(b delta.Batch) (*ontology.ShardedSnapshot, *delta.Delta, []bool, error) {
+				next, merged, touched, err := delta.ApplySharded(lineage, []*delta.Delta{replayDelta(b.Day)})
+				if err == nil {
+					lineage = next
+				}
+				return next, merged, touched, err
+			}
+			srv := NewSharded(ss, opts)
+			ts := httptest.NewServer(srv.Handler())
+			t.Cleanup(ts.Close)
+
+			for day := 1; day <= maxDay; day++ {
+				postJSON(t, ts.Client(), ts.URL+"/v1/ingest", fmt.Sprintf(`{"day":%d}`, day), 200)
+				refTS := httptest.NewServer(New(srv.Current(), Options{}).Handler())
+				for pass := 0; pass < 2; pass++ {
+					for _, q := range queries {
+						assertSearchEquivalent(t, refTS, ts, fmt.Sprintf("day %d", day), q)
+					}
+				}
+				refTS.Close()
+			}
+		})
+	}
+}
+
+// TestSearchPartialCarryAndInvalidation pins the partial-cache lifecycle
+// on the in-process sharded server: an append-only ingest that touches
+// one shard installs a fresh (empty) partial cache for that shard ONLY —
+// every peer keeps its cache object and its entries — while rollback and
+// /v1/reload install fresh caches for all shards.
+func TestSearchPartialCarryAndInvalidation(t *testing.T) {
+	const k = 4
+	snap := testOntology(0).Snapshot()
+	ss, err := ontology.ShardSnapshot(snap, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lineage := ss
+	day := 0
+	opts := Options{
+		CacheSize: 64,
+		Loader:    func() (*ontology.Snapshot, error) { return testOntology(0).Snapshot(), nil },
+	}
+	opts.IngestSharded = func(b delta.Batch) (*ontology.ShardedSnapshot, *delta.Delta, []bool, error) {
+		day++
+		d := &delta.Delta{Day: b.Day, Add: []delta.NodeAdd{{Type: ontology.Concept, Phrase: fmt.Sprintf("hybrid sedans %d", day), Day: b.Day}}}
+		next, merged, touched, err := delta.ApplySharded(lineage, []*delta.Delta{d})
+		if err == nil {
+			lineage = next
+		}
+		return next, merged, touched, err
+	}
+	srv := NewSharded(ss, opts)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	c := ts.Client()
+
+	// Warm the partials: "sedan" consults every candidate shard once.
+	getJSON(t, c, ts.URL+"/v1/search?q=sedan&limit=5", 200)
+	before := srv.cur.Load().searchPartials
+	if len(before) != k {
+		t.Fatalf("searchPartials = %d caches, want %d", len(before), k)
+	}
+	lens := make([]int, k)
+	warmed := 0
+	for i, p := range before {
+		lens[i] = p.len()
+		warmed += lens[i]
+	}
+	if warmed == 0 {
+		t.Fatal("warm query cached no partials")
+	}
+
+	// Append-only ingest: only the new node's home shard republishes.
+	postJSON(t, c, ts.URL+"/v1/ingest", `{"day":21}`, 200)
+	home := ontology.HomeShard(ontology.Concept, "hybrid sedans 1", k)
+	after := srv.cur.Load().searchPartials
+	for i := 0; i < k; i++ {
+		if i == home {
+			if after[i] == before[i] || after[i].len() != 0 {
+				t.Fatalf("touched shard %d kept its partial cache (len %d)", i, after[i].len())
+			}
+			continue
+		}
+		if after[i] != before[i] {
+			t.Fatalf("untouched shard %d lost its partial cache to a foreign republish", i)
+		}
+		if after[i].len() != lens[i] {
+			t.Fatalf("untouched shard %d partial entries %d, want %d", i, after[i].len(), lens[i])
+		}
+	}
+	// The carried partials still merge correctly: the new node (a "sedan"
+	// match) must appear — a stale merged answer could not contain it.
+	body := getJSON(t, c, ts.URL+"/v1/search?q=sedan&limit=100", 200)
+	if !searchHasPhrase(body, "hybrid sedans 1") {
+		t.Fatalf("post-ingest search misses the ingested node: %v", body)
+	}
+
+	// Rollback drops every shard's partials.
+	postJSON(t, c, ts.URL+"/v1/rollback", "", 200)
+	rolled := srv.cur.Load().searchPartials
+	for i := 0; i < k; i++ {
+		if rolled[i] == after[i] || rolled[i].len() != 0 {
+			t.Fatalf("rollback kept shard %d partials", i)
+		}
+	}
+	body = getJSON(t, c, ts.URL+"/v1/search?q=sedan&limit=100", 200)
+	if searchHasPhrase(body, "hybrid sedans 1") {
+		t.Fatalf("post-rollback search serves a retired-world node: %v", body)
+	}
+
+	// Reload re-partitions the world: all partials drop again.
+	getJSON(t, c, ts.URL+"/v1/search?q=sedan&limit=5", 200)
+	preReload := srv.cur.Load().searchPartials
+	postJSON(t, c, ts.URL+"/v1/reload", "", 200)
+	reloaded := srv.cur.Load().searchPartials
+	for i := 0; i < k; i++ {
+		if reloaded[i] == preReload[i] || reloaded[i].len() != 0 {
+			t.Fatalf("reload kept shard %d partials", i)
+		}
+	}
+}
+
+// searchHasPhrase reports whether a decoded /v1/search body contains a
+// result with the given phrase.
+func searchHasPhrase(body map[string]any, phrase string) bool {
+	results, _ := body["results"].([]any)
+	for _, r := range results {
+		if m, ok := r.(map[string]any); ok && m["phrase"] == phrase {
+			return true
+		}
+	}
+	return false
+}
+
+// hitsOf renders a union search result in the /v1/search wire shape.
+func hitsOf(ns []ontology.Node) []searchHit {
+	hits := make([]searchHit, 0, len(ns))
+	for i := range ns {
+		hits = append(hits, searchHit{ID: ns[i].ID, Type: ns[i].Type.String(), Phrase: ns[i].Phrase})
+	}
+	return hits
+}
+
+func hitsEqual(a, b []searchHit) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestSearchShardedHammerConcurrentIngest hammers /v1/search from four
+// readers while a writer replays the synthetic delta script (including
+// the union-renumbering retirement on day 6). Every published world is
+// precomputed, so the pin is exact: each reader response must be a 200
+// whose hits equal SOME published generation's union scan — a partial
+// cache merged against the wrong union could not produce one — and no
+// request may see a 5xx.
+func TestSearchShardedHammerConcurrentIngest(t *testing.T) {
+	const k, maxDay = 4, 10
+	base := testOntology(0).Snapshot()
+	ss, err := ontology.ShardSnapshot(base, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Precompute every world the server will publish (the ingester replays
+	// the same script) and each probe's expected hits per world.
+	type probe struct {
+		q     string
+		limit int
+	}
+	probes := []probe{{"sedan", 3}, {"replay", 5}, {"model", 3}, {"sonata", 5}}
+	worlds := []*ontology.ShardedSnapshot{ss}
+	for day, lin := 1, ss; day <= maxDay; day++ {
+		next, _, _, err := delta.ApplySharded(lin, []*delta.Delta{replayDelta(day)})
+		if err != nil {
+			t.Fatalf("day %d: %v", day, err)
+		}
+		worlds, lin = append(worlds, next), next
+	}
+	expected := make([][][]searchHit, len(probes))
+	for pi, p := range probes {
+		expected[pi] = make([][]searchHit, len(worlds))
+		for wi, w := range worlds {
+			expected[pi][wi] = hitsOf(w.Union().Search(p.q, p.limit))
+		}
+	}
+
+	lineage := ss
+	opts := Options{CacheSize: 64}
+	opts.IngestSharded = func(b delta.Batch) (*ontology.ShardedSnapshot, *delta.Delta, []bool, error) {
+		next, merged, touched, err := delta.ApplySharded(lineage, []*delta.Delta{replayDelta(b.Day)})
+		if err == nil {
+			lineage = next
+		}
+		return next, merged, touched, err
+	}
+	srv := NewSharded(ss, opts)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c := ts.Client()
+			for i := 0; ; i++ {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				p := probes[(g+i)%len(probes)]
+				resp, err := c.Get(fmt.Sprintf("%s/v1/search?q=%s&limit=%d", ts.URL, url.QueryEscape(p.q), p.limit))
+				if err != nil {
+					t.Errorf("reader %d: %v", g, err)
+					return
+				}
+				var parsed struct {
+					Count   int         `json:"count"`
+					Results []searchHit `json:"results"`
+				}
+				decodeErr := json.NewDecoder(resp.Body).Decode(&parsed)
+				resp.Body.Close()
+				if resp.StatusCode != 200 {
+					t.Errorf("reader %d: q=%q status %d", g, p.q, resp.StatusCode)
+					return
+				}
+				if decodeErr != nil {
+					t.Errorf("reader %d: q=%q decode: %v", g, p.q, decodeErr)
+					return
+				}
+				pi := (g + i) % len(probes)
+				match := false
+				for _, want := range expected[pi] {
+					if hitsEqual(parsed.Results, want) {
+						match = true
+						break
+					}
+				}
+				if !match || parsed.Count != len(parsed.Results) {
+					t.Errorf("reader %d: q=%q limit=%d: hits %v match no published generation", g, p.q, p.limit, parsed.Results)
+					return
+				}
+			}
+		}(g)
+	}
+	for day := 1; day <= maxDay; day++ {
+		postJSON(t, ts.Client(), ts.URL+"/v1/ingest", fmt.Sprintf(`{"day":%d}`, day), 200)
+		time.Sleep(2 * time.Millisecond)
+	}
+	close(done)
+	wg.Wait()
+
+	// Quiesced: the served answers equal the final world's.
+	for pi, p := range probes {
+		body := getJSON(t, ts.Client(), fmt.Sprintf("%s/v1/search?q=%s&limit=%d", ts.URL, url.QueryEscape(p.q), p.limit), 200)
+		var got []searchHit
+		raw, _ := json.Marshal(body["results"])
+		if err := json.Unmarshal(raw, &got); err != nil {
+			t.Fatal(err)
+		}
+		if !hitsEqual(got, expected[pi][len(worlds)-1]) {
+			t.Fatalf("q=%q: final hits %v, want %v", p.q, got, expected[pi][len(worlds)-1])
+		}
+	}
+}
+
+// searchRecorder wraps a backend handler, recording every /v1/search
+// request's limit parameter and its response's result count.
+type searchRecorder struct {
+	h      http.Handler
+	mu     sync.Mutex
+	limits []string
+	counts []int
+}
+
+func (sr *searchRecorder) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/v1/search" {
+		sr.h.ServeHTTP(w, r)
+		return
+	}
+	rec := httptest.NewRecorder()
+	sr.h.ServeHTTP(rec, r)
+	var parsed struct {
+		Count int `json:"count"`
+	}
+	_ = json.Unmarshal(rec.Body.Bytes(), &parsed)
+	sr.mu.Lock()
+	sr.limits = append(sr.limits, r.URL.Query().Get("limit"))
+	sr.counts = append(sr.counts, parsed.Count)
+	sr.mu.Unlock()
+	for key, vals := range rec.Header() {
+		w.Header()[key] = vals
+	}
+	w.WriteHeader(rec.Code)
+	w.Write(rec.Body.Bytes())
+}
+
+// TestRouterPerShardSearchLimit is the limit-plumbing regression pin: a
+// routed search forwards the validated limit to every consulted backend,
+// each per-shard response respects it, and the merged body still equals
+// the in-process sharded scan.
+func TestRouterPerShardSearchLimit(t *testing.T) {
+	const k, limit = 2, 2
+	o := ontology.New()
+	for i := 0; i < 30; i++ {
+		o.AddNode(ontology.Concept, fmt.Sprintf("gadget widget %d", i))
+	}
+	snap := o.Snapshot()
+	perShard := make([]int, k)
+	for _, n := range snap.Nodes() {
+		perShard[ontology.HomeShard(n.Type, n.Phrase, k)]++
+	}
+	for i, c := range perShard {
+		if c <= limit {
+			t.Fatalf("corpus too lopsided: shard %d holds %d nodes", i, c)
+		}
+	}
+	ss, err := ontology.ShardSnapshot(snap, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refTS := httptest.NewServer(NewSharded(ss, Options{}).Handler())
+	defer refTS.Close()
+	recorders := make([]*searchRecorder, k)
+	urls := make([]string, k)
+	for i := 0; i < k; i++ {
+		recorders[i] = &searchRecorder{h: NewShard(ss.Projection(i), Options{}).Handler()}
+		backTS := httptest.NewServer(recorders[i])
+		defer backTS.Close()
+		urls[i] = backTS.URL
+	}
+	rt, err := NewRouter(RouterOptions{Backends: urls})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	routerTS := httptest.NewServer(rt.Handler())
+	defer routerTS.Close()
+
+	path := fmt.Sprintf("/v1/search?q=widget&limit=%d", limit)
+	refStatus, refBody := getRaw(t, refTS.Client(), refTS.URL+path)
+	gotStatus, gotBody := getRaw(t, routerTS.Client(), routerTS.URL+path)
+	if refStatus != 200 || gotStatus != 200 || !bytes.Equal(refBody, gotBody) {
+		t.Fatalf("router (%d) %s != in-process (%d) %s", gotStatus, gotBody, refStatus, refBody)
+	}
+	for i, rec := range recorders {
+		rec.mu.Lock()
+		limits, counts := rec.limits, rec.counts
+		rec.mu.Unlock()
+		if len(limits) == 0 {
+			t.Fatalf("shard %d was never consulted for %s", i, path)
+		}
+		for j := range limits {
+			if limits[j] != fmt.Sprint(limit) {
+				t.Fatalf("shard %d request %d carried limit %q, want %d", i, j, limits[j], limit)
+			}
+			if counts[j] > limit {
+				t.Fatalf("shard %d response %d returned %d hits, limit %d", i, j, counts[j], limit)
+			}
+		}
+	}
+}
+
+// cacheDelta is the router cache test's ingest script: day 2 retires the
+// day-1 node (forcing the conservative clear-all), other days append.
+func cacheDelta(day int) *delta.Delta {
+	if day == 2 {
+		return &delta.Delta{Day: day, Retire: []delta.Ref{{Type: ontology.Concept, Phrase: "cache sedans 1"}}}
+	}
+	return &delta.Delta{Day: day, Add: []delta.NodeAdd{{Type: ontology.Concept, Phrase: fmt.Sprintf("cache sedans %d", day), Day: day}}}
+}
+
+// newCachedRouterFixture boots K per-shard backends (each with its own
+// deterministic apply-lineage ingester) behind a router with partial
+// caching ENABLED, plus flaky wrappers for outage injection.
+func newCachedRouterFixture(t *testing.T, k int, failOpen bool) (*ontology.ShardedSnapshot, []*flakyBackend, *httptest.Server) {
+	t.Helper()
+	ss, err := ontology.ShardSnapshot(testOntology(0).Snapshot(), k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flaky := make([]*flakyBackend, k)
+	urls := make([]string, k)
+	for i := 0; i < k; i++ {
+		lineage := ss
+		shard := i
+		back := NewShard(ss.Projection(i), Options{
+			ShardIngest: func(b delta.Batch) (*ontology.ShardProjection, *delta.Delta, []bool, error) {
+				next, merged, touched, err := delta.ApplySharded(lineage, []*delta.Delta{cacheDelta(b.Day)})
+				if err != nil {
+					return nil, nil, nil, err
+				}
+				lineage = next
+				return next.Projection(shard), merged, touched, nil
+			},
+		})
+		flaky[i] = &flakyBackend{h: back.Handler()}
+		backTS := httptest.NewServer(flaky[i])
+		t.Cleanup(backTS.Close)
+		urls[i] = backTS.URL
+	}
+	rt, err := NewRouter(RouterOptions{Backends: urls, CacheSize: 64, FailOpen: failOpen})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Close)
+	routerTS := httptest.NewServer(rt.Handler())
+	t.Cleanup(routerTS.Close)
+	return ss, flaky, routerTS
+}
+
+// TestRouterSearchCacheInvalidation pins the router partial cache against
+// its freshness contract: a cached routed search equals a fresh
+// ?scatter=full scatter before and after every write — an append-only
+// ingest (touched shards clear), a retirement (clear-all: union IDs
+// renumber under untouched shards' caches), and /v1/reload.
+func TestRouterSearchCacheInvalidation(t *testing.T) {
+	_, _, routerTS := newCachedRouterFixture(t, 2, false)
+	c := routerTS.Client()
+
+	assertRoutedMatchesScatter := func(q string, limit int) []byte {
+		t.Helper()
+		v := url.Values{}
+		v.Set("q", q)
+		v.Set("limit", fmt.Sprint(limit))
+		routedStatus, routed := getRaw(t, c, routerTS.URL+"/v1/search?"+v.Encode())
+		v.Set("scatter", "full")
+		fullStatus, full := getRaw(t, c, routerTS.URL+"/v1/search?"+v.Encode())
+		if routedStatus != 200 || fullStatus != 200 || !bytes.Equal(routed, full) {
+			t.Fatalf("q=%q limit=%d: routed (%d) %s != scatter=full (%d) %s", q, limit, routedStatus, routed, fullStatus, full)
+		}
+		return routed
+	}
+
+	// Cold then warm: the second routed read serves cached partials and
+	// still matches a fresh scatter.
+	first := assertRoutedMatchesScatter("sedan", 5)
+	second := assertRoutedMatchesScatter("sedan", 5)
+	if !bytes.Equal(first, second) {
+		t.Fatalf("warm read diverged: %s vs %s", second, first)
+	}
+
+	// Append-only ingest: the new node contains "sedan", so a stale cached
+	// partial would be missing it.
+	postJSON(t, c, routerTS.URL+"/v1/ingest", `{"day":1}`, 200)
+	body := assertRoutedMatchesScatter("sedan", 100)
+	if !bytes.Contains(body, []byte("cache sedans 1")) {
+		t.Fatalf("post-ingest routed search misses the ingested node: %s", body)
+	}
+
+	// Retirement: union IDs renumber everywhere; every cached partial must
+	// drop, not just the retired node's shard.
+	postJSON(t, c, routerTS.URL+"/v1/ingest", `{"day":2}`, 200)
+	body = assertRoutedMatchesScatter("sedan", 100)
+	if bytes.Contains(body, []byte("cache sedans 1")) {
+		t.Fatalf("post-retire routed search serves the retired node: %s", body)
+	}
+	for _, q := range []string{"sedan", "model", "cache", "zzz-none"} {
+		for _, limit := range []int{1, 3, 5} {
+			assertRoutedMatchesScatter(q, limit)
+		}
+	}
+}
+
+// TestRouterSearchCacheMasksDownBackend pins the documented opt-in
+// tradeoff: with caching on and fail-open, a query whose partials are all
+// cached answers complete during a backend outage, while the same needle
+// under an uncached limit reports partial with the down shard listed.
+func TestRouterSearchCacheMasksDownBackend(t *testing.T) {
+	ss, flaky, routerTS := newCachedRouterFixture(t, 2, true)
+	if len(ss.CandidateShards("sedan")) != 2 {
+		t.Fatal("precondition: \"sedan\" must route to both shards")
+	}
+	c := routerTS.Client()
+
+	_, warm := getRaw(t, c, routerTS.URL+"/v1/search?q=sedan&limit=5")
+	flaky[1].down.Store(true)
+	defer flaky[1].down.Store(false)
+
+	status, cached := getRaw(t, c, routerTS.URL+"/v1/search?q=sedan&limit=5")
+	if status != 200 || !bytes.Equal(cached, warm) {
+		t.Fatalf("cached query during outage: status %d body %s, want the warm full body %s", status, cached, warm)
+	}
+	status, uncached := getRaw(t, c, routerTS.URL+"/v1/search?q=sedan&limit=4")
+	if status != 200 {
+		t.Fatalf("uncached fail-open query during outage: status %d body %s", status, uncached)
+	}
+	var parsed struct {
+		Partial bool  `json:"partial"`
+		Missing []int `json:"missing_shards"`
+	}
+	if err := json.Unmarshal(uncached, &parsed); err != nil {
+		t.Fatal(err)
+	}
+	if !parsed.Partial || len(parsed.Missing) != 1 || parsed.Missing[0] != 1 {
+		t.Fatalf("uncached query during outage not marked partial on shard 1: %s", uncached)
+	}
+}
+
+// percentileNs returns the p-quantile of the samples in nanoseconds
+// (nearest-rank over the sorted run).
+func percentileNs(samples []time.Duration, p float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	s := append([]time.Duration(nil), samples...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	idx := int(p*float64(len(s)-1) + 0.5)
+	return float64(s[idx])
+}
+
+// BenchmarkServeSearchDistribution is the latency-distribution companion
+// to BenchmarkServeSearch: the same 10k-node corpus and query mix, but
+// each op is timed individually so p50/p95/p99 surface as metrics — a
+// mean hides exactly the tail the routing index and partial caches exist
+// to fix. The sharded variant additionally reports the query mix's
+// fan-out profile: average shards consulted per query after gram routing,
+// and the fraction of queries that stop at a single shard.
+func BenchmarkServeSearchDistribution(b *testing.B) {
+	o := ontology.New()
+	for i := 0; i < 5000; i++ {
+		o.AddNode(ontology.Concept, fmt.Sprintf("concept number %d", i))
+	}
+	for i := 0; i < 5000; i++ {
+		o.AddNode(ontology.Entity, fmt.Sprintf("entity number %d", i))
+	}
+	snap := o.Snapshot()
+	ss, err := ontology.ShardSnapshot(snap, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries := []string{"number 42", "number 999", "concept number 1", "entity", "no hit at all"}
+
+	distribution := func(b *testing.B, search func(string, int) []ontology.Node) {
+		samples := make([]time.Duration, 0, b.N)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			q := queries[i%len(queries)]
+			t0 := time.Now()
+			search(q, 10)
+			samples = append(samples, time.Since(t0))
+		}
+		b.ReportMetric(percentileNs(samples, 0.50), "p50-ns")
+		b.ReportMetric(percentileNs(samples, 0.95), "p95-ns")
+		b.ReportMetric(percentileNs(samples, 0.99), "p99-ns")
+	}
+	b.Run("snapshot", func(b *testing.B) { distribution(b, snap.Search) })
+	b.Run("sharded=4", func(b *testing.B) {
+		consulted, oneShard := 0, 0
+		for _, q := range queries {
+			c := len(ss.CandidateShards(strings.ToLower(q)))
+			consulted += c
+			if c == 1 {
+				oneShard++
+			}
+		}
+		distribution(b, ss.Search)
+		b.ReportMetric(float64(consulted)/float64(len(queries)), "shards/query")
+		b.ReportMetric(float64(oneShard)/float64(len(queries)), "1shard-ratio")
+	})
+}

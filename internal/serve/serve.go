@@ -41,6 +41,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/url"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -136,6 +137,13 @@ type state struct {
 	// shard's cache carries over across publishes that leave its projection
 	// untouched — so a foreign shard's republication no longer evicts them.
 	shardCaches []*lruCache
+	// searchPartials are the sharded server's per-shard search-partial
+	// caches (generation-keyed by construction: a republished shard gets a
+	// fresh cache, untouched shards keep theirs — ALWAYS, unlike the node
+	// caches, because partials hold shard-local nodes and are re-rendered
+	// through the current union on every read, so no publish of a PEER can
+	// stale them). Rollback and reload install fresh caches for all shards.
+	searchPartials []*searchCache
 	// proj identifies a per-shard-process server (NewShard): snap is then
 	// one shard's projection, search scans only its home-node prefix, and
 	// node responses render union IDs through the projection's ID table.
@@ -270,15 +278,31 @@ func (s *Server) publishShardedLocked(ss *ontology.ShardedSnapshot, touched []bo
 			}
 		}
 	}
-	return s.storeShardedStateLocked(ss, s.store.Push(ss.Union()), caches)
+	// Search partials carry for every untouched shard unconditionally: a
+	// partial is that shard's first-limit home matches as shard-local
+	// copies, re-rendered through the current union at read time, so only
+	// a change to the shard's own projection can invalidate it.
+	var partials []*searchCache
+	if prev != nil && len(prev.searchPartials) == ss.NumShards() {
+		partials = make([]*searchCache, ss.NumShards())
+		for i := range partials {
+			if republished[i] {
+				partials[i] = newSearchCache(s.opts.CacheSize)
+			} else {
+				partials[i] = prev.searchPartials[i]
+			}
+		}
+	}
+	return s.storeShardedStateLocked(ss, s.store.Push(ss.Union()), caches, partials)
 }
 
 // storeShardedStateLocked indexes and atomically publishes the sharded
 // serving state under the given union generation (already pushed or
 // reused by the caller); the caller holds swapMu and has pushed the shard
-// stores it wants bumped. caches, when non-nil, supplies the per-shard
-// node caches to install (nil installs fresh empty ones).
-func (s *Server) storeShardedStateLocked(ss *ontology.ShardedSnapshot, gen uint64, caches []*lruCache) uint64 {
+// stores it wants bumped. caches and partials, when non-nil, supply the
+// per-shard node and search-partial caches to install (nil installs fresh
+// empty ones — which is how rollback and reload drop every partial).
+func (s *Server) storeShardedStateLocked(ss *ontology.ShardedSnapshot, gen uint64, caches []*lruCache, partials []*searchCache) uint64 {
 	st := s.buildState(ss.Union(), gen)
 	st.shards = ss
 	st.shardGens = s.shardStores.CurrentGens()
@@ -289,6 +313,13 @@ func (s *Server) storeShardedStateLocked(ss *ontology.ShardedSnapshot, gen uint6
 		}
 	}
 	st.shardCaches = caches
+	if partials == nil {
+		partials = make([]*searchCache, ss.NumShards())
+		for i := range partials {
+			partials[i] = newSearchCache(s.opts.CacheSize)
+		}
+	}
+	st.searchPartials = partials
 	s.cur.Store(st)
 	return gen
 }
@@ -622,6 +653,9 @@ func (s *Server) handleStats(st *state, r *http.Request) (int, any) {
 			"owned_edges":   st.proj.OwnedEdgeCount(),
 			"nodes_by_type": hs.NodesByType,
 			"edges_by_type": hs.EdgesByType,
+			// The home-prefix term-gram index, from which a router builds
+			// its term→shard routing table (see docs/ARCHITECTURE.md).
+			"term_stats": st.proj.TermStats(),
 		}
 	}
 	return http.StatusOK, resp
@@ -700,12 +734,12 @@ func (s *Server) handleSearch(st *state, r *http.Request) (int, any) {
 	if limit > s.opts.MaxSearchResults {
 		limit = s.opts.MaxSearchResults
 	}
-	// Sharded states scatter-gather: every shard scans only its home
-	// nodes concurrently and early-exits at the result cap; the merged
-	// hits are identical to the single-snapshot scan. A per-shard process
-	// scans only its own home-node prefix and renders union IDs — the
-	// router's merge of K such responses is the same scatter-gather,
-	// stretched across process boundaries.
+	// Sharded states route the needle through the per-shard term-gram
+	// indexes and merge cached per-shard partials; the merged hits are
+	// identical to the single-snapshot scan. A per-shard process scans
+	// only its own home-node prefix and renders union IDs — the router's
+	// merge of K such responses is the same scatter-gather, stretched
+	// across process boundaries.
 	var results []ontology.Node
 	idOf := func(n *ontology.Node) ontology.NodeID { return n.ID }
 	switch {
@@ -713,7 +747,7 @@ func (s *Server) handleSearch(st *state, r *http.Request) (int, any) {
 		results = st.proj.SearchHome(q, limit)
 		idOf = func(n *ontology.Node) ontology.NodeID { return st.proj.UnionID(n.ID) }
 	case st.shards != nil:
-		results = st.shards.Search(q, limit)
+		results = st.searchSharded(q, limit)
 	default:
 		results = st.snap.Search(q, limit)
 	}
@@ -722,7 +756,60 @@ func (s *Server) handleSearch(st *state, r *http.Request) (int, any) {
 		n := &results[i]
 		hits = append(hits, searchHit{ID: idOf(n), Type: n.Type.String(), Phrase: n.Phrase})
 	}
+	if st.proj != nil {
+		// The per-shard response carries the shard's generation so a
+		// router can key cached partials by it and detect a republish that
+		// raced its routing index. In-process modes omit it: their body
+		// must stay byte-identical to the router's merged body.
+		return http.StatusOK, map[string]any{"query": q, "count": len(hits), "results": hits, "generation": st.gen}
+	}
 	return http.StatusOK, map[string]any{"query": q, "count": len(hits), "results": hits}
+}
+
+// searchSharded is the sharded /v1/search read path: term-gram routing
+// picks the candidate shards, each candidate's partial — its first limit
+// home matches, as shard-local node copies — is served from (or inserted
+// into) that shard's partial cache, and the partials merge through the
+// CURRENT union index in union-ID order, truncated to limit.
+//
+// Equivalence to st.snap.Search(q, limit): home nodes partition the union
+// preserving its ID order, so each shard's first limit home matches are a
+// superset of its contribution to the global first limit; gram pruning
+// only drops shards with zero matches; and rendering through the union
+// index maps each home copy to its exact union node. Cached partials
+// cannot go stale — a partial depends only on its shard's home contents,
+// and a publish that changes those installs a fresh cache for that shard.
+func (st *state) searchSharded(q string, limit int) []ontology.Node {
+	if limit <= 0 {
+		return nil
+	}
+	needle := strings.ToLower(q)
+	if needle == "" {
+		return nil
+	}
+	if len(st.searchPartials) != st.shards.NumShards() {
+		return st.shards.Search(q, limit)
+	}
+	union := st.shards.Union()
+	key := searchKey(needle, limit)
+	var out []ontology.Node
+	for _, sh := range st.shards.CandidateShards(needle) {
+		partial, ok := st.searchPartials[sh].get(key)
+		if !ok {
+			partial = st.shards.SearchShardHome(sh, needle, limit)
+			st.searchPartials[sh].put(key, partial)
+		}
+		for i := range partial {
+			if id, found := union.Lookup(partial[i].Type, partial[i].Phrase); found {
+				out = append(out, *union.At(id))
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	if len(out) > limit {
+		out = out[:limit]
+	}
+	return out
 }
 
 // searchHit is the wire form of one /v1/search result (IDs are union IDs
@@ -1073,8 +1160,9 @@ func (s *Server) handleRollback(st *state, r *http.Request) (int, any) {
 			s.shardStores.Push(i, ss.Shard(i))
 		}
 		// The union generation is reused (the store already popped to
-		// g.Gen), so publish directly instead of re-pushing.
-		gen = s.storeShardedStateLocked(ss, g.Gen, nil)
+		// g.Gen), so publish directly instead of re-pushing. nil caches
+		// and partials: a rollback drops every cached body and partial.
+		gen = s.storeShardedStateLocked(ss, g.Gen, nil, nil)
 	} else {
 		gen = s.publishLocked(g.Snap, g.Gen)
 	}
