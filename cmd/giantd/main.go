@@ -51,6 +51,18 @@
 // written by `giantctl shard` or a whole-ontology file (the shard's
 // projection is then derived at boot).
 //
+// With -wal DIR (requires -shard i/k and -build) the daemon is a delta-log
+// REPLICA: it never accepts direct writes — /v1/ingest and /v1/reload
+// answer 503 read_only_replica — and instead tails the shard's append-only
+// delta log DIR/shard-i-of-k.wal (written by giantrouter -wal), applying
+// each batch through the same deterministic mining pipeline a direct
+// ingest would take. Every response carries X-Giant-Wal-Gen with the last
+// applied log generation, and GET /v1/wal (?wait=G) exposes — and blocks
+// on — apply progress; -replica N names the replica in /healthz and log
+// lines. Start N replicas of the same shard against one log and put
+// giantrouter -wal in front: reads balance over the caught-up replicas and
+// ingest is acknowledged at a quorum of apply confirmations.
+//
 // Rollback and reload operate on the SERVING tier only: in -build mode
 // the in-process mining system keeps its accumulated click graph and
 // ontology, so a rollback is a serving-side mitigation — the next
@@ -68,6 +80,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"syscall"
@@ -93,12 +106,20 @@ func main() {
 		watch   = flag.Duration("watch", 0, "poll -in for changes at this interval and hot-swap automatically (0 disables)")
 		shards  = flag.Int("shards", 1, "partition the ontology K ways: per-shard generations, scatter-gather search, shard-parallel ingest (1 = legacy)")
 		shard   = flag.String("shard", "", "serve a single shard of a k-way partition as i/k (e.g. 0/4): the per-shard backend of cmd/giantrouter")
+		walDir  = flag.String("wal", "", "delta-log directory: tail DIR/shard-i-of-k.wal instead of accepting direct writes (requires -shard and -build)")
+		replica = flag.Int("replica", 0, "with -wal: this process's replica ordinal, reported in /healthz and log lines")
 	)
 	flag.Parse()
 	if *watch > 0 && (*build || *in == "") {
 		log.Printf("warning: -watch only applies when serving a file with -in; ignoring it")
 	}
-	if err := run(*in, *addr, *build, *tiny, *cache, *grace, *history, *watch, *shards, *shard); err != nil {
+	if *walDir != "" && *shard == "" {
+		log.Fatal("-wal requires -shard i/k (a delta log belongs to one shard)")
+	}
+	if *walDir != "" && !*build {
+		log.Fatal("-wal requires -build (a replica re-mines each batch through its own mining system)")
+	}
+	if err := run(*in, *addr, *build, *tiny, *cache, *grace, *history, *watch, *shards, *shard, *walDir, *replica); err != nil {
 		log.Fatal(err)
 	}
 }
@@ -121,9 +142,9 @@ func parseShardSpec(spec string) (i, k int, err error) {
 	return i, k, nil
 }
 
-func run(in, addr string, build, tiny bool, cache int, grace time.Duration, history int, watch time.Duration, shards int, shardSpec string) error {
+func run(in, addr string, build, tiny bool, cache int, grace time.Duration, history int, watch time.Duration, shards int, shardSpec, walDir string, replica int) error {
 	if shardSpec != "" {
-		return runShard(in, addr, build, tiny, cache, grace, history, watch, shards, shardSpec)
+		return runShard(in, addr, build, tiny, cache, grace, history, watch, shards, shardSpec, walDir, replica)
 	}
 	opts := serve.Options{CacheSize: cache, History: history}
 	var snap *ontology.Snapshot
@@ -224,7 +245,7 @@ func run(in, addr string, build, tiny bool, cache int, grace time.Duration, hist
 
 // runShard serves a single shard of a k-way partition (-shard i/k): the
 // per-shard backend of the multi-process tier.
-func runShard(in, addr string, build, tiny bool, cache int, grace time.Duration, history int, watch time.Duration, shards int, shardSpec string) error {
+func runShard(in, addr string, build, tiny bool, cache int, grace time.Duration, history int, watch time.Duration, shards int, shardSpec, walDir string, replica int) error {
 	idx, k, err := parseShardSpec(shardSpec)
 	if err != nil {
 		return err
@@ -286,6 +307,20 @@ func runShard(in, addr string, build, tiny bool, cache int, grace time.Duration,
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if walDir != "" {
+		path := filepath.Join(walDir, fmt.Sprintf("shard-%d-of-%d.wal", idx, k))
+		fl, err := serve.NewFollower(srv, path, replica, 0, log.Printf)
+		if err != nil {
+			return err
+		}
+		log.Printf("replica %d tailing delta log %s (direct writes disabled)", replica, path)
+		go func() {
+			if err := fl.Run(ctx); err != nil && ctx.Err() == nil {
+				log.Printf("wal follower stopped: %v", err)
+			}
+		}()
+	}
 
 	if watch > 0 && in != "" && !build {
 		go newWatcher(in).run(ctx, watch, func() (uint64, string, error) {

@@ -35,6 +35,27 @@
 // when their target shard is down, and writes are always fail-closed. A
 // cached search partial can answer for a down backend, so a fully cached
 // query returns complete results where an uncached one would be partial.
+//
+// With -wal DIR each shard may list multiple replicas, separated by "|"
+// within the comma-separated shard list (every replica a giantd started
+// with the same -shard i/k plus -wal DIR):
+//
+//	giantd -build -tiny -shard 0/2 -wal /var/giant/wal -replica 0 -addr :8081 &
+//	giantd -build -tiny -shard 0/2 -wal /var/giant/wal -replica 1 -addr :8082 &
+//	giantd -build -tiny -shard 1/2 -wal /var/giant/wal -replica 0 -addr :8083 &
+//	giantd -build -tiny -shard 1/2 -wal /var/giant/wal -replica 1 -addr :8084 &
+//	giantrouter -wal /var/giant/wal \
+//	  -backends 'http://localhost:8081|http://localhost:8082,http://localhost:8083|http://localhost:8084'
+//
+// Reads then balance by power-of-two-choices over each shard's healthy,
+// caught-up replicas (a replica still tailing the log is never consulted
+// for reads ahead of its position), and /v1/ingest appends each batch to
+// the per-shard logs under DIR, acknowledging once a quorum of each
+// shard's replicas confirm the apply. A shard whose slowest healthy
+// replica trails the log head by more than -max-lag generations pushes
+// back with 429 replica_lagging and a Retry-After header. Rolling
+// restarts are zero-downtime: restart one replica at a time and it
+// catches up from the log before re-entering read rotation.
 package main
 
 import (
@@ -63,17 +84,27 @@ func main() {
 		probe    = flag.Duration("probe", 2*time.Second, "background health-probe interval (0 disables)")
 		grace    = flag.Duration("grace", 5*time.Second, "graceful-shutdown drain timeout")
 		cache    = flag.Int("search-cache", 1024, "per-shard search-partial cache entries, keyed (shard, generation, query); a cached partial can mask a down backend for that query (0 disables)")
+		walDir   = flag.String("wal", "", "delta-log directory: ingest appends to DIR/shard-i-of-k.wal and acks at a replica quorum (backends must be giantd -wal replicas)")
+		maxLag   = flag.Uint64("max-lag", 0, "with -wal: 429 ingest pushback once a shard's slowest healthy replica trails the log head by more than this many generations (0 = 64)")
+		ackTO    = flag.Duration("ack-timeout", 0, "with -wal: per-replica apply-confirmation timeout for ingest quorum waits (0 = -write-timeout)")
 	)
 	flag.Parse()
 	if *backends == "" {
-		log.Fatal("need -backends http://host:port,... (one per shard, in shard order)")
+		log.Fatal("need -backends http://host:port,... (one per shard, in shard order; \"|\" separates a shard's replicas)")
 	}
-	urls := strings.Split(*backends, ",")
-	for i := range urls {
-		urls[i] = strings.TrimSpace(strings.TrimRight(urls[i], "/"))
+	replicas := make([][]string, 0)
+	for _, spec := range strings.Split(*backends, ",") {
+		urls := strings.Split(spec, "|")
+		for i := range urls {
+			urls[i] = strings.TrimSpace(strings.TrimRight(urls[i], "/"))
+		}
+		replicas = append(replicas, urls)
 	}
 	rt, err := serve.NewRouter(serve.RouterOptions{
-		Backends:      urls,
+		Replicas:      replicas,
+		WALDir:        *walDir,
+		MaxLag:        *maxLag,
+		AckTimeout:    *ackTO,
 		Timeout:       *timeout,
 		WriteTimeout:  *writeTO,
 		FailOpen:      *failOpen,

@@ -1,0 +1,250 @@
+package serve
+
+// Delta-log replicas: a per-shard server (NewShard) that never accepts
+// direct writes and instead tails its shard's append-only wal.Log,
+// applying each delta.Batch through the same ingestBatch path a direct
+// POST /v1/ingest would take. Because delta mining is deterministic,
+// every replica of a shard that has consumed the same log prefix serves
+// the exact same projection at the exact same generation — which is what
+// lets the router treat replicas as interchangeable for reads and ack an
+// ingest at a quorum of apply confirmations.
+//
+// The replica's progress is observable three ways, all fed from one
+// walState: the X-Giant-Wal-Gen header on every response, the
+// wal_gen/replica fields of /healthz, and GET /v1/wal — which can block
+// (?wait=G&timeout_ms=) until generation G has been applied, the
+// router's quorum-ack primitive.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"giant/internal/delta"
+	"giant/internal/wal"
+)
+
+// walState tracks a replica's position in its shard's delta log. It is
+// attached to the Server by NewFollower and advanced by Follower.Run;
+// handlers only read it (or block on changed).
+type walState struct {
+	replica int // replica ordinal, for /healthz and log lines
+
+	mu      sync.Mutex
+	gen     uint64        // last consumed log generation
+	status  int           // HTTP-equivalent status of the last apply
+	result  any           // last apply's response payload
+	changed chan struct{} // closed and replaced on every advance
+}
+
+func newWALState(replica int) *walState {
+	return &walState{replica: replica, changed: make(chan struct{})}
+}
+
+// position returns the last consumed log generation.
+func (ws *walState) position() uint64 {
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	return ws.gen
+}
+
+// advance records one consumed record's outcome and wakes waiters.
+func (ws *walState) advance(gen uint64, status int, result any) {
+	ws.mu.Lock()
+	ws.gen, ws.status, ws.result = gen, status, result
+	close(ws.changed)
+	ws.changed = make(chan struct{})
+	ws.mu.Unlock()
+}
+
+// report snapshots the last apply.
+func (ws *walState) report() (gen uint64, status int, result any) {
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	return ws.gen, ws.status, ws.result
+}
+
+// waitFor blocks until generation gen has been consumed or the timeout
+// elapses, reporting whether it was reached.
+func (ws *walState) waitFor(gen uint64, timeout time.Duration) bool {
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
+	for {
+		ws.mu.Lock()
+		if ws.gen >= gen {
+			ws.mu.Unlock()
+			return true
+		}
+		ch := ws.changed
+		ws.mu.Unlock()
+		select {
+		case <-ch:
+		case <-deadline.C:
+			return false
+		}
+	}
+}
+
+// Follower tails a shard's delta log and applies each record to its
+// Server. One Follower per replica process (cmd/giantd -wal).
+type Follower struct {
+	srv  *Server
+	path string
+	poll time.Duration
+	logf func(format string, args ...any)
+	ws   *walState
+}
+
+// NewFollower attaches delta-log following to a per-shard server built
+// with NewShard and a ShardIngest callback (the replica re-mines each
+// batch exactly like a directly-written backend would, which is what
+// keeps replica generations identical across the fleet). The server
+// immediately turns read-only: direct /v1/ingest and /v1/reload answer
+// 503 read_only_replica, and /v1/wal starts reporting (0 until Run
+// consumes the first record). replica is the ordinal reported in
+// /healthz; poll bounds the idle re-check interval (0 means 100ms).
+func NewFollower(srv *Server, path string, replica int, poll time.Duration, logf func(format string, args ...any)) (*Follower, error) {
+	if !srv.shardMode {
+		return nil, errors.New("serve: follower needs a per-shard server (NewShard)")
+	}
+	if srv.opts.ShardIngest == nil {
+		return nil, errors.New("serve: follower needs Options.ShardIngest (the replica applies batches by re-mining them)")
+	}
+	if poll <= 0 {
+		poll = 100 * time.Millisecond
+	}
+	ws := newWALState(replica)
+	if !srv.wal.CompareAndSwap(nil, ws) {
+		return nil, errors.New("serve: server already has a follower attached")
+	}
+	return &Follower{srv: srv, path: path, poll: poll, logf: logf, ws: ws}, nil
+}
+
+// Run tails the log until ctx is cancelled. The log file may not exist
+// yet (the router creates it on its first ingest); Run waits for it. A
+// corrupt log (mid-log checksum failure, generation gap) stops the
+// follower with the error — serving continues at the last applied
+// generation, but the replica will never ack past it, which is the
+// operator's signal to restore the log and restart.
+func (f *Follower) Run(ctx context.Context) error {
+	var rd *wal.Reader
+	defer func() {
+		if rd != nil {
+			rd.Close()
+		}
+	}()
+	shard := f.srv.cur.Load().proj
+	wait := func() bool {
+		select {
+		case <-ctx.Done():
+			return false
+		case <-time.After(f.poll):
+			return true
+		}
+	}
+	for {
+		if rd == nil {
+			r, err := wal.OpenReader(f.path, shard.Shard, shard.NumShards)
+			if err != nil {
+				if errors.Is(err, fs.ErrNotExist) || errors.Is(err, wal.ErrTruncated) {
+					// Not written yet (or header mid-write): retry.
+					if !wait() {
+						return ctx.Err()
+					}
+					continue
+				}
+				return err
+			}
+			rd = r
+		}
+		rec, err := rd.Next()
+		if err != nil {
+			return fmt.Errorf("serve: follower at generation %d: %w", f.ws.position(), err)
+		}
+		if rec == nil {
+			if !wait() {
+				return ctx.Err()
+			}
+			continue
+		}
+		f.apply(rec)
+	}
+}
+
+// apply consumes one log record. A batch the mining pipeline rejects
+// deterministically (400/422) still advances the consumed position —
+// every replica rejects it identically, so skipping it keeps the fleet
+// converged — with the rejection recorded for the router to surface.
+func (f *Follower) apply(rec *wal.Record) {
+	var status int
+	var result any
+	var batch delta.Batch
+	if err := json.Unmarshal(rec.Payload, &batch); err != nil {
+		status = http.StatusBadRequest
+		result = errBody(codeInvalidArgument, "decode batch: "+err.Error())
+	} else {
+		status, result = f.srv.ingestBatch(batch)
+	}
+	f.ws.advance(rec.Gen, status, result)
+	if f.logf != nil {
+		if status == http.StatusOK {
+			f.logf("wal: applied generation %d (day %d) -> serving generation %d", rec.Gen, rec.Day, f.srv.Generation())
+		} else {
+			f.logf("wal: generation %d rejected with status %d", rec.Gen, status)
+		}
+	}
+}
+
+// handleWAL answers GET /v1/wal on a replica: its consumed log position,
+// serving generation, and the last apply's outcome. ?wait=G blocks until
+// generation G has been applied (?timeout_ms= bounds the wait, default
+// 30s, max 120s) — the router's quorum-ack and catch-up primitive.
+// "applied" reports whether the wait target (or, without ?wait=, the
+// current head position) has been consumed.
+func (s *Server) handleWAL(st *state, r *http.Request) (int, any) {
+	ws := s.wal.Load()
+	if ws == nil {
+		return http.StatusNotFound, errBody(codeNotFound, "not a delta-log replica (start giantd with -wal)")
+	}
+	q := r.URL.Query()
+	applied := true
+	if wg := q.Get("wait"); wg != "" {
+		g, err := strconv.ParseUint(wg, 10, 64)
+		if err != nil {
+			return http.StatusBadRequest, errBody(codeInvalidArgument, "invalid wait: "+wg)
+		}
+		timeout := 30 * time.Second
+		if ts := q.Get("timeout_ms"); ts != "" {
+			ms, err := strconv.Atoi(ts)
+			if err != nil || ms < 0 {
+				return http.StatusBadRequest, errBody(codeInvalidArgument, "invalid timeout_ms: "+ts)
+			}
+			if ms > 120_000 {
+				ms = 120_000
+			}
+			timeout = time.Duration(ms) * time.Millisecond
+		}
+		applied = ws.waitFor(g, timeout)
+	}
+	gen, status, result := ws.report()
+	// The wait may have outlived st: report the generation serving NOW.
+	cur := s.cur.Load()
+	resp := map[string]any{
+		"shard":      st.proj.Shard,
+		"shards":     st.proj.NumShards,
+		"replica":    ws.replica,
+		"wal_gen":    gen,
+		"generation": cur.gen,
+		"applied":    applied,
+	}
+	if result != nil {
+		resp["last"] = map[string]any{"wal_gen": gen, "status": status, "result": result}
+	}
+	return http.StatusOK, resp
+}

@@ -1,0 +1,672 @@
+package serve
+
+// Replicated serving pins, layered on the router_test.go harness shape:
+//
+//   - TestWALReplayEquivalence: a delta-log fleet (router -wal over
+//     log-tailing replicas) replaying a day sequence stays byte-identical
+//     on /v1/search and /v1/node — and generation-identical on ingest
+//     accounting — to a single-process NewSharded server, for K ∈ {1, 2}.
+//   - TestRollingRestartZero5xx: a 2-shard × 3-replica fleet under a
+//     concurrent search+node+ingest hammer survives a rolling restart of
+//     every replica with zero 5xx responses, and converges back to the
+//     reference byte-for-byte.
+//   - TestReplicaCatchUpGating: a replica that missed ingests is never
+//     routed a read until it has applied the shard's head generation.
+//   - TestIngestBackpressure: a shard whose slowest healthy replica
+//     trails the log head by more than MaxLag answers ingest with 429
+//     replica_lagging and a Retry-After header, and recovers once the
+//     replica drains.
+//   - TestErrorEnvelope: every error path, across all four serving modes,
+//     renders the one {"error":{"code","message",...}} envelope with a
+//     known machine code.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"giant/internal/delta"
+	"giant/internal/ontology"
+)
+
+// detDelta derives a deterministic delta from a batch alone, so every
+// replica — including one rebuilt from scratch replaying the log — mines
+// the exact same outcome. Day 0 is the deterministic-rejection probe.
+func detDelta(b delta.Batch) (*delta.Delta, error) {
+	if b.Day == 0 {
+		return nil, fmt.Errorf("empty batch: %w", delta.ErrInvalidBatch)
+	}
+	return &delta.Delta{Day: b.Day, Add: []delta.NodeAdd{
+		{Type: ontology.Concept, Phrase: fmt.Sprintf("hybrid sedans %d", b.Day), Day: b.Day},
+		{Type: ontology.Event, Phrase: fmt.Sprintf("sedan recall wave %d", b.Day), Day: b.Day},
+	}}, nil
+}
+
+// detShardIngester is a per-shard backend's deterministic mining stand-in:
+// its own lineage from the shared base, advanced only by detDelta. gate,
+// when non-nil, is received from before each apply — the catch-up and
+// backpressure tests use it to hold a replica mid-tail.
+func detShardIngester(shard int, base *ontology.ShardedSnapshot, gate chan struct{}) func(delta.Batch) (*ontology.ShardProjection, *delta.Delta, []bool, error) {
+	cur := base
+	return func(b delta.Batch) (*ontology.ShardProjection, *delta.Delta, []bool, error) {
+		if gate != nil {
+			<-gate
+		}
+		d, err := detDelta(b)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		next, merged, touched, err := delta.ApplySharded(cur, []*delta.Delta{d})
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		cur = next
+		return next.Projection(shard), merged, touched, nil
+	}
+}
+
+// detShardedIngester is the single-process reference twin of
+// detShardIngester.
+func detShardedIngester(base *ontology.ShardedSnapshot) func(delta.Batch) (*ontology.ShardedSnapshot, *delta.Delta, []bool, error) {
+	cur := base
+	return func(b delta.Batch) (*ontology.ShardedSnapshot, *delta.Delta, []bool, error) {
+		d, err := detDelta(b)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		next, merged, touched, err := delta.ApplySharded(cur, []*delta.Delta{d})
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		cur = next
+		return next, merged, touched, nil
+	}
+}
+
+// replicaProc is one simulated giantd -shard -wal process: a per-shard
+// server with an attached follower, reachable through a stable outer URL
+// that survives "process restarts" (the rolling-restart test swaps the
+// inner handler while the outer httptest server stays put).
+type replicaProc struct {
+	shard, idx int
+	walPath    string
+	outer      *httptest.Server
+	down       atomic.Bool
+
+	mu     sync.Mutex
+	inner  http.Handler
+	cancel context.CancelFunc
+}
+
+func (p *replicaProc) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if p.down.Load() {
+		if hj, ok := w.(http.Hijacker); ok {
+			if conn, _, err := hj.Hijack(); err == nil {
+				conn.Close()
+				return
+			}
+		}
+		w.WriteHeader(http.StatusServiceUnavailable)
+		return
+	}
+	p.mu.Lock()
+	h := p.inner
+	p.mu.Unlock()
+	h.ServeHTTP(w, r)
+}
+
+// boot builds a fresh server over the base projection and a follower that
+// replays the whole log from generation zero, and swaps both in — exactly
+// what restarting a giantd -wal replica does.
+func (p *replicaProc) boot(t *testing.T, base *ontology.ShardedSnapshot, gate chan struct{}) {
+	t.Helper()
+	srv := NewShard(base.Projection(p.shard), Options{
+		ShardIngest: detShardIngester(p.shard, base, gate),
+	})
+	fl, err := NewFollower(srv, p.walPath, p.idx, time.Millisecond, nil)
+	if err != nil {
+		t.Fatalf("shard %d replica %d: %v", p.shard, p.idx, err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go fl.Run(ctx)
+	p.mu.Lock()
+	if p.cancel != nil {
+		p.cancel()
+	}
+	p.inner, p.cancel = srv.Handler(), cancel
+	p.mu.Unlock()
+}
+
+func (p *replicaProc) stop() {
+	p.down.Store(true)
+	p.mu.Lock()
+	if p.cancel != nil {
+		p.cancel()
+		p.cancel = nil
+	}
+	p.mu.Unlock()
+}
+
+// walFixture boots a K-shard × R-replica delta-log fleet plus its router.
+type walFixture struct {
+	k        int
+	base     *ontology.ShardedSnapshot
+	procs    [][]*replicaProc // [shard][replica]
+	rt       *Router
+	routerTS *httptest.Server
+}
+
+func newWALFixture(t *testing.T, k, r int, opts RouterOptions) *walFixture {
+	t.Helper()
+	base, err := ontology.ShardSnapshot(testOntology(0).Snapshot(), k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	walDir := t.TempDir()
+	f := &walFixture{k: k, base: base, procs: make([][]*replicaProc, k)}
+	replicas := make([][]string, k)
+	for s := 0; s < k; s++ {
+		for ri := 0; ri < r; ri++ {
+			p := &replicaProc{
+				shard: s, idx: ri,
+				walPath: filepath.Join(walDir, fmt.Sprintf("shard-%d-of-%d.wal", s, k)),
+			}
+			p.boot(t, base, nil)
+			p.outer = httptest.NewServer(p)
+			t.Cleanup(p.outer.Close)
+			t.Cleanup(p.stop)
+			f.procs[s] = append(f.procs[s], p)
+			replicas[s] = append(replicas[s], p.outer.URL)
+		}
+	}
+	opts.Replicas = replicas
+	opts.WALDir = walDir
+	if opts.AckTimeout == 0 {
+		opts.AckTimeout = 10 * time.Second
+	}
+	f.rt, err = NewRouter(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(f.rt.Close)
+	f.routerTS = httptest.NewServer(f.rt.Handler())
+	t.Cleanup(f.routerTS.Close)
+	return f
+}
+
+// headGen returns shard s's delta-log head generation.
+func (f *walFixture) headGen(s int) uint64 { return f.rt.shards[s].log.Head() }
+
+// replicaWALGen asks a replica directly for its applied log position.
+func replicaWALGen(t *testing.T, p *replicaProc) uint64 {
+	t.Helper()
+	resp, err := p.outer.Client().Get(p.outer.URL + "/v1/wal")
+	if err != nil {
+		return 0
+	}
+	defer resp.Body.Close()
+	var parsed struct {
+		WALGen uint64 `json:"wal_gen"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&parsed); err != nil {
+		return 0
+	}
+	return parsed.WALGen
+}
+
+// TestWALReplayEquivalence: the delta-log fleet's determinism pin. For
+// K ∈ {1, 2}, replaying a day sequence through router-WAL ingest keeps
+// /v1/search and /v1/node byte-identical to the single-process NewSharded
+// reference, with identical generation accounting — and the WAL-only
+// write rules hold (deterministic rejections forwarded, direct replica
+// writes refused, fleet reload refused).
+func TestWALReplayEquivalence(t *testing.T) {
+	for _, k := range []int{1, 2} {
+		t.Run(fmt.Sprintf("k=%d", k), func(t *testing.T) {
+			f := newWALFixture(t, k, 1, RouterOptions{})
+			ref := httptest.NewServer(NewSharded(f.base, Options{
+				IngestSharded: detShardedIngester(f.base),
+			}).Handler())
+			t.Cleanup(ref.Close)
+
+			probes := func() []string {
+				paths := []string{
+					"/v1/search?q=sedan&limit=10",
+					"/v1/search?q=sedan+recall&limit=5",
+					"/v1/search?q=hybrid&limit=3",
+					"/v1/node?phrase=family+sedans",
+					"/v1/node?phrase=family+sedans&type=concept",
+					"/v1/node?id=0",
+					"/v1/node?phrase=no+such+node",
+				}
+				for d := 11; d <= 14; d++ {
+					paths = append(paths,
+						fmt.Sprintf("/v1/node?phrase=hybrid+sedans+%d&type=concept", d),
+						fmt.Sprintf("/v1/node?phrase=sedan+recall+wave+%d", d))
+				}
+				return paths
+			}
+			assertSame := func(path string) {
+				t.Helper()
+				refStatus, refBody := getRaw(t, ref.Client(), ref.URL+path)
+				gotStatus, gotBody := getRaw(t, f.routerTS.Client(), f.routerTS.URL+path)
+				if refStatus != gotStatus || !bytes.Equal(refBody, gotBody) {
+					t.Fatalf("k=%d %s diverges: status %d vs %d\nrouter: %s\nref:    %s",
+						k, path, gotStatus, refStatus, gotBody, refBody)
+				}
+			}
+
+			for day := 11; day <= 14; day++ {
+				body := fmt.Sprintf(`{"day":%d}`, day)
+				refResp := postJSON(t, ref.Client(), ref.URL+"/v1/ingest", body, 200)
+				gotResp := postJSON(t, f.routerTS.Client(), f.routerTS.URL+"/v1/ingest", body, 200)
+				if !reflect.DeepEqual(refResp["touched_shards"], gotResp["touched_shards"]) {
+					t.Fatalf("k=%d day %d: touched shards diverge: %v vs %v",
+						k, day, gotResp["touched_shards"], refResp["touched_shards"])
+				}
+				if !reflect.DeepEqual(refResp["shard_generations"], gotResp["shard_generations"]) {
+					t.Fatalf("k=%d day %d: shard generations diverge: %v vs %v",
+						k, day, gotResp["shard_generations"], refResp["shard_generations"])
+				}
+				for _, p := range probes() {
+					assertSame(p)
+				}
+			}
+
+			// A deterministically rejected batch surfaces with the replica's
+			// status and envelope, and does not advance serving generations.
+			status, body := postRaw(t, f.routerTS.Client(), f.routerTS.URL+"/v1/ingest", `{"day":0}`)
+			if status != http.StatusUnprocessableEntity {
+				t.Fatalf("deterministic rejection = %d: %s", status, body)
+			}
+			assertEnvelope(t, body, codeInvalidBatch)
+
+			// Direct writes to a replica are refused: it follows the log.
+			rep := f.procs[0][0]
+			status, body = postRaw(t, rep.outer.Client(), rep.outer.URL+"/v1/ingest", `{"day":99}`)
+			if status != http.StatusServiceUnavailable {
+				t.Fatalf("direct replica ingest = %d: %s", status, body)
+			}
+			assertEnvelope(t, body, codeReadOnlyReplica)
+
+			// Fleet-wide reload is refused in WAL mode.
+			status, body = postRaw(t, f.routerTS.Client(), f.routerTS.URL+"/v1/reload", "")
+			if status != http.StatusServiceUnavailable {
+				t.Fatalf("WAL-mode reload = %d: %s", status, body)
+			}
+			assertEnvelope(t, body, codeUnavailable)
+		})
+	}
+}
+
+// TestRollingRestartZero5xx is the flagship operational proof: a 2-shard ×
+// 3-replica fleet under a concurrent search+node+ingest hammer has every
+// replica restarted, one at a time — each rebuilt from the base world and
+// made to catch up from the delta log alone — without a single 5xx
+// answered by the router, and ends byte-identical to the reference.
+func TestRollingRestartZero5xx(t *testing.T) {
+	f := newWALFixture(t, 2, 3, RouterOptions{
+		ProbeInterval: 10 * time.Millisecond,
+		Timeout:       2 * time.Second,
+		AckTimeout:    10 * time.Second,
+	})
+	ref := httptest.NewServer(NewSharded(f.base, Options{
+		IngestSharded: detShardedIngester(f.base),
+	}).Handler())
+	t.Cleanup(ref.Close)
+
+	var server5xx, reads atomic.Int64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	readPaths := []string{
+		"/v1/search?q=sedan&limit=10",
+		"/v1/search?q=recall&limit=5",
+		"/v1/node?phrase=family+sedans",
+		"/v1/node?phrase=family+sedans&type=concept",
+	}
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			client := f.routerTS.Client()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				url := f.routerTS.URL + readPaths[(g+i)%len(readPaths)]
+				resp, err := client.Get(url)
+				if err != nil {
+					continue // client-side churn, not a served 5xx
+				}
+				body, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				reads.Add(1)
+				if resp.StatusCode >= 500 {
+					server5xx.Add(1)
+					t.Errorf("read %s = %d during rolling restart: %s", url, resp.StatusCode, body)
+				}
+			}
+		}(g)
+	}
+	// One serialized ingest stream alongside the reads, mirrored to the
+	// reference so the final worlds are comparable.
+	day := 10
+	ingest := func() {
+		t.Helper()
+		day++
+		body := fmt.Sprintf(`{"day":%d}`, day)
+		status, got := postRaw(t, f.routerTS.Client(), f.routerTS.URL+"/v1/ingest", body)
+		if status >= 500 {
+			server5xx.Add(1)
+			t.Errorf("ingest day %d = %d during rolling restart: %s", day, status, got)
+		}
+		postJSON(t, ref.Client(), ref.URL+"/v1/ingest", body, 200)
+	}
+
+	ingest()
+	for s := 0; s < 2; s++ {
+		for ri := 0; ri < 3; ri++ {
+			p := f.procs[s][ri]
+			p.stop()
+			ingest() // a write lands while the replica is gone
+			// Restart: fresh base world, catch up from the log alone.
+			p.boot(t, f.base, nil)
+			p.down.Store(false)
+			ingest()
+			head := f.headGen(s)
+			waitFor(t, 10*time.Second, fmt.Sprintf("shard %d replica %d to catch up", s, ri), func() bool {
+				return replicaWALGen(t, p) >= head
+			})
+		}
+	}
+	ingest()
+	close(stop)
+	wg.Wait()
+	if server5xx.Load() > 0 {
+		t.Fatalf("%d responses were 5xx during the rolling restart", server5xx.Load())
+	}
+	if reads.Load() == 0 {
+		t.Fatal("hammer produced no reads")
+	}
+	// The evolved fleet matches the reference byte for byte.
+	for _, p := range readPaths {
+		refStatus, refBody := getRaw(t, ref.Client(), ref.URL+p)
+		gotStatus, gotBody := getRaw(t, f.routerTS.Client(), f.routerTS.URL+p)
+		if refStatus != gotStatus || !bytes.Equal(refBody, gotBody) {
+			t.Fatalf("%s diverges after rolling restart:\nrouter: %s\nref:    %s", p, gotBody, refBody)
+		}
+	}
+}
+
+// TestReplicaCatchUpGating: a replica holding an unapplied generation is
+// never consulted for reads — the generation gate, not health, is what
+// re-admits it.
+func TestReplicaCatchUpGating(t *testing.T) {
+	f := newWALFixture(t, 1, 2, RouterOptions{
+		ProbeInterval: 10 * time.Millisecond,
+		AckTimeout:    2 * time.Second,
+	})
+	// Rebuild replica B gated: every apply blocks until released.
+	gate := make(chan struct{})
+	b := f.procs[0][1]
+	b.boot(t, f.base, gate)
+
+	// Count reads reaching B while it lags (healthz and /v1/wal are not
+	// reads — they are exactly how the router watches a lagging replica).
+	var lagReads atomic.Int64
+	inner := b.inner
+	b.mu.Lock()
+	b.inner = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/search" || r.URL.Path == "/v1/node" {
+			lagReads.Add(1)
+		}
+		inner.ServeHTTP(w, r)
+	})
+	b.mu.Unlock()
+
+	for day := 11; day <= 13; day++ {
+		postJSON(t, f.routerTS.Client(), f.routerTS.URL+"/v1/ingest", fmt.Sprintf(`{"day":%d}`, day), 200)
+	}
+	// A (replica 0) is at head; B is stuck at 0. Hammer reads: all must
+	// land on A.
+	for i := 0; i < 40; i++ {
+		getRaw(t, f.routerTS.Client(), f.routerTS.URL+"/v1/search?q=sedan&limit=5")
+		getRaw(t, f.routerTS.Client(), f.routerTS.URL+"/v1/node?phrase=family+sedans")
+	}
+	if n := lagReads.Load(); n > 0 {
+		t.Fatalf("%d reads reached the lagging replica", n)
+	}
+	// Release B, let it catch up, and verify it rejoins the rotation.
+	close(gate)
+	head := f.headGen(0)
+	waitFor(t, 10*time.Second, "replica B to catch up", func() bool {
+		return replicaWALGen(t, b) >= head
+	})
+	waitFor(t, 10*time.Second, "replica B to rejoin read rotation", func() bool {
+		getRaw(t, f.routerTS.Client(), f.routerTS.URL+"/v1/search?q=sedan&limit=5")
+		return lagReads.Load() > 0
+	})
+}
+
+// TestIngestBackpressure: once a shard's slowest healthy replica trails
+// the log head by more than MaxLag, ingest answers 429 replica_lagging
+// with a Retry-After header — and admits writes again once the replica
+// drains.
+func TestIngestBackpressure(t *testing.T) {
+	f := newWALFixture(t, 1, 2, RouterOptions{
+		MaxLag:     2,
+		AckTimeout: time.Second,
+	})
+	gate := make(chan struct{})
+	b := f.procs[0][1]
+	b.boot(t, f.base, gate)
+	// Prime the router's view of B (applied=0) — otherwise the first
+	// ingest's lag check sees no healthy-replica positions at all.
+	getJSON(t, f.routerTS.Client(), f.routerTS.URL+"/healthz", 200)
+
+	for day := 11; day <= 13; day++ {
+		postJSON(t, f.routerTS.Client(), f.routerTS.URL+"/v1/ingest", fmt.Sprintf(`{"day":%d}`, day), 200)
+	}
+	// head=3, B applied=0, lag 3 > MaxLag 2: pushback.
+	resp, err := f.routerTS.Client().Post(f.routerTS.URL+"/v1/ingest", "application/json", bytes.NewReader([]byte(`{"day":14}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("lagging ingest = %d, want 429: %s", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatalf("429 without Retry-After header")
+	}
+	assertEnvelope(t, body, codeReplicaLagging)
+
+	close(gate)
+	head := f.headGen(0)
+	waitFor(t, 10*time.Second, "replica B to drain", func() bool {
+		return replicaWALGen(t, b) >= head
+	})
+	postJSON(t, f.routerTS.Client(), f.routerTS.URL+"/v1/ingest", `{"day":14}`, 200)
+}
+
+// postRaw posts a JSON body and returns the verbatim status and body.
+func postRaw(t *testing.T, c *http.Client, url, body string) (int, []byte) {
+	t.Helper()
+	resp, err := c.Post(url, "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("POST %s: read: %v", url, err)
+	}
+	return resp.StatusCode, out
+}
+
+// knownErrorCodes is the closed set of machine codes the /v1 contract
+// may emit.
+var knownErrorCodes = map[string]bool{
+	codeInvalidArgument: true, codeInvalidLimit: true, codeInvalidBatch: true,
+	codeNotFound: true, codeMethodNotAllowed: true, codeUnavailable: true,
+	codeShardUnavailable: true, codePartialApply: true, codeReplicaLagging: true,
+	codeReadOnlyReplica: true, codeConflict: true, codeBadUpstream: true,
+	codeInternal: true,
+}
+
+// assertEnvelope asserts a body is the unified error envelope; wantCode,
+// when non-empty, pins the exact machine code.
+func assertEnvelope(t *testing.T, body []byte, wantCode string) {
+	t.Helper()
+	var parsed struct {
+		Error *struct {
+			Code    string `json:"code"`
+			Message string `json:"message"`
+		} `json:"error"`
+	}
+	if err := json.Unmarshal(body, &parsed); err != nil || parsed.Error == nil {
+		t.Fatalf("not an error envelope: %s", body)
+	}
+	if !knownErrorCodes[parsed.Error.Code] {
+		t.Fatalf("unknown error code %q: %s", parsed.Error.Code, body)
+	}
+	if parsed.Error.Message == "" {
+		t.Fatalf("empty error message: %s", body)
+	}
+	if wantCode != "" && parsed.Error.Code != wantCode {
+		t.Fatalf("error code %q, want %q: %s", parsed.Error.Code, wantCode, body)
+	}
+}
+
+// TestErrorEnvelope sweeps every /v1 error path across the four serving
+// modes and asserts each response is the unified envelope with the
+// expected machine code.
+func TestErrorEnvelope(t *testing.T) {
+	snap := testOntology(0).Snapshot()
+
+	type probe struct {
+		method, path, body string
+		wantStatus         int
+		wantCode           string
+	}
+	readProbes := []probe{
+		{"GET", "/v1/node", "", 400, codeInvalidArgument},
+		{"GET", "/v1/node?id=abc", "", 400, codeInvalidArgument},
+		{"GET", "/v1/node?phrase=x&type=nope", "", 400, codeInvalidArgument},
+		{"GET", "/v1/node?phrase=no+such+node+anywhere", "", 404, codeNotFound},
+		{"GET", "/v1/search", "", 400, codeInvalidArgument},
+		{"GET", "/v1/search?q=sedan&limit=0", "", 400, codeInvalidLimit},
+		{"GET", "/v1/search?q=sedan&limit=x", "", 400, codeInvalidLimit},
+		{"GET", "/v1/search?q=sedan&scatter=bogus", "", 400, codeInvalidArgument},
+		{"POST", "/v1/ingest", "{nope", 400, codeInvalidArgument},
+		{"POST", "/v1/ingest", `{"day":0}`, 422, codeInvalidBatch},
+		{"GET", "/v1/ingest", "", 405, codeMethodNotAllowed},
+		{"GET", "/v1/reload", "", 405, codeMethodNotAllowed},
+		{"GET", "/v1/rollback", "", 405, codeMethodNotAllowed},
+		{"POST", "/v1/rollback", "", 409, codeConflict},
+	}
+	runProbes := func(t *testing.T, ts *httptest.Server, probes []probe) {
+		t.Helper()
+		for _, p := range probes {
+			var status int
+			var body []byte
+			if p.method == "GET" {
+				status, body = getRaw(t, ts.Client(), ts.URL+p.path)
+			} else {
+				status, body = postRaw(t, ts.Client(), ts.URL+p.path, p.body)
+			}
+			if status != p.wantStatus {
+				t.Fatalf("%s %s = %d, want %d: %s", p.method, p.path, status, p.wantStatus, body)
+			}
+			assertEnvelope(t, body, p.wantCode)
+		}
+	}
+
+	t.Run("single", func(t *testing.T) {
+		sys := testOntology(0)
+		_ = sys
+		srv := New(snap, Options{Ingest: func(b delta.Batch) (*ontology.Snapshot, *delta.Delta, error) {
+			if b.Day == 0 {
+				return nil, nil, fmt.Errorf("empty batch: %w", delta.ErrInvalidBatch)
+			}
+			return snap, &delta.Delta{Day: b.Day}, nil
+		}})
+		ts := httptest.NewServer(srv.Handler())
+		t.Cleanup(ts.Close)
+		runProbes(t, ts, readProbes)
+		// Unwired endpoints answer 503 unavailable.
+		st, body := postRaw(t, ts.Client(), ts.URL+"/v1/reload", "")
+		if st != 503 {
+			t.Fatalf("reload without loader = %d: %s", st, body)
+		}
+		assertEnvelope(t, body, codeUnavailable)
+	})
+
+	t.Run("sharded", func(t *testing.T) {
+		ss, err := ontology.ShardSnapshot(snap, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(NewSharded(ss, Options{IngestSharded: detShardedIngester(ss)}).Handler())
+		t.Cleanup(ts.Close)
+		runProbes(t, ts, readProbes)
+	})
+
+	t.Run("shard-backend", func(t *testing.T) {
+		ss, err := ontology.ShardSnapshot(snap, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(NewShard(ss.Projection(0), Options{
+			ShardIngest: detShardIngester(0, ss, nil),
+		}).Handler())
+		t.Cleanup(ts.Close)
+		// A shard backend 404s nodes homed elsewhere; keep only probes
+		// that are shard-local deterministic.
+		runProbes(t, ts, []probe{
+			{"GET", "/v1/node", "", 400, codeInvalidArgument},
+			{"GET", "/v1/node?id=abc", "", 400, codeInvalidArgument},
+			{"GET", "/v1/node?phrase=no+such+node+anywhere", "", 404, codeNotFound},
+			{"GET", "/v1/search?q=sedan&limit=0", "", 400, codeInvalidLimit},
+			{"GET", "/v1/ingest", "", 405, codeMethodNotAllowed},
+			{"POST", "/v1/ingest", "{nope", 400, codeInvalidArgument},
+			{"GET", "/v1/wal?wait=1", "", 404, codeNotFound},
+		})
+	})
+
+	t.Run("router", func(t *testing.T) {
+		f := newWALFixture(t, 2, 1, RouterOptions{})
+		runProbes(t, f.routerTS, []probe{
+			{"GET", "/v1/node", "", 400, codeInvalidArgument},
+			{"GET", "/v1/node?id=abc", "", 400, codeInvalidArgument},
+			{"GET", "/v1/node?phrase=x&type=nope", "", 400, codeInvalidArgument},
+			{"GET", "/v1/node?phrase=no+such+node+anywhere", "", 404, codeNotFound},
+			{"GET", "/v1/search", "", 400, codeInvalidArgument},
+			{"GET", "/v1/search?q=sedan&limit=0", "", 400, codeInvalidLimit},
+			{"GET", "/v1/search?q=sedan&scatter=bogus", "", 400, codeInvalidArgument},
+			{"GET", "/v1/ingest", "", 405, codeMethodNotAllowed},
+			{"POST", "/v1/ingest", "{nope", 400, codeInvalidArgument},
+			{"POST", "/v1/ingest", `{"day":0}`, 422, codeInvalidBatch},
+		})
+		// Kill a shard: point routes 502, fail-closed fan-outs 503.
+		f.procs[1][0].down.Store(true)
+		st, body := getRaw(t, f.routerTS.Client(), f.routerTS.URL+"/v1/stats")
+		if st != 503 {
+			t.Fatalf("fail-closed stats with dead shard = %d: %s", st, body)
+		}
+		assertEnvelope(t, body, codeShardUnavailable)
+	})
+}

@@ -41,6 +41,17 @@ package serve
 // reachable shards' results marked "partial": true. Point-routed
 // endpoints return 502 for an unreachable target in both modes, and
 // writes (/v1/ingest, /v1/reload) are always fail-closed.
+//
+// With RouterOptions.Replicas + WALDir the router serves each shard from
+// a replica set over an append-only delta log (internal/wal): reads pick
+// a replica by power-of-two-choices among the healthy replicas that have
+// applied the shard's newest known log generation (a replica still
+// tailing is never consulted for reads ahead of its position), and
+// /v1/ingest appends the batch to every shard's log, acking once a
+// quorum (⌈N/2⌉) of each shard's replicas confirm the apply — replicas
+// left behind catch up from the log alone, and a shard whose slowest
+// healthy replica trails the head by more than MaxLag pushes back with
+// 429 replica_lagging + Retry-After.
 
 import (
 	"bytes"
@@ -50,6 +61,7 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"strconv"
@@ -58,15 +70,37 @@ import (
 	"sync/atomic"
 	"time"
 
+	"giant/internal/delta"
 	"giant/internal/ontology"
 	"giant/internal/par"
+	"giant/internal/wal"
 )
 
 // RouterOptions configure a Router.
 type RouterOptions struct {
 	// Backends are the per-shard giantd base URLs, in shard order:
-	// Backends[i] must serve shard i of len(Backends).
+	// Backends[i] must serve shard i of len(Backends). Shorthand for a
+	// Replicas value with one replica per shard; ignored when Replicas is
+	// set.
 	Backends []string
+	// Replicas are the per-shard replica sets, in shard order: every URL
+	// in Replicas[i] must serve shard i of len(Replicas). Any shard with
+	// more than one replica requires WALDir — interchangeable replicas
+	// exist only by tailing the same delta log.
+	Replicas [][]string
+	// WALDir, when set, switches /v1/ingest to the delta-log protocol:
+	// batches are appended to a per-shard wal.Log under this directory
+	// (shard-<i>-of-<k>.wal) and acknowledged once a quorum of each
+	// shard's replicas confirm the apply through GET /v1/wal. Backends
+	// must then be log-tailing replicas (giantd -wal).
+	WALDir string
+	// MaxLag bounds, per shard, how many delta-log generations the slowest
+	// healthy replica may trail the log head before ingest pushes back
+	// with 429 replica_lagging; 0 means 64.
+	MaxLag uint64
+	// AckTimeout bounds the quorum wait of a delta-log ingest (how long a
+	// replica may take to tail and apply one batch); 0 means WriteTimeout.
+	AckTimeout time.Duration
 	// Client overrides the HTTP client used for backend calls; nil builds
 	// a dedicated one whose idle connections Close releases.
 	Client *http.Client
@@ -107,6 +141,30 @@ type RouterOptions struct {
 	Logf func(format string, args ...any)
 }
 
+// replicaState is one backend process's routing state: its health mark
+// (updated by every proxied call and by the prober; transitions are
+// logged through Options.Logf) and, on a delta-log fleet, the last log
+// generation it is known to have applied — reported by the replica on
+// every response via the X-Giant-Wal-Gen header. A replica marked down
+// has its applied position reset to zero: a dead process's position is
+// unknown, so it re-enters read rotation only after a probe observes it
+// back at the shard's head generation.
+type replicaState struct {
+	shard    int
+	idx      int // replica ordinal within the shard
+	url      string
+	down     atomic.Bool
+	applied  atomic.Uint64
+	inflight atomic.Int64 // in-flight proxied calls, for power-of-two-choices
+}
+
+// shardSet is one shard's replica set plus, on a delta-log fleet, the
+// shard's append-only ingest log.
+type shardSet struct {
+	replicas []*replicaState
+	log      *wal.Log
+}
+
 // Router fans requests out over per-shard backends.
 type Router struct {
 	opts    RouterOptions
@@ -114,11 +172,12 @@ type Router struct {
 	client  *http.Client
 	mux     *http.ServeMux
 	metrics *metricsRegistry
-	// down[i] marks backend i unreachable, updated by every backend call
-	// and by the background prober; transitions are logged through
-	// Options.Logf, so an idle router still notices — and reports — a
-	// backend dying or recovering within one probe interval.
-	down []atomic.Bool
+	// shards[i] holds shard i's replica set (length 1 for a plain
+	// Backends deployment) and delta log.
+	shards []*shardSet
+	// rr rotates the starting replica of each read, so power-of-two-
+	// choices samples a moving pair instead of a fixed one.
+	rr atomic.Uint64
 	// ingestMu serializes ingest and reload broadcasts so concurrent
 	// writers reach every backend in the same order.
 	ingestMu sync.Mutex
@@ -157,16 +216,37 @@ var routerEndpointNames = []string{
 	"healthz", "stats", "node", "search", "tag", "query_rewrite", "story", "metrics", "reload", "ingest",
 }
 
-// NewRouter builds a Router over the given per-shard backends.
+// NewRouter builds a Router over the given per-shard backends (or
+// replica sets).
 func NewRouter(opts RouterOptions) (*Router, error) {
-	if len(opts.Backends) == 0 {
+	sets := opts.Replicas
+	if len(sets) == 0 {
+		sets = make([][]string, len(opts.Backends))
+		for i, b := range opts.Backends {
+			sets[i] = []string{b}
+		}
+	}
+	if len(sets) == 0 {
 		return nil, fmt.Errorf("serve: router needs at least one backend")
 	}
-	for i, b := range opts.Backends {
-		u, err := url.Parse(b)
-		if err != nil || u.Scheme == "" || u.Host == "" {
-			return nil, fmt.Errorf("serve: backend %d: invalid URL %q", i, b)
+	k := len(sets)
+	replicated := false
+	for i, reps := range sets {
+		if len(reps) == 0 {
+			return nil, fmt.Errorf("serve: shard %d has no replicas", i)
 		}
+		if len(reps) > 1 {
+			replicated = true
+		}
+		for ri, b := range reps {
+			u, err := url.Parse(b)
+			if err != nil || u.Scheme == "" || u.Host == "" {
+				return nil, fmt.Errorf("serve: shard %d replica %d: invalid URL %q", i, ri, b)
+			}
+		}
+	}
+	if replicated && opts.WALDir == "" {
+		return nil, fmt.Errorf("serve: replicated shards need a delta log (set WALDir)")
 	}
 	if opts.Timeout <= 0 {
 		opts.Timeout = 5 * time.Second
@@ -177,14 +257,34 @@ func NewRouter(opts RouterOptions) (*Router, error) {
 	if opts.MaxSearchResults <= 0 {
 		opts.MaxSearchResults = 100
 	}
+	if opts.MaxLag == 0 {
+		opts.MaxLag = 64
+	}
 	rt := &Router{
 		opts:     opts,
-		k:        len(opts.Backends),
+		k:        k,
 		client:   opts.Client,
 		metrics:  newMetricsRegistry(routerEndpointNames),
-		down:     make([]atomic.Bool, len(opts.Backends)),
+		shards:   make([]*shardSet, k),
 		stop:     make(chan struct{}),
-		partials: make([]atomic.Pointer[hitsCache], len(opts.Backends)),
+		partials: make([]atomic.Pointer[hitsCache], k),
+	}
+	for i, reps := range sets {
+		set := &shardSet{replicas: make([]*replicaState, len(reps))}
+		for ri, b := range reps {
+			set.replicas[ri] = &replicaState{shard: i, idx: ri, url: strings.TrimRight(b, "/")}
+		}
+		if opts.WALDir != "" {
+			lg, err := wal.Open(filepath.Join(opts.WALDir, fmt.Sprintf("shard-%d-of-%d.wal", i, k)), i, k)
+			if err != nil {
+				for _, prev := range rt.shards[:i] {
+					prev.log.Close()
+				}
+				return nil, fmt.Errorf("serve: shard %d delta log: %w", i, err)
+			}
+			set.log = lg
+		}
+		rt.shards[i] = set
 	}
 	for i := range rt.partials {
 		rt.partials[i].Store(newHitsCache(opts.CacheSize))
@@ -200,17 +300,34 @@ func NewRouter(opts RouterOptions) (*Router, error) {
 	return rt, nil
 }
 
+// walMode reports whether ingest flows through per-shard delta logs.
+func (rt *Router) walMode() bool { return rt.shards[0].log != nil }
+
+// allReplicas flattens the fleet in (shard, replica) order.
+func (rt *Router) allReplicas() []*replicaState {
+	var out []*replicaState
+	for _, set := range rt.shards {
+		out = append(out, set.replicas...)
+	}
+	return out
+}
+
 // NumShards returns the backend (= shard) count.
 func (rt *Router) NumShards() int { return rt.k }
 
 // Handler returns the router's HTTP handler.
 func (rt *Router) Handler() http.Handler { return rt.mux }
 
-// Close stops the background prober and releases idle backend
-// connections. The router must not be used afterwards.
+// Close stops the background prober, closes the delta logs and releases
+// idle backend connections. The router must not be used afterwards.
 func (rt *Router) Close() {
 	rt.stopOnce.Do(func() { close(rt.stop) })
 	rt.probeWG.Wait()
+	for _, set := range rt.shards {
+		if set.log != nil {
+			set.log.Close()
+		}
+	}
 	rt.client.CloseIdleConnections()
 }
 
@@ -240,13 +357,40 @@ func (rt *Router) probeLoop() {
 			return
 		case <-ticker.C:
 		}
-		results := rt.fanout(context.Background(), http.MethodGet, "/healthz", nil)
+		// Probe every replica: callReplica refreshes the health mark and
+		// applied log position of each, which is also the only way a
+		// restarted replica re-enters read rotation — its probe reports it
+		// back at the shard's head generation. The generation cross-check
+		// below uses one representative at-gate response per shard, so a
+		// replica still tailing its way back never masquerades as a fleet
+		// change.
+		results := make([]backendResult, rt.k)
+		chosen := make([]bool, rt.k)
+		par.ForEachIndexed(rt.workers(), rt.k, func(i int) {
+			set := rt.shards[i]
+			probes := make([]backendResult, len(set.replicas))
+			for j, rep := range set.replicas {
+				probes[j] = rt.callReplica(context.Background(), rt.opts.Timeout, rep, http.MethodGet, "/healthz", nil)
+			}
+			var gate uint64
+			for _, rep := range set.replicas {
+				if g := rep.applied.Load(); g > gate {
+					gate = g
+				}
+			}
+			for j, rep := range set.replicas {
+				if probes[j].ok() && rep.applied.Load() >= gate {
+					results[i], chosen[i] = probes[j], true
+					break
+				}
+			}
+		})
 		idx := rt.routing.Load()
 		if idx == nil {
 			continue
 		}
 		for i := range results {
-			if !results[i].ok() {
+			if !chosen[i] {
 				continue
 			}
 			var h struct {
@@ -299,7 +443,7 @@ func (rt *Router) ensureRouting(ctx context.Context) *routingIndex {
 	if idx := rt.routing.Load(); idx != nil {
 		return idx
 	}
-	results := rt.fanout(ctx, http.MethodGet, "/v1/stats", nil)
+	results := rt.fanout(ctx, nil, http.MethodGet, "/v1/stats", nil)
 	idx := &routingIndex{shards: make([]routingShard, rt.k)}
 	for i := range results {
 		if !results[i].ok() {
@@ -331,26 +475,49 @@ type backendResult struct {
 	shard  int
 	status int
 	body   []byte
+	gen    string // the backend's X-Giant-Generation response header
 	err    error
 }
 
 func (br *backendResult) ok() bool { return br.err == nil && br.status == http.StatusOK }
 
-// call performs one backend read under the read timeout, updating the
-// backend's health mark from the transport outcome.
+// call performs one backend read under the read timeout, picking the
+// replica by readOrder and failing over on transport errors and 5xx.
 func (rt *Router) call(ctx context.Context, shard int, method, pathAndQuery string, body []byte) backendResult {
 	return rt.callTimeout(ctx, rt.opts.Timeout, shard, method, pathAndQuery, body)
 }
 
 func (rt *Router) callTimeout(ctx context.Context, timeout time.Duration, shard int, method, pathAndQuery string, body []byte) backendResult {
-	res := backendResult{shard: shard}
+	var last backendResult
+	for _, rep := range rt.readOrder(shard) {
+		last = rt.callReplica(ctx, timeout, rep, method, pathAndQuery, body)
+		if last.err == nil && last.status < 500 {
+			// Any answered status below 500 is authoritative — a 404 is a
+			// node miss every replica of the shard would repeat, not a
+			// reason to fail over.
+			return last
+		}
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	return last
+}
+
+// callReplica performs one HTTP call against one replica, updating its
+// health mark from the transport outcome and its applied log position
+// from the X-Giant-Wal-Gen response header.
+func (rt *Router) callReplica(ctx context.Context, timeout time.Duration, rep *replicaState, method, pathAndQuery string, body []byte) backendResult {
+	res := backendResult{shard: rep.shard}
+	rep.inflight.Add(1)
+	defer rep.inflight.Add(-1)
 	ctx, cancel := context.WithTimeout(ctx, timeout)
 	defer cancel()
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
 	}
-	req, err := http.NewRequestWithContext(ctx, method, rt.opts.Backends[shard]+pathAndQuery, rd)
+	req, err := http.NewRequestWithContext(ctx, method, rep.url+pathAndQuery, rd)
 	if err != nil {
 		res.err = err
 		return res
@@ -360,47 +527,124 @@ func (rt *Router) callTimeout(ctx context.Context, timeout time.Duration, shard 
 	}
 	resp, err := rt.client.Do(req)
 	if err != nil {
-		res.err = fmt.Errorf("shard %d: %w", shard, err)
-		rt.markDown(shard, res.err)
+		res.err = fmt.Errorf("shard %d: %w", rep.shard, err)
+		rt.markDown(rep, res.err)
 		return res
 	}
 	defer resp.Body.Close()
 	res.status = resp.StatusCode
+	res.gen = resp.Header.Get(genHeader)
+	if wg := resp.Header.Get(walGenHeader); wg != "" {
+		if g, perr := strconv.ParseUint(wg, 10, 64); perr == nil {
+			rep.applied.Store(g)
+		}
+	}
 	res.body, res.err = io.ReadAll(resp.Body)
 	switch {
 	case res.err != nil:
-		rt.markDown(shard, res.err)
+		rt.markDown(rep, res.err)
 	case res.status >= 500:
 		// Reachable but unhealthy counts as down — the same judgement the
 		// fan-out merges apply — so the transition log can't claim a
 		// recovery for a backend that restarts into a broken state.
-		rt.markDown(shard, fmt.Errorf("status %d", res.status))
+		rt.markDown(rep, fmt.Errorf("status %d", res.status))
 	default:
-		rt.markUp(shard)
+		rt.markUp(rep)
 	}
 	return res
 }
 
-// markDown / markUp flip a backend's health mark, logging the transition
+// readOrder ranks one shard's replicas for a read. The gate is the
+// highest applied log position any replica has reported: a replica
+// behind it is still tailing and is never consulted — a read must not
+// travel back in time just because it landed on a catching-up process.
+// At-gate healthy replicas come first, ordered by power-of-two-choices
+// over a rotating pair (fewest in-flight calls wins); at-gate down
+// replicas follow, so traffic keeps probing a single-replica shard back
+// to recovery exactly as it did before replica sets existed.
+func (rt *Router) readOrder(shard int) []*replicaState {
+	set := rt.shards[shard]
+	if len(set.replicas) == 1 {
+		return set.replicas
+	}
+	applied := make([]uint64, len(set.replicas))
+	var gate uint64
+	for i, rep := range set.replicas {
+		applied[i] = rep.applied.Load()
+		if applied[i] > gate {
+			gate = applied[i]
+		}
+	}
+	var healthy, lagged []*replicaState
+	for i, rep := range set.replicas {
+		if applied[i] < gate {
+			continue
+		}
+		if rep.down.Load() {
+			lagged = append(lagged, rep)
+		} else {
+			healthy = append(healthy, rep)
+		}
+	}
+	order := make([]*replicaState, 0, len(healthy)+len(lagged))
+	if n := len(healthy); n > 0 {
+		c := int(rt.rr.Add(1) % uint64(n))
+		first := healthy[c]
+		if n > 1 {
+			second := healthy[(c+1)%n]
+			if second.inflight.Load() < first.inflight.Load() {
+				first, second = second, first
+			}
+			order = append(order, first, second)
+			for i := 2; i < n; i++ {
+				order = append(order, healthy[(c+i)%n])
+			}
+		} else {
+			order = append(order, first)
+		}
+	}
+	return append(order, lagged...)
+}
+
+// markDown / markUp flip a replica's health mark, logging the transition
 // (and only the transition) through Options.Logf.
-func (rt *Router) markDown(shard int, cause error) {
-	if !rt.down[shard].Swap(true) && rt.opts.Logf != nil {
-		rt.opts.Logf("shard %d down: %v", shard, cause)
+func (rt *Router) markDown(rep *replicaState, cause error) {
+	if !rep.down.Swap(true) {
+		// A dead replica's log position is unknown (it may restart empty):
+		// reset it so the read gate never trusts a stale high-water mark.
+		// The prober re-admits the replica once its /healthz reports the
+		// shard's head position again.
+		rep.applied.Store(0)
+		if rt.opts.Logf != nil {
+			if len(rt.shards[rep.shard].replicas) > 1 {
+				rt.opts.Logf("shard %d replica %d down: %v", rep.shard, rep.idx, cause)
+			} else {
+				rt.opts.Logf("shard %d down: %v", rep.shard, cause)
+			}
+		}
 	}
 }
 
-func (rt *Router) markUp(shard int) {
-	if rt.down[shard].Swap(false) && rt.opts.Logf != nil {
-		rt.opts.Logf("shard %d recovered", shard)
+func (rt *Router) markUp(rep *replicaState) {
+	if rep.down.Swap(false) && rt.opts.Logf != nil {
+		if len(rt.shards[rep.shard].replicas) > 1 {
+			rt.opts.Logf("shard %d replica %d recovered", rep.shard, rep.idx)
+		} else {
+			rt.opts.Logf("shard %d recovered", rep.shard)
+		}
 	}
 }
 
-// fanout calls every backend concurrently on a bounded worker pool and
-// returns the per-shard results in shard order.
-func (rt *Router) fanout(ctx context.Context, method, pathAndQuery string, body []byte) []backendResult {
+// fanout calls every shard concurrently on a bounded worker pool and
+// returns the per-shard results in shard order, noting each answered
+// shard's generation on meta (nil skips noting).
+func (rt *Router) fanout(ctx context.Context, meta *respMeta, method, pathAndQuery string, body []byte) []backendResult {
 	out := make([]backendResult, rt.k)
 	par.ForEachIndexed(rt.workers(), rt.k, func(i int) {
 		out[i] = rt.call(ctx, i, method, pathAndQuery, body)
+		if meta != nil && out[i].err == nil {
+			meta.noteGen(i, out[i].gen)
+		}
 	})
 	return out
 }
@@ -457,14 +701,69 @@ func (rt *Router) routes() {
 	}))
 }
 
-// endpoint wraps a router handler with metrics; handlers return a status
-// plus either a pre-rendered body ([]byte, proxied verbatim) or a
-// JSON-marshalable payload.
-func (rt *Router) endpoint(name string, fn func(r *http.Request) (int, any)) http.HandlerFunc {
+// respMeta collects response metadata a handler accumulates while fanning
+// out: the per-shard backend generations, rendered into the router's
+// X-Giant-Generation header as sorted "shard:gen" pairs ("0:3,1:5"), plus
+// any extra headers (Retry-After on a 429). Handlers may note from fan-out
+// goroutines, so it locks.
+type respMeta struct {
+	mu   sync.Mutex
+	gens map[int]string
+	hdr  http.Header
+}
+
+func (m *respMeta) noteGen(shard int, gen string) {
+	if gen == "" {
+		return
+	}
+	m.mu.Lock()
+	if m.gens == nil {
+		m.gens = map[int]string{}
+	}
+	m.gens[shard] = gen
+	m.mu.Unlock()
+}
+
+func (m *respMeta) setHeader(key, value string) {
+	m.mu.Lock()
+	if m.hdr == nil {
+		m.hdr = http.Header{}
+	}
+	m.hdr.Set(key, value)
+	m.mu.Unlock()
+}
+
+func (m *respMeta) apply(w http.ResponseWriter) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.gens) > 0 {
+		shards := make([]int, 0, len(m.gens))
+		for s := range m.gens {
+			shards = append(shards, s)
+		}
+		sort.Ints(shards)
+		parts := make([]string, 0, len(shards))
+		for _, s := range shards {
+			parts = append(parts, strconv.Itoa(s)+":"+m.gens[s])
+		}
+		w.Header().Set(genHeader, strings.Join(parts, ","))
+	}
+	for key, vals := range m.hdr {
+		for _, v := range vals {
+			w.Header().Add(key, v)
+		}
+	}
+}
+
+// endpoint wraps a router handler with metrics and response-metadata
+// rendering; handlers return a status plus either a pre-rendered body
+// ([]byte, proxied verbatim) or a JSON-marshalable payload.
+func (rt *Router) endpoint(name string, fn func(r *http.Request, meta *respMeta) (int, any)) http.HandlerFunc {
 	m := rt.metrics.endpoints[name]
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
-		status, payload := fn(r)
+		meta := &respMeta{}
+		status, payload := fn(r, meta)
 		var body []byte
 		if raw, ok := payload.([]byte); ok {
 			body = raw
@@ -473,10 +772,11 @@ func (rt *Router) endpoint(name string, fn func(r *http.Request) (int, any)) htt
 			body, err = json.Marshal(payload)
 			if err != nil {
 				status = http.StatusInternalServerError
-				body, _ = json.Marshal(errorBody{Error: "encode response: " + err.Error()})
+				body, _ = json.Marshal(errBody(codeInternal, "encode response: "+err.Error()))
 			}
 			body = append(body, '\n')
 		}
+		meta.apply(w)
 		writeBody(w, status, body, false)
 		m.observe(status, time.Since(start), false)
 	}
@@ -487,7 +787,7 @@ func (rt *Router) endpoint(name string, fn func(r *http.Request) (int, any)) htt
 // unreachable target is a 502 in both degraded modes — a point route has
 // no partial result to return.
 func (rt *Router) routed(name string, route func(r *http.Request) int) http.HandlerFunc {
-	return rt.endpoint(name, func(r *http.Request) (int, any) {
+	return rt.endpoint(name, func(r *http.Request, meta *respMeta) (int, any) {
 		var body []byte
 		if r.Body != nil {
 			body, _ = io.ReadAll(r.Body)
@@ -506,41 +806,51 @@ func (rt *Router) routed(name string, route func(r *http.Request) int) http.Hand
 		}
 		res := rt.call(r.Context(), shard, r.Method, pathAndQuery, reqBody)
 		if res.err != nil {
-			return http.StatusBadGateway, errorBody{Error: fmt.Sprintf("shard %d unavailable: %v", shard, res.err)}
+			return http.StatusBadGateway, errBodyShard(codeShardUnavailable, shard, "shard %d unavailable: %v", shard, res.err)
 		}
+		meta.noteGen(shard, res.gen)
 		return res.status, res.body
 	})
 }
 
-func (rt *Router) handleHealthz(r *http.Request) (int, any) {
-	results := rt.fanout(r.Context(), http.MethodGet, "/healthz", nil)
+func (rt *Router) handleHealthz(r *http.Request, meta *respMeta) (int, any) {
 	type backendHealth struct {
 		Shard      int    `json:"shard"`
+		Replica    int    `json:"replica"`
 		URL        string `json:"url"`
 		Healthy    bool   `json:"healthy"`
 		Generation uint64 `json:"generation,omitempty"`
+		WALGen     uint64 `json:"wal_gen,omitempty"`
 		Error      string `json:"error,omitempty"`
 	}
-	backends := make([]backendHealth, rt.k)
-	status := "ok"
-	for i := range results {
-		b := backendHealth{Shard: i, URL: rt.opts.Backends[i], Healthy: results[i].ok()}
-		if results[i].ok() {
+	reps := rt.allReplicas()
+	backends := make([]backendHealth, len(reps))
+	par.ForEachIndexed(rt.workers(), len(reps), func(i int) {
+		rep := reps[i]
+		res := rt.callReplica(r.Context(), rt.opts.Timeout, rep, http.MethodGet, "/healthz", nil)
+		b := backendHealth{Shard: rep.shard, Replica: rep.idx, URL: rep.url, Healthy: res.ok()}
+		if res.ok() {
 			var h struct {
 				Generation uint64 `json:"generation"`
+				WALGen     uint64 `json:"wal_gen"`
 			}
-			if json.Unmarshal(results[i].body, &h) == nil {
+			if json.Unmarshal(res.body, &h) == nil {
 				b.Generation = h.Generation
+				b.WALGen = h.WALGen
 			}
+		} else if res.err != nil {
+			b.Error = res.err.Error()
 		} else {
-			status = "degraded"
-			if results[i].err != nil {
-				b.Error = results[i].err.Error()
-			} else {
-				b.Error = fmt.Sprintf("status %d", results[i].status)
-			}
+			b.Error = fmt.Sprintf("status %d", res.status)
 		}
 		backends[i] = b
+	})
+	status := "ok"
+	for i := range backends {
+		if !backends[i].Healthy {
+			status = "degraded"
+			break
+		}
 	}
 	return http.StatusOK, map[string]any{"status": status, "shards": rt.k, "backends": backends}
 }
@@ -556,22 +866,12 @@ func (rt *Router) handleHealthz(r *http.Request) (int, any) {
 // dropped and the request falls back to one fresh, uncached full scatter.
 // ?scatter=full forces that full path up front — the CI smoke diffs it
 // against the routed output on a live fleet.
-func (rt *Router) handleSearch(r *http.Request) (int, any) {
-	q := r.URL.Query().Get("q")
-	if q == "" {
-		return http.StatusBadRequest, errorBody{Error: "need ?q="}
+func (rt *Router) handleSearch(r *http.Request, meta *respMeta) (int, any) {
+	p, bad, perr := parseSearchParams(r.URL.Query(), rt.opts.MaxSearchResults)
+	if bad != 0 {
+		return bad, perr
 	}
-	limit := 10
-	if ls := r.URL.Query().Get("limit"); ls != "" {
-		l, err := strconv.Atoi(ls)
-		if err != nil || l <= 0 {
-			return http.StatusBadRequest, errorBody{Error: "invalid limit: " + ls}
-		}
-		limit = l
-	}
-	if limit > rt.opts.MaxSearchResults {
-		limit = rt.opts.MaxSearchResults
-	}
+	q, limit := p.q, p.limit
 	v := url.Values{}
 	v.Set("q", q)
 	v.Set("limit", strconv.Itoa(limit))
@@ -580,7 +880,7 @@ func (rt *Router) handleSearch(r *http.Request) (int, any) {
 	key := searchKey(needle, limit)
 
 	var idx *routingIndex
-	if r.URL.Query().Get("scatter") != "full" {
+	if !p.full {
 		idx = rt.ensureRouting(r.Context())
 	}
 	candidates := make([]int, 0, rt.k)
@@ -598,7 +898,7 @@ func (rt *Router) handleSearch(r *http.Request) (int, any) {
 		}
 	}
 
-	perShard, failed, stale, badShard, badErr := rt.fetchPartials(r.Context(), candidates, pq, key, idx)
+	perShard, failed, stale, badShard, badErr := rt.fetchPartials(r.Context(), meta, candidates, pq, key, idx)
 	if stale {
 		// The index raced a republish: drop it (and the request's view of
 		// candidates) and re-scatter everywhere, uncached — the next
@@ -608,15 +908,15 @@ func (rt *Router) handleSearch(r *http.Request) (int, any) {
 		for i := 0; i < rt.k; i++ {
 			candidates = append(candidates, i)
 		}
-		perShard, failed, _, badShard, badErr = rt.fetchPartials(r.Context(), candidates, pq, key, nil)
+		perShard, failed, _, badShard, badErr = rt.fetchPartials(r.Context(), meta, candidates, pq, key, nil)
 	}
 	if badErr != nil {
-		return http.StatusBadGateway, errorBody{Error: fmt.Sprintf("shard %d: bad search response: %v", badShard, badErr)}
+		return http.StatusBadGateway, errBodyShard(codeBadUpstream, badShard, "shard %d: bad search response: %v", badShard, badErr)
 	}
 	// Only consulted shards can be missing: a pruned-out shard contributes
 	// nothing by construction, down or not.
 	if len(failed) > 0 && !rt.opts.FailOpen {
-		return http.StatusServiceUnavailable, errorBody{Error: fmt.Sprintf("shards %v unavailable (fail-closed)", failed)}
+		return http.StatusServiceUnavailable, errBody(codeShardUnavailable, "shards %v unavailable (fail-closed)", failed)
 	}
 	var hits []searchHit
 	for _, ph := range perShard {
@@ -647,7 +947,7 @@ func (rt *Router) handleSearch(r *http.Request) (int, any) {
 // matches the pinned one; an explicit mismatch sets stale (the caller
 // re-scatters). idx == nil fetches everything uncached. Failed shards are
 // listed; a shard whose 200 body fails to parse aborts via badErr.
-func (rt *Router) fetchPartials(ctx context.Context, candidates []int, pq, key string, idx *routingIndex) (perShard [][]searchHit, failed []int, stale bool, badShard int, badErr error) {
+func (rt *Router) fetchPartials(ctx context.Context, meta *respMeta, candidates []int, pq, key string, idx *routingIndex) (perShard [][]searchHit, failed []int, stale bool, badShard int, badErr error) {
 	perShard = make([][]searchHit, len(candidates))
 	cached := make([]bool, len(candidates))
 	results := make([]backendResult, len(candidates))
@@ -657,10 +957,14 @@ func (rt *Router) fetchPartials(ctx context.Context, candidates []int, pq, key s
 			fullKey := strconv.FormatUint(idx.shards[sh].gen, 10) + "\x00" + key
 			if hits, ok := rt.partials[sh].Load().get(fullKey); ok {
 				perShard[j], cached[j] = hits, true
+				meta.noteGen(sh, strconv.FormatUint(idx.shards[sh].gen, 10))
 				return
 			}
 		}
 		results[j] = rt.call(ctx, sh, http.MethodGet, pq, nil)
+		if results[j].err == nil {
+			meta.noteGen(sh, results[j].gen)
+		}
 	})
 	for j, sh := range candidates {
 		if cached[j] {
@@ -701,7 +1005,7 @@ func (rt *Router) fetchPartials(ctx context.Context, candidates []int, pq, key s
 // walking each ancestor's own home shard, level by level — reproducing the
 // union's BFS exactly, because every hop queries the one shard holding
 // that node's complete in-edge set.
-func (rt *Router) handleNode(r *http.Request) (int, any) {
+func (rt *Router) handleNode(r *http.Request, meta *respMeta) (int, any) {
 	q := r.URL.Query()
 	var (
 		chosen *shardNodeDetail
@@ -711,23 +1015,24 @@ func (rt *Router) handleNode(r *http.Request) (int, any) {
 	switch {
 	case q.Get("id") != "":
 		if _, err := strconv.Atoi(q.Get("id")); err != nil {
-			return http.StatusBadRequest, errorBody{Error: "invalid id: " + q.Get("id")}
+			return http.StatusBadRequest, errBody(codeInvalidArgument, "invalid id: "+q.Get("id"))
 		}
 	case q.Get("phrase") != "":
 		if ts := q.Get("type"); ts != "" {
 			t, err := ontology.ParseNodeType(ts)
 			if err != nil {
-				return http.StatusBadRequest, errorBody{Error: err.Error()}
+				return http.StatusBadRequest, errBody(codeInvalidArgument, err.Error())
 			}
 			primary := ontology.HomeShard(t, q.Get("phrase"), rt.k)
 			res := rt.call(r.Context(), primary, http.MethodGet, "/v1/node?"+r.URL.RawQuery, nil)
 			if res.err != nil {
-				return http.StatusBadGateway, errorBody{Error: fmt.Sprintf("shard %d unavailable: %v", primary, res.err)}
+				return http.StatusBadGateway, errBodyShard(codeShardUnavailable, primary, "shard %d unavailable: %v", primary, res.err)
 			}
+			meta.noteGen(primary, res.gen)
 			if res.status == http.StatusOK {
 				var d shardNodeDetail
 				if err := json.Unmarshal(res.body, &d); err != nil {
-					return http.StatusBadGateway, errorBody{Error: fmt.Sprintf("shard %d: bad node response: %v", primary, err)}
+					return http.StatusBadGateway, errBodyShard(codeBadUpstream, primary, "shard %d: bad node response: %v", primary, err)
 				}
 				// Only a phrase match short-circuits: the canonical phrase
 				// can live on no other shard. An alias answer must compete
@@ -746,21 +1051,21 @@ func (rt *Router) handleNode(r *http.Request) (int, any) {
 			skip = primary
 		}
 	default:
-		return http.StatusBadRequest, errorBody{Error: "need ?id= or ?phrase="}
+		return http.StatusBadRequest, errBody(codeInvalidArgument, "need ?id= or ?phrase=")
 	}
 	if chosen == nil {
-		best, failed, status := rt.scatterNode(r.Context(), r.URL.RawQuery, skip, seed)
+		best, failed, status := rt.scatterNode(r.Context(), meta, r.URL.RawQuery, skip, seed)
 		if status != 0 {
-			return status, errorBody{Error: fmt.Sprintf("shards %v unavailable", failed)}
+			return status, errBody(codeShardUnavailable, "shards %v unavailable", failed)
 		}
 		if best == nil {
-			return http.StatusNotFound, errorBody{Error: "node not found"}
+			return http.StatusNotFound, errBody(codeNotFound, "node not found")
 		}
 		chosen = best
 	}
 	ancestors, err := rt.assembleAncestors(r.Context(), chosen)
 	if err != nil {
-		return http.StatusBadGateway, errorBody{Error: "assemble ancestors: " + err.Error()}
+		return http.StatusBadGateway, errBody(codeBadUpstream, "assemble ancestors: "+err.Error())
 	}
 	d := chosen.nodeDetail
 	d.Ancestors = ancestors
@@ -772,7 +1077,7 @@ func (rt *Router) handleNode(r *http.Request) (int, any) {
 // and picks the union-precedence winner among the answers. A non-zero
 // returned status aborts the lookup (degraded fleet under the fail-closed
 // policy, or no answer at all while shards were missing).
-func (rt *Router) scatterNode(ctx context.Context, rawQuery string, skip int, seed *shardNodeDetail) (*shardNodeDetail, []int, int) {
+func (rt *Router) scatterNode(ctx context.Context, meta *respMeta, rawQuery string, skip int, seed *shardNodeDetail) (*shardNodeDetail, []int, int) {
 	shards := make([]int, 0, rt.k)
 	for i := 0; i < rt.k; i++ {
 		if i != skip {
@@ -782,6 +1087,9 @@ func (rt *Router) scatterNode(ctx context.Context, rawQuery string, skip int, se
 	results := make([]backendResult, len(shards))
 	par.ForEachIndexed(rt.workers(), len(shards), func(j int) {
 		results[j] = rt.call(ctx, shards[j], http.MethodGet, "/v1/node?"+rawQuery, nil)
+		if results[j].err == nil {
+			meta.noteGen(shards[j], results[j].gen)
+		}
 	})
 	var failed []int
 	best := seed
@@ -915,11 +1223,11 @@ func (rt *Router) fetchIsAParents(ctx context.Context, ref isaRef) ([]isaRef, er
 // handleStats fans /v1/stats out and reassembles the in-process sharded
 // stats shape: exact whole-world counts from each shard's owned slice and
 // the per-shard generation list verbatim.
-func (rt *Router) handleStats(r *http.Request) (int, any) {
-	results := rt.fanout(r.Context(), http.MethodGet, "/v1/stats", nil)
+func (rt *Router) handleStats(r *http.Request, meta *respMeta) (int, any) {
+	results := rt.fanout(r.Context(), meta, http.MethodGet, "/v1/stats", nil)
 	failed := failedShards(results)
 	if len(failed) > 0 && !rt.opts.FailOpen {
-		return http.StatusServiceUnavailable, errorBody{Error: fmt.Sprintf("shards %v unavailable (fail-closed)", failed)}
+		return http.StatusServiceUnavailable, errBody(codeShardUnavailable, "shards %v unavailable (fail-closed)", failed)
 	}
 	type shardBlock struct {
 		Shard       int            `json:"shard"`
@@ -942,11 +1250,11 @@ func (rt *Router) handleStats(r *http.Request) (int, any) {
 			Shard *shardBlock `json:"shard"`
 		}
 		if err := json.Unmarshal(results[i].body, &parsed); err != nil || parsed.Shard == nil {
-			return http.StatusBadGateway, errorBody{Error: fmt.Sprintf("shard %d: not a per-shard stats response (is the backend running with -shard?)", i)}
+			return http.StatusBadGateway, errBodyShard(codeBadUpstream, i, "shard %d: not a per-shard stats response (is the backend running with -shard?)", i)
 		}
 		sb := parsed.Shard
 		if sb.Shard != i || sb.Shards != rt.k {
-			return http.StatusBadGateway, errorBody{Error: fmt.Sprintf("backend %d serves shard %d/%d, want %d/%d (check -backends order)", i, sb.Shard, sb.Shards, i, rt.k)}
+			return http.StatusBadGateway, errBodyShard(codeBadUpstream, i, "backend %d serves shard %d/%d, want %d/%d (check -backends order)", i, sb.Shard, sb.Shards, i, rt.k)
 		}
 		nodes += sb.Nodes
 		edges += sb.OwnedEdges
@@ -972,8 +1280,8 @@ func (rt *Router) handleStats(r *http.Request) (int, any) {
 	return http.StatusOK, resp
 }
 
-func (rt *Router) handleMetrics(r *http.Request) (int, any) {
-	results := rt.fanout(r.Context(), http.MethodGet, "/v1/metrics", nil)
+func (rt *Router) handleMetrics(r *http.Request, meta *respMeta) (int, any) {
+	results := rt.fanout(r.Context(), meta, http.MethodGet, "/v1/metrics", nil)
 	backends := make([]any, rt.k)
 	for i := range results {
 		if results[i].ok() {
@@ -990,25 +1298,281 @@ func (rt *Router) handleMetrics(r *http.Request) (int, any) {
 	}
 }
 
-// handleIngest broadcasts the batch to every backend — each holds the full
-// mining system and republishes only its own shard — with all-or-nothing
-// generation accounting: the merged generation report is returned only
-// when every backend applied the batch; a partial application surfaces as
-// 502 naming the shards that diverged. Writes are always fail-closed.
-func (rt *Router) handleIngest(r *http.Request) (int, any) {
+// handleIngest applies a batch fleet-wide. Without a delta log it
+// broadcasts to every backend — each holds the full mining system and
+// republishes only its own shard — with all-or-nothing generation
+// accounting: the merged generation report is returned only when every
+// backend applied the batch; a partial application surfaces as 502 naming
+// the shards that diverged. With WALDir set it takes the delta-log path
+// (ingestWAL). Writes are always fail-closed.
+func (rt *Router) handleIngest(r *http.Request, meta *respMeta) (int, any) {
 	if r.Method != http.MethodPost {
-		return http.StatusMethodNotAllowed, errorBody{Error: "use POST"}
+		return http.StatusMethodNotAllowed, errBody(codeMethodNotAllowed, "use POST")
 	}
 	body, err := io.ReadAll(r.Body)
 	if err != nil {
-		return http.StatusBadRequest, errorBody{Error: "read body: " + err.Error()}
+		return http.StatusBadRequest, errBody(codeInvalidArgument, "read body: "+err.Error())
+	}
+	if rt.walMode() {
+		return rt.ingestWAL(r.Context(), meta, body)
 	}
 	rt.ingestMu.Lock()
 	defer rt.ingestMu.Unlock()
 	results := rt.broadcast(r.Context(), http.MethodPost, "/v1/ingest", body)
-	status, resp := rt.mergeBroadcast(results, "ingest")
+	status, resp := rt.mergeBroadcast(meta, results, "ingest")
 	rt.invalidateAfterIngest(status, resp)
 	return status, resp
+}
+
+// ingestWAL is the delta-log ingest path: validate, push back if any
+// shard's slowest healthy replica has fallen too far behind, append the
+// batch to every shard's log, then block until a quorum (⌈N/2⌉) of each
+// shard's replicas confirm the apply through GET /v1/wal. Replicas left
+// behind by the quorum catch up from the log alone and are kept out of
+// read rotation by the generation gate until they do.
+func (rt *Router) ingestWAL(ctx context.Context, meta *respMeta, body []byte) (int, any) {
+	var batch delta.Batch
+	if err := json.Unmarshal(body, &batch); err != nil {
+		return http.StatusBadRequest, errBody(codeInvalidArgument, "decode batch: "+err.Error())
+	}
+	rt.ingestMu.Lock()
+	defer rt.ingestMu.Unlock()
+	// Backpressure: a shard whose slowest healthy replica trails the log
+	// head by more than MaxLag must drain first — otherwise a slow-but-
+	// alive replica falls unboundedly far behind the reads its gate
+	// position already excludes it from serving.
+	for s, set := range rt.shards {
+		head := set.log.Head()
+		var minApplied uint64
+		have := false
+		for _, rep := range set.replicas {
+			if rep.down.Load() {
+				continue
+			}
+			g := rep.applied.Load()
+			if !have || g < minApplied {
+				minApplied, have = g, true
+			}
+		}
+		if have && head > minApplied && head-minApplied > rt.opts.MaxLag {
+			meta.setHeader("Retry-After", "1")
+			e := errBodyShard(codeReplicaLagging, s,
+				"shard %d delta log at generation %d but its slowest healthy replica has applied %d (max lag %d); retry later",
+				s, head, minApplied, rt.opts.MaxLag)
+			e.Error.Generation = head
+			return http.StatusTooManyRequests, e
+		}
+	}
+	// Append to every shard's log. A failed append after earlier shards
+	// accepted is a partial write — the appended shards' replicas will
+	// apply it — reported exactly like a diverged broadcast.
+	walGens := make([]uint64, rt.k)
+	var appendFailed []int
+	var appendErr error
+	for s, set := range rt.shards {
+		g, err := set.log.Append(batch.Day, body)
+		if err != nil {
+			appendFailed = append(appendFailed, s)
+			if appendErr == nil {
+				appendErr = err
+			}
+			continue
+		}
+		walGens[s] = g
+	}
+	if len(appendFailed) > 0 {
+		rt.invalidateSearch(nil, true)
+		rows := make([]shardWriteStatus, rt.k)
+		for s := range rows {
+			rows[s] = shardWriteStatus{Shard: s, Applied: walGens[s] != 0}
+			if walGens[s] == 0 {
+				rows[s].Error = appendErr.Error()
+			}
+		}
+		return http.StatusBadGateway, map[string]any{
+			"error": apiError{Code: codePartialApply, Message: fmt.Sprintf(
+				"delta log append failed on shards %v: %v; reconcile the shards marked applied=false", appendFailed, appendErr)},
+			"shards": rows,
+		}
+	}
+	status, resp := rt.awaitQuorum(ctx, meta, walGens)
+	rt.invalidateAfterIngest(status, resp)
+	return status, resp
+}
+
+// awaitQuorum asks every replica to confirm the apply of its shard's log
+// record walGens[shard] and merges the outcome once each shard reaches
+// quorum (or every replica has answered). Because replicas apply the
+// deterministic mining pipeline, any confirming replica's recorded
+// outcome stands for the whole shard.
+func (rt *Router) awaitQuorum(ctx context.Context, meta *respMeta, walGens []uint64) (int, any) {
+	ackTimeout := rt.opts.AckTimeout
+	if ackTimeout <= 0 {
+		ackTimeout = rt.opts.WriteTimeout
+	}
+	// Detached from the client request: once appended, the apply wait must
+	// not be abandoned by a client disconnect.
+	actx := context.WithoutCancel(ctx)
+	type ack struct {
+		shard  int
+		ok     bool           // the replica confirmed the apply
+		status int            // HTTP-equivalent status of the apply (when reported)
+		result map[string]any // the apply's response payload (when reported)
+		err    string
+	}
+	total := 0
+	for _, set := range rt.shards {
+		total += len(set.replicas)
+	}
+	acks := make(chan ack, total)
+	for s, set := range rt.shards {
+		pq := fmt.Sprintf("/v1/wal?wait=%d&timeout_ms=%d", walGens[s], ackTimeout.Milliseconds())
+		for _, rep := range set.replicas {
+			go func(s int, rep *replicaState) {
+				res := rt.callReplica(actx, ackTimeout+5*time.Second, rep, http.MethodGet, pq, nil)
+				a := ack{shard: s}
+				switch {
+				case res.err != nil:
+					a.err = res.err.Error()
+				case res.status != http.StatusOK:
+					a.err = fmt.Sprintf("status %d", res.status)
+				default:
+					var parsed struct {
+						Applied bool `json:"applied"`
+						Last    *struct {
+							WALGen uint64         `json:"wal_gen"`
+							Status int            `json:"status"`
+							Result map[string]any `json:"result"`
+						} `json:"last"`
+					}
+					if jerr := json.Unmarshal(res.body, &parsed); jerr != nil {
+						a.err = "bad /v1/wal response: " + jerr.Error()
+					} else if !parsed.Applied {
+						a.err = "apply wait timed out"
+					} else {
+						a.ok = true
+						if parsed.Last != nil && parsed.Last.WALGen == walGens[s] {
+							a.status = parsed.Last.Status
+							a.result = parsed.Last.Result
+						}
+					}
+				}
+				acks <- a
+			}(s, rep)
+		}
+	}
+	need := make([]int, rt.k)
+	for s, set := range rt.shards {
+		need[s] = (len(set.replicas) + 1) / 2
+	}
+	got := make([]int, rt.k)
+	statuses := make([]int, rt.k)
+	reports := make([]map[string]any, rt.k)
+	lastErr := make([]string, rt.k)
+	quorum := func() bool {
+		for s := range need {
+			if got[s] < need[s] || statuses[s] == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	// Drain until every shard reaches quorum with a recorded outcome, or
+	// every replica has answered; stragglers drain into the buffered
+	// channel and exit on their own.
+	for pending := total; pending > 0 && !quorum(); pending-- {
+		a := <-acks
+		if a.ok {
+			got[a.shard]++
+			if statuses[a.shard] == 0 && a.status != 0 {
+				statuses[a.shard] = a.status
+				reports[a.shard] = a.result
+			}
+		} else if a.err != "" {
+			lastErr[a.shard] = a.err
+		}
+	}
+	var failed []int
+	for s := range need {
+		if got[s] < need[s] || statuses[s] == 0 {
+			failed = append(failed, s)
+		}
+	}
+	if len(failed) > 0 {
+		rows := make([]shardWriteStatus, rt.k)
+		for s := range rows {
+			applied := got[s] >= need[s] && statuses[s] != 0
+			rows[s] = shardWriteStatus{Shard: s, Applied: applied, Status: statuses[s], Error: lastErr[s]}
+			if rep := reports[s]; rep != nil {
+				if g, ok := rep["generation"].(float64); ok {
+					rows[s].Generation = uint64(g)
+				}
+			}
+		}
+		return http.StatusBadGateway, map[string]any{
+			"error": apiError{Code: codePartialApply, Message: fmt.Sprintf(
+				"partial ingest application: shards %v did not reach apply quorum; reconcile the shards marked applied=false", failed)},
+			"shards": rows,
+		}
+	}
+	// A batch the deterministic mining pipeline rejects is rejected
+	// identically by every replica of every shard: forward the client
+	// fault verbatim.
+	uniform := statuses[0]
+	for _, st := range statuses {
+		if st != uniform {
+			uniform = 0
+			break
+		}
+	}
+	if uniform >= 400 && uniform < 500 {
+		return uniform, reports[0]
+	}
+	if uniform != http.StatusOK {
+		rows := make([]shardWriteStatus, rt.k)
+		for s := range rows {
+			rows[s] = shardWriteStatus{Shard: s, Applied: statuses[s] == http.StatusOK, Status: statuses[s]}
+		}
+		return http.StatusBadGateway, map[string]any{
+			"error":  apiError{Code: codePartialApply, Message: "partial ingest application: shards disagreed on the apply outcome; reconcile the shards marked applied=false"},
+			"shards": rows,
+		}
+	}
+	gens := make([]uint64, rt.k)
+	rows := make([]shardWriteStatus, rt.k)
+	nodes := 0
+	for s, rep := range reports {
+		g, _ := rep["generation"].(float64)
+		gens[s] = uint64(g)
+		applied := true
+		if rp, ok := rep["republished"].(bool); ok {
+			applied = rp
+		}
+		rows[s] = shardWriteStatus{Shard: s, Generation: uint64(g), Applied: applied}
+		if hn, ok := rep["home_nodes"].(float64); ok {
+			nodes += int(hn)
+		}
+		meta.noteGen(s, strconv.FormatUint(uint64(g), 10))
+	}
+	touched := []int{}
+	if ta, ok := reports[0]["touched_shards"].([]any); ok {
+		for _, v := range ta {
+			if f, ok := v.(float64); ok {
+				touched = append(touched, int(f))
+			}
+		}
+	}
+	resp := map[string]any{
+		"shards":            rows,
+		"shard_generations": gens,
+		"wal_generations":   walGens,
+		"touched_shards":    touched,
+		"nodes":             nodes,
+	}
+	if d, ok := reports[0]["delta"].(map[string]any); ok {
+		resp["delta"] = d
+	}
+	return http.StatusOK, resp
 }
 
 // invalidateAfterIngest applies the search invalidation rules to a merged
@@ -1040,15 +1604,21 @@ func (rt *Router) invalidateAfterIngest(status int, resp any) {
 }
 
 // handleReload broadcasts /v1/reload with the same all-or-nothing
-// accounting as ingest.
-func (rt *Router) handleReload(r *http.Request) (int, any) {
+// accounting as ingest. On a delta-log fleet reload is refused: replicas
+// derive their world from the log, and a side-loaded snapshot would fork
+// them from it.
+func (rt *Router) handleReload(r *http.Request, meta *respMeta) (int, any) {
 	if r.Method != http.MethodPost {
-		return http.StatusMethodNotAllowed, errorBody{Error: "use POST"}
+		return http.StatusMethodNotAllowed, errBody(codeMethodNotAllowed, "use POST")
+	}
+	if rt.walMode() {
+		return http.StatusServiceUnavailable, errBody(codeUnavailable,
+			"reload is unsupported on a delta-log fleet; restart the replicas instead")
 	}
 	rt.ingestMu.Lock()
 	defer rt.ingestMu.Unlock()
 	results := rt.broadcast(r.Context(), http.MethodPost, "/v1/reload", nil)
-	status, resp := rt.mergeBroadcast(results, "reload")
+	status, resp := rt.mergeBroadcast(meta, results, "reload")
 	// A reload replaces whole worlds: drop the routing index and every
 	// cached partial whenever any backend may have applied it.
 	if status < 400 || status >= 500 {
@@ -1063,6 +1633,7 @@ type shardWriteResp struct {
 	Generation    uint64         `json:"generation"`
 	TouchedShards []int          `json:"touched_shards"`
 	HomeNodes     int            `json:"home_nodes"`
+	Republished   *bool          `json:"republished"`
 	Delta         map[string]any `json:"delta"`
 }
 
@@ -1073,7 +1644,7 @@ type shardWriteResp struct {
 // status detail: the fleet's generations may have diverged and the
 // operator must reconcile (the response names exactly which shards
 // applied).
-func (rt *Router) mergeBroadcast(results []backendResult, what string) (int, any) {
+func (rt *Router) mergeBroadcast(meta *respMeta, results []backendResult, what string) (int, any) {
 	allOK, all4xx := true, true
 	first4xx := 0
 	for i := range results {
@@ -1102,32 +1673,36 @@ func (rt *Router) mergeBroadcast(results []backendResult, what string) (int, any
 		}
 	}
 	if !allOK {
-		type shardStatus struct {
-			Shard   int    `json:"shard"`
-			Applied bool   `json:"applied"`
-			Status  int    `json:"status,omitempty"`
-			Error   string `json:"error,omitempty"`
-		}
-		detail := make([]shardStatus, rt.k)
+		detail := make([]shardWriteStatus, rt.k)
 		for i := range results {
-			detail[i] = shardStatus{Shard: i, Applied: results[i].ok(), Status: results[i].status}
+			detail[i] = shardWriteStatus{Shard: i, Applied: results[i].ok(), Status: results[i].status}
+			if results[i].ok() {
+				detail[i].Generation = parsed[i].Generation
+			}
 			if results[i].err != nil {
 				detail[i].Error = results[i].err.Error()
 			}
 		}
 		return http.StatusBadGateway, map[string]any{
-			"error":  fmt.Sprintf("partial %s application: generations may have diverged; reconcile the shards marked applied=false", what),
+			"error": apiError{Code: codePartialApply, Message: fmt.Sprintf(
+				"partial %s application: generations may have diverged; reconcile the shards marked applied=false", what)},
 			"shards": detail,
 		}
 	}
 	gens := make([]uint64, rt.k)
+	rows := make([]shardWriteStatus, rt.k)
 	nodes := 0
 	for i := range parsed {
 		gens[i] = parsed[i].Generation
 		nodes += parsed[i].HomeNodes
+		applied := parsed[i].Republished == nil || *parsed[i].Republished
+		rows[i] = shardWriteStatus{Shard: i, Generation: parsed[i].Generation, Applied: applied}
+		if meta != nil {
+			meta.noteGen(i, strconv.FormatUint(parsed[i].Generation, 10))
+		}
 	}
 	resp := map[string]any{
-		"shards":            rt.k,
+		"shards":            rows,
 		"shard_generations": gens,
 		"nodes":             nodes,
 	}

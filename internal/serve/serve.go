@@ -162,11 +162,16 @@ type Server struct {
 	enc         storytree.Encoder
 	story       storytree.Options
 	shardMode   bool // built with NewShard: serves one shard projection
+	// wal is non-nil on a delta-log replica (a NewShard server with an
+	// attached Follower): the server then refuses direct writes
+	// (read_only_replica) and answers /v1/wal with its applied log
+	// position for the router's quorum acks and read gating.
+	wal atomic.Pointer[walState]
 }
 
 // endpointNames fixes the metrics registry key set.
 var endpointNames = []string{
-	"healthz", "stats", "node", "search", "tag", "query_rewrite", "story", "metrics", "reload", "ingest", "rollback",
+	"healthz", "stats", "node", "search", "tag", "query_rewrite", "story", "metrics", "reload", "ingest", "rollback", "wal",
 }
 
 // newServer applies option defaults and wires the fields shared by both
@@ -238,7 +243,8 @@ func NewShard(p *ontology.ShardProjection, opts Options) *Server {
 func (s *Server) SwapSharded(ss *ontology.ShardedSnapshot, touched []bool) uint64 {
 	s.swapMu.Lock()
 	defer s.swapMu.Unlock()
-	return s.publishShardedLocked(ss, touched, false)
+	gen, _ := s.publishShardedLocked(ss, touched, false)
+	return gen
 }
 
 // publishShardedLocked pushes the touched shards and publishes the sharded
@@ -253,7 +259,7 @@ func (s *Server) SwapSharded(ss *ontology.ShardedSnapshot, touched []bool) uint6
 // of untouched shards into the new state — sound only when the publish is
 // an append-only delta (no retirements, whose dense renumbering can shift
 // union IDs embedded in cached bodies of untouched shards).
-func (s *Server) publishShardedLocked(ss *ontology.ShardedSnapshot, touched []bool, carryCaches bool) uint64 {
+func (s *Server) publishShardedLocked(ss *ontology.ShardedSnapshot, touched []bool, carryCaches bool) (uint64, []bool) {
 	prev := s.cur.Load()
 	republished := make([]bool, ss.NumShards())
 	for i := 0; i < ss.NumShards(); i++ {
@@ -293,7 +299,7 @@ func (s *Server) publishShardedLocked(ss *ontology.ShardedSnapshot, touched []bo
 			}
 		}
 	}
-	return s.storeShardedStateLocked(ss, s.store.Push(ss.Union()), caches, partials)
+	return s.storeShardedStateLocked(ss, s.store.Push(ss.Union()), caches, partials), republished
 }
 
 // storeShardedStateLocked indexes and atomically publishes the sharded
@@ -378,7 +384,8 @@ func (s *Server) SwapSnapshot(snap *ontology.Snapshot) (uint64, error) {
 		if err != nil {
 			return 0, err
 		}
-		return s.publishShardedLocked(ss, nil, false), nil
+		gen, _ := s.publishShardedLocked(ss, nil, false)
+		return gen, nil
 	}
 	return s.publishLocked(snap, s.store.Push(snap)), nil
 }
@@ -452,10 +459,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("/v1/reload", s.endpoint("reload", false, s.handleReload))
 	s.mux.HandleFunc("/v1/ingest", s.endpoint("ingest", false, s.handleIngest))
 	s.mux.HandleFunc("/v1/rollback", s.endpoint("rollback", false, s.handleRollback))
-}
-
-type errorBody struct {
-	Error string `json:"error"`
+	s.mux.HandleFunc("/v1/wal", s.endpoint("wal", false, s.handleWAL))
 }
 
 // handlerFunc is one endpoint's logic: it reads only from st (never from
@@ -477,6 +481,7 @@ func (s *Server) endpoint(name string, cacheable bool, fn handlerFunc) http.Hand
 		if useCache {
 			cache = st.cacheFor(name, r)
 			if body := cache.get(r.URL.RequestURI()); body != nil {
+				s.setGenHeaders(w, st)
 				writeBody(w, http.StatusOK, body, true)
 				m.observe(http.StatusOK, time.Since(start), true)
 				return
@@ -486,7 +491,7 @@ func (s *Server) endpoint(name string, cacheable bool, fn handlerFunc) http.Hand
 		body, err := json.Marshal(payload)
 		if err != nil {
 			status = http.StatusInternalServerError
-			body, _ = json.Marshal(errorBody{Error: "encode response: " + err.Error()})
+			body, _ = json.Marshal(errBody(codeInternal, "encode response: "+err.Error()))
 		}
 		// Terminate the body before it can be cached: cached bytes are
 		// served verbatim to any number of concurrent readers, so nothing
@@ -495,8 +500,20 @@ func (s *Server) endpoint(name string, cacheable bool, fn handlerFunc) http.Hand
 		if useCache && status == http.StatusOK {
 			cache.put(r.URL.RequestURI(), body)
 		}
+		s.setGenHeaders(w, st)
 		writeBody(w, status, body, false)
 		m.observe(status, time.Since(start), false)
+	}
+}
+
+// setGenHeaders stamps the generation headers on every response: the
+// serving generation of the state that answered, and — on a delta-log
+// replica — the current applied log position, read AFTER the handler ran
+// so a blocking /v1/wal wait reports its post-wait position.
+func (s *Server) setGenHeaders(w http.ResponseWriter, st *state) {
+	w.Header().Set(genHeader, strconv.FormatUint(st.gen, 10))
+	if ws := s.wal.Load(); ws != nil {
+		w.Header().Set(walGenHeader, strconv.FormatUint(ws.position(), 10))
 	}
 }
 
@@ -537,7 +554,7 @@ func resolveNodeQuery(snap *ontology.Snapshot, q url.Values) (node ontology.Node
 	case q.Get("id") != "":
 		id, err := strconv.Atoi(q.Get("id"))
 		if err != nil {
-			return ontology.Node{}, false, http.StatusBadRequest, errorBody{Error: "invalid id: " + q.Get("id")}
+			return ontology.Node{}, false, http.StatusBadRequest, errBody(codeInvalidArgument, "invalid id: "+q.Get("id"))
 		}
 		node, ok = snap.Get(ontology.NodeID(id))
 	case q.Get("phrase") != "":
@@ -545,7 +562,7 @@ func resolveNodeQuery(snap *ontology.Snapshot, q url.Values) (node ontology.Node
 		if ts := q.Get("type"); ts != "" {
 			t, err := ontology.ParseNodeType(ts)
 			if err != nil {
-				return ontology.Node{}, false, http.StatusBadRequest, errorBody{Error: err.Error()}
+				return ontology.Node{}, false, http.StatusBadRequest, errBody(codeInvalidArgument, err.Error())
 			}
 			node, ok = snap.Find(t, phrase)
 			if !ok {
@@ -557,7 +574,7 @@ func resolveNodeQuery(snap *ontology.Snapshot, q url.Values) (node ontology.Node
 			node, ok = snap.Get(id)
 		}
 	default:
-		return ontology.Node{}, false, http.StatusBadRequest, errorBody{Error: "need ?id= or ?phrase="}
+		return ontology.Node{}, false, http.StatusBadRequest, errBody(codeInvalidArgument, "need ?id= or ?phrase=")
 	}
 	return node, ok, 0, errorBody{}
 }
@@ -584,6 +601,10 @@ func (s *Server) handleHealthz(st *state, r *http.Request) (int, any) {
 		resp["shard"] = st.proj.Shard
 		resp["shards"] = st.proj.NumShards
 		resp["home_nodes"] = st.proj.HomeCount
+	}
+	if ws := s.wal.Load(); ws != nil {
+		resp["replica"] = ws.replica
+		resp["wal_gen"] = ws.position()
 	}
 	return http.StatusOK, resp
 }
@@ -617,13 +638,14 @@ type shardSummary struct {
 func (s *Server) handleStats(st *state, r *http.Request) (int, any) {
 	stats := st.snap.ComputeStats()
 	resp := map[string]any{
-		"generation":    st.gen,
-		"loaded_at":     st.loadedAt.UTC().Format(time.RFC3339),
-		"nodes":         st.snap.NodeCount(),
-		"edges":         st.snap.EdgeCount(),
-		"nodes_by_type": stats.NodesByType,
-		"edges_by_type": stats.EdgesByType,
-		"generations":   s.generations(),
+		"generation":         st.gen,
+		"loaded_at":          st.loadedAt.UTC().Format(time.RFC3339),
+		"nodes":              st.snap.NodeCount(),
+		"edges":              st.snap.EdgeCount(),
+		"nodes_by_type":      stats.NodesByType,
+		"edges_by_type":      stats.EdgesByType,
+		"generations":        s.generations(),
+		"max_search_results": s.opts.MaxSearchResults,
 	}
 	if st.shards != nil {
 		// Scatter-gather: each shard's projection answers its own counts.
@@ -695,7 +717,7 @@ func (s *Server) handleNode(st *state, r *http.Request) (int, any) {
 		return badReq, errb
 	}
 	if !ok {
-		return http.StatusNotFound, errorBody{Error: "node not found"}
+		return http.StatusNotFound, errBody(codeNotFound, "node not found")
 	}
 	d := nodeDetail{Node: toAPINode(node)}
 	for et := ontology.EdgeType(0); et < ontology.NumEdgeTypes; et++ {
@@ -719,24 +741,16 @@ func (s *Server) handleNode(st *state, r *http.Request) (int, any) {
 }
 
 func (s *Server) handleSearch(st *state, r *http.Request) (int, any) {
-	q := r.URL.Query().Get("q")
-	if q == "" {
-		return http.StatusBadRequest, errorBody{Error: "need ?q="}
+	p, bad, errb := parseSearchParams(r.URL.Query(), s.opts.MaxSearchResults)
+	if bad != 0 {
+		return bad, errb
 	}
-	limit := 10
-	if ls := r.URL.Query().Get("limit"); ls != "" {
-		l, err := strconv.Atoi(ls)
-		if err != nil || l <= 0 {
-			return http.StatusBadRequest, errorBody{Error: "invalid limit: " + ls}
-		}
-		limit = l
-	}
-	if limit > s.opts.MaxSearchResults {
-		limit = s.opts.MaxSearchResults
-	}
+	q, limit := p.q, p.limit
 	// Sharded states route the needle through the per-shard term-gram
 	// indexes and merge cached per-shard partials; the merged hits are
-	// identical to the single-snapshot scan. A per-shard process scans
+	// identical to the single-snapshot scan (?scatter=full forces the
+	// unrouted, uncached scan — the router's debugging bypass works
+	// against the in-process server too). A per-shard process scans
 	// only its own home-node prefix and renders union IDs — the router's
 	// merge of K such responses is the same scatter-gather, stretched
 	// across process boundaries.
@@ -747,7 +761,11 @@ func (s *Server) handleSearch(st *state, r *http.Request) (int, any) {
 		results = st.proj.SearchHome(q, limit)
 		idOf = func(n *ontology.Node) ontology.NodeID { return st.proj.UnionID(n.ID) }
 	case st.shards != nil:
-		results = st.searchSharded(q, limit)
+		if p.full {
+			results = st.shards.Search(q, limit)
+		} else {
+			results = st.searchSharded(q, limit)
+		}
 	default:
 		results = st.snap.Search(q, limit)
 	}
@@ -846,13 +864,13 @@ func (s *Server) handleTag(st *state, r *http.Request) (int, any) {
 		}
 	case http.MethodPost:
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			return http.StatusBadRequest, errorBody{Error: "decode body: " + err.Error()}
+			return http.StatusBadRequest, errBody(codeInvalidArgument, "decode body: "+err.Error())
 		}
 	default:
-		return http.StatusMethodNotAllowed, errorBody{Error: "use GET or POST"}
+		return http.StatusMethodNotAllowed, errBody(codeMethodNotAllowed, "use GET or POST")
 	}
 	if req.Title == "" && req.Content == "" {
-		return http.StatusBadRequest, errorBody{Error: "need a title or content"}
+		return http.StatusBadRequest, errBody(codeInvalidArgument, "need a title or content")
 	}
 	doc := &tagging.Document{Title: req.Title, Content: req.Content, Entities: req.Entities}
 	toResults := func(tags []tagging.Tag) []tagResult {
@@ -871,7 +889,7 @@ func (s *Server) handleTag(st *state, r *http.Request) (int, any) {
 func (s *Server) handleQueryRewrite(st *state, r *http.Request) (int, any) {
 	q := r.URL.Query().Get("q")
 	if q == "" {
-		return http.StatusBadRequest, errorBody{Error: "need ?q="}
+		return http.StatusBadRequest, errBody(codeInvalidArgument, "need ?q=")
 	}
 	a := st.query.Analyze(q)
 	return http.StatusOK, map[string]any{
@@ -886,11 +904,11 @@ func (s *Server) handleQueryRewrite(st *state, r *http.Request) (int, any) {
 func (s *Server) handleStory(st *state, r *http.Request) (int, any) {
 	seed := r.URL.Query().Get("seed")
 	if seed == "" {
-		return http.StatusBadRequest, errorBody{Error: "need ?seed="}
+		return http.StatusBadRequest, errBody(codeInvalidArgument, "need ?seed=")
 	}
 	tree, ok := storytree.FormFromEvents(st.storyEvents, seed, s.enc, s.story)
 	if !ok {
-		return http.StatusNotFound, errorBody{Error: fmt.Sprintf("no event %q in the ontology", seed)}
+		return http.StatusNotFound, errBody(codeNotFound, "no event %q in the ontology", seed)
 	}
 	type event struct {
 		Phrase   string   `json:"phrase"`
@@ -925,55 +943,77 @@ func (s *Server) handleMetrics(st *state, r *http.Request) (int, any) {
 
 func (s *Server) handleReload(st *state, r *http.Request) (int, any) {
 	if r.Method != http.MethodPost {
-		return http.StatusMethodNotAllowed, errorBody{Error: "use POST"}
+		return http.StatusMethodNotAllowed, errBody(codeMethodNotAllowed, "use POST")
+	}
+	if s.wal.Load() != nil {
+		// A reload on a replica would publish a world outside the delta-log
+		// lineage, silently desynchronizing it from its peers.
+		return http.StatusServiceUnavailable, errBody(codeReadOnlyReplica, "replica follows a delta log; restart it to reload")
 	}
 	if s.shardMode {
 		// Per-shard process: reload through the shard-projection loader.
 		if s.opts.ShardLoader == nil {
-			return http.StatusServiceUnavailable, errorBody{Error: "no shard loader configured"}
+			return http.StatusServiceUnavailable, errBody(codeUnavailable, "no shard loader configured")
 		}
 		p, err := s.opts.ShardLoader()
 		if err != nil {
-			return http.StatusBadGateway, errorBody{Error: "load shard projection: " + err.Error()}
+			return http.StatusBadGateway, errBody(codeBadUpstream, "load shard projection: "+err.Error())
 		}
 		gen, err := s.SwapShard(p)
 		if err != nil {
-			return http.StatusInternalServerError, errorBody{Error: "swap shard projection: " + err.Error()}
+			return http.StatusInternalServerError, errBody(codeInternal, "swap shard projection: "+err.Error())
 		}
 		return http.StatusOK, map[string]any{
 			"old_generation": st.gen,
 			"generation":     gen,
 			"shard":          p.Shard,
+			"shards":         []shardWriteStatus{{Shard: p.Shard, Generation: gen, Applied: true}},
 			"home_nodes":     p.HomeCount,
 			"nodes":          p.Snap.NodeCount(),
 			"edges":          p.Snap.EdgeCount(),
 		}
 	}
 	if s.opts.Loader == nil {
-		return http.StatusServiceUnavailable, errorBody{Error: "no snapshot loader configured"}
+		return http.StatusServiceUnavailable, errBody(codeUnavailable, "no snapshot loader configured")
 	}
 	snap, err := s.opts.Loader()
 	if err != nil {
-		return http.StatusBadGateway, errorBody{Error: "load snapshot: " + err.Error()}
+		return http.StatusBadGateway, errBody(codeBadUpstream, "load snapshot: "+err.Error())
 	}
 	var gen uint64
+	var rows []shardWriteStatus
 	if st.shards != nil {
 		// A reload replaces the whole world: re-partition the fresh
 		// snapshot and republish every shard.
 		ss, err := ontology.ShardSnapshot(snap, st.shards.NumShards())
 		if err != nil {
-			return http.StatusInternalServerError, errorBody{Error: "shard snapshot: " + err.Error()}
+			return http.StatusInternalServerError, errBody(codeInternal, "shard snapshot: "+err.Error())
 		}
 		gen = s.SwapSharded(ss, nil)
+		rows = s.writeStatusRows(nil)
 	} else {
 		gen = s.Swap(snap)
+		rows = []shardWriteStatus{{Shard: 0, Generation: gen, Applied: true}}
 	}
 	return http.StatusOK, map[string]any{
 		"old_generation": st.gen,
 		"generation":     gen,
+		"shards":         rows,
 		"nodes":          snap.NodeCount(),
 		"edges":          snap.EdgeCount(),
 	}
+}
+
+// writeStatusRows renders the sharded server's per-shard write-status
+// rows from the current per-shard generations; applied[i]=false marks a
+// shard the write left untouched (nil marks every shard applied).
+func (s *Server) writeStatusRows(applied []bool) []shardWriteStatus {
+	gens := s.shardStores.CurrentGens()
+	rows := make([]shardWriteStatus, len(gens))
+	for i := range rows {
+		rows[i] = shardWriteStatus{Shard: i, Generation: gens[i], Applied: applied == nil || (i < len(applied) && applied[i])}
+	}
+	return rows
 }
 
 // handleIngest applies an incremental update batch: the request body is a
@@ -982,38 +1022,51 @@ func (s *Server) handleReload(st *state, r *http.Request) (int, any) {
 // readers keep the generation they started on.
 func (s *Server) handleIngest(st *state, r *http.Request) (int, any) {
 	if r.Method != http.MethodPost {
-		return http.StatusMethodNotAllowed, errorBody{Error: "use POST"}
+		return http.StatusMethodNotAllowed, errBody(codeMethodNotAllowed, "use POST")
+	}
+	if s.wal.Load() != nil {
+		// A delta-log replica applies batches from the log only; a direct
+		// write would fork its lineage from its peers'.
+		return http.StatusServiceUnavailable, errBody(codeReadOnlyReplica, "replica follows a delta log; write through the router")
 	}
 	if s.opts.Ingest == nil && s.opts.IngestSharded == nil && s.opts.ShardIngest == nil {
-		return http.StatusServiceUnavailable, errorBody{Error: "no ingester configured (run giantd with -build)"}
+		return http.StatusServiceUnavailable, errBody(codeUnavailable, "no ingester configured (run giantd with -build)")
 	}
 	if s.opts.ShardIngest != nil && !s.shardMode {
-		return http.StatusServiceUnavailable, errorBody{Error: "per-shard ingester on a non-shard server (build it with serve.NewShard)"}
+		return http.StatusServiceUnavailable, errBody(codeUnavailable, "per-shard ingester on a non-shard server (build it with serve.NewShard)")
 	}
 	if s.shardMode && s.opts.ShardIngest == nil {
 		// A whole-world ingester on a per-shard server would publish a
 		// state with no shard identity, silently de-sharding the backend.
-		return http.StatusServiceUnavailable, errorBody{Error: "whole-world ingester on a per-shard server (configure Options.ShardIngest)"}
+		return http.StatusServiceUnavailable, errBody(codeUnavailable, "whole-world ingester on a per-shard server (configure Options.ShardIngest)")
 	}
 	if !s.shardMode && s.opts.IngestSharded != nil && s.shardStores == nil {
 		// The sharded ingest path publishes per shard; a server built
 		// with New has no shard stores to publish into.
-		return http.StatusServiceUnavailable, errorBody{Error: "sharded ingester on an unsharded server (build it with serve.NewSharded)"}
+		return http.StatusServiceUnavailable, errBody(codeUnavailable, "sharded ingester on an unsharded server (build it with serve.NewSharded)")
 	}
 	if !s.shardMode && s.opts.IngestSharded == nil && s.shardStores != nil {
 		// And the mirror image: a plain ingester would publish an
 		// unsharded state, silently dropping scatter-gather serving and
 		// per-shard generations on a NewSharded server.
-		return http.StatusServiceUnavailable, errorBody{Error: "unsharded ingester on a sharded server (configure Options.IngestSharded)"}
+		return http.StatusServiceUnavailable, errBody(codeUnavailable, "unsharded ingester on a sharded server (configure Options.IngestSharded)")
 	}
 	var batch delta.Batch
 	if err := json.NewDecoder(r.Body).Decode(&batch); err != nil {
-		return http.StatusBadRequest, errorBody{Error: "decode batch: " + err.Error()}
+		return http.StatusBadRequest, errBody(codeInvalidArgument, "decode batch: "+err.Error())
 	}
-	// Hold the swap lock across compute + publish so concurrent ingests
-	// apply and publish in the same order (readers never take this lock).
+	return s.ingestBatch(batch)
+}
+
+// ingestBatch applies one decoded batch through the configured ingest
+// path and publishes the result — the shared core of POST /v1/ingest and
+// the delta-log Follower. It holds the swap lock across compute + publish
+// so concurrent ingests apply and publish in the same order (readers
+// never take this lock).
+func (s *Server) ingestBatch(batch delta.Batch) (int, any) {
 	s.swapMu.Lock()
 	defer s.swapMu.Unlock()
+	st := s.cur.Load()
 	var (
 		snap    *ontology.Snapshot
 		d       *delta.Delta
@@ -1040,11 +1093,12 @@ func (s *Server) handleIngest(st *state, r *http.Request) (int, any) {
 		// Batch-validation failures are the client's fault; anything else
 		// is an internal delta-pipeline failure and must surface as 5xx.
 		if errors.Is(err, delta.ErrInvalidBatch) {
-			return http.StatusUnprocessableEntity, errorBody{Error: "ingest: " + err.Error()}
+			return http.StatusUnprocessableEntity, errBody(codeInvalidBatch, "ingest: "+err.Error())
 		}
-		return http.StatusInternalServerError, errorBody{Error: "ingest: " + err.Error()}
+		return http.StatusInternalServerError, errBody(codeInternal, "ingest: "+err.Error())
 	}
 	var gen uint64
+	var rows []shardWriteStatus
 	republished := false
 	switch {
 	case proj != nil:
@@ -1058,18 +1112,23 @@ func (s *Server) handleIngest(st *state, r *http.Request) (int, any) {
 			(proj.Shard < len(touched) && touched[proj.Shard]) ||
 			cur == nil || cur.proj == nil || cur.proj.Snap != proj.Snap
 		gen = s.publishShardLocked(proj, republished)
+		rows = []shardWriteStatus{{Shard: proj.Shard, Generation: gen, Applied: republished}}
 	case sharded != nil:
 		// Republish only the shards the delta touched: untouched shards
 		// keep their projection and their generation. Per-shard node
 		// caches carry over for untouched shards only when the delta
 		// provably cannot change any cached body (see carriesNodeCaches).
-		gen = s.publishShardedLocked(sharded, touched, carriesNodeCaches(d))
+		var applied []bool
+		gen, applied = s.publishShardedLocked(sharded, touched, carriesNodeCaches(d))
+		rows = s.writeStatusRows(applied)
 	default:
 		gen = s.publishLocked(snap, s.store.Push(snap))
+		rows = []shardWriteStatus{{Shard: 0, Generation: gen, Applied: true}}
 	}
 	resp := map[string]any{
 		"old_generation": st.gen,
 		"generation":     gen,
+		"shards":         rows,
 		"nodes":          snap.NodeCount(),
 		"edges":          snap.EdgeCount(),
 	}
@@ -1087,7 +1146,6 @@ func (s *Server) handleIngest(st *state, r *http.Request) (int, any) {
 	}
 	if proj != nil {
 		resp["shard"] = proj.Shard
-		resp["shards"] = proj.NumShards
 		resp["republished"] = republished
 		resp["home_nodes"] = proj.HomeCount
 	}
@@ -1133,28 +1191,29 @@ func carriesNodeCaches(d *delta.Delta) bool {
 // discarded generation's number is never reused.
 func (s *Server) handleRollback(st *state, r *http.Request) (int, any) {
 	if r.Method != http.MethodPost {
-		return http.StatusMethodNotAllowed, errorBody{Error: "use POST"}
+		return http.StatusMethodNotAllowed, errBody(codeMethodNotAllowed, "use POST")
 	}
 	if s.shardMode {
 		// A rollback is a whole-world revert: rolling back one shard of a
 		// multi-process deployment would silently desynchronize it from
 		// its peers' ingest lineage.
-		return http.StatusServiceUnavailable, errorBody{Error: "rollback is not supported on a per-shard server (restart the fleet from a known-good artifact instead)"}
+		return http.StatusServiceUnavailable, errBody(codeUnavailable, "rollback is not supported on a per-shard server (restart the fleet from a known-good artifact instead)")
 	}
 	s.swapMu.Lock()
 	defer s.swapMu.Unlock()
 	g, err := s.store.Rollback()
 	if err != nil {
-		return http.StatusConflict, errorBody{Error: err.Error()}
+		return http.StatusConflict, errBody(codeConflict, err.Error())
 	}
 	var gen uint64
+	var rows []shardWriteStatus
 	if st.shards != nil {
 		// Rollback is a whole-world revert: re-partition the previous
 		// union and republish every shard (shard generations advance — a
 		// rolled-back world is still a new per-shard publication).
 		ss, serr := ontology.ShardSnapshot(g.Snap, st.shards.NumShards())
 		if serr != nil {
-			return http.StatusInternalServerError, errorBody{Error: "shard snapshot: " + serr.Error()}
+			return http.StatusInternalServerError, errBody(codeInternal, "shard snapshot: "+serr.Error())
 		}
 		for i := 0; i < ss.NumShards(); i++ {
 			s.shardStores.Push(i, ss.Shard(i))
@@ -1163,12 +1222,15 @@ func (s *Server) handleRollback(st *state, r *http.Request) (int, any) {
 		// g.Gen), so publish directly instead of re-pushing. nil caches
 		// and partials: a rollback drops every cached body and partial.
 		gen = s.storeShardedStateLocked(ss, g.Gen, nil, nil)
+		rows = s.writeStatusRows(nil)
 	} else {
 		gen = s.publishLocked(g.Snap, g.Gen)
+		rows = []shardWriteStatus{{Shard: 0, Generation: gen, Applied: true}}
 	}
 	return http.StatusOK, map[string]any{
 		"old_generation": st.gen,
 		"generation":     gen,
+		"shards":         rows,
 		"nodes":          g.Nodes,
 		"edges":          g.Edges,
 	}

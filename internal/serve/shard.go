@@ -52,7 +52,7 @@ func (s *Server) handleShardNode(st *state, r *http.Request) (int, any) {
 		// IDs on the wire are union IDs; only the home copy answers.
 		id, err := strconv.Atoi(q.Get("id"))
 		if err != nil {
-			return http.StatusBadRequest, errorBody{Error: "invalid id: " + q.Get("id")}
+			return http.StatusBadRequest, errBody(codeInvalidArgument, "invalid id: "+q.Get("id"))
 		}
 		if l, ok := p.LocalOf(ontology.NodeID(id)); ok && p.IsHome(l) {
 			local, match = l, "id"
@@ -62,7 +62,7 @@ func (s *Server) handleShardNode(st *state, r *http.Request) (int, any) {
 		if ts := q.Get("type"); ts != "" {
 			t, err := ontology.ParseNodeType(ts)
 			if err != nil {
-				return http.StatusBadRequest, errorBody{Error: err.Error()}
+				return http.StatusBadRequest, errBody(codeInvalidArgument, err.Error())
 			}
 			if id, ok := p.Snap.Lookup(t, phrase); ok && p.IsHome(id) {
 				local, match = id, "phrase"
@@ -86,10 +86,10 @@ func (s *Server) handleShardNode(st *state, r *http.Request) (int, any) {
 			}
 		}
 	default:
-		return http.StatusBadRequest, errorBody{Error: "need ?id= or ?phrase="}
+		return http.StatusBadRequest, errBody(codeInvalidArgument, "need ?id= or ?phrase=")
 	}
 	if local < 0 {
-		return http.StatusNotFound, errorBody{Error: "node not found"}
+		return http.StatusNotFound, errBody(codeNotFound, "node not found")
 	}
 	node, _ := p.Snap.Get(local)
 	d := shardNodeDetail{Match: match}

@@ -1,0 +1,442 @@
+// Package wal implements the per-shard streaming delta log: an
+// append-only, CRC32C-checksummed record log of delta.Batch payloads
+// that replicated giantd backends tail to stay current.
+//
+// One log file carries one shard's ingest stream. The router appends
+// every accepted batch exactly once per shard log, stamping each record
+// with a dense, monotonically increasing log generation (1, 2, 3, ...);
+// replicas apply records in order through their own mining systems,
+// which — because mining is deterministic — reproduces the exact
+// serving generations of every peer at the same log position.
+//
+// Layout (all integers little-endian):
+//
+//	header (24 bytes)
+//	  0   magic "GIANTWAL" (8 bytes)
+//	  8   format version   (uint32, currently 1)
+//	  12  shard index i    (int32)
+//	  16  shard count k    (int32)
+//	  20  header CRC32C    (over bytes [0,20))
+//	record (16-byte prefix + payload + trailer)
+//	  0   log generation   (uint64, dense from 1)
+//	  8   batch day        (int32, informational)
+//	  12  payload length   (uint32)
+//	  16  payload          (delta.Batch JSON)
+//	  16+len  record CRC32C (uint32, over bytes [0, 16+len))
+//
+// Recovery is truncation-safe in the GIANTBIN style: the file is
+// created via write-temp-fsync-rename so a crash can never surface a
+// half-written header, every append is a single write followed by
+// fsync, and Open drops a torn final record (short bytes, or a bad
+// checksum, at EOF) by truncating back to the last intact boundary. A
+// mid-log record that fails its checksum is bit rot, not a torn write,
+// and is rejected with ErrChecksum rather than silently dropped.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+)
+
+// Magic is the 8-byte tag every delta log starts with.
+const Magic = "GIANTWAL"
+
+// Version is the current log format version. Readers reject newer
+// versions with ErrFormatVersion.
+const Version = 1
+
+const (
+	headerSize    = 24
+	recPrefixSize = 16
+	recTrailSize  = 4
+	// MaxPayload bounds a single record's payload so a corrupt length
+	// field cannot provoke a multi-gigabyte allocation.
+	MaxPayload = 1 << 30
+)
+
+// Typed log errors. Callers branch with errors.Is.
+var (
+	// ErrBadMagic reports a file that does not start with the GIANTWAL
+	// magic.
+	ErrBadMagic = errors.New("wal: not a GIANTWAL log (bad magic)")
+	// ErrTruncated reports a log shorter than its 24-byte header — the
+	// signature of a partially copied file (a torn header can not occur:
+	// the header is published by atomic rename).
+	ErrTruncated = errors.New("wal: truncated GIANTWAL log")
+	// ErrChecksum reports a header, or a mid-log record, whose CRC32C
+	// does not match its bytes — bit rot or in-place tampering. A
+	// checksum failure on the FINAL record is indistinguishable from a
+	// torn append and is dropped by Open instead.
+	ErrChecksum = errors.New("wal: GIANTWAL checksum mismatch")
+	// ErrFormatVersion reports a log written by a newer format version
+	// than this reader understands.
+	ErrFormatVersion = errors.New("wal: unsupported GIANTWAL format version")
+	// ErrCorrupt reports a log whose checksums pass but whose contents
+	// violate a structural invariant (non-dense generations, absurd
+	// payload length).
+	ErrCorrupt = errors.New("wal: corrupt GIANTWAL log")
+	// ErrShardMismatch reports a log stamped for a different shard
+	// identity than the opener expected — the classic misconfiguration
+	// of pointing replica i at shard j's stream.
+	ErrShardMismatch = errors.New("wal: log belongs to a different shard")
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Record is one appended batch: the payload bytes exactly as handed to
+// Append, stamped with the dense log generation assigned at append time.
+type Record struct {
+	Gen     uint64
+	Day     int
+	Payload []byte
+}
+
+// Log is the writer's handle on a shard's delta log. A Log is safe for
+// concurrent use; appends are serialized internally.
+type Log struct {
+	mu     sync.Mutex
+	f      *os.File
+	path   string
+	shard  int
+	shards int
+	head   uint64  // generation of the last intact record
+	size   int64   // file offset past the last intact record
+	offs   []int64 // offs[g-1] = file offset of record g's prefix
+}
+
+// Create writes an empty log for shard/shards at path via the atomic
+// temp-fsync-rename idiom, failing if path already exists.
+func Create(path string, shard, shards int) (*Log, error) {
+	if _, err := os.Stat(path); err == nil {
+		return nil, fmt.Errorf("wal: %s already exists", path)
+	}
+	if err := writeHeaderAtomic(path, shard, shards); err != nil {
+		return nil, err
+	}
+	return Open(path, shard, shards)
+}
+
+// Open opens (creating if absent) the delta log for shard/shards at
+// path, recovering a torn final record by truncating back to the last
+// intact boundary. A checksum failure on a fully present record is
+// reported as ErrChecksum, and a log stamped for a different shard
+// identity as ErrShardMismatch.
+func Open(path string, shard, shards int) (*Log, error) {
+	if _, err := os.Stat(path); errors.Is(err, os.ErrNotExist) {
+		if err := writeHeaderAtomic(path, shard, shards); err != nil {
+			return nil, err
+		}
+	}
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	lg := &Log{f: f, path: path, shard: shard, shards: shards}
+	if err := lg.recover(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return lg, nil
+}
+
+// recover validates the header, scans every record, and truncates a
+// torn tail.
+func (l *Log) recover() error {
+	if err := checkHeader(l.f, l.shard, l.shards); err != nil {
+		return err
+	}
+	fi, err := l.f.Stat()
+	if err != nil {
+		return err
+	}
+	fileSize := fi.Size()
+	off := int64(headerSize)
+	for off < fileSize {
+		rec, end, err := readRecordAt(l.f, off, fileSize)
+		if err != nil {
+			if errors.Is(err, errShortRecord) || errors.Is(err, errPendingTail) {
+				// Torn final append: drop it. A full-length final record
+				// with a bad checksum is torn too — a crash mid-write can
+				// extend the file before every page lands.
+				if terr := l.f.Truncate(off); terr != nil {
+					return terr
+				}
+				if terr := l.f.Sync(); terr != nil {
+					return terr
+				}
+				break
+			}
+			return err
+		}
+		if rec.Gen != l.head+1 {
+			return fmt.Errorf("%w: record at offset %d has generation %d, want %d", ErrCorrupt, off, rec.Gen, l.head+1)
+		}
+		l.offs = append(l.offs, off)
+		l.head = rec.Gen
+		off = end
+	}
+	l.size = int64(headerSize)
+	if n := len(l.offs); n > 0 {
+		last, _, err := recordSpanAt(l.f, l.offs[n-1])
+		if err != nil {
+			return err
+		}
+		l.size = last
+	}
+	if _, err := l.f.Seek(l.size, io.SeekStart); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Head returns the generation of the last intact record (0 when the
+// log is empty).
+func (l *Log) Head() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.head
+}
+
+// Shard returns the shard identity stamped in the log header.
+func (l *Log) Shard() (shard, shards int) { return l.shard, l.shards }
+
+// Append durably appends payload as the next record and returns the
+// log generation it was assigned. The record is written with a single
+// write call and fsynced before Append returns.
+func (l *Log) Append(day int, payload []byte) (uint64, error) {
+	if len(payload) > MaxPayload {
+		return 0, fmt.Errorf("wal: payload of %d bytes exceeds the %d-byte record bound", len(payload), MaxPayload)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	gen := l.head + 1
+	buf := make([]byte, recPrefixSize+len(payload)+recTrailSize)
+	binary.LittleEndian.PutUint64(buf[0:], gen)
+	binary.LittleEndian.PutUint32(buf[8:], uint32(int32(day)))
+	binary.LittleEndian.PutUint32(buf[12:], uint32(len(payload)))
+	copy(buf[recPrefixSize:], payload)
+	sum := crc32.Checksum(buf[:recPrefixSize+len(payload)], crcTable)
+	binary.LittleEndian.PutUint32(buf[recPrefixSize+len(payload):], sum)
+	if _, err := l.f.WriteAt(buf, l.size); err != nil {
+		return 0, err
+	}
+	if err := l.f.Sync(); err != nil {
+		return 0, err
+	}
+	l.offs = append(l.offs, l.size)
+	l.size += int64(len(buf))
+	l.head = gen
+	return gen, nil
+}
+
+// TailFrom returns every record with generation strictly greater than
+// afterGen, in order. Payloads are fresh copies the caller owns.
+func (l *Log) TailFrom(afterGen uint64) ([]Record, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if afterGen >= l.head {
+		return nil, nil
+	}
+	var recs []Record
+	for g := afterGen + 1; g <= l.head; g++ {
+		rec, _, err := readRecordAt(l.f, l.offs[g-1], l.size)
+		if err != nil {
+			return nil, err
+		}
+		recs = append(recs, rec)
+	}
+	return recs, nil
+}
+
+// Close releases the file handle. The log stays replayable on disk.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.f.Close()
+}
+
+// Reader is a follower's cursor over a (possibly still growing) delta
+// log, typically in another process than the writer. Next returns
+// records in order and reports "nothing new yet" — a short or
+// checksum-failing tail is treated as an append in flight, since the
+// writer fsyncs whole records and repairs genuinely torn tails on its
+// own next Open.
+type Reader struct {
+	f       *os.File
+	off     int64
+	lastGen uint64
+}
+
+// OpenReader opens a read-only cursor positioned before the first
+// record. The caller should retry on os.ErrNotExist until the writer
+// has created the log.
+func OpenReader(path string, shard, shards int) (*Reader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := checkHeader(f, shard, shards); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &Reader{f: f, off: headerSize}, nil
+}
+
+// Next returns the next record, or nil when the log has no complete
+// record past the cursor yet. A record that is fully present but fails
+// its checksum while further records exist behind it is reported as
+// ErrChecksum.
+func (r *Reader) Next() (*Record, error) {
+	fi, err := r.f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	rec, end, err := readRecordAt(r.f, r.off, fi.Size())
+	if err != nil {
+		if errors.Is(err, errShortRecord) || errors.Is(err, errPendingTail) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	if rec.Gen != r.lastGen+1 {
+		return nil, fmt.Errorf("%w: record at offset %d has generation %d, want %d", ErrCorrupt, r.off, rec.Gen, r.lastGen+1)
+	}
+	r.off = end
+	r.lastGen = rec.Gen
+	return &rec, nil
+}
+
+// Close releases the cursor's file handle.
+func (r *Reader) Close() error { return r.f.Close() }
+
+// errShortRecord reports a record whose bytes end before its trailer —
+// at EOF this is a torn (or in-flight) append.
+var errShortRecord = errors.New("wal: short record")
+
+// errPendingTail reports a checksum-failing final record with no bytes
+// behind it — readers treat it as an append still being flushed.
+var errPendingTail = errors.New("wal: unflushed tail record")
+
+// writeHeaderAtomic publishes a fresh log header via temp-fsync-rename
+// so no reader can ever observe a partial header.
+func writeHeaderAtomic(path string, shard, shards int) (err error) {
+	tmp, err := os.CreateTemp(dirOf(path), "wal.tmp-*")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	var hdr [headerSize]byte
+	copy(hdr[0:8], Magic)
+	binary.LittleEndian.PutUint32(hdr[8:], Version)
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(int32(shard)))
+	binary.LittleEndian.PutUint32(hdr[16:], uint32(int32(shards)))
+	binary.LittleEndian.PutUint32(hdr[20:], crc32.Checksum(hdr[:20], crcTable))
+	if _, err = tmp.Write(hdr[:]); err != nil {
+		return err
+	}
+	if err = tmp.Sync(); err != nil {
+		return err
+	}
+	if err = tmp.Chmod(0o644); err != nil {
+		return err
+	}
+	if err = tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+func dirOf(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if os.IsPathSeparator(path[i]) {
+			return path[:i+1]
+		}
+	}
+	return "."
+}
+
+// checkHeader validates magic, version, checksum, and shard identity.
+func checkHeader(f *os.File, shard, shards int) error {
+	var hdr [headerSize]byte
+	if _, err := f.ReadAt(hdr[:], 0); err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return ErrTruncated
+		}
+		return err
+	}
+	if string(hdr[0:8]) != Magic {
+		return ErrBadMagic
+	}
+	if v := binary.LittleEndian.Uint32(hdr[8:]); v != Version {
+		return fmt.Errorf("%w: version %d", ErrFormatVersion, v)
+	}
+	if sum := binary.LittleEndian.Uint32(hdr[20:]); sum != crc32.Checksum(hdr[:20], crcTable) {
+		return fmt.Errorf("%w: header", ErrChecksum)
+	}
+	gotShard := int(int32(binary.LittleEndian.Uint32(hdr[12:])))
+	gotShards := int(int32(binary.LittleEndian.Uint32(hdr[16:])))
+	if gotShard != shard || gotShards != shards {
+		return fmt.Errorf("%w: log is shard %d/%d, want %d/%d", ErrShardMismatch, gotShard, gotShards, shard, shards)
+	}
+	return nil
+}
+
+// recordSpanAt returns the end offset of the record starting at off,
+// trusting its (already validated) length field.
+func recordSpanAt(f *os.File, off int64) (end int64, n uint32, err error) {
+	var pre [recPrefixSize]byte
+	if _, err := f.ReadAt(pre[:], off); err != nil {
+		return 0, 0, err
+	}
+	n = binary.LittleEndian.Uint32(pre[12:])
+	return off + int64(recPrefixSize) + int64(n) + recTrailSize, n, nil
+}
+
+// readRecordAt parses and checksums the record starting at off in a
+// file of fileSize bytes. A record whose bytes end before its trailer
+// yields errShortRecord; a fully present record with a bad checksum
+// yields ErrChecksum when further bytes follow it (provably not a torn
+// append) and errPendingTail when it sits at EOF.
+func readRecordAt(f *os.File, off, fileSize int64) (Record, int64, error) {
+	if off+recPrefixSize > fileSize {
+		return Record{}, 0, errShortRecord
+	}
+	var pre [recPrefixSize]byte
+	if _, err := f.ReadAt(pre[:], off); err != nil {
+		return Record{}, 0, err
+	}
+	gen := binary.LittleEndian.Uint64(pre[0:])
+	day := int(int32(binary.LittleEndian.Uint32(pre[8:])))
+	n := binary.LittleEndian.Uint32(pre[12:])
+	if n > MaxPayload {
+		return Record{}, 0, fmt.Errorf("%w: record at offset %d claims %d-byte payload", ErrCorrupt, off, n)
+	}
+	end := off + int64(recPrefixSize) + int64(n) + recTrailSize
+	if end > fileSize {
+		return Record{}, 0, errShortRecord
+	}
+	body := make([]byte, recPrefixSize+int(n)+recTrailSize)
+	if _, err := f.ReadAt(body, off); err != nil {
+		return Record{}, 0, err
+	}
+	want := binary.LittleEndian.Uint32(body[recPrefixSize+int(n):])
+	if got := crc32.Checksum(body[:recPrefixSize+int(n)], crcTable); got != want {
+		if end == fileSize {
+			return Record{}, 0, errPendingTail
+		}
+		return Record{}, 0, fmt.Errorf("%w: record at offset %d", ErrChecksum, off)
+	}
+	payload := make([]byte, n)
+	copy(payload, body[recPrefixSize:recPrefixSize+int(n)])
+	return Record{Gen: gen, Day: day, Payload: payload}, end, nil
+}

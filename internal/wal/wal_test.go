@@ -1,0 +1,277 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeSample appends n records to a fresh log and returns its path
+// plus the byte offsets of every record boundary (including the header
+// boundary and final EOF), for surgical truncation.
+func writeSample(t *testing.T, n int) (path string, bounds []int64, payloads [][]byte) {
+	t.Helper()
+	path = filepath.Join(t.TempDir(), "shard-0-of-2.wal")
+	lg, err := Open(path, 0, 2)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer lg.Close()
+	bounds = append(bounds, headerSize)
+	for i := 0; i < n; i++ {
+		p := []byte(fmt.Sprintf(`{"day":%d,"docs":[{"title":"doc %d"}]}`, i+1, i))
+		gen, err := lg.Append(i+1, p)
+		if err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+		if gen != uint64(i+1) {
+			t.Fatalf("Append %d assigned generation %d, want %d", i, gen, i+1)
+		}
+		payloads = append(payloads, p)
+		bounds = append(bounds, bounds[len(bounds)-1]+int64(recPrefixSize+len(p)+recTrailSize))
+	}
+	return path, bounds, payloads
+}
+
+func TestRoundTrip(t *testing.T) {
+	path, _, payloads := writeSample(t, 5)
+	lg, err := Open(path, 0, 2)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer lg.Close()
+	if lg.Head() != 5 {
+		t.Fatalf("Head = %d, want 5", lg.Head())
+	}
+	for after := uint64(0); after <= 5; after++ {
+		recs, err := lg.TailFrom(after)
+		if err != nil {
+			t.Fatalf("TailFrom(%d): %v", after, err)
+		}
+		if len(recs) != int(5-after) {
+			t.Fatalf("TailFrom(%d) returned %d records, want %d", after, len(recs), 5-after)
+		}
+		for i, rec := range recs {
+			wantGen := after + uint64(i) + 1
+			if rec.Gen != wantGen {
+				t.Fatalf("TailFrom(%d)[%d].Gen = %d, want %d", after, i, rec.Gen, wantGen)
+			}
+			if string(rec.Payload) != string(payloads[wantGen-1]) {
+				t.Fatalf("TailFrom(%d)[%d] payload = %q, want %q", after, i, rec.Payload, payloads[wantGen-1])
+			}
+			if rec.Day != int(wantGen) {
+				t.Fatalf("TailFrom(%d)[%d].Day = %d, want %d", after, i, rec.Day, wantGen)
+			}
+		}
+	}
+}
+
+func TestAppendAfterReopen(t *testing.T) {
+	path, _, _ := writeSample(t, 3)
+	lg, err := Open(path, 0, 2)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	gen, err := lg.Append(9, []byte(`{"day":9}`))
+	if err != nil {
+		t.Fatalf("Append after reopen: %v", err)
+	}
+	if gen != 4 {
+		t.Fatalf("generation after reopen = %d, want 4", gen)
+	}
+	lg.Close()
+	lg, err = Open(path, 0, 2)
+	if err != nil {
+		t.Fatalf("second reopen: %v", err)
+	}
+	defer lg.Close()
+	if lg.Head() != 4 {
+		t.Fatalf("Head after reopen = %d, want 4", lg.Head())
+	}
+}
+
+// TestTruncationAtEveryBoundary cuts the file at every record boundary
+// and asserts the log reopens cleanly with exactly the surviving prefix.
+func TestTruncationAtEveryBoundary(t *testing.T) {
+	const n = 5
+	for cut := 0; cut <= n; cut++ {
+		path, bounds, payloads := writeSample(t, n)
+		if err := os.Truncate(path, bounds[cut]); err != nil {
+			t.Fatalf("truncate: %v", err)
+		}
+		lg, err := Open(path, 0, 2)
+		if err != nil {
+			t.Fatalf("cut at boundary %d: Open: %v", cut, err)
+		}
+		if lg.Head() != uint64(cut) {
+			t.Fatalf("cut at boundary %d: Head = %d, want %d", cut, lg.Head(), cut)
+		}
+		recs, err := lg.TailFrom(0)
+		if err != nil {
+			t.Fatalf("cut at boundary %d: TailFrom: %v", cut, err)
+		}
+		for i, rec := range recs {
+			if string(rec.Payload) != string(payloads[i]) {
+				t.Fatalf("cut at boundary %d: record %d payload mismatch", cut, i)
+			}
+		}
+		lg.Close()
+	}
+}
+
+// TestTornTailDropped truncates mid-record at every interior byte
+// offset of the final record and asserts Open drops exactly that
+// record, keeps the prefix, and the next append reuses its generation.
+func TestTornTailDropped(t *testing.T) {
+	path, bounds, _ := writeSample(t, 3)
+	last := bounds[len(bounds)-1]
+	prev := bounds[len(bounds)-2]
+	for cut := prev + 1; cut < last; cut++ {
+		full, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("read: %v", err)
+		}
+		torn := filepath.Join(t.TempDir(), "torn.wal")
+		if err := os.WriteFile(torn, full[:cut], 0o644); err != nil {
+			t.Fatalf("write torn copy: %v", err)
+		}
+		lg, err := Open(torn, 0, 2)
+		if err != nil {
+			t.Fatalf("cut at byte %d: Open: %v", cut, err)
+		}
+		if lg.Head() != 2 {
+			t.Fatalf("cut at byte %d: Head = %d, want 2", cut, lg.Head())
+		}
+		gen, err := lg.Append(7, []byte(`{"day":7}`))
+		if err != nil {
+			t.Fatalf("cut at byte %d: Append: %v", cut, err)
+		}
+		if gen != 3 {
+			t.Fatalf("cut at byte %d: reassigned generation %d, want 3", cut, gen)
+		}
+		lg.Close()
+	}
+}
+
+// TestBitFlipMidLog flips one bit in a non-final record and asserts
+// Open refuses with ErrChecksum (never silent truncation of good data
+// behind the damage).
+func TestBitFlipMidLog(t *testing.T) {
+	path, bounds, _ := writeSample(t, 3)
+	// Flip a payload bit of record 2 (records 1..3 exist).
+	target := bounds[1] + recPrefixSize + 2
+	flipBit(t, path, target)
+	if _, err := Open(path, 0, 2); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("Open after mid-log bit flip: err = %v, want ErrChecksum", err)
+	}
+}
+
+// TestBitFlipTailDropped flips a bit in the FINAL record: on disk this
+// is indistinguishable from a torn append, so Open drops it.
+func TestBitFlipTailDropped(t *testing.T) {
+	path, bounds, _ := writeSample(t, 3)
+	target := bounds[2] + recPrefixSize + 2
+	flipBit(t, path, target)
+	lg, err := Open(path, 0, 2)
+	if err != nil {
+		t.Fatalf("Open after tail bit flip: %v", err)
+	}
+	defer lg.Close()
+	if lg.Head() != 2 {
+		t.Fatalf("Head after dropped tail = %d, want 2", lg.Head())
+	}
+}
+
+func TestHeaderCorruption(t *testing.T) {
+	path, _, _ := writeSample(t, 1)
+	flipBit(t, path, 9) // version field
+	if _, err := Open(path, 0, 2); !errors.Is(err, ErrChecksum) && !errors.Is(err, ErrFormatVersion) {
+		t.Fatalf("Open with corrupt header: err = %v, want ErrChecksum or ErrFormatVersion", err)
+	}
+
+	path2, _, _ := writeSample(t, 1)
+	flipBit(t, path2, 0) // magic
+	if _, err := Open(path2, 0, 2); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("Open with bad magic: err = %v, want ErrBadMagic", err)
+	}
+
+	short := filepath.Join(t.TempDir(), "short.wal")
+	if err := os.WriteFile(short, []byte(Magic), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(short, 0, 2); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("Open short header: err = %v, want ErrTruncated", err)
+	}
+}
+
+func TestShardMismatch(t *testing.T) {
+	path, _, _ := writeSample(t, 1)
+	if _, err := Open(path, 1, 2); !errors.Is(err, ErrShardMismatch) {
+		t.Fatalf("Open with wrong shard: err = %v, want ErrShardMismatch", err)
+	}
+	if _, err := OpenReader(path, 0, 4); !errors.Is(err, ErrShardMismatch) {
+		t.Fatalf("OpenReader with wrong shard count: err = %v, want ErrShardMismatch", err)
+	}
+}
+
+// TestReaderFollowsWriter interleaves appends with a live reader and
+// asserts the reader sees every record exactly once, in order, and
+// reports "nothing yet" at the tail instead of erroring.
+func TestReaderFollowsWriter(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "shard-1-of-2.wal")
+	lg, err := Open(path, 1, 2)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer lg.Close()
+	rd, err := OpenReader(path, 1, 2)
+	if err != nil {
+		t.Fatalf("OpenReader: %v", err)
+	}
+	defer rd.Close()
+
+	if rec, err := rd.Next(); err != nil || rec != nil {
+		t.Fatalf("Next on empty log = (%v, %v), want (nil, nil)", rec, err)
+	}
+	var seen uint64
+	for i := 0; i < 4; i++ {
+		if _, err := lg.Append(i, []byte(fmt.Sprintf(`{"day":%d}`, i))); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+		for {
+			rec, err := rd.Next()
+			if err != nil {
+				t.Fatalf("Next: %v", err)
+			}
+			if rec == nil {
+				break
+			}
+			seen++
+			if rec.Gen != seen {
+				t.Fatalf("reader saw generation %d, want %d", rec.Gen, seen)
+			}
+		}
+	}
+	if seen != 4 {
+		t.Fatalf("reader saw %d records, want 4", seen)
+	}
+}
+
+func flipBit(t *testing.T, path string, off int64) {
+	t.Helper()
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var b [1]byte
+	if _, err := f.ReadAt(b[:], off); err != nil {
+		t.Fatal(err)
+	}
+	b[0] ^= 0x10
+	if _, err := f.WriteAt(b[:], off); err != nil {
+		t.Fatal(err)
+	}
+}
