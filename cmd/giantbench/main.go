@@ -5,10 +5,13 @@ package main
 
 import (
 	"bytes"
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"strings"
@@ -18,6 +21,8 @@ import (
 	"giant/internal/delta"
 	"giant/internal/experiments"
 	"giant/internal/ontology"
+	"giant/internal/serve"
+	"giant/internal/wal"
 )
 
 func main() {
@@ -28,6 +33,8 @@ func main() {
 	shardsFlag := flag.Int("shards", 4, "with -ingest: the sharded side of the throughput sweep")
 	load := flag.Bool("load", false, "measure snapshot boot time from JSON vs GIANTBIN artifacts and verify identical content")
 	search := flag.Bool("search", false, "measure search latency distribution (p50/p95/p99) on snapshot vs -shards sharded, with per-shard fan-out counts, and verify identical results")
+	catchup := flag.Bool("catchup", false, "measure replica catch-up: full delta-log replay vs checkpoint+suffix boot at 10/100/1000 logged generations, and verify identical worlds")
+	catchupOut := flag.String("catchup-out", "BENCH_catchup.json", "with -catchup: where the JSON results are written")
 	flag.Parse()
 
 	scale := experiments.ScaleDefault
@@ -54,6 +61,12 @@ func main() {
 	}
 	if *search {
 		if err := runSearchSweep(scale, *shardsFlag); err != nil {
+			log.Fatalf("giantbench: %v", err)
+		}
+		return
+	}
+	if *catchup {
+		if err := runCatchupBench(*catchupOut); err != nil {
 			log.Fatalf("giantbench: %v", err)
 		}
 		return
@@ -333,6 +346,292 @@ func runLoadBench(scale experiments.Scale) error {
 	if dBin > 0 {
 		fmt.Printf("  speedup: %.1fx\n", dJSON.Seconds()/dBin.Seconds())
 	}
+	return nil
+}
+
+// catchupHost is the catch-up benchmark's deterministic apply host: a
+// single-shard sharded-snapshot lineage advanced by a synthetic delta
+// derived from the batch alone, plus the checkpoint save/restore pair —
+// the same host contract cmd/giantd wires System.CheckpointState and
+// RestoreCheckpoint into, with a constant per-record apply cost so the
+// measured curve is the replication machinery's, not the miner's.
+type catchupHost struct {
+	cur *ontology.ShardedSnapshot
+}
+
+func (h *catchupHost) ingest(b delta.Batch) (*ontology.ShardProjection, *delta.Delta, []bool, error) {
+	if b.Day <= 0 {
+		return nil, nil, nil, fmt.Errorf("empty batch: %w", delta.ErrInvalidBatch)
+	}
+	d := &delta.Delta{Day: b.Day, Add: []delta.NodeAdd{
+		{Type: ontology.Concept, Phrase: fmt.Sprintf("synthetic concept %d", b.Day), Day: b.Day},
+		{Type: ontology.Event, Phrase: fmt.Sprintf("synthetic event %d", b.Day), Day: b.Day},
+	}}
+	next, merged, touched, err := delta.ApplySharded(h.cur, []*delta.Delta{d})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	h.cur = next
+	return next.Projection(0), merged, touched, nil
+}
+
+func (h *catchupHost) save() (*ontology.Snapshot, []byte, error) {
+	u := h.cur.Union()
+	blob, err := json.Marshal(map[string]int{"nodes": u.NodeCount(), "edges": u.EdgeCount()})
+	return u, blob, err
+}
+
+func (h *catchupHost) restore(snap *ontology.Snapshot, state []byte) (*ontology.ShardProjection, error) {
+	var st struct{ Nodes, Edges int }
+	if err := json.Unmarshal(state, &st); err != nil {
+		return nil, err
+	}
+	if st.Nodes != snap.NodeCount() || st.Edges != snap.EdgeCount() {
+		return nil, fmt.Errorf("state blob records %d nodes/%d edges, snapshot has %d/%d",
+			st.Nodes, st.Edges, snap.NodeCount(), snap.EdgeCount())
+	}
+	ss, err := ontology.ShardSnapshot(snap, 1)
+	if err != nil {
+		return nil, err
+	}
+	h.cur = ss
+	return ss.Projection(0), nil
+}
+
+// catchupBoot is one simulated replica boot: server, follower goroutine,
+// and the host whose lineage the follower advances.
+type catchupBoot struct {
+	srv    *serve.Server
+	host   *catchupHost
+	cancel context.CancelFunc
+	done   chan struct{}
+	runErr error // follower exit error; read only after done is closed
+}
+
+// bootCatchupReplica boots a replica over walPath the way giantd -wal
+// does: hydrate=false starts from the base world and replays the whole
+// log; hydrate=true walks the checkpoint ladder and tails only the
+// suffix past the artifact.
+func bootCatchupReplica(walPath string, base *ontology.ShardedSnapshot, hydrate bool) (*catchupBoot, error) {
+	host := &catchupHost{cur: base}
+	opts := serve.Options{
+		ShardIngest:       host.ingest,
+		CheckpointSave:    host.save,
+		CheckpointRestore: host.restore,
+	}
+	var srv *serve.Server
+	var startGen uint64
+	if hydrate {
+		var err error
+		srv, startGen, err = serve.HydrateShard(filepath.Dir(walPath), 0, 1, opts, nil)
+		if err != nil {
+			return nil, err
+		}
+		if srv == nil {
+			return nil, fmt.Errorf("no usable checkpoint artifact beside %s", walPath)
+		}
+	} else {
+		srv = serve.NewShard(base.Projection(0), opts)
+	}
+	fl, err := serve.NewFollower(srv, serve.FollowerOptions{
+		Path:     walPath,
+		Poll:     time.Millisecond,
+		StartGen: startGen,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	b := &catchupBoot{srv: srv, host: host, cancel: cancel, done: make(chan struct{})}
+	go func() {
+		defer close(b.done)
+		b.runErr = fl.Run(ctx)
+	}()
+	return b, nil
+}
+
+// waitGeneration blocks until the replica serves generation target (the
+// follower has applied every log record below it) or the timeout lapses.
+func (b *catchupBoot) waitGeneration(target uint64, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for b.srv.Generation() < target {
+		select {
+		case <-b.done:
+			return fmt.Errorf("follower stopped at generation %d: %v", b.srv.Generation(), b.runErr)
+		default:
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("timed out at generation %d waiting for %d", b.srv.Generation(), target)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	return nil
+}
+
+func (b *catchupBoot) stop() {
+	b.cancel()
+	<-b.done
+}
+
+// runCatchupBench measures how long a restarting replica takes to be
+// serving at the log head, as a function of log length: a full replay
+// from generation zero (linear in the log) against a checkpoint+suffix
+// boot (decode the artifact, tail the last few records — flat). Before
+// any number is reported the two boot paths are verified to produce
+// byte-identical worlds at identical serving generations. Results go to
+// outPath as JSON, one row per log length.
+func runCatchupBench(outPath string) error {
+	baseOnt := ontology.New()
+	root := baseOnt.AddNode(ontology.Category, "auto")
+	seedConcept := baseOnt.AddNode(ontology.Concept, "family sedans")
+	if err := baseOnt.AddEdge(root, seedConcept, ontology.IsA, 1); err != nil {
+		return err
+	}
+	base, err := ontology.ShardSnapshot(baseOnt.Snapshot(), 1)
+	if err != nil {
+		return err
+	}
+
+	const suffix = 5 // records past the checkpoint: the constant-size tail a fresh artifact leaves
+	const rounds = 3
+	type row struct {
+		Generations  int     `json:"generations"`
+		SuffixGens   int     `json:"suffix_generations"`
+		FullReplayMS float64 `json:"full_replay_ms"`
+		CheckpointMS float64 `json:"checkpoint_ms"`
+		Speedup      float64 `json:"speedup"`
+	}
+	var rows []row
+	fmt.Println("replica catch-up benchmark: full replay vs checkpoint+suffix boot")
+	for _, n := range []int{10, 100, 1000} {
+		dir, err := os.MkdirTemp("", "giantbench-catchup-")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		walPath := filepath.Join(dir, "shard-0-of-1.wal")
+		lg, err := wal.Create(walPath, 0, 1)
+		if err != nil {
+			return err
+		}
+		appendDays := func(from, to int) error {
+			for d := from; d <= to; d++ {
+				if _, err := lg.Append(d, []byte(fmt.Sprintf(`{"day":%d}`, d))); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+
+		// A writer replica applies the prefix, publishes a checkpoint
+		// artifact covering it (exactly what a cadence roll does), and
+		// then applies the suffix so the log head sits past the artifact.
+		ckptAt := n - suffix
+		if err := appendDays(1, ckptAt); err != nil {
+			return err
+		}
+		writer, err := bootCatchupReplica(walPath, base, false)
+		if err != nil {
+			return err
+		}
+		if err := writer.waitGeneration(uint64(1+ckptAt), time.Minute); err != nil {
+			return err
+		}
+		snap, blob, err := writer.host.save()
+		if err != nil {
+			return err
+		}
+		var encoded bytes.Buffer
+		if err := ontology.EncodeSnapshotBinary(&encoded, snap, writer.srv.Generation()); err != nil {
+			return err
+		}
+		if err := wal.PublishCheckpoint(dir, &wal.Checkpoint{
+			Shard: 0, Shards: 1,
+			WALGen:     uint64(ckptAt),
+			ServingGen: writer.srv.Generation(),
+			Snapshot:   encoded.Bytes(),
+			State:      blob,
+		}); err != nil {
+			return err
+		}
+		if err := appendDays(ckptAt+1, n); err != nil {
+			return err
+		}
+		if err := writer.waitGeneration(uint64(1+n), time.Minute); err != nil {
+			return err
+		}
+		writer.stop()
+		if err := lg.Close(); err != nil {
+			return err
+		}
+
+		// Time both boot paths to the same target: serving at the head
+		// generation with every log record applied.
+		target := uint64(1 + n)
+		timedBoot := func(hydrate bool) (time.Duration, []byte, error) {
+			var best time.Duration
+			var world []byte
+			for i := 0; i < rounds; i++ {
+				t0 := time.Now()
+				b, err := bootCatchupReplica(walPath, base, hydrate)
+				if err != nil {
+					return 0, nil, err
+				}
+				err = b.waitGeneration(target, time.Minute)
+				d := time.Since(t0)
+				b.stop()
+				if err != nil {
+					return 0, nil, err
+				}
+				if best == 0 || d < best {
+					best = d
+				}
+				var buf bytes.Buffer
+				if err := b.host.cur.Union().WriteBinary(&buf); err != nil {
+					return 0, nil, err
+				}
+				world = buf.Bytes()
+			}
+			return best, world, nil
+		}
+		dFull, wFull, err := timedBoot(false)
+		if err != nil {
+			return fmt.Errorf("full replay at %d generations: %w", n, err)
+		}
+		dCkpt, wCkpt, err := timedBoot(true)
+		if err != nil {
+			return fmt.Errorf("checkpoint boot at %d generations: %w", n, err)
+		}
+		if !bytes.Equal(wFull, wCkpt) {
+			return fmt.Errorf("at %d generations the two boot paths serve different worlds", n)
+		}
+		speedup := 0.0
+		if dCkpt > 0 {
+			speedup = dFull.Seconds() / dCkpt.Seconds()
+		}
+		fmt.Printf("  %4d generations: full replay %10v, checkpoint+suffix %10v  (%.1fx; worlds identical)\n",
+			n, dFull.Round(time.Microsecond), dCkpt.Round(time.Microsecond), speedup)
+		rows = append(rows, row{
+			Generations:  n,
+			SuffixGens:   suffix,
+			FullReplayMS: float64(dFull.Microseconds()) / 1000,
+			CheckpointMS: float64(dCkpt.Microseconds()) / 1000,
+			Speedup:      speedup,
+		})
+	}
+
+	out, err := json.MarshalIndent(map[string]any{
+		"bench":  "replica catch-up: full delta-log replay vs checkpoint+suffix boot",
+		"rounds": rounds,
+		"rows":   rows,
+	}, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(out, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("  results written to %s\n", outPath)
 	return nil
 }
 

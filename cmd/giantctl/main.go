@@ -33,14 +33,20 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"net/http"
 	"os"
+	"path/filepath"
+	"strconv"
 	"strings"
+	"time"
 
 	giant "giant"
 	"giant/internal/delta"
 	"giant/internal/ontology"
 	"giant/internal/tagging"
+	"giant/internal/wal"
 )
 
 func main() {
@@ -75,6 +81,10 @@ func run(args []string) int {
 		err = runTag(rest)
 	case "story":
 		err = runStory(rest)
+	case "checkpoint":
+		err = runCheckpoint(rest)
+	case "truncate":
+		err = runTruncate(rest)
 	case "help", "-h", "--help":
 		usage(os.Stdout)
 		return 0
@@ -126,6 +136,8 @@ subcommands:
   query   conceptualize/rewrite a query            (-q "best ...")
   tag     tag a document                           (-title "..." [-content ...] [-entities a,b])
   story   print a story tree                       ([-seed "..."])
+  checkpoint  force a replica to roll a checkpoint (-addr http://host:port)
+  truncate    inspect or compact a shard delta log (-wal DIR -shard i/k [-below G] [-force])
   help    print this message
 
 Artifacts are loadable in either format everywhere (-in flags, giantd -in):
@@ -473,6 +485,84 @@ func runStory(args []string) error {
 		return fmt.Errorf("story: seed event %q not found among mined events", phrase)
 	}
 	tree.Render(os.Stdout)
+	return nil
+}
+
+// runCheckpoint forces a replica to roll a checkpoint artifact at its
+// current applied position (POST /v1/checkpoint, synchronous) — the
+// operator's lever for bounding catch-up before a planned restart or a
+// log truncation.
+func runCheckpoint(args []string) error {
+	fs := newFlagSet("checkpoint")
+	addr := fs.String("addr", "", "replica base URL, e.g. http://localhost:8081 (required)")
+	timeout := fs.Duration("timeout", 3*time.Minute, "request timeout (the roll is synchronous)")
+	if err := parse(fs, args); err != nil {
+		return err
+	}
+	if *addr == "" {
+		return usagef("checkpoint: need -addr <replica base URL>")
+	}
+	url := strings.TrimRight(*addr, "/") + "/v1/checkpoint"
+	client := &http.Client{Timeout: *timeout}
+	resp, err := client.Post(url, "application/json", nil)
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("checkpoint: %s answered %s: %s", url, resp.Status, strings.TrimSpace(string(body)))
+	}
+	fmt.Println(strings.TrimSpace(string(body)))
+	return nil
+}
+
+// runTruncate inspects a shard's delta log (and its published checkpoint,
+// if any) or, with -below, compacts it: records at or below the given
+// generation are dropped by rewriting the log to the suffix. Run it only
+// against a stopped tier or from the router's floor (giantrouter -compact
+// automates the same cut); by default the cut refuses to pass the
+// published checkpoint's covered position, because records above it are
+// unrecoverable for a replica that has to rejoin from the artifact.
+func runTruncate(args []string) error {
+	fs := newFlagSet("truncate")
+	dir := fs.String("wal", "", "delta-log directory (required)")
+	shard := fs.String("shard", "", "shard identity i/k, e.g. 0/2 (required)")
+	below := fs.Uint64("below", 0, "drop records at or below this log generation (0: just print positions)")
+	force := fs.Bool("force", false, "allow a cut above the published checkpoint's covered position")
+	if err := parse(fs, args); err != nil {
+		return err
+	}
+	if *dir == "" || *shard == "" {
+		return usagef("truncate: need -wal <dir> and -shard i/k")
+	}
+	is, ks, found := strings.Cut(*shard, "/")
+	i, err1 := strconv.Atoi(is)
+	k, err2 := strconv.Atoi(ks)
+	if !found || err1 != nil || err2 != nil || k < 1 || i < 0 || i >= k {
+		return usagef("truncate: invalid -shard %q (want i/k, e.g. 0/2)", *shard)
+	}
+	path := filepath.Join(*dir, fmt.Sprintf("shard-%d-of-%d.wal", i, k))
+	lg, err := wal.Open(path, i, k)
+	if err != nil {
+		return fmt.Errorf("truncate: %w", err)
+	}
+	defer lg.Close()
+	var ckptGen uint64
+	if meta, err := wal.ReadCheckpointMeta(wal.CheckpointPath(*dir, i, k)); err == nil && meta.Shard == i && meta.Shards == k {
+		ckptGen = meta.WALGen
+	}
+	if *below == 0 {
+		fmt.Printf("log %s: head %d, base %d, checkpoint covers %d\n", path, lg.Head(), lg.BaseGen(), ckptGen)
+		return nil
+	}
+	if *below > ckptGen && !*force {
+		return fmt.Errorf("truncate: cut %d passes the published checkpoint (covers %d): dropped records would be unrecoverable for a rejoining replica (re-run with -force, or roll a checkpoint first: giantctl checkpoint)", *below, ckptGen)
+	}
+	if err := lg.TruncateBelow(*below); err != nil {
+		return fmt.Errorf("truncate: %w", err)
+	}
+	fmt.Printf("truncated %s below generation %d: head %d, base %d\n", path, *below, lg.Head(), lg.BaseGen())
 	return nil
 }
 

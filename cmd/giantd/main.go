@@ -108,6 +108,7 @@ func main() {
 		shard   = flag.String("shard", "", "serve a single shard of a k-way partition as i/k (e.g. 0/4): the per-shard backend of cmd/giantrouter")
 		walDir  = flag.String("wal", "", "delta-log directory: tail DIR/shard-i-of-k.wal instead of accepting direct writes (requires -shard and -build)")
 		replica = flag.Int("replica", 0, "with -wal: this process's replica ordinal, reported in /healthz and log lines")
+		ckpt    = flag.Uint64("checkpoint-every", 0, "with -wal: publish a shard checkpoint every N applied log generations, and boot from the newest valid checkpoint (0 disables cadence rolls; POST /v1/checkpoint still forces one)")
 	)
 	flag.Parse()
 	if *watch > 0 && (*build || *in == "") {
@@ -119,7 +120,10 @@ func main() {
 	if *walDir != "" && !*build {
 		log.Fatal("-wal requires -build (a replica re-mines each batch through its own mining system)")
 	}
-	if err := run(*in, *addr, *build, *tiny, *cache, *grace, *history, *watch, *shards, *shard, *walDir, *replica); err != nil {
+	if *ckpt > 0 && *walDir == "" {
+		log.Printf("warning: -checkpoint-every only applies to delta-log replicas (-wal); ignoring it")
+	}
+	if err := run(*in, *addr, *build, *tiny, *cache, *grace, *history, *watch, *shards, *shard, *walDir, *replica, *ckpt); err != nil {
 		log.Fatal(err)
 	}
 }
@@ -142,9 +146,9 @@ func parseShardSpec(spec string) (i, k int, err error) {
 	return i, k, nil
 }
 
-func run(in, addr string, build, tiny bool, cache int, grace time.Duration, history int, watch time.Duration, shards int, shardSpec, walDir string, replica int) error {
+func run(in, addr string, build, tiny bool, cache int, grace time.Duration, history int, watch time.Duration, shards int, shardSpec, walDir string, replica int, ckptEvery uint64) error {
 	if shardSpec != "" {
-		return runShard(in, addr, build, tiny, cache, grace, history, watch, shards, shardSpec, walDir, replica)
+		return runShard(in, addr, build, tiny, cache, grace, history, watch, shards, shardSpec, walDir, replica, ckptEvery)
 	}
 	opts := serve.Options{CacheSize: cache, History: history}
 	var snap *ontology.Snapshot
@@ -245,7 +249,7 @@ func run(in, addr string, build, tiny bool, cache int, grace time.Duration, hist
 
 // runShard serves a single shard of a k-way partition (-shard i/k): the
 // per-shard backend of the multi-process tier.
-func runShard(in, addr string, build, tiny bool, cache int, grace time.Duration, history int, watch time.Duration, shards int, shardSpec, walDir string, replica int) error {
+func runShard(in, addr string, build, tiny bool, cache int, grace time.Duration, history int, watch time.Duration, shards int, shardSpec, walDir string, replica int, ckptEvery uint64) error {
 	idx, k, err := parseShardSpec(shardSpec)
 	if err != nil {
 		return err
@@ -291,6 +295,25 @@ func runShard(in, addr string, build, tiny bool, cache int, grace time.Duration,
 			log.Printf("ingested batch: %s", d.Summary())
 			return next.Projection(idx), d, touched, nil
 		}
+		if walDir != "" {
+			// Checkpointing: capture pairs the union snapshot with the
+			// mining system's post-seed delta state; restore replays both
+			// onto the deterministic seed build this process just ran and
+			// re-derives the shard's serving projection from the result.
+			opts.CheckpointSave = func() (*ontology.Snapshot, []byte, error) {
+				state, err := sys.CheckpointState()
+				if err != nil {
+					return nil, nil, err
+				}
+				return sys.Snapshot(), state, nil
+			}
+			opts.CheckpointRestore = func(snap *ontology.Snapshot, state []byte) (*ontology.ShardProjection, error) {
+				if err := sys.RestoreCheckpoint(snap, state); err != nil {
+					return nil, err
+				}
+				return sys.ShardProjection(idx)
+			}
+		}
 	case in != "":
 		if proj, err = ontology.LoadShardInput(in, idx, k); err != nil {
 			return err
@@ -302,7 +325,24 @@ func runShard(in, addr string, build, tiny bool, cache int, grace time.Duration,
 		return fmt.Errorf("need -in <shard or ontology artifact> or -build (see giantctl shard)")
 	}
 
-	srv := serve.NewShard(proj, opts)
+	// Boot ladder: a replica with a usable checkpoint beside its log boots
+	// from the artifact and tails only the suffix past it; anything less
+	// falls back to the fresh build + full replay.
+	var srv *serve.Server
+	var startGen uint64
+	if walDir != "" && opts.CheckpointRestore != nil {
+		hydrated, walGen, herr := serve.HydrateShard(walDir, idx, k, opts, log.Printf)
+		if herr != nil {
+			return herr
+		}
+		if hydrated != nil {
+			srv, startGen = hydrated, walGen
+			proj = srv.ShardProjection()
+		}
+	}
+	if srv == nil {
+		srv = serve.NewShard(proj, opts)
+	}
 	log.Printf("serving shard %d/%d (%d home nodes, %s) on %s", idx, k, proj.HomeCount, proj.Snap, addr)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -310,11 +350,17 @@ func runShard(in, addr string, build, tiny bool, cache int, grace time.Duration,
 
 	if walDir != "" {
 		path := filepath.Join(walDir, fmt.Sprintf("shard-%d-of-%d.wal", idx, k))
-		fl, err := serve.NewFollower(srv, path, replica, 0, log.Printf)
+		fl, err := serve.NewFollower(srv, serve.FollowerOptions{
+			Path:            path,
+			Replica:         replica,
+			Logf:            log.Printf,
+			StartGen:        startGen,
+			CheckpointEvery: ckptEvery,
+		})
 		if err != nil {
 			return err
 		}
-		log.Printf("replica %d tailing delta log %s (direct writes disabled)", replica, path)
+		log.Printf("replica %d tailing delta log %s from generation %d (direct writes disabled)", replica, path, startGen)
 		go func() {
 			if err := fl.Run(ctx); err != nil && ctx.Err() == nil {
 				log.Printf("wal follower stopped: %v", err)

@@ -87,10 +87,14 @@ func main() {
 		walDir   = flag.String("wal", "", "delta-log directory: ingest appends to DIR/shard-i-of-k.wal and acks at a replica quorum (backends must be giantd -wal replicas)")
 		maxLag   = flag.Uint64("max-lag", 0, "with -wal: 429 ingest pushback once a shard's slowest healthy replica trails the log head by more than this many generations (0 = 64)")
 		ackTO    = flag.Duration("ack-timeout", 0, "with -wal: per-replica apply-confirmation timeout for ingest quorum waits (0 = -write-timeout)")
+		compact  = flag.Bool("compact", false, "with -wal: truncate each shard's delta log below the fleet-wide applied floor, bounded by the newest published checkpoint (runs after each health-probe pass; replicas need -checkpoint-every)")
 	)
 	flag.Parse()
 	if *backends == "" {
 		log.Fatal("need -backends http://host:port,... (one per shard, in shard order; \"|\" separates a shard's replicas)")
+	}
+	if *compact && *walDir == "" {
+		log.Printf("warning: -compact only applies to delta-log tiers (-wal); ignoring it")
 	}
 	replicas := make([][]string, 0)
 	for _, spec := range strings.Split(*backends, ",") {
@@ -103,6 +107,7 @@ func main() {
 	rt, err := serve.NewRouter(serve.RouterOptions{
 		Replicas:      replicas,
 		WALDir:        *walDir,
+		Compact:       *compact,
 		MaxLag:        *maxLag,
 		AckTimeout:    *ackTO,
 		Timeout:       *timeout,

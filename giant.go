@@ -139,6 +139,13 @@ type System struct {
 	sharded        *ontology.ShardedSnapshot // cached sharded projection of Ontology
 	shardedFrom    *ontology.Ontology        // the Ontology value sharded was derived from
 	ingestMu       sync.Mutex                // serializes System.Ingest/IngestSharded
+
+	// Checkpoint baseline: corpus/click-stream high-water marks at the end
+	// of the deterministic seed build. Everything at or below them is
+	// reproducible by re-running Build with the same Config, so
+	// CheckpointState ships only the suffix past them (see checkpoint.go).
+	seedDocs int
+	seedRecs int
 }
 
 // Build runs the whole pipeline.
@@ -210,6 +217,8 @@ func BuildUpToDay(cfg Config, day int) (*System, error) {
 	if err := sys.assemble(); err != nil {
 		return nil, fmt.Errorf("giant: assemble ontology: %w", err)
 	}
+	sys.seedDocs = len(sys.Log.Docs)
+	sys.seedRecs = len(sys.Log.Records)
 	return sys, nil
 }
 

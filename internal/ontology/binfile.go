@@ -395,6 +395,15 @@ func (s *Snapshot) WriteBinary(w io.Writer) error {
 	return encodeBinary(w, s, nil, 0)
 }
 
+// EncodeSnapshotBinary serializes snap as a GIANTBIN artifact with gen
+// stamped into the header — byte-identical to what Store.SaveCurrent
+// writes for the same snapshot and generation. Checkpoint sidecars
+// embed exactly this encoding so a checkpoint's snapshot section is a
+// valid Store.Hydrate artifact on its own.
+func EncodeSnapshotBinary(w io.Writer, snap *Snapshot, gen uint64) error {
+	return encodeBinary(w, snap, nil, gen)
+}
+
 // SaveBinaryFile writes the snapshot to path in the GIANTBIN format via
 // the same crash-safe temp-then-rename dance SaveFile uses.
 func (s *Snapshot) SaveBinaryFile(path string) error {
@@ -761,6 +770,14 @@ func validCSR(off, idx []int32, edges []Edge, n int, out bool) error {
 func DecodeSnapshotBinary(data []byte) (*Snapshot, error) {
 	snap, _, err := decodeSnapshotBinaryGen(data)
 	return snap, err
+}
+
+// DecodeSnapshotBinaryWithGen decodes a GIANTBIN snapshot artifact and
+// surfaces the generation stamped into its header — the inverse of
+// EncodeSnapshotBinary. The snapshot aliases data; the caller must not
+// mutate the buffer afterwards.
+func DecodeSnapshotBinaryWithGen(data []byte) (*Snapshot, uint64, error) {
+	return decodeSnapshotBinaryGen(data)
 }
 
 // decodeSnapshotBinaryGen additionally surfaces the stamped generation

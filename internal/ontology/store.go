@@ -64,6 +64,22 @@ func (st *Store) Push(snap *Snapshot) uint64 {
 	return st.nextGen
 }
 
+// SeedGeneration pre-positions an EMPTY store's generation counter so
+// the next Push mints lastGen+1. A replica hydrating a checkpoint uses
+// this to resume the exact serving-generation sequence a full replay
+// would have produced: generation numbers are part of the replicated
+// contract (X-Giant-Generation, cache keys), so a checkpoint boot must
+// not restart them at 1.
+func (st *Store) SeedGeneration(lastGen uint64) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if len(st.gens) != 0 || st.nextGen != 0 {
+		return fmt.Errorf("ontology: SeedGeneration on a store already at generation %d", st.nextGen)
+	}
+	st.nextGen = lastGen
+	return nil
+}
+
 // Current returns the newest generation, or ok=false on an empty store.
 func (st *Store) Current() (Generation, bool) {
 	st.mu.Lock()

@@ -11,22 +11,36 @@ package serve
 //
 // The replica's progress is observable three ways, all fed from one
 // walState: the X-Giant-Wal-Gen header on every response, the
-// wal_gen/replica fields of /healthz, and GET /v1/wal — which can block
-// (?wait=G&timeout_ms=) until generation G has been applied, the
-// router's quorum-ack primitive.
+// wal_gen/replica/checkpoint_gen fields of /healthz, and GET /v1/wal —
+// which can block (?wait=G&timeout_ms=) until generation G has been
+// applied, the router's quorum-ack primitive.
+//
+// Checkpointing bounds catch-up: every Options.CheckpointEvery applied
+// generations the follower captures the host's full apply state (union
+// snapshot + opaque host blob), encodes it off the apply path, and
+// publishes a GIANTCKP artifact beside the log. A restarting replica
+// walks the recovery ladder — primary checkpoint, previous checkpoint,
+// full replay (HydrateShard) — and then tails only the log suffix past
+// the artifact it hydrated; the router is then free to truncate the log
+// below the fleet-wide applied floor, bounded by the covered position
+// of the published checkpoint.
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io/fs"
 	"net/http"
+	"path/filepath"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"giant/internal/delta"
+	"giant/internal/ontology"
 	"giant/internal/wal"
 )
 
@@ -38,13 +52,19 @@ type walState struct {
 
 	mu      sync.Mutex
 	gen     uint64        // last consumed log generation
+	ckpt    uint64        // log position covered by the last published checkpoint
 	status  int           // HTTP-equivalent status of the last apply
 	result  any           // last apply's response payload
 	changed chan struct{} // closed and replaced on every advance
+
+	// force carries POST /v1/checkpoint requests into the follower
+	// goroutine, which services them between applies (nil when the
+	// follower has no CheckpointSave configured).
+	force chan chan error
 }
 
-func newWALState(replica int) *walState {
-	return &walState{replica: replica, changed: make(chan struct{})}
+func newWALState(replica int, startGen uint64) *walState {
+	return &walState{replica: replica, gen: startGen, ckpt: startGen, changed: make(chan struct{})}
 }
 
 // position returns the last consumed log generation.
@@ -52,6 +72,23 @@ func (ws *walState) position() uint64 {
 	ws.mu.Lock()
 	defer ws.mu.Unlock()
 	return ws.gen
+}
+
+// checkpointGen returns the log position covered by the newest
+// checkpoint this replica has published or booted from (0 when none).
+func (ws *walState) checkpointGen() uint64 {
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	return ws.ckpt
+}
+
+// setCheckpoint records a published checkpoint's covered position.
+func (ws *walState) setCheckpoint(gen uint64) {
+	ws.mu.Lock()
+	if gen > ws.ckpt {
+		ws.ckpt = gen
+	}
+	ws.mu.Unlock()
 }
 
 // advance records one consumed record's outcome and wakes waiters.
@@ -91,39 +128,77 @@ func (ws *walState) waitFor(gen uint64, timeout time.Duration) bool {
 	}
 }
 
+// FollowerOptions configures delta-log following for one replica.
+type FollowerOptions struct {
+	// Path is the shard's .wal file.
+	Path string
+	// Replica is the ordinal reported in /healthz.
+	Replica int
+	// Poll bounds the idle re-check interval (0 means 100ms).
+	Poll time.Duration
+	// Logf receives progress lines (nil silences them).
+	Logf func(format string, args ...any)
+	// StartGen is the log position already covered by the state the
+	// server booted from — the hydrated checkpoint's WALGen, or 0 for a
+	// full replay. The follower tails only records past it.
+	StartGen uint64
+	// CheckpointEvery rolls a new checkpoint artifact each time this
+	// many log generations have been applied since the last roll. 0
+	// disables cadence checkpointing (POST /v1/checkpoint still works
+	// when the server has a CheckpointSave).
+	CheckpointEvery uint64
+	// CheckpointDir is where artifacts are published (default: the
+	// directory of Path, shared with the log so every replica of the
+	// shard — and the router — sees them).
+	CheckpointDir string
+}
+
 // Follower tails a shard's delta log and applies each record to its
 // Server. One Follower per replica process (cmd/giantd -wal).
 type Follower struct {
 	srv  *Server
-	path string
-	poll time.Duration
-	logf func(format string, args ...any)
+	opts FollowerOptions
 	ws   *walState
+
+	// lastCkpt is the log position at which the last checkpoint roll was
+	// initiated; ckptBusy guards the single in-flight encode+publish, and
+	// publishWG lets Run drain it before returning (a cancelled follower
+	// must not leave a half-published artifact racing process shutdown).
+	lastCkpt  atomic.Uint64
+	ckptBusy  atomic.Bool
+	publishWG sync.WaitGroup
 }
 
 // NewFollower attaches delta-log following to a per-shard server built
-// with NewShard and a ShardIngest callback (the replica re-mines each
-// batch exactly like a directly-written backend would, which is what
-// keeps replica generations identical across the fleet). The server
-// immediately turns read-only: direct /v1/ingest and /v1/reload answer
-// 503 read_only_replica, and /v1/wal starts reporting (0 until Run
-// consumes the first record). replica is the ordinal reported in
-// /healthz; poll bounds the idle re-check interval (0 means 100ms).
-func NewFollower(srv *Server, path string, replica int, poll time.Duration, logf func(format string, args ...any)) (*Follower, error) {
+// with NewShard/NewShardAt and a ShardIngest callback (the replica
+// re-mines each batch exactly like a directly-written backend would,
+// which is what keeps replica generations identical across the fleet).
+// The server immediately turns read-only: direct /v1/ingest and
+// /v1/reload answer 503 read_only_replica, and /v1/wal starts reporting
+// (StartGen until Run consumes the first suffix record).
+func NewFollower(srv *Server, opts FollowerOptions) (*Follower, error) {
 	if !srv.shardMode {
 		return nil, errors.New("serve: follower needs a per-shard server (NewShard)")
 	}
 	if srv.opts.ShardIngest == nil {
 		return nil, errors.New("serve: follower needs Options.ShardIngest (the replica applies batches by re-mining them)")
 	}
-	if poll <= 0 {
-		poll = 100 * time.Millisecond
+	if opts.Poll <= 0 {
+		opts.Poll = 100 * time.Millisecond
 	}
-	ws := newWALState(replica)
+	if opts.CheckpointDir == "" {
+		opts.CheckpointDir = filepath.Dir(opts.Path)
+	}
+	ws := newWALState(opts.Replica, opts.StartGen)
+	if srv.opts.CheckpointSave != nil {
+		ws.force = make(chan chan error, 1)
+	}
 	if !srv.wal.CompareAndSwap(nil, ws) {
 		return nil, errors.New("serve: server already has a follower attached")
 	}
-	return &Follower{srv: srv, path: path, poll: poll, logf: logf, ws: ws}, nil
+	f := &Follower{srv: srv, opts: opts, ws: ws}
+	f.lastCkpt.Store(opts.StartGen)
+	return f, nil
 }
 
 // Run tails the log until ctx is cancelled. The log file may not exist
@@ -131,10 +206,14 @@ func NewFollower(srv *Server, path string, replica int, poll time.Duration, logf
 // corrupt log (mid-log checksum failure, generation gap) stops the
 // follower with the error — serving continues at the last applied
 // generation, but the replica will never ack past it, which is the
-// operator's signal to restore the log and restart.
+// operator's signal to restore the log and restart. ErrCompacted (the
+// log was truncated past this replica's position while it was away)
+// also stops the follower: the fix is a restart, which rehydrates the
+// newer checkpoint the truncation was bounded by.
 func (f *Follower) Run(ctx context.Context) error {
 	var rd *wal.Reader
 	defer func() {
+		f.publishWG.Wait()
 		if rd != nil {
 			rd.Close()
 		}
@@ -144,13 +223,16 @@ func (f *Follower) Run(ctx context.Context) error {
 		select {
 		case <-ctx.Done():
 			return false
-		case <-time.After(f.poll):
+		case reply := <-f.forceChan():
+			reply <- f.rollCheckpoint(f.ws.position())
+			return true
+		case <-time.After(f.opts.Poll):
 			return true
 		}
 	}
 	for {
 		if rd == nil {
-			r, err := wal.OpenReader(f.path, shard.Shard, shard.NumShards)
+			r, err := wal.OpenReaderAt(f.opts.Path, shard.Shard, shard.NumShards, f.ws.position())
 			if err != nil {
 				if errors.Is(err, fs.ErrNotExist) || errors.Is(err, wal.ErrTruncated) {
 					// Not written yet (or header mid-write): retry.
@@ -158,6 +240,9 @@ func (f *Follower) Run(ctx context.Context) error {
 						return ctx.Err()
 					}
 					continue
+				}
+				if errors.Is(err, wal.ErrCompacted) {
+					return fmt.Errorf("serve: follower at generation %d: %w (restart to hydrate the newer checkpoint)", f.ws.position(), err)
 				}
 				return err
 			}
@@ -174,7 +259,19 @@ func (f *Follower) Run(ctx context.Context) error {
 			continue
 		}
 		f.apply(rec)
+		f.maybeCheckpoint(rec.Gen)
+		select {
+		case reply := <-f.forceChan():
+			reply <- f.rollCheckpoint(rec.Gen)
+		default:
+		}
 	}
+}
+
+// forceChan returns the forced-roll channel, or a nil channel (blocks
+// forever in select) when checkpointing is not configured.
+func (f *Follower) forceChan() chan chan error {
+	return f.ws.force
 }
 
 // apply consumes one log record. A batch the mining pipeline rejects
@@ -192,12 +289,202 @@ func (f *Follower) apply(rec *wal.Record) {
 		status, result = f.srv.ingestBatch(batch)
 	}
 	f.ws.advance(rec.Gen, status, result)
-	if f.logf != nil {
+	if f.opts.Logf != nil {
 		if status == http.StatusOK {
-			f.logf("wal: applied generation %d (day %d) -> serving generation %d", rec.Gen, rec.Day, f.srv.Generation())
+			f.opts.Logf("wal: applied generation %d (day %d) -> serving generation %d", rec.Gen, rec.Day, f.srv.Generation())
 		} else {
-			f.logf("wal: generation %d rejected with status %d", rec.Gen, status)
+			f.opts.Logf("wal: generation %d rejected with status %d", rec.Gen, status)
 		}
+	}
+}
+
+// maybeCheckpoint rolls a cadence checkpoint once CheckpointEvery
+// generations have been applied since the last roll. The host state is
+// captured synchronously (the follower goroutine is the only writer, so
+// between applies it is quiescent); the encode and publish run in a
+// background goroutine so catch-up is not stalled by artifact I/O, with
+// a single roll in flight at a time.
+func (f *Follower) maybeCheckpoint(walGen uint64) {
+	every := f.opts.CheckpointEvery
+	if every == 0 || f.srv.opts.CheckpointSave == nil {
+		return
+	}
+	if walGen-f.lastCkpt.Load() < every {
+		return
+	}
+	if !f.ckptBusy.CompareAndSwap(false, true) {
+		return // a roll is still publishing; re-check at the next apply
+	}
+	ck, err := f.captureCheckpoint(walGen)
+	if err != nil {
+		f.ckptBusy.Store(false)
+		if f.opts.Logf != nil {
+			f.opts.Logf("wal: checkpoint capture at generation %d failed: %v", walGen, err)
+		}
+		return
+	}
+	f.lastCkpt.Store(walGen)
+	f.publishWG.Add(1)
+	go func() {
+		defer f.publishWG.Done()
+		defer f.ckptBusy.Store(false)
+		if err := f.publishCheckpoint(ck); err != nil {
+			if f.opts.Logf != nil {
+				f.opts.Logf("wal: checkpoint publish at generation %d failed: %v", walGen, err)
+			}
+			return
+		}
+		if f.opts.Logf != nil {
+			f.opts.Logf("wal: checkpoint published at log generation %d (serving generation %d)", ck.WALGen, ck.ServingGen)
+		}
+	}()
+}
+
+// rollCheckpoint is the synchronous (forced) variant: capture, encode,
+// and publish inline, so the POST /v1/checkpoint caller learns the real
+// outcome.
+func (f *Follower) rollCheckpoint(walGen uint64) error {
+	if f.srv.opts.CheckpointSave == nil {
+		return errors.New("serve: checkpointing not configured (no CheckpointSave)")
+	}
+	for !f.ckptBusy.CompareAndSwap(false, true) {
+		time.Sleep(time.Millisecond) // wait out an in-flight cadence publish
+	}
+	defer f.ckptBusy.Store(false)
+	ck, err := f.captureCheckpoint(walGen)
+	if err != nil {
+		return err
+	}
+	if err := f.publishCheckpoint(ck); err != nil {
+		return err
+	}
+	f.lastCkpt.Store(walGen)
+	if f.opts.Logf != nil {
+		f.opts.Logf("wal: checkpoint published at log generation %d (serving generation %d)", ck.WALGen, ck.ServingGen)
+	}
+	return nil
+}
+
+// captureCheckpoint snapshots the host state at the current position.
+// The union snapshot is immutable, so only the opaque state blob and
+// the generation stamps need to be taken synchronously.
+func (f *Follower) captureCheckpoint(walGen uint64) (*wal.Checkpoint, error) {
+	snap, hostState, err := f.srv.opts.CheckpointSave()
+	if err != nil {
+		return nil, err
+	}
+	shard := f.srv.cur.Load().proj
+	var buf bytes.Buffer
+	if err := ontology.EncodeSnapshotBinary(&buf, snap, f.srv.Generation()); err != nil {
+		return nil, err
+	}
+	return &wal.Checkpoint{
+		Shard:      shard.Shard,
+		Shards:     shard.NumShards,
+		WALGen:     walGen,
+		ServingGen: f.srv.Generation(),
+		Snapshot:   buf.Bytes(),
+		State:      hostState,
+	}, nil
+}
+
+// publishCheckpoint writes the artifact and records it in walState.
+func (f *Follower) publishCheckpoint(ck *wal.Checkpoint) error {
+	if err := wal.PublishCheckpoint(f.opts.CheckpointDir, ck); err != nil {
+		return err
+	}
+	f.ws.setCheckpoint(ck.WALGen)
+	return nil
+}
+
+// HydrateShard walks a shard's checkpoint recovery ladder — primary
+// artifact, then the rotated previous one — and boots a per-shard
+// server from the newest one that fully validates: checkpoint CRCs,
+// GIANTBIN decode, and the host's CheckpointRestore must all succeed,
+// otherwise the ladder falls through. It returns the server plus the
+// log position the caller's follower should tail from. (nil, 0, nil)
+// means no usable checkpoint: the caller boots a fresh server and
+// replays the whole log, the ladder's final rung.
+func HydrateShard(walDir string, shard, shards int, opts Options, logf func(format string, args ...any)) (*Server, uint64, error) {
+	if opts.CheckpointRestore == nil {
+		return nil, 0, errors.New("serve: HydrateShard needs Options.CheckpointRestore")
+	}
+	paths := []string{
+		wal.CheckpointPath(walDir, shard, shards),
+		wal.PrevCheckpointPath(walDir, shard, shards),
+	}
+	for _, p := range paths {
+		ck, err := wal.ReadCheckpoint(p, shard, shards)
+		if err != nil {
+			if !errors.Is(err, fs.ErrNotExist) && logf != nil {
+				logf("wal: checkpoint %s unusable: %v", p, err)
+			}
+			continue
+		}
+		snap, gen, err := ontology.DecodeSnapshotBinaryWithGen(ck.Snapshot)
+		if err != nil {
+			if logf != nil {
+				logf("wal: checkpoint %s snapshot undecodable: %v", p, err)
+			}
+			continue
+		}
+		if gen != ck.ServingGen {
+			if logf != nil {
+				logf("wal: checkpoint %s stamps serving generation %d but embeds %d; skipping", p, ck.ServingGen, gen)
+			}
+			continue
+		}
+		proj, err := opts.CheckpointRestore(snap, ck.State)
+		if err != nil {
+			if logf != nil {
+				logf("wal: checkpoint %s state restore failed: %v", p, err)
+			}
+			continue
+		}
+		if logf != nil {
+			logf("wal: hydrated checkpoint %s (log generation %d, serving generation %d)", p, ck.WALGen, ck.ServingGen)
+		}
+		return NewShardAt(proj, ck.ServingGen, opts), ck.WALGen, nil
+	}
+	return nil, 0, nil
+}
+
+// handleCheckpoint answers POST /v1/checkpoint on a replica: it forces
+// the follower to roll a checkpoint artifact at its current applied
+// position, synchronously, and reports the covered log position — the
+// operator's lever (giantctl checkpoint) for bounding catch-up before a
+// planned restart or truncation.
+func (s *Server) handleCheckpoint(st *state, r *http.Request) (int, any) {
+	ws := s.wal.Load()
+	if ws == nil {
+		return http.StatusNotFound, errBody(codeNotFound, "not a delta-log replica (start giantd with -wal)")
+	}
+	if r.Method != http.MethodPost {
+		return http.StatusMethodNotAllowed, errBody(codeMethodNotAllowed, "POST required")
+	}
+	if ws.force == nil {
+		return http.StatusServiceUnavailable, errBody(codeUnavailable, "checkpointing not configured on this replica")
+	}
+	reply := make(chan error, 1)
+	select {
+	case ws.force <- reply:
+	case <-time.After(30 * time.Second):
+		return http.StatusServiceUnavailable, errBody(codeUnavailable, "follower busy; checkpoint request timed out")
+	}
+	select {
+	case err := <-reply:
+		if err != nil {
+			return http.StatusInternalServerError, errBody(codeInternal, "checkpoint failed: "+err.Error())
+		}
+	case <-time.After(120 * time.Second):
+		return http.StatusServiceUnavailable, errBody(codeUnavailable, "checkpoint still in progress after 120s")
+	}
+	return http.StatusOK, map[string]any{
+		"shard":          st.proj.Shard,
+		"shards":         st.proj.NumShards,
+		"replica":        ws.replica,
+		"checkpoint_gen": ws.checkpointGen(),
+		"generation":     s.cur.Load().gen,
 	}
 }
 
@@ -236,12 +523,13 @@ func (s *Server) handleWAL(st *state, r *http.Request) (int, any) {
 	// The wait may have outlived st: report the generation serving NOW.
 	cur := s.cur.Load()
 	resp := map[string]any{
-		"shard":      st.proj.Shard,
-		"shards":     st.proj.NumShards,
-		"replica":    ws.replica,
-		"wal_gen":    gen,
-		"generation": cur.gen,
-		"applied":    applied,
+		"shard":          st.proj.Shard,
+		"shards":         st.proj.NumShards,
+		"replica":        ws.replica,
+		"wal_gen":        gen,
+		"generation":     cur.gen,
+		"applied":        applied,
+		"checkpoint_gen": ws.checkpointGen(),
 	}
 	if result != nil {
 		resp["last"] = map[string]any{"wal_gen": gen, "status": status, "result": result}

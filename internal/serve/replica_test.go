@@ -24,10 +24,12 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"path/filepath"
 	"reflect"
 	"sync"
@@ -37,6 +39,7 @@ import (
 
 	"giant/internal/delta"
 	"giant/internal/ontology"
+	"giant/internal/wal"
 )
 
 // detDelta derives a deterministic delta from a batch alone, so every
@@ -52,12 +55,22 @@ func detDelta(b delta.Batch) (*delta.Delta, error) {
 	}}, nil
 }
 
-// detShardIngester is a per-shard backend's deterministic mining stand-in:
-// its own lineage from the shared base, advanced only by detDelta. gate,
-// when non-nil, is received from before each apply — the catch-up and
-// backpressure tests use it to hold a replica mid-tail.
-func detShardIngester(shard int, base *ontology.ShardedSnapshot, gate chan struct{}) func(delta.Batch) (*ontology.ShardProjection, *delta.Delta, []bool, error) {
-	cur := base
+// detShardHost is a per-shard backend's deterministic mining stand-in:
+// its own sharded-snapshot lineage from the shared base, advanced only by
+// detDelta — plus the checkpoint half of the host contract: save pairs
+// the union snapshot with a small self-describing state blob, restore
+// re-derives the lineage (and this shard's projection) from them, exactly
+// the shape cmd/giantd wires System.CheckpointState/RestoreCheckpoint
+// into.
+type detShardHost struct {
+	shard, k int
+	cur      *ontology.ShardedSnapshot
+}
+
+// ingest applies one batch to the host lineage. gate, when non-nil, is
+// received from before each apply — the catch-up and backpressure tests
+// use it to hold a replica mid-tail.
+func (h *detShardHost) ingest(gate chan struct{}) func(delta.Batch) (*ontology.ShardProjection, *delta.Delta, []bool, error) {
 	return func(b delta.Batch) (*ontology.ShardProjection, *delta.Delta, []bool, error) {
 		if gate != nil {
 			<-gate
@@ -66,13 +79,48 @@ func detShardIngester(shard int, base *ontology.ShardedSnapshot, gate chan struc
 		if err != nil {
 			return nil, nil, nil, err
 		}
-		next, merged, touched, err := delta.ApplySharded(cur, []*delta.Delta{d})
+		next, merged, touched, err := delta.ApplySharded(h.cur, []*delta.Delta{d})
 		if err != nil {
 			return nil, nil, nil, err
 		}
-		cur = next
-		return next.Projection(shard), merged, touched, nil
+		h.cur = next
+		return next.Projection(h.shard), merged, touched, nil
 	}
+}
+
+// save is the host's CheckpointSave: the union snapshot plus a blob that
+// records enough to cross-check the pairing at restore time.
+func (h *detShardHost) save() (*ontology.Snapshot, []byte, error) {
+	u := h.cur.Union()
+	blob, err := json.Marshal(map[string]int{"nodes": u.NodeCount(), "edges": u.EdgeCount()})
+	return u, blob, err
+}
+
+// restore is the host's CheckpointRestore: validate the blob against the
+// snapshot, re-derive the sharded lineage from the union, and hand back
+// this shard's projection.
+func (h *detShardHost) restore(snap *ontology.Snapshot, state []byte) (*ontology.ShardProjection, error) {
+	var st struct{ Nodes, Edges int }
+	if err := json.Unmarshal(state, &st); err != nil {
+		return nil, err
+	}
+	if st.Nodes != snap.NodeCount() || st.Edges != snap.EdgeCount() {
+		return nil, fmt.Errorf("state blob records %d nodes/%d edges, snapshot has %d/%d",
+			st.Nodes, st.Edges, snap.NodeCount(), snap.EdgeCount())
+	}
+	ss, err := ontology.ShardSnapshot(snap, h.k)
+	if err != nil {
+		return nil, err
+	}
+	h.cur = ss
+	return ss.Projection(h.shard), nil
+}
+
+// detShardIngester is the bare-ingester shorthand for tests that do not
+// exercise checkpointing.
+func detShardIngester(shard int, base *ontology.ShardedSnapshot, gate chan struct{}) func(delta.Batch) (*ontology.ShardProjection, *delta.Delta, []bool, error) {
+	h := &detShardHost{shard: shard, k: base.NumShards(), cur: base}
+	return h.ingest(gate)
 }
 
 // detShardedIngester is the single-process reference twin of
@@ -100,12 +148,15 @@ func detShardedIngester(base *ontology.ShardedSnapshot) func(delta.Batch) (*onto
 type replicaProc struct {
 	shard, idx int
 	walPath    string
+	ckptEvery  uint64 // > 0: checkpoint-enabled boots (hydrate + cadence rolls)
 	outer      *httptest.Server
 	down       atomic.Bool
 
 	mu     sync.Mutex
 	inner  http.Handler
 	cancel context.CancelFunc
+	done   chan struct{}         // closed when the follower goroutine exits
+	runErr atomic.Pointer[error] // the follower's exit error, if it stopped on its own
 }
 
 func (p *replicaProc) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -125,25 +176,55 @@ func (p *replicaProc) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	h.ServeHTTP(w, r)
 }
 
-// boot builds a fresh server over the base projection and a follower that
-// replays the whole log from generation zero, and swaps both in — exactly
-// what restarting a giantd -wal replica does.
+// boot builds a fresh server and follower and swaps both in — exactly
+// what restarting a giantd -wal replica does. Without checkpointing the
+// server starts over the base projection and the follower replays the
+// whole log from generation zero; with ckptEvery > 0 the boot walks the
+// hydration ladder first and tails only the suffix past the artifact it
+// booted from.
 func (p *replicaProc) boot(t *testing.T, base *ontology.ShardedSnapshot, gate chan struct{}) {
 	t.Helper()
-	srv := NewShard(base.Projection(p.shard), Options{
-		ShardIngest: detShardIngester(p.shard, base, gate),
+	host := &detShardHost{shard: p.shard, k: base.NumShards(), cur: base}
+	opts := Options{ShardIngest: host.ingest(gate)}
+	var srv *Server
+	var startGen uint64
+	if p.ckptEvery > 0 {
+		opts.CheckpointSave = host.save
+		opts.CheckpointRestore = host.restore
+		var err error
+		srv, startGen, err = HydrateShard(filepath.Dir(p.walPath), p.shard, host.k, opts, nil)
+		if err != nil {
+			t.Fatalf("shard %d replica %d hydrate: %v", p.shard, p.idx, err)
+		}
+	}
+	if srv == nil {
+		srv = NewShard(base.Projection(p.shard), opts)
+	}
+	fl, err := NewFollower(srv, FollowerOptions{
+		Path:            p.walPath,
+		Replica:         p.idx,
+		Poll:            time.Millisecond,
+		StartGen:        startGen,
+		CheckpointEvery: p.ckptEvery,
 	})
-	fl, err := NewFollower(srv, p.walPath, p.idx, time.Millisecond, nil)
 	if err != nil {
 		t.Fatalf("shard %d replica %d: %v", p.shard, p.idx, err)
 	}
 	ctx, cancel := context.WithCancel(context.Background())
-	go fl.Run(ctx)
+	p.runErr.Store(nil)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if err := fl.Run(ctx); err != nil && ctx.Err() == nil {
+			p.runErr.Store(&err)
+		}
+	}()
 	p.mu.Lock()
 	if p.cancel != nil {
 		p.cancel()
+		<-p.done // the old follower (and any in-flight publish) is drained
 	}
-	p.inner, p.cancel = srv.Handler(), cancel
+	p.inner, p.cancel, p.done = srv.Handler(), cancel, done
 	p.mu.Unlock()
 }
 
@@ -153,6 +234,11 @@ func (p *replicaProc) stop() {
 	if p.cancel != nil {
 		p.cancel()
 		p.cancel = nil
+		select {
+		case <-p.done:
+		case <-time.After(5 * time.Second):
+			// A gated follower can be stuck mid-apply; don't hang cleanup.
+		}
 	}
 	p.mu.Unlock()
 }
@@ -161,24 +247,32 @@ func (p *replicaProc) stop() {
 type walFixture struct {
 	k        int
 	base     *ontology.ShardedSnapshot
+	walDir   string
 	procs    [][]*replicaProc // [shard][replica]
 	rt       *Router
 	routerTS *httptest.Server
 }
 
 func newWALFixture(t *testing.T, k, r int, opts RouterOptions) *walFixture {
+	return newCkptWALFixture(t, k, r, 0, opts)
+}
+
+// newCkptWALFixture is newWALFixture with checkpointing enabled on every
+// replica when every > 0 (hydrating boots + a cadence roll each `every`
+// applied generations).
+func newCkptWALFixture(t *testing.T, k, r int, every uint64, opts RouterOptions) *walFixture {
 	t.Helper()
 	base, err := ontology.ShardSnapshot(testOntology(0).Snapshot(), k)
 	if err != nil {
 		t.Fatal(err)
 	}
 	walDir := t.TempDir()
-	f := &walFixture{k: k, base: base, procs: make([][]*replicaProc, k)}
+	f := &walFixture{k: k, base: base, walDir: walDir, procs: make([][]*replicaProc, k)}
 	replicas := make([][]string, k)
 	for s := 0; s < k; s++ {
 		for ri := 0; ri < r; ri++ {
 			p := &replicaProc{
-				shard: s, idx: ri,
+				shard: s, idx: ri, ckptEvery: every,
 				walPath: filepath.Join(walDir, fmt.Sprintf("shard-%d-of-%d.wal", s, k)),
 			}
 			p.boot(t, base, nil)
@@ -500,6 +594,290 @@ func TestIngestBackpressure(t *testing.T) {
 		return replicaWALGen(t, b) >= head
 	})
 	postJSON(t, f.routerTS.Client(), f.routerTS.URL+"/v1/ingest", `{"day":14}`, 200)
+}
+
+// forceCheckpoint rolls a checkpoint on a replica synchronously (POST
+// /v1/checkpoint) and returns the covered log position.
+func forceCheckpoint(t *testing.T, p *replicaProc) uint64 {
+	t.Helper()
+	status, body := postRaw(t, p.outer.Client(), p.outer.URL+"/v1/checkpoint", "")
+	if status != http.StatusOK {
+		t.Fatalf("shard %d replica %d: POST /v1/checkpoint = %d: %s", p.shard, p.idx, status, body)
+	}
+	var parsed struct {
+		CheckpointGen uint64 `json:"checkpoint_gen"`
+	}
+	if err := json.Unmarshal(body, &parsed); err != nil {
+		t.Fatalf("checkpoint response: %v: %s", err, body)
+	}
+	return parsed.CheckpointGen
+}
+
+// restartReplica stops p, reboots it (hydrating when checkpointing is
+// enabled) and waits for it to catch up to its shard's log head.
+func (f *walFixture) restartReplica(t *testing.T, p *replicaProc) {
+	t.Helper()
+	p.stop()
+	p.boot(t, f.base, nil)
+	p.down.Store(false)
+	head := f.headGen(p.shard)
+	waitFor(t, 10*time.Second, fmt.Sprintf("shard %d replica %d to catch up", p.shard, p.idx), func() bool {
+		if errp := p.runErr.Load(); errp != nil {
+			t.Fatalf("shard %d replica %d follower died: %v", p.shard, p.idx, *errp)
+		}
+		return replicaWALGen(t, p) >= head
+	})
+}
+
+// TestCheckpointReplayEquivalence is the compaction tentpole's pin: for
+// K ∈ {1, 2}, a replica that boots from a checkpoint artifact and tails
+// only the log suffix serves byte-identical worlds — responses AND
+// generation accounting — to the single-process reference, at every
+// stage: after a plain checkpointed restart, and after the log has been
+// truncated below the checkpoint (where full replay is impossible and
+// hydration is the only way back).
+func TestCheckpointReplayEquivalence(t *testing.T) {
+	for _, k := range []int{1, 2} {
+		t.Run(fmt.Sprintf("k=%d", k), func(t *testing.T) {
+			f := newCkptWALFixture(t, k, 1, 2, RouterOptions{})
+			ref := httptest.NewServer(NewSharded(f.base, Options{
+				IngestSharded: detShardedIngester(f.base),
+			}).Handler())
+			t.Cleanup(ref.Close)
+
+			probes := []string{
+				"/v1/search?q=sedan&limit=10",
+				"/v1/search?q=recall&limit=5",
+				"/v1/node?phrase=family+sedans",
+				"/v1/node?phrase=family+sedans&type=concept",
+				"/v1/node?phrase=hybrid+sedans+12&type=concept",
+				"/v1/node?phrase=sedan+recall+wave+14",
+			}
+			assertSame := func(stage string) {
+				t.Helper()
+				for _, path := range probes {
+					refStatus, refBody := getRaw(t, ref.Client(), ref.URL+path)
+					gotStatus, gotBody := getRaw(t, f.routerTS.Client(), f.routerTS.URL+path)
+					if refStatus != gotStatus || !bytes.Equal(refBody, gotBody) {
+						t.Fatalf("k=%d %s: %s diverges: status %d vs %d\nrouter: %s\nref:    %s",
+							k, stage, path, gotStatus, refStatus, gotBody, refBody)
+					}
+				}
+			}
+			ingest := func(day int) {
+				t.Helper()
+				body := fmt.Sprintf(`{"day":%d}`, day)
+				refResp := postJSON(t, ref.Client(), ref.URL+"/v1/ingest", body, 200)
+				gotResp := postJSON(t, f.routerTS.Client(), f.routerTS.URL+"/v1/ingest", body, 200)
+				if !reflect.DeepEqual(refResp["shard_generations"], gotResp["shard_generations"]) {
+					t.Fatalf("k=%d day %d: shard generations diverge: %v vs %v",
+						k, day, gotResp["shard_generations"], refResp["shard_generations"])
+				}
+			}
+
+			for day := 11; day <= 14; day++ {
+				ingest(day)
+			}
+			// Roll a checkpoint on every replica at the current head, then
+			// keep writing so a real suffix exists past the artifact.
+			for s := 0; s < k; s++ {
+				if got, want := forceCheckpoint(t, f.procs[s][0]), f.headGen(s); got != want {
+					t.Fatalf("shard %d checkpoint covers %d, head is %d", s, got, want)
+				}
+			}
+			for day := 15; day <= 16; day++ {
+				ingest(day)
+			}
+			assertSame("before restart")
+
+			// Checkpointed restart: hydrate the artifact, tail the suffix.
+			for s := 0; s < k; s++ {
+				f.restartReplica(t, f.procs[s][0])
+			}
+			assertSame("after checkpointed restart")
+
+			// Generation continuity: the next ingest must mint the same
+			// serving generations on both sides (the hydrated store resumed
+			// the sequence, not restarted it).
+			ingest(17)
+			assertSame("after post-restart ingest")
+
+			// Truncate each log below its checkpoint floor and restart
+			// again: replay-from-zero is now impossible (ErrCompacted), so
+			// only the hydration path can produce these identical worlds.
+			for s := 0; s < k; s++ {
+				meta, err := wal.ReadCheckpointMeta(wal.CheckpointPath(f.walDir, s, k))
+				if err != nil {
+					t.Fatalf("shard %d checkpoint meta: %v", s, err)
+				}
+				if err := f.rt.shards[s].log.TruncateBelow(meta.WALGen); err != nil {
+					t.Fatalf("shard %d truncate below %d: %v", s, meta.WALGen, err)
+				}
+				if base := f.rt.shards[s].log.BaseGen(); base != meta.WALGen {
+					t.Fatalf("shard %d: base %d after truncating below %d", s, base, meta.WALGen)
+				}
+			}
+			for s := 0; s < k; s++ {
+				f.restartReplica(t, f.procs[s][0])
+			}
+			assertSame("after truncation + restart")
+			ingest(18)
+			assertSame("after post-truncation ingest")
+		})
+	}
+}
+
+// TestCheckpointCrashLadder drives the boot ladder through injected
+// checkpoint-write crashes: a corrupt primary artifact falls back to the
+// rotated previous one, both corrupt falls back to full replay, and both
+// corrupt WITH a truncated log — the only unrecoverable combination —
+// stops the follower without ever acking a wrong world.
+func TestCheckpointCrashLadder(t *testing.T) {
+	f := newCkptWALFixture(t, 1, 1, 2, RouterOptions{})
+	ref := httptest.NewServer(NewSharded(f.base, Options{
+		IngestSharded: detShardedIngester(f.base),
+	}).Handler())
+	t.Cleanup(ref.Close)
+
+	p := f.procs[0][0]
+	ingest := func(day int) {
+		t.Helper()
+		body := fmt.Sprintf(`{"day":%d}`, day)
+		postJSON(t, ref.Client(), ref.URL+"/v1/ingest", body, 200)
+		postJSON(t, f.routerTS.Client(), f.routerTS.URL+"/v1/ingest", body, 200)
+	}
+	assertSame := func(stage string) {
+		t.Helper()
+		for _, path := range []string{"/v1/search?q=sedan&limit=10", "/v1/node?phrase=family+sedans"} {
+			refStatus, refBody := getRaw(t, ref.Client(), ref.URL+path)
+			gotStatus, gotBody := getRaw(t, f.routerTS.Client(), f.routerTS.URL+path)
+			if refStatus != gotStatus || !bytes.Equal(refBody, gotBody) {
+				t.Fatalf("%s: %s diverges\nrouter: %s\nref:    %s", stage, path, gotBody, refBody)
+			}
+		}
+	}
+
+	// Two checkpoints at different positions so the rotation slot holds a
+	// usable older artifact: primary covers 4, previous covers 2.
+	ingest(11)
+	ingest(12)
+	if got := forceCheckpoint(t, p); got != 2 {
+		t.Fatalf("first checkpoint covers %d, want 2", got)
+	}
+	ingest(13)
+	ingest(14)
+	if got := forceCheckpoint(t, p); got != 4 {
+		t.Fatalf("second checkpoint covers %d, want 4", got)
+	}
+
+	primary := wal.CheckpointPath(f.walDir, 0, 1)
+	prev := wal.PrevCheckpointPath(f.walDir, 0, 1)
+	corrupt := func(path string) {
+		t.Helper()
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// A torn write: the file ends mid-artifact.
+		if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Rung 2: primary torn mid-write, previous intact. The boot must land
+	// on the previous artifact (covers 2) and replay 3..4 from the log.
+	corrupt(primary)
+	f.restartReplica(t, p)
+	assertSame("after fallback to previous checkpoint")
+
+	// Repair the artifacts at the current position for the next scenario.
+	if got := forceCheckpoint(t, p); got != 4 {
+		t.Fatalf("repair checkpoint covers %d, want 4", got)
+	}
+
+	// Rung 3: both artifacts torn, log intact: full replay from zero.
+	corrupt(primary)
+	corrupt(prev)
+	f.restartReplica(t, p)
+	assertSame("after fallback to full replay")
+
+	// Unrecoverable: both artifacts torn AND the log truncated. The boot
+	// falls to full replay, which must stop at ErrCompacted — the replica
+	// never acks a generation it could only have guessed at.
+	if got := forceCheckpoint(t, p); got != 4 {
+		t.Fatalf("checkpoint covers %d, want 4", got)
+	}
+	if err := f.rt.shards[0].log.TruncateBelow(2); err != nil {
+		t.Fatal(err)
+	}
+	corrupt(primary)
+	corrupt(prev)
+	p.stop()
+	p.boot(t, f.base, nil)
+	p.down.Store(false)
+	waitFor(t, 10*time.Second, "follower to stop on the compacted log", func() bool {
+		return p.runErr.Load() != nil
+	})
+	if err := *p.runErr.Load(); !errors.Is(err, wal.ErrCompacted) {
+		t.Fatalf("follower stopped with %v, want ErrCompacted", err)
+	}
+	if gen := replicaWALGen(t, p); gen != 0 {
+		t.Fatalf("unrecoverable replica acked generation %d", gen)
+	}
+}
+
+// TestRouterCompaction: with RouterOptions.Compact, the prober truncates
+// each shard's log below the fleet-wide applied floor — but never past
+// the published checkpoint — and a replica killed before the truncation
+// rejoins from the artifact. /healthz surfaces the wal block.
+func TestRouterCompaction(t *testing.T) {
+	f := newCkptWALFixture(t, 1, 2, 2, RouterOptions{
+		Compact:       true,
+		ProbeInterval: 10 * time.Millisecond,
+		AckTimeout:    10 * time.Second,
+	})
+	for day := 11; day <= 16; day++ {
+		postJSON(t, f.routerTS.Client(), f.routerTS.URL+"/v1/ingest", fmt.Sprintf(`{"day":%d}`, day), 200)
+	}
+	// Cadence rolls (every 2 gens) publish asynchronously; the prober then
+	// drives the log base up to min(applied floor, checkpoint floor).
+	waitFor(t, 10*time.Second, "the prober to truncate the log", func() bool {
+		return f.rt.shards[0].log.BaseGen() > 0
+	})
+	base := f.rt.shards[0].log.BaseGen()
+	meta, err := wal.ReadCheckpointMeta(wal.CheckpointPath(f.walDir, 0, 1))
+	if err != nil {
+		t.Fatalf("checkpoint meta after compaction: %v", err)
+	}
+	if base > meta.WALGen {
+		t.Fatalf("log truncated to base %d, past the checkpoint floor %d", base, meta.WALGen)
+	}
+
+	// A replica restarting over the compacted log can only rejoin through
+	// the artifact; it must catch up and answer reads consistently with
+	// its sibling.
+	f.restartReplica(t, f.procs[0][1])
+	a, b := f.procs[0][0], f.procs[0][1]
+	for _, path := range []string{"/v1/search?q=sedan&limit=10", "/v1/node?phrase=family+sedans"} {
+		aStatus, aBody := getRaw(t, a.outer.Client(), a.outer.URL+path)
+		bStatus, bBody := getRaw(t, b.outer.Client(), b.outer.URL+path)
+		if aStatus != bStatus || !bytes.Equal(aBody, bBody) {
+			t.Fatalf("%s diverges across replicas after compacted rejoin:\nA: %s\nB: %s", path, aBody, bBody)
+		}
+	}
+
+	// The router's health view carries the compaction state.
+	health := getJSON(t, f.routerTS.Client(), f.routerTS.URL+"/healthz", 200)
+	walBlock, ok := health["wal"].([]any)
+	if !ok || len(walBlock) != 1 {
+		t.Fatalf("healthz wal block missing or malformed: %v", health["wal"])
+	}
+	entry := walBlock[0].(map[string]any)
+	for _, field := range []string{"shard", "head", "base", "applied_floor", "checkpoint_gen"} {
+		if _, ok := entry[field]; !ok {
+			t.Fatalf("healthz wal entry lacks %q: %v", field, entry)
+		}
+	}
 }
 
 // postRaw posts a JSON body and returns the verbatim status and body.

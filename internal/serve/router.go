@@ -135,6 +135,14 @@ type RouterOptions struct {
 	// backend's /healthz; 0 disables it (health marks still update on
 	// every proxied call).
 	ProbeInterval time.Duration
+	// Compact, on a delta-log fleet, lets the prober truncate each
+	// shard's log below the fleet-wide applied floor after every probe
+	// pass. The cut is additionally bounded by the covered position of
+	// the shard's newest published checkpoint, so a replica that died
+	// before the floor moved can still rejoin: everything below the cut
+	// is recoverable from the artifact. Requires ProbeInterval > 0 to
+	// run automatically.
+	Compact bool
 	// Logf, when set, receives operational log lines — most usefully the
 	// backend health transitions ("shard 1 down: ...", "shard 1
 	// recovered") detected by traffic and the prober. Nil disables.
@@ -385,29 +393,123 @@ func (rt *Router) probeLoop() {
 				}
 			}
 		})
-		idx := rt.routing.Load()
-		if idx == nil {
-			continue
+		if idx := rt.routing.Load(); idx != nil {
+			for i := range results {
+				if !chosen[i] {
+					continue
+				}
+				var h struct {
+					Generation uint64 `json:"generation"`
+				}
+				if json.Unmarshal(results[i].body, &h) != nil {
+					continue
+				}
+				if !idx.shards[i].ok || idx.shards[i].gen != h.Generation {
+					// Either the backend recovered since the index was built
+					// (re-index to regain pruning) or its generation moved
+					// without a routed write (distrust every cached partial).
+					rt.invalidateSearch(nil, true)
+					break
+				}
+			}
 		}
-		for i := range results {
-			if !chosen[i] {
-				continue
-			}
-			var h struct {
-				Generation uint64 `json:"generation"`
-			}
-			if json.Unmarshal(results[i].body, &h) != nil {
-				continue
-			}
-			if !idx.shards[i].ok || idx.shards[i].gen != h.Generation {
-				// Either the backend recovered since the index was built
-				// (re-index to regain pruning) or its generation moved
-				// without a routed write (distrust every cached partial).
-				rt.invalidateSearch(nil, true)
-				break
-			}
+		// Compaction rides the probe pass: it needs exactly the applied
+		// positions the probes just refreshed, routing index or not.
+		if rt.opts.Compact {
+			rt.compactOnce()
 		}
 	}
+}
+
+// appliedFloor returns the minimum applied log generation across shard
+// s's HEALTHY replicas — the position every reader the router would
+// route to has provably passed. ok=false when no replica is healthy
+// (a dead fleet has no known floor; nothing may be dropped).
+func (rt *Router) appliedFloor(s int) (floor uint64, ok bool) {
+	for _, rep := range rt.shards[s].replicas {
+		if rep.down.Load() {
+			continue
+		}
+		g := rep.applied.Load()
+		if !ok || g < floor {
+			floor, ok = g, true
+		}
+	}
+	return floor, ok
+}
+
+// checkpointFloor returns the log position covered by shard s's newest
+// published checkpoint artifact (0 when none exists or it is unusable).
+func (rt *Router) checkpointFloor(s int) uint64 {
+	if rt.opts.WALDir == "" {
+		return 0
+	}
+	meta, err := wal.ReadCheckpointMeta(wal.CheckpointPath(rt.opts.WALDir, s, rt.k))
+	if err != nil || meta.Shard != s || meta.Shards != rt.k {
+		return 0
+	}
+	return meta.WALGen
+}
+
+// compactOnce truncates every shard's delta log below
+// min(applied floor over healthy replicas, primary checkpoint's covered
+// position). The checkpoint bound is what makes the cut safe for
+// replicas the floor does not see (down, or not yet started): any
+// record below it is covered by a durable artifact they can hydrate.
+// Run by the prober when RouterOptions.Compact is set; also the
+// engine behind operator-driven truncation.
+func (rt *Router) compactOnce() {
+	if !rt.walMode() {
+		return
+	}
+	for s, set := range rt.shards {
+		floor, ok := rt.appliedFloor(s)
+		if !ok {
+			continue
+		}
+		if ckpt := rt.checkpointFloor(s); ckpt < floor {
+			floor = ckpt
+		}
+		if floor <= set.log.BaseGen() {
+			continue
+		}
+		if err := set.log.TruncateBelow(floor); err != nil {
+			if rt.opts.Logf != nil {
+				rt.opts.Logf("wal: truncating shard %d log below %d: %v", s, floor, err)
+			}
+			continue
+		}
+		if rt.opts.Logf != nil {
+			rt.opts.Logf("wal: shard %d log truncated below generation %d (head %d)", s, floor, set.log.Head())
+		}
+	}
+}
+
+// walShardStatus is the wire form of one shard's delta-log compaction
+// state in the router's /healthz and /v1/stats.
+type walShardStatus struct {
+	Shard         int    `json:"shard"`
+	Head          uint64 `json:"head"`
+	Base          uint64 `json:"base"`
+	AppliedFloor  uint64 `json:"applied_floor"`
+	CheckpointGen uint64 `json:"checkpoint_gen"`
+}
+
+// walStatus summarizes every shard's log head, truncation base, applied
+// floor and published-checkpoint position.
+func (rt *Router) walStatus() []walShardStatus {
+	out := make([]walShardStatus, rt.k)
+	for s, set := range rt.shards {
+		floor, _ := rt.appliedFloor(s)
+		out[s] = walShardStatus{
+			Shard:         s,
+			Head:          set.log.Head(),
+			Base:          set.log.BaseGen(),
+			AppliedFloor:  floor,
+			CheckpointGen: rt.checkpointFloor(s),
+		}
+	}
+	return out
 }
 
 // invalidateSearch drops the routing index and resets search-partial
@@ -852,7 +954,11 @@ func (rt *Router) handleHealthz(r *http.Request, meta *respMeta) (int, any) {
 			break
 		}
 	}
-	return http.StatusOK, map[string]any{"status": status, "shards": rt.k, "backends": backends}
+	resp := map[string]any{"status": status, "shards": rt.k, "backends": backends}
+	if rt.walMode() {
+		resp["wal"] = rt.walStatus()
+	}
+	return http.StatusOK, resp
 }
 
 // handleSearch answers /v1/search through the routed, cached scatter —
@@ -1277,6 +1383,9 @@ func (rt *Router) handleStats(r *http.Request, meta *respMeta) (int, any) {
 		resp["partial"] = true
 		resp["missing_shards"] = failed
 	}
+	if rt.walMode() {
+		resp["wal"] = rt.walStatus()
+	}
 	return http.StatusOK, resp
 }
 
@@ -1343,17 +1452,7 @@ func (rt *Router) ingestWAL(ctx context.Context, meta *respMeta, body []byte) (i
 	// position already excludes it from serving.
 	for s, set := range rt.shards {
 		head := set.log.Head()
-		var minApplied uint64
-		have := false
-		for _, rep := range set.replicas {
-			if rep.down.Load() {
-				continue
-			}
-			g := rep.applied.Load()
-			if !have || g < minApplied {
-				minApplied, have = g, true
-			}
-		}
+		minApplied, have := rt.appliedFloor(s)
 		if have && head > minApplied && head-minApplied > rt.opts.MaxLag {
 			meta.setHeader("Retry-After", "1")
 			e := errBodyShard(codeReplicaLagging, s,

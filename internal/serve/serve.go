@@ -101,6 +101,18 @@ type Options struct {
 	// Duet optionally supplies a trained event/topic matcher; nil degrades
 	// event tagging to LCS-only.
 	Duet *tagging.Duet
+	// CheckpointSave captures the host's full apply state for a
+	// checkpoint artifact: the UNION snapshot (per-shard projections are
+	// re-derived deterministically from it on restore) plus an opaque
+	// host-state blob (click-log tail, mining context). It is called from
+	// the follower goroutine between applies, where the host state is
+	// quiescent — the follower is the replica's only writer. Nil disables
+	// background checkpointing and POST /v1/checkpoint.
+	CheckpointSave func() (*ontology.Snapshot, []byte, error)
+	// CheckpointRestore rebuilds the host's apply state from a
+	// checkpoint's union snapshot and state blob and returns THIS shard's
+	// projection to serve. Nil disables checkpoint boot (HydrateShard).
+	CheckpointRestore func(*ontology.Snapshot, []byte) (*ontology.ShardProjection, error)
 	// MaxSearchResults caps /v1/search result counts; 0 means 100.
 	MaxSearchResults int
 	// Story configures story-tree formation; nil means
@@ -171,7 +183,7 @@ type Server struct {
 
 // endpointNames fixes the metrics registry key set.
 var endpointNames = []string{
-	"healthz", "stats", "node", "search", "tag", "query_rewrite", "story", "metrics", "reload", "ingest", "rollback", "wal",
+	"healthz", "stats", "node", "search", "tag", "query_rewrite", "story", "metrics", "reload", "ingest", "rollback", "wal", "checkpoint",
 }
 
 // newServer applies option defaults and wires the fields shared by both
@@ -226,8 +238,24 @@ func NewSharded(ss *ontology.ShardedSnapshot, opts Options) *Server {
 // generation; /v1/tag, /v1/query/rewrite and /v1/story serve from the
 // projection (an approximation of the union — see docs/ARCHITECTURE.md).
 func NewShard(p *ontology.ShardProjection, opts Options) *Server {
+	return NewShardAt(p, 1, opts)
+}
+
+// NewShardAt builds a per-shard-process Server whose initial publish
+// mints serving generation gen instead of 1 — the checkpoint-boot seam.
+// Generation numbers are part of the replicated contract
+// (X-Giant-Generation, cache keys, the router's cross-replica identity
+// checks), so a replica hydrated from a checkpoint must resume the
+// exact generation sequence a full log replay would have produced.
+func NewShardAt(p *ontology.ShardProjection, gen uint64, opts Options) *Server {
 	s := newServer(opts)
 	s.shardMode = true
+	if gen > 1 {
+		// The store is freshly built and empty; seeding cannot fail.
+		if err := s.store.SeedGeneration(gen - 1); err != nil {
+			panic(err)
+		}
+	}
 	s.swapMu.Lock()
 	s.publishShardLocked(p, true)
 	s.swapMu.Unlock()
@@ -431,6 +459,12 @@ func (s *Server) Current() *ontology.Snapshot {
 	return s.cur.Load().snap
 }
 
+// ShardProjection returns the shard projection serving right now (nil on
+// a server not built with NewShard).
+func (s *Server) ShardProjection() *ontology.ShardProjection {
+	return s.cur.Load().proj
+}
+
 // Generation returns the current snapshot generation (1 for the initial
 // snapshot, +1 per swap).
 func (s *Server) Generation() uint64 {
@@ -460,6 +494,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("/v1/ingest", s.endpoint("ingest", false, s.handleIngest))
 	s.mux.HandleFunc("/v1/rollback", s.endpoint("rollback", false, s.handleRollback))
 	s.mux.HandleFunc("/v1/wal", s.endpoint("wal", false, s.handleWAL))
+	s.mux.HandleFunc("/v1/checkpoint", s.endpoint("checkpoint", false, s.handleCheckpoint))
 }
 
 // handlerFunc is one endpoint's logic: it reads only from st (never from
@@ -605,6 +640,7 @@ func (s *Server) handleHealthz(st *state, r *http.Request) (int, any) {
 	if ws := s.wal.Load(); ws != nil {
 		resp["replica"] = ws.replica
 		resp["wal_gen"] = ws.position()
+		resp["checkpoint_gen"] = ws.checkpointGen()
 	}
 	return http.StatusOK, resp
 }

@@ -11,14 +11,21 @@
 //
 // Layout (all integers little-endian):
 //
-//	header (24 bytes)
+//	header, version 1 (24 bytes — fresh logs)
 //	  0   magic "GIANTWAL" (8 bytes)
-//	  8   format version   (uint32, currently 1)
+//	  8   format version   (uint32, 1)
 //	  12  shard index i    (int32)
 //	  16  shard count k    (int32)
 //	  20  header CRC32C    (over bytes [0,20))
+//	header, version 2 (32 bytes — compacted logs)
+//	  0   magic "GIANTWAL" (8 bytes)
+//	  8   format version   (uint32, 2)
+//	  12  shard index i    (int32)
+//	  16  shard count k    (int32)
+//	  20  base generation  (uint64: records 1..base were compacted away)
+//	  28  header CRC32C    (over bytes [0,28))
 //	record (16-byte prefix + payload + trailer)
-//	  0   log generation   (uint64, dense from 1)
+//	  0   log generation   (uint64, dense from base+1)
 //	  8   batch day        (int32, informational)
 //	  12  payload length   (uint32)
 //	  16  payload          (delta.Batch JSON)
@@ -31,6 +38,14 @@
 // checksum, at EOF) by truncating back to the last intact boundary. A
 // mid-log record that fails its checksum is bit rot, not a torn write,
 // and is rejected with ErrChecksum rather than silently dropped.
+//
+// Compaction (TruncateBelow) rewrites the log as a version-2 file whose
+// header records the dropped prefix's last generation, copying only the
+// surviving suffix byte-for-byte and publishing it with the same atomic
+// rename, so a crash mid-truncation leaves the old log fully intact.
+// Records at or below a log's base generation are gone; a reader that
+// still needs them gets ErrCompacted and must rehydrate from a
+// checkpoint instead (see checkpoint.go).
 package wal
 
 import (
@@ -46,12 +61,16 @@ import (
 // Magic is the 8-byte tag every delta log starts with.
 const Magic = "GIANTWAL"
 
-// Version is the current log format version. Readers reject newer
-// versions with ErrFormatVersion.
+// Version is the format version of a fresh (never-compacted) log.
 const Version = 1
+
+// VersionCompacted is the format version written by TruncateBelow: the
+// header grows a base-generation field recording the compacted prefix.
+const VersionCompacted = 2
 
 const (
 	headerSize    = 24
+	header2Size   = 32
 	recPrefixSize = 16
 	recTrailSize  = 4
 	// MaxPayload bounds a single record's payload so a corrupt length
@@ -64,7 +83,7 @@ var (
 	// ErrBadMagic reports a file that does not start with the GIANTWAL
 	// magic.
 	ErrBadMagic = errors.New("wal: not a GIANTWAL log (bad magic)")
-	// ErrTruncated reports a log shorter than its 24-byte header — the
+	// ErrTruncated reports a log shorter than its header — the
 	// signature of a partially copied file (a torn header can not occur:
 	// the header is published by atomic rename).
 	ErrTruncated = errors.New("wal: truncated GIANTWAL log")
@@ -84,6 +103,10 @@ var (
 	// identity than the opener expected — the classic misconfiguration
 	// of pointing replica i at shard j's stream.
 	ErrShardMismatch = errors.New("wal: log belongs to a different shard")
+	// ErrCompacted reports a request for generations at or below a
+	// compacted log's base: those records were truncated away and can
+	// only be recovered through a checkpoint.
+	ErrCompacted = errors.New("wal: generation compacted away")
 )
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
@@ -104,9 +127,11 @@ type Log struct {
 	path   string
 	shard  int
 	shards int
+	base   uint64  // last compacted-away generation (0 for fresh logs)
+	hdrLen int64   // 24 for version-1 headers, 32 for compacted logs
 	head   uint64  // generation of the last intact record
 	size   int64   // file offset past the last intact record
-	offs   []int64 // offs[g-1] = file offset of record g's prefix
+	offs   []int64 // offs[g-base-1] = file offset of record g's prefix
 }
 
 // Create writes an empty log for shard/shards at path via the atomic
@@ -147,15 +172,18 @@ func Open(path string, shard, shards int) (*Log, error) {
 // recover validates the header, scans every record, and truncates a
 // torn tail.
 func (l *Log) recover() error {
-	if err := checkHeader(l.f, l.shard, l.shards); err != nil {
+	base, hdrLen, err := checkHeader(l.f, l.shard, l.shards)
+	if err != nil {
 		return err
 	}
+	l.base, l.hdrLen = base, hdrLen
+	l.head = base
 	fi, err := l.f.Stat()
 	if err != nil {
 		return err
 	}
 	fileSize := fi.Size()
-	off := int64(headerSize)
+	off := hdrLen
 	for off < fileSize {
 		rec, end, err := readRecordAt(l.f, off, fileSize)
 		if err != nil {
@@ -180,7 +208,7 @@ func (l *Log) recover() error {
 		l.head = rec.Gen
 		off = end
 	}
-	l.size = int64(headerSize)
+	l.size = hdrLen
 	if n := len(l.offs); n > 0 {
 		last, _, err := recordSpanAt(l.f, l.offs[n-1])
 		if err != nil {
@@ -200,6 +228,15 @@ func (l *Log) Head() uint64 {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.head
+}
+
+// BaseGen returns the last compacted-away generation: every surviving
+// record has a strictly greater generation. 0 means nothing was ever
+// truncated.
+func (l *Log) BaseGen() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.base
 }
 
 // Shard returns the shard identity stamped in the log header.
@@ -234,23 +271,115 @@ func (l *Log) Append(day int, payload []byte) (uint64, error) {
 	return gen, nil
 }
 
-// TailFrom returns every record with generation strictly greater than
-// afterGen, in order. Payloads are fresh copies the caller owns.
-func (l *Log) TailFrom(afterGen uint64) ([]Record, error) {
+// TailFrom streams every record with generation strictly greater than
+// afterGen, in order, to fn. Payloads are fresh copies the callback
+// owns. Records are read one at a time — the whole suffix is never
+// materialized. Asking for generations below the log's base (already
+// truncated away) yields ErrCompacted. A non-nil error from fn stops
+// the stream and is returned verbatim.
+func (l *Log) TailFrom(afterGen uint64, fn func(Record) error) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if afterGen >= l.head {
-		return nil, nil
+	if afterGen < l.base {
+		return fmt.Errorf("%w: tail after generation %d, but records at or below %d were truncated", ErrCompacted, afterGen, l.base)
 	}
-	var recs []Record
 	for g := afterGen + 1; g <= l.head; g++ {
-		rec, _, err := readRecordAt(l.f, l.offs[g-1], l.size)
+		rec, _, err := readRecordAt(l.f, l.offs[g-l.base-1], l.size)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		recs = append(recs, rec)
+		if err := fn(rec); err != nil {
+			return err
+		}
 	}
-	return recs, nil
+	return nil
+}
+
+// TruncateBelow drops every record with generation at or below floor by
+// rewriting the log as a compacted (version-2) file whose header
+// carries the new base generation. Only the surviving suffix is copied
+// — O(suffix), not O(history) — and the result is published with the
+// same temp-fsync-rename idiom as log creation, so a crash mid-way
+// leaves the old log fully intact. The writer's handle is swapped to
+// the new file under the log mutex; cross-process readers detect the
+// inode swap once they drain the old file and reopen at their position
+// (see Reader.Next). Floors above the head are clamped; floors at or
+// below the current base are a no-op.
+func (l *Log) TruncateBelow(floor uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if floor > l.head {
+		floor = l.head
+	}
+	if floor <= l.base {
+		return nil
+	}
+	start := l.size
+	if floor < l.head {
+		start = l.offs[floor-l.base]
+	}
+	tmp, err := os.CreateTemp(dirOf(l.path), "wal.tmp-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	committed := false
+	defer func() {
+		if !committed {
+			tmp.Close()
+			os.Remove(tmpName)
+		}
+	}()
+	var hdr [header2Size]byte
+	copy(hdr[0:8], Magic)
+	binary.LittleEndian.PutUint32(hdr[8:], VersionCompacted)
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(int32(l.shard)))
+	binary.LittleEndian.PutUint32(hdr[16:], uint32(int32(l.shards)))
+	binary.LittleEndian.PutUint64(hdr[20:], floor)
+	binary.LittleEndian.PutUint32(hdr[28:], crc32.Checksum(hdr[:28], crcTable))
+	if _, err := tmp.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := io.Copy(tmp, io.NewSectionReader(l.f, start, l.size-start)); err != nil {
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		return err
+	}
+	if err := tmp.Chmod(0o644); err != nil {
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	// Open the writer's new handle through the temp name BEFORE the
+	// rename: same inode either way, and it keeps the rename the final
+	// fallible step — any earlier failure leaves the old log untouched.
+	newSize := l.size - start + header2Size
+	nf, err := os.OpenFile(tmpName, os.O_RDWR, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := nf.Seek(newSize, io.SeekStart); err != nil {
+		nf.Close()
+		return err
+	}
+	if err := os.Rename(tmpName, l.path); err != nil {
+		nf.Close()
+		return err
+	}
+	committed = true
+	newOffs := make([]int64, 0, l.head-floor)
+	for g := floor + 1; g <= l.head; g++ {
+		newOffs = append(newOffs, l.offs[g-l.base-1]-start+header2Size)
+	}
+	l.f.Close()
+	l.f = nf
+	l.base = floor
+	l.hdrLen = header2Size
+	l.offs = newOffs
+	l.size = newSize
+	return nil
 }
 
 // Close releases the file handle. The log stays replayable on disk.
@@ -266,49 +395,181 @@ func (l *Log) Close() error {
 // checksum-failing tail is treated as an append in flight, since the
 // writer fsyncs whole records and repairs genuinely torn tails on its
 // own next Open.
+//
+// A Reader opened with OpenReaderAt carries a skip floor: records at or
+// below it are hopped over structurally (prefix-only reads — no payload
+// copy, no checksum) because their effects are already covered by the
+// caller's checkpoint; the next record's dense-generation check
+// re-validates the file alignment.
 type Reader struct {
 	f       *os.File
+	fi      os.FileInfo // identity at open time, to detect compaction swaps
+	path    string
+	shard   int
+	shards  int
 	off     int64
 	lastGen uint64
+	floor   uint64 // records with gen <= floor are skipped without copying
 }
 
 // OpenReader opens a read-only cursor positioned before the first
 // record. The caller should retry on os.ErrNotExist until the writer
-// has created the log.
+// has created the log. Opening a compacted log this way yields
+// ErrCompacted: a full replay is impossible once records were
+// truncated, so the caller must hydrate a checkpoint and use
+// OpenReaderAt instead.
 func OpenReader(path string, shard, shards int) (*Reader, error) {
+	return OpenReaderAt(path, shard, shards, 0)
+}
+
+// OpenReaderAt opens a read-only cursor that yields only records with
+// generation strictly greater than afterGen, structurally skipping the
+// prefix at or below it. If the log was truncated past afterGen (its
+// base generation exceeds it), the requested records no longer exist
+// and OpenReaderAt reports ErrCompacted.
+func OpenReaderAt(path string, shard, shards int, afterGen uint64) (*Reader, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
-	if err := checkHeader(f, shard, shards); err != nil {
+	base, hdrLen, err := checkHeader(f, shard, shards)
+	if err != nil {
 		f.Close()
 		return nil, err
 	}
-	return &Reader{f: f, off: headerSize}, nil
-}
-
-// Next returns the next record, or nil when the log has no complete
-// record past the cursor yet. A record that is fully present but fails
-// its checksum while further records exist behind it is reported as
-// ErrChecksum.
-func (r *Reader) Next() (*Record, error) {
-	fi, err := r.f.Stat()
+	if base > afterGen {
+		f.Close()
+		return nil, fmt.Errorf("%w: reader wants records after generation %d, but the log starts after %d", ErrCompacted, afterGen, base)
+	}
+	fi, err := f.Stat()
 	if err != nil {
+		f.Close()
 		return nil, err
 	}
-	rec, end, err := readRecordAt(r.f, r.off, fi.Size())
+	return &Reader{
+		f:       f,
+		fi:      fi,
+		path:    path,
+		shard:   shard,
+		shards:  shards,
+		off:     hdrLen,
+		lastGen: base,
+		floor:   afterGen,
+	}, nil
+}
+
+// Next returns the next record past the skip floor, or nil when the log
+// has no complete record past the cursor yet. A record that is fully
+// present but fails its checksum while further records exist behind it
+// is reported as ErrChecksum. When the cursor idles at the end of a
+// file the writer has since compacted (rename swapped a new inode into
+// place), Next transparently reopens the new file at its position —
+// safe because the old inode is frozen at the swap and fully drained
+// first — and yields ErrCompacted only if the truncation outran this
+// reader.
+func (r *Reader) Next() (*Record, error) {
+	rec, idle, err := r.advance()
+	if err != nil || rec != nil {
+		return rec, err
+	}
+	if !idle {
+		return nil, nil
+	}
+	fi, err := os.Stat(r.path)
 	if err != nil {
-		if errors.Is(err, errShortRecord) || errors.Is(err, errPendingTail) {
+		if errors.Is(err, os.ErrNotExist) {
 			return nil, nil
 		}
 		return nil, err
 	}
-	if rec.Gen != r.lastGen+1 {
-		return nil, fmt.Errorf("%w: record at offset %d has generation %d, want %d", ErrCorrupt, r.off, rec.Gen, r.lastGen+1)
+	if os.SameFile(r.fi, fi) {
+		return nil, nil
+	}
+	if err := r.reopen(); err != nil {
+		return nil, err
+	}
+	rec, _, err = r.advance()
+	return rec, err
+}
+
+// advance reads (or structurally skips, below the floor) the next
+// record in the currently open file. idle reports a clean "nothing
+// complete yet" tail.
+func (r *Reader) advance() (rec *Record, idle bool, err error) {
+	fi, err := r.f.Stat()
+	if err != nil {
+		return nil, false, err
+	}
+	fileSize := fi.Size()
+	for r.lastGen < r.floor {
+		gen, end, err := skipRecordAt(r.f, r.off, fileSize)
+		if err != nil {
+			if errors.Is(err, errShortRecord) {
+				return nil, true, nil
+			}
+			return nil, false, err
+		}
+		if gen != r.lastGen+1 {
+			return nil, false, fmt.Errorf("%w: record at offset %d has generation %d, want %d", ErrCorrupt, r.off, gen, r.lastGen+1)
+		}
+		r.off = end
+		r.lastGen = gen
+	}
+	full, end, err := readRecordAt(r.f, r.off, fileSize)
+	if err != nil {
+		if errors.Is(err, errShortRecord) || errors.Is(err, errPendingTail) {
+			return nil, true, nil
+		}
+		return nil, false, err
+	}
+	if full.Gen != r.lastGen+1 {
+		return nil, false, fmt.Errorf("%w: record at offset %d has generation %d, want %d", ErrCorrupt, r.off, full.Gen, r.lastGen+1)
 	}
 	r.off = end
-	r.lastGen = rec.Gen
-	return &rec, nil
+	r.lastGen = full.Gen
+	return &full, false, nil
+}
+
+// reopen follows a compaction swap: open the file now at path, verify
+// its identity, and structurally skip to this reader's position.
+func (r *Reader) reopen() error {
+	f, err := os.Open(r.path)
+	if err != nil {
+		return err
+	}
+	base, hdrLen, err := checkHeader(f, r.shard, r.shards)
+	if err != nil {
+		f.Close()
+		return err
+	}
+	if base > r.lastGen {
+		f.Close()
+		return fmt.Errorf("%w: log was truncated past generation %d (new base %d); rehydrate from a checkpoint", ErrCompacted, r.lastGen, base)
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return err
+	}
+	off := hdrLen
+	fileSize := fi.Size()
+	for g := base; g < r.lastGen; g++ {
+		gen, end, err := skipRecordAt(f, off, fileSize)
+		if err != nil {
+			f.Close()
+			return fmt.Errorf("wal: repositioning after compaction: %w", err)
+		}
+		if gen != g+1 {
+			f.Close()
+			return fmt.Errorf("%w: record at offset %d has generation %d, want %d", ErrCorrupt, off, gen, g+1)
+		}
+		off = end
+	}
+	r.f.Close()
+	r.f = f
+	r.fi = fi
+	r.off = off
+	return nil
 }
 
 // Close releases the cursor's file handle.
@@ -322,8 +583,8 @@ var errShortRecord = errors.New("wal: short record")
 // behind it — readers treat it as an append still being flushed.
 var errPendingTail = errors.New("wal: unflushed tail record")
 
-// writeHeaderAtomic publishes a fresh log header via temp-fsync-rename
-// so no reader can ever observe a partial header.
+// writeHeaderAtomic publishes a fresh (version-1) log header via
+// temp-fsync-rename so no reader can ever observe a partial header.
 func writeHeaderAtomic(path string, shard, shards int) (err error) {
 	tmp, err := os.CreateTemp(dirOf(path), "wal.tmp-*")
 	if err != nil {
@@ -365,30 +626,45 @@ func dirOf(path string) string {
 	return "."
 }
 
-// checkHeader validates magic, version, checksum, and shard identity.
-func checkHeader(f *os.File, shard, shards int) error {
-	var hdr [headerSize]byte
-	if _, err := f.ReadAt(hdr[:], 0); err != nil {
-		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
-			return ErrTruncated
-		}
-		return err
+// checkHeader validates magic, version, checksum, and shard identity,
+// and returns the log's base generation (0 for version-1 headers) plus
+// the header length records start after.
+func checkHeader(f *os.File, shard, shards int) (base uint64, hdrLen int64, err error) {
+	var hdr [header2Size]byte
+	n, err := f.ReadAt(hdr[:], 0)
+	if err != nil && !errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
+		return 0, 0, err
+	}
+	if n < headerSize {
+		return 0, 0, ErrTruncated
 	}
 	if string(hdr[0:8]) != Magic {
-		return ErrBadMagic
+		return 0, 0, ErrBadMagic
 	}
-	if v := binary.LittleEndian.Uint32(hdr[8:]); v != Version {
-		return fmt.Errorf("%w: version %d", ErrFormatVersion, v)
-	}
-	if sum := binary.LittleEndian.Uint32(hdr[20:]); sum != crc32.Checksum(hdr[:20], crcTable) {
-		return fmt.Errorf("%w: header", ErrChecksum)
+	switch v := binary.LittleEndian.Uint32(hdr[8:]); v {
+	case Version:
+		if sum := binary.LittleEndian.Uint32(hdr[20:]); sum != crc32.Checksum(hdr[:20], crcTable) {
+			return 0, 0, fmt.Errorf("%w: header", ErrChecksum)
+		}
+		hdrLen = headerSize
+	case VersionCompacted:
+		if n < header2Size {
+			return 0, 0, ErrTruncated
+		}
+		if sum := binary.LittleEndian.Uint32(hdr[28:]); sum != crc32.Checksum(hdr[:28], crcTable) {
+			return 0, 0, fmt.Errorf("%w: header", ErrChecksum)
+		}
+		base = binary.LittleEndian.Uint64(hdr[20:])
+		hdrLen = header2Size
+	default:
+		return 0, 0, fmt.Errorf("%w: version %d", ErrFormatVersion, v)
 	}
 	gotShard := int(int32(binary.LittleEndian.Uint32(hdr[12:])))
 	gotShards := int(int32(binary.LittleEndian.Uint32(hdr[16:])))
 	if gotShard != shard || gotShards != shards {
-		return fmt.Errorf("%w: log is shard %d/%d, want %d/%d", ErrShardMismatch, gotShard, gotShards, shard, shards)
+		return 0, 0, fmt.Errorf("%w: log is shard %d/%d, want %d/%d", ErrShardMismatch, gotShard, gotShards, shard, shards)
 	}
-	return nil
+	return base, hdrLen, nil
 }
 
 // recordSpanAt returns the end offset of the record starting at off,
@@ -400,6 +676,32 @@ func recordSpanAt(f *os.File, off int64) (end int64, n uint32, err error) {
 	}
 	n = binary.LittleEndian.Uint32(pre[12:])
 	return off + int64(recPrefixSize) + int64(n) + recTrailSize, n, nil
+}
+
+// skipRecordAt structurally parses the record prefix at off without
+// copying the payload or verifying its checksum — used to hop over
+// records whose effects are already covered by a checkpoint. Alignment
+// stays validated: the caller checks the returned generation is dense,
+// and the first fully-read record past the floor re-anchors the CRC
+// chain.
+func skipRecordAt(f *os.File, off, fileSize int64) (gen uint64, end int64, err error) {
+	if off+recPrefixSize > fileSize {
+		return 0, 0, errShortRecord
+	}
+	var pre [recPrefixSize]byte
+	if _, err := f.ReadAt(pre[:], off); err != nil {
+		return 0, 0, err
+	}
+	gen = binary.LittleEndian.Uint64(pre[0:])
+	n := binary.LittleEndian.Uint32(pre[12:])
+	if n > MaxPayload {
+		return 0, 0, fmt.Errorf("%w: record at offset %d claims %d-byte payload", ErrCorrupt, off, n)
+	}
+	end = off + int64(recPrefixSize) + int64(n) + recTrailSize
+	if end > fileSize {
+		return 0, 0, errShortRecord
+	}
+	return gen, end, nil
 }
 
 // readRecordAt parses and checksums the record starting at off in a
