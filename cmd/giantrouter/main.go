@@ -16,25 +16,31 @@
 //
 // Backends are listed in shard order: -backends URL_0,URL_1,...,URL_{k-1}
 // where URL_i serves shard i of k (the router cross-checks this against
-// each backend's /v1/stats shard identity). /v1/search and /v1/node
-// responses are byte-identical to a single sharded giantd over the same
-// world; /v1/ingest broadcasts to every backend with all-or-nothing
-// generation accounting.
+// each backend's /v1/stats shard identity). /v1/search, /v1/node,
+// /v1/tag, /v1/query/rewrite and /v1/story responses are byte-identical
+// to a single sharded giantd over the same world — the application
+// endpoints gather each shard's ?partial= candidates and run the same
+// merge the backends run internally, rather than proxying one shard's
+// approximation; /v1/ingest broadcasts to every backend with
+// all-or-nothing generation accounting.
 //
-// Search is routed, not blindly scattered: the router keeps a term→shard
+// Reads are routed, not blindly scattered: the router keeps a term→shard
 // routing index built from each backend's /v1/stats term grams and
-// consults only the shards that can match, caching each shard's partial
-// keyed by (shard, generation, query) — -search-cache sizes the caches
-// (0 disables), and ?scatter=full on any search bypasses routing and
-// caching for debugging.
+// consults only the shards that can match the query (or the tag
+// document's entities and matching text), caching each shard's search
+// and rewrite partials keyed by (shard, generation, query) —
+// -search-cache sizes the caches (0 disables), and ?scatter=full on any
+// search bypasses routing and caching for debugging.
 //
 // Degraded mode is configurable: by default fan-out reads fail closed
 // with 503 when a backend is unreachable; with -fail-open they return the
-// reachable shards' results marked "partial": true. Point-routed
-// endpoints (node by typed phrase, tag, query rewrite, story) answer 502
-// when their target shard is down, and writes are always fail-closed. A
-// cached search partial can answer for a down backend, so a fully cached
-// query returns complete results where an uncached one would be partial.
+// reachable shards' results marked "partial": true — uniformly across
+// search, tag, query rewrite, story and scattered node lookups. A typed
+// node lookup (and a story seed resolution) answers 502 when the one
+// home shard that could hold the phrase is down, and writes are always
+// fail-closed. A cached partial can answer for a down backend, so a
+// fully cached query returns complete results where an uncached one
+// would be partial.
 //
 // With -wal DIR each shard may list multiple replicas, separated by "|"
 // within the comma-separated shard list (every replica a giantd started
@@ -83,7 +89,7 @@ func main() {
 		parallel = flag.Int("parallel", 0, "fan-out worker pool size (0 = min(shards, GOMAXPROCS))")
 		probe    = flag.Duration("probe", 2*time.Second, "background health-probe interval (0 disables)")
 		grace    = flag.Duration("grace", 5*time.Second, "graceful-shutdown drain timeout")
-		cache    = flag.Int("search-cache", 1024, "per-shard search-partial cache entries, keyed (shard, generation, query); a cached partial can mask a down backend for that query (0 disables)")
+		cache    = flag.Int("search-cache", 1024, "per-shard search- and rewrite-partial cache entries, keyed (shard, generation, query); a cached partial can mask a down backend for that query (0 disables)")
 		walDir   = flag.String("wal", "", "delta-log directory: ingest appends to DIR/shard-i-of-k.wal and acks at a replica quorum (backends must be giantd -wal replicas)")
 		maxLag   = flag.Uint64("max-lag", 0, "with -wal: 429 ingest pushback once a shard's slowest healthy replica trails the log head by more than this many generations (0 = 64)")
 		ackTO    = flag.Duration("ack-timeout", 0, "with -wal: per-replica apply-confirmation timeout for ingest quorum waits (0 = -write-timeout)")

@@ -1,0 +1,103 @@
+package ontology
+
+// Scope is the merge participant abstraction behind the union-exact
+// application endpoints (/v1/tag, /v1/query/rewrite, /v1/story). A scope is
+// a View plus two maps that let per-shard code extract *partial* candidate
+// sets carrying union node IDs:
+//
+//   - Home reports whether the scope owns the node: every node of the union
+//     is home in exactly one scope of a partition, so concatenating the home
+//     sets of all scopes reproduces the union node set without duplicates.
+//   - UID translates the scope's local node ID into the union ID, the shared
+//     currency every merge site orders and deduplicates by.
+//
+// Three partitions cover every serving mode:
+//
+//   - UnionScope(v): a single scope where everything is home and IDs are
+//     already union IDs. Merging the one partial extracted from it IS the
+//     single-snapshot computation — which is how single-process handlers and
+//     the scatter-gather handlers share one code path byte-identically.
+//   - ShardScope(union, shard, k): in-process sharded serving. The view is
+//     the union snapshot but only nodes hashing to the shard are home.
+//   - ProjectionScope(p): a shard-file projection (home prefix + ghosts)
+//     served by a standalone shard process; UID goes through the
+//     projection's union-ID table.
+type Scope struct {
+	View View
+	// Home reports whether this scope owns the node (n.ID is the scope's
+	// local ID).
+	Home func(n *Node) bool
+	// UID maps a scope-local node ID to its union ID.
+	UID func(NodeID) NodeID
+}
+
+// UnionScope wraps a full union view: every node is home, IDs are union IDs.
+func UnionScope(v View) Scope {
+	return Scope{
+		View: v,
+		Home: func(*Node) bool { return true },
+		UID:  func(id NodeID) NodeID { return id },
+	}
+}
+
+// ShardScope scopes a union view to the nodes whose deterministic home is
+// the given shard. Local IDs are union IDs (the view is the union), so UID
+// is the identity.
+func ShardScope(v View, shard, k int) Scope {
+	return Scope{
+		View: v,
+		Home: func(n *Node) bool { return HomeShard(n.Type, n.Phrase, k) == shard },
+		UID:  func(id NodeID) NodeID { return id },
+	}
+}
+
+// ProjectionScope scopes a shard projection: home means the node sits in the
+// projection's home prefix, and UID translates through its union-ID table.
+func ProjectionScope(p *ShardProjection) Scope {
+	return Scope{
+		View: p.Snap,
+		Home: func(n *Node) bool { return p.IsHome(n.ID) },
+		UID:  p.UnionID,
+	}
+}
+
+// HomeNodes returns the scope's home nodes of the given type in ascending
+// union-ID order, with each node's ID rewritten to its union ID. For every
+// partition above, concatenating HomeNodes across scopes and sorting by ID
+// equals the union view's Nodes(t) — the invariant all application merges
+// rest on.
+func (s Scope) HomeNodes(t NodeType) []Node {
+	nodes := s.View.Nodes(t)
+	out := nodes[:0]
+	for i := range nodes {
+		if !s.Home(&nodes[i]) {
+			continue
+		}
+		nodes[i].ID = s.UID(nodes[i].ID)
+		out = append(out, nodes[i])
+	}
+	// Projections keep home nodes in union-ID order and union views return
+	// ID-ascending per-type lists, so out is already sorted; keep the
+	// invariant explicit for any future View implementation.
+	for i := 1; i < len(out); i++ {
+		if out[i].ID < out[i-1].ID {
+			sortNodesByID(out)
+			break
+		}
+	}
+	return out
+}
+
+// FindHome resolves a (type, phrase) pair to a home node, with its ID
+// rewritten to the union ID. Exactly one scope of a partition resolves any
+// given pair, because canonical phrases are unique per type in the union.
+// The second return is the scope-local ID for edge traversal via the view.
+func (s Scope) FindHome(t NodeType, phrase string) (Node, NodeID, bool) {
+	n, ok := s.View.Find(t, phrase)
+	if !ok || !s.Home(&n) {
+		return Node{}, 0, false
+	}
+	local := n.ID
+	n.ID = s.UID(local)
+	return n, local, true
+}

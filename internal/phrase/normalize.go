@@ -22,6 +22,28 @@ type TFIDF struct {
 // NewTFIDF returns an empty model.
 func NewTFIDF() *TFIDF { return &TFIDF{df: make(map[string]int)} }
 
+// NewTFIDFFromStats reconstructs a model from previously exported stats
+// (document count + per-token document frequencies). Because AddDoc only
+// increments integer counters, a model rebuilt from merged per-shard stats
+// is identical to one fed the same documents directly.
+func NewTFIDFFromStats(docs int, df map[string]int) *TFIDF {
+	m := &TFIDF{df: make(map[string]int, len(df)), docs: docs}
+	for tok, n := range df {
+		m.df[tok] = n
+	}
+	return m
+}
+
+// Stats exports the model's document count and a copy of its document
+// frequencies, suitable for NewTFIDFFromStats on another process.
+func (t *TFIDF) Stats() (docs int, df map[string]int) {
+	df = make(map[string]int, len(t.df))
+	for tok, n := range t.df {
+		df[tok] = n
+	}
+	return t.docs, df
+}
+
 // AddDoc updates document frequencies with one document's tokens.
 func (t *TFIDF) AddDoc(tokens []string) {
 	t.docs++
@@ -54,22 +76,35 @@ func (t *TFIDF) Vector(tokens []string) map[string]float64 {
 	return out
 }
 
-// Cosine returns cosine similarity between two sparse vectors.
+// Cosine returns cosine similarity between two sparse vectors. Keys are
+// accumulated in sorted order so the float result is identical across
+// processes regardless of map iteration order.
 func Cosine(a, b map[string]float64) float64 {
 	var dot, na, nb float64
-	for k, v := range a {
+	for _, k := range sortedKeys(a) {
+		v := a[k]
 		na += v * v
 		if w, ok := b[k]; ok {
 			dot += v * w
 		}
 	}
-	for _, v := range b {
+	for _, k := range sortedKeys(b) {
+		v := b[k]
 		nb += v * v
 	}
 	if na == 0 || nb == 0 {
 		return 0
 	}
 	return dot / math.Sqrt(na*nb)
+}
+
+func sortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // Normalizer merges highly similar phrases into a single canonical node

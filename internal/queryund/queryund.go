@@ -5,10 +5,6 @@
 package queryund
 
 import (
-	"sort"
-	"strings"
-
-	"giant/internal/nlp"
 	"giant/internal/ontology"
 )
 
@@ -22,9 +18,14 @@ type Understander struct {
 	MaxExpansions int
 }
 
+// DefaultMaxExpansions is the rewrite/recommendation cap New applies. A
+// merge site folding per-shard partials (serve.Router) re-caps with the
+// same constant, so the merged analysis matches a single-snapshot one.
+const DefaultMaxExpansions = 5
+
 // New builds an Understander.
 func New(onto ontology.View) *Understander {
-	return &Understander{Onto: onto, MaxExpansions: 5}
+	return &Understander{Onto: onto, MaxExpansions: DefaultMaxExpansions}
 }
 
 // Analysis is the structured interpretation of a query.
@@ -40,69 +41,13 @@ type Analysis struct {
 	Recommendations []string
 }
 
-// Analyze interprets a query.
+// Analyze interprets a query. It is the merge of a single partial over the
+// whole view — the same code path the sharded merge sites run. The longest
+// concept phrase wins by its normalized length (an earlier version compared
+// the normalized candidate against the raw best phrase, which could pick a
+// shorter concept when punctuation inflated the raw length).
 func (u *Understander) Analyze(query string) Analysis {
-	a := Analysis{Query: query}
-	qnorm := strings.Join(nlp.Tokenize(query), " ")
-
-	// Concept detection: longest concept phrase contained in the query.
-	best := ""
-	for _, c := range u.Onto.Nodes(ontology.Concept) {
-		cp := strings.Join(nlp.Tokenize(c.Phrase), " ")
-		if cp != "" && strings.Contains(" "+qnorm+" ", " "+cp+" ") && len(cp) > len(best) {
-			best = c.Phrase
-		}
-	}
-	if best != "" {
-		a.Concept = best
-		node, _ := u.Onto.Find(ontology.Concept, best)
-		children := u.Onto.Children(node.ID, ontology.IsA)
-		sort.Slice(children, func(i, j int) bool { return children[i].Phrase < children[j].Phrase })
-		for _, ch := range children {
-			if ch.Type != ontology.Entity {
-				continue
-			}
-			a.Rewrites = append(a.Rewrites, query+" "+ch.Phrase)
-			if len(a.Rewrites) >= u.MaxExpansions {
-				break
-			}
-		}
-	}
-
-	// Entity detection: exact entity-name query (or contained name).
-	if ent, ok := u.Onto.Find(ontology.Entity, qnorm); ok {
-		a.Entity = ent.Phrase
-	} else {
-		for _, e := range u.Onto.Nodes(ontology.Entity) {
-			ep := strings.Join(nlp.Tokenize(e.Phrase), " ")
-			if ep != "" && strings.Contains(" "+qnorm+" ", " "+ep+" ") {
-				a.Entity = e.Phrase
-				break
-			}
-		}
-	}
-	if a.Entity != "" {
-		ent, _ := u.Onto.Find(ontology.Entity, a.Entity)
-		var correlated []string
-		for _, n := range u.Onto.Children(ent.ID, ontology.Correlate) {
-			correlated = append(correlated, n.Phrase)
-		}
-		for _, n := range u.Onto.Parents(ent.ID, ontology.Correlate) {
-			correlated = append(correlated, n.Phrase)
-		}
-		sort.Strings(correlated)
-		seen := map[string]bool{a.Entity: true}
-		for _, c := range correlated {
-			if !seen[c] {
-				seen[c] = true
-				a.Recommendations = append(a.Recommendations, c)
-				if len(a.Recommendations) >= u.MaxExpansions {
-					break
-				}
-			}
-		}
-	}
-	return a
+	return Merge(query, []*Partial{u.Partial(ontology.UnionScope(u.Onto), query)}, u.MaxExpansions)
 }
 
 // Conceptualize returns just the concept conveyed by the query ("" if none).

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"giant/internal/ontology"
+	"giant/internal/queryund"
 )
 
 // lruCache is a bounded least-recently-used cache of rendered responses.
@@ -174,4 +175,19 @@ type hitsCache struct {
 // cap <= 0 disables caching.
 func newHitsCache(cap int) *hitsCache {
 	return &hitsCache{lruOf[[]searchHit]{cap: cap, items: make(map[string]*list.Element), order: list.New()}}
+}
+
+// rewriteCache is the router's per-shard query-rewrite partial cache,
+// keyed (generation, normalized query). Like hitsCache, entries carry
+// union node IDs rendered by the backend at fetch time, so they obey the
+// same invalidation rules: generation-keyed per shard, cleared wholesale
+// on any write whose delta retired nodes.
+type rewriteCache struct {
+	lruOf[*queryund.Partial]
+}
+
+// newRewriteCache builds a rewrite partial cache bounded to cap entries;
+// cap <= 0 disables caching.
+func newRewriteCache(cap int) *rewriteCache {
+	return &rewriteCache{lruOf[*queryund.Partial]{cap: cap, items: make(map[string]*list.Element), order: list.New()}}
 }

@@ -6,9 +6,10 @@ package serve
 // ontology.HomeShard phrase hash the in-process sharded server uses.
 //
 // The contract mirrors PR 4's determinism guarantee across process
-// boundaries: for /v1/search and /v1/node, the router's merged responses
-// are byte-identical to a single-process serve.NewSharded server over the
-// same world, for every shard count (router_test.go pins this for
+// boundaries: for /v1/search, /v1/node, /v1/tag, /v1/query/rewrite and
+// /v1/story, the router's merged responses are byte-identical to a
+// single-process server over the same world, for every shard count
+// (router_test.go and application_equivalence_test.go pin this for
 // K ∈ {1, 2, 4} through a day-by-day ingest replay).
 //
 //	/v1/search         routed fan-out: a generation-stamped term→shard
@@ -32,15 +33,27 @@ package serve
 //	                   mining system and re-derives only its own shard)
 //	                   with all-or-nothing generation accounting
 //	/v1/reload         broadcast, all-or-nothing
-//	/v1/tag,           routed to one shard by phrase hash and proxied
-//	/v1/query/rewrite, verbatim (projection-local approximation of the
-//	/v1/story          union — see docs/ARCHITECTURE.md)
+//	/v1/tag            scatter-gather: per-shard ?partial=match candidate
+//	                   sets (pruned by the same term-gram routing index as
+//	                   search) are merged and scored against a router-held
+//	                   concept index built from every shard's
+//	                   ?partial=stats concepts
+//	/v1/query/rewrite  scatter-gather over ?partial=1 rewrite partials,
+//	                   keyed by the NORMALIZED query (lowercased token
+//	                   join) for routing and caching, folded by
+//	                   queryund.Merge at the router
+//	/v1/story          the seed resolves exactly like a typed /v1/node
+//	                   lookup (home-shard fast path, alias scatter), then
+//	                   the tree forms at the router from the merged
+//	                   per-shard ?partial=fragments event lists
 //
 // Degraded mode is configurable (RouterOptions.FailOpen): when a backend
-// is unreachable, fan-out reads either fail closed with 503 or return the
-// reachable shards' results marked "partial": true. Point-routed
-// endpoints return 502 for an unreachable target in both modes, and
-// writes (/v1/ingest, /v1/reload) are always fail-closed.
+// is unreachable, every fan-out read — /v1/search, /v1/stats, /v1/tag,
+// /v1/query/rewrite, /v1/story and scattered /v1/node lookups — either
+// fails closed with 503 or returns the reachable shards' results marked
+// "partial": true. A typed /v1/node lookup answers 502 when the one home
+// shard that could hold its phrase is unreachable, and writes
+// (/v1/ingest, /v1/reload) are always fail-closed.
 //
 // With RouterOptions.Replicas + WALDir the router serves each shard from
 // a replica set over an append-only delta log (internal/wal): reads pick
@@ -73,6 +86,7 @@ import (
 	"giant/internal/delta"
 	"giant/internal/ontology"
 	"giant/internal/par"
+	"giant/internal/storytree"
 	"giant/internal/wal"
 )
 
@@ -122,6 +136,10 @@ type RouterOptions struct {
 	// MaxSearchResults caps /v1/search result counts and must match the
 	// backends' cap for byte-identical merges; 0 means 100.
 	MaxSearchResults int
+	// Story configures story-tree formation at the router's merge site and
+	// must match the backends' configuration for byte-identical trees; nil
+	// means storytree.DefaultOptions (what serve.New defaults to as well).
+	Story *storytree.Options
 	// CacheSize bounds each per-shard search-partial cache (entries).
 	// Unlike serve.Options.CacheSize, 0 (the default) DISABLES partial
 	// caching: a cached partial is served without touching its backend, so
@@ -201,6 +219,23 @@ type Router struct {
 	// partials[i] caches backend i's parsed search hits keyed
 	// (generation, needle, limit); invalidation swaps in a fresh cache.
 	partials []atomic.Pointer[hitsCache]
+	// rewrites[i] caches backend i's parsed query-rewrite partials keyed
+	// (generation, normalized query); same invalidation as partials.
+	rewrites []atomic.Pointer[rewriteCache]
+	// tagIdx / frags memoize the fleet-wide merged concept index and
+	// story-fragment list (built from full ?partial=stats / ?partial=
+	// fragments fan-outs). Unlike the per-shard caches they span every
+	// backend, so ANY invalidation drops them; a degraded build (missing
+	// shards under fail-open) is never stored.
+	tagIdx  atomic.Pointer[routerTagIndex]
+	tagMu   sync.Mutex // serializes tagIdx rebuilds
+	frags   atomic.Pointer[routerFragments]
+	fragsMu sync.Mutex // serializes frags rebuilds
+	// enc and story drive story-tree formation at the router; they must
+	// match the backends' (all default-constructed unless Options.Story /
+	// RouterOptions.Story override them in lockstep).
+	enc   storytree.Encoder
+	story storytree.Options
 }
 
 // routingShard is one backend's entry in the routing index: its serving
@@ -296,6 +331,15 @@ func NewRouter(opts RouterOptions) (*Router, error) {
 	}
 	for i := range rt.partials {
 		rt.partials[i].Store(newHitsCache(opts.CacheSize))
+	}
+	rt.rewrites = make([]atomic.Pointer[rewriteCache], k)
+	for i := range rt.rewrites {
+		rt.rewrites[i].Store(newRewriteCache(opts.CacheSize))
+	}
+	rt.enc = storytree.NewBagOfTokensEncoder(16, nil)
+	rt.story = storytree.DefaultOptions()
+	if opts.Story != nil {
+		rt.story = *opts.Story
 	}
 	if rt.client == nil {
 		rt.client = &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 4}}
@@ -519,15 +563,21 @@ func (rt *Router) walStatus() []walShardStatus {
 // (an append-only delta cannot change what an untouched backend returns).
 func (rt *Router) invalidateSearch(touched []int, clearAll bool) {
 	rt.routing.Store(nil)
+	// The merged application indexes fold every shard's partial, so even a
+	// single-shard delta stales them: drop unconditionally.
+	rt.tagIdx.Store(nil)
+	rt.frags.Store(nil)
 	if clearAll {
 		for i := range rt.partials {
 			rt.partials[i].Store(newHitsCache(rt.opts.CacheSize))
+			rt.rewrites[i].Store(newRewriteCache(rt.opts.CacheSize))
 		}
 		return
 	}
 	for _, s := range touched {
 		if s >= 0 && s < rt.k {
 			rt.partials[s].Store(newHitsCache(rt.opts.CacheSize))
+			rt.rewrites[s].Store(newRewriteCache(rt.opts.CacheSize))
 		}
 	}
 }
@@ -784,23 +834,9 @@ func (rt *Router) routes() {
 	rt.mux.HandleFunc("/v1/metrics", rt.endpoint("metrics", rt.handleMetrics))
 	rt.mux.HandleFunc("/v1/ingest", rt.endpoint("ingest", rt.handleIngest))
 	rt.mux.HandleFunc("/v1/reload", rt.endpoint("reload", rt.handleReload))
-	rt.mux.HandleFunc("/v1/tag", rt.routed("tag", func(r *http.Request) int {
-		key := r.URL.Query().Get("title")
-		if key == "" {
-			key = r.URL.Query().Get("content")
-		}
-		if r.Method == http.MethodPost {
-			// Body-carried documents hash by raw body below (routeBody).
-			return -1
-		}
-		return ontology.HomeShard(ontology.Concept, key, rt.k)
-	}))
-	rt.mux.HandleFunc("/v1/query/rewrite", rt.routed("query_rewrite", func(r *http.Request) int {
-		return ontology.HomeShard(ontology.Concept, r.URL.Query().Get("q"), rt.k)
-	}))
-	rt.mux.HandleFunc("/v1/story", rt.routed("story", func(r *http.Request) int {
-		return ontology.HomeShard(ontology.Event, r.URL.Query().Get("seed"), rt.k)
-	}))
+	rt.mux.HandleFunc("/v1/tag", rt.endpoint("tag", rt.handleTag))
+	rt.mux.HandleFunc("/v1/query/rewrite", rt.endpoint("query_rewrite", rt.handleQueryRewrite))
+	rt.mux.HandleFunc("/v1/story", rt.endpoint("story", rt.handleStory))
 }
 
 // respMeta collects response metadata a handler accumulates while fanning
@@ -824,6 +860,13 @@ func (m *respMeta) noteGen(shard int, gen string) {
 	}
 	m.gens[shard] = gen
 	m.mu.Unlock()
+}
+
+// genOf returns the generation last noted for one shard ("" when none).
+func (m *respMeta) genOf(shard int) string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.gens[shard]
 }
 
 func (m *respMeta) setHeader(key, value string) {
@@ -882,37 +925,6 @@ func (rt *Router) endpoint(name string, fn func(r *http.Request, meta *respMeta)
 		writeBody(w, status, body, false)
 		m.observe(status, time.Since(start), false)
 	}
-}
-
-// routed proxies a request to a single shard chosen by the route function
-// (phrase-hash routing), forwarding the backend response verbatim. An
-// unreachable target is a 502 in both degraded modes — a point route has
-// no partial result to return.
-func (rt *Router) routed(name string, route func(r *http.Request) int) http.HandlerFunc {
-	return rt.endpoint(name, func(r *http.Request, meta *respMeta) (int, any) {
-		var body []byte
-		if r.Body != nil {
-			body, _ = io.ReadAll(r.Body)
-		}
-		shard := route(r)
-		if shard < 0 {
-			shard = ontology.HomeShard(ontology.Concept, string(body), rt.k)
-		}
-		pathAndQuery := r.URL.Path
-		if r.URL.RawQuery != "" {
-			pathAndQuery += "?" + r.URL.RawQuery
-		}
-		var reqBody []byte
-		if r.Method != http.MethodGet {
-			reqBody = body
-		}
-		res := rt.call(r.Context(), shard, r.Method, pathAndQuery, reqBody)
-		if res.err != nil {
-			return http.StatusBadGateway, errBodyShard(codeShardUnavailable, shard, "shard %d unavailable: %v", shard, res.err)
-		}
-		meta.noteGen(shard, res.gen)
-		return res.status, res.body
-	})
 }
 
 func (rt *Router) handleHealthz(r *http.Request, meta *respMeta) (int, any) {

@@ -670,9 +670,11 @@ func TestRouterIngestAllOrNothing(t *testing.T) {
 	}
 }
 
-// TestRouterRoutedEndpoints: the phrase-hash-routed endpoints proxy a
-// single shard's response verbatim and 502 when that shard is down.
-func TestRouterRoutedEndpoints(t *testing.T) {
+// TestRouterAppEndpoints: the application endpoints answer through the
+// scatter-gather merge, and a story seed whose home shard is down answers
+// 502 even under fail-open — with the one shard that could hold the
+// canonical phrase unreachable, "not found" would be a guess.
+func TestRouterAppEndpoints(t *testing.T) {
 	flaky, routerTS, _ := newFaultFixture(t, 2, true)
 	c := routerTS.Client()
 
@@ -689,12 +691,12 @@ func TestRouterRoutedEndpoints(t *testing.T) {
 		t.Fatalf("tag through router = %v", tag)
 	}
 
-	// The story seed routes to HomeShard(Event, seed); kill that shard.
+	// The seed resolves against HomeShard(Event, seed); kill that shard.
 	target := ontology.HomeShard(ontology.Event, "brand unveils sedan model a", 2)
 	flaky[target].down.Store(true)
 	status, body := getRaw(t, c, routerTS.URL+"/v1/story?seed=brand+unveils+sedan+model+a")
 	if status != http.StatusBadGateway {
-		t.Fatalf("routed endpoint with dead target = %d: %s", status, body)
+		t.Fatalf("story with dead home shard = %d: %s", status, body)
 	}
 }
 

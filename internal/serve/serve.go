@@ -160,6 +160,14 @@ type state struct {
 	// one shard's projection, search scans only its home-node prefix, and
 	// node responses render union IDs through the projection's ID table.
 	proj *ontology.ShardProjection
+	// appRefs, appStats and appFrags memoize the application endpoints'
+	// per-state derived structures (concept stats partial, merged concept
+	// index, merged story fragments — see app.go). They are built lazily on
+	// first use; racing builds compute identical values (the inputs are the
+	// state's immutable projections), so the last store winning is benign.
+	appRefs  atomic.Pointer[[]tagging.ConceptRef]
+	appStats atomic.Pointer[tagging.ConceptIndex]
+	appFrags atomic.Pointer[[]*storytree.EventNode]
 }
 
 // Server serves a hot-swappable ontology snapshot over HTTP.
@@ -235,8 +243,11 @@ func NewSharded(ss *ontology.ShardedSnapshot, opts Options) *Server {
 // IDs through the projection's ID table, so a router merging K shard
 // responses reproduces the in-process NewSharded output byte for byte.
 // /healthz and /v1/stats carry the shard identity and per-shard
-// generation; /v1/tag, /v1/query/rewrite and /v1/story serve from the
-// projection (an approximation of the union — see docs/ARCHITECTURE.md).
+// generation. /v1/tag, /v1/query/rewrite and /v1/story additionally
+// expose ?partial= modes reporting the shard's home candidates with
+// union IDs (see app.go); the router merges those partials into
+// union-exact responses, while the plain endpoints keep answering from
+// the projection alone for standalone inspection.
 func NewShard(p *ontology.ShardProjection, opts Options) *Server {
 	return NewShardAt(p, 1, opts)
 }
@@ -890,36 +901,21 @@ type tagResult struct {
 }
 
 func (s *Server) handleTag(st *state, r *http.Request) (int, any) {
-	var req tagRequest
-	switch r.Method {
-	case http.MethodGet:
-		q := r.URL.Query()
-		req.Title, req.Content = q.Get("title"), q.Get("content")
-		if es := q.Get("entities"); es != "" {
-			req.Entities = strings.Split(es, ",")
-		}
-	case http.MethodPost:
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			return http.StatusBadRequest, errBody(codeInvalidArgument, "decode body: "+err.Error())
-		}
-	default:
-		return http.StatusMethodNotAllowed, errBody(codeMethodNotAllowed, "use GET or POST")
+	if mode := r.URL.Query().Get("partial"); mode != "" {
+		return st.handleTagPartial(mode, r)
 	}
-	if req.Title == "" && req.Content == "" {
-		return http.StatusBadRequest, errBody(codeInvalidArgument, "need a title or content")
+	doc, bad, errb := parseTagDoc(r)
+	if bad != 0 {
+		return bad, errb
 	}
-	doc := &tagging.Document{Title: req.Title, Content: req.Content, Entities: req.Entities}
-	toResults := func(tags []tagging.Tag) []tagResult {
-		out := make([]tagResult, 0, len(tags))
-		for _, t := range tags {
-			out = append(out, tagResult{Phrase: t.Phrase, Type: t.Type.String(), Score: t.Score})
-		}
-		return out
+	// In-process sharded states tag through per-shard-scope partials merged
+	// exactly as the router merges shard HTTP responses; the single path is
+	// internally the merge of one whole-view partial, so every mode runs the
+	// same extraction and fold.
+	if st.shards != nil {
+		return st.tagSharded(doc)
 	}
-	return http.StatusOK, map[string]any{
-		"concepts": toResults(st.concepts.TagConcepts(doc)),
-		"events":   toResults(st.events.TagEvents(doc)),
-	}
+	return http.StatusOK, tagResponse(st.concepts.TagConcepts(doc), st.events.TagEvents(doc))
 }
 
 func (s *Server) handleQueryRewrite(st *state, r *http.Request) (int, any) {
@@ -927,41 +923,39 @@ func (s *Server) handleQueryRewrite(st *state, r *http.Request) (int, any) {
 	if q == "" {
 		return http.StatusBadRequest, errBody(codeInvalidArgument, "need ?q=")
 	}
-	a := st.query.Analyze(q)
-	return http.StatusOK, map[string]any{
-		"query":           a.Query,
-		"concept":         a.Concept,
-		"entity":          a.Entity,
-		"rewrites":        a.Rewrites,
-		"recommendations": a.Recommendations,
+	if r.URL.Query().Get("partial") != "" {
+		return http.StatusOK, rewritePartialBody{Generation: st.gen, Partial: st.query.Partial(st.appScope(), q)}
 	}
+	if st.shards != nil {
+		return st.rewriteSharded(q)
+	}
+	return http.StatusOK, rewriteResponse(st.query.Analyze(q))
 }
 
 func (s *Server) handleStory(st *state, r *http.Request) (int, any) {
-	seed := r.URL.Query().Get("seed")
+	q := r.URL.Query()
+	if mode := q.Get("partial"); mode != "" {
+		if mode != "fragments" {
+			return http.StatusBadRequest, errBody(codeInvalidArgument, "invalid partial: "+mode+` (want "fragments")`)
+		}
+		return http.StatusOK, storyFragsBody{Generation: st.gen, Events: storytree.FragmentsFromScope(st.appScope())}
+	}
+	seed := q.Get("seed")
 	if seed == "" {
 		return http.StatusBadRequest, errBody(codeInvalidArgument, "need ?seed=")
 	}
-	tree, ok := storytree.FormFromEvents(st.storyEvents, seed, s.enc, s.story)
+	// The seed resolves like a typed /v1/node query (canonical phrase, then
+	// alias), so mixed-case seeds and aliases form the same tree as the
+	// event's canonical phrase and the 404 envelopes match /v1/node's.
+	phrase, notFound, errb := resolveStorySeed(st.snap, seed)
+	if notFound != 0 {
+		return notFound, errb
+	}
+	tree, ok := storytree.FormFromEvents(st.storyFragments(), phrase, s.enc, s.story)
 	if !ok {
 		return http.StatusNotFound, errBody(codeNotFound, "no event %q in the ontology", seed)
 	}
-	type event struct {
-		Phrase   string   `json:"phrase"`
-		Trigger  string   `json:"trigger,omitempty"`
-		Location string   `json:"location,omitempty"`
-		Day      int      `json:"day"`
-		Entities []string `json:"entities,omitempty"`
-	}
-	branches := make([][]event, 0, len(tree.Branches))
-	for _, b := range tree.Branches {
-		branch := make([]event, 0, len(b))
-		for _, e := range b {
-			branch = append(branch, event{Phrase: e.Phrase, Trigger: e.Trigger, Location: e.Location, Day: e.Day, Entities: e.Entities})
-		}
-		branches = append(branches, branch)
-	}
-	return http.StatusOK, map[string]any{"seed": tree.Seed, "branches": branches}
+	return http.StatusOK, storyResponse(tree)
 }
 
 func (s *Server) handleMetrics(st *state, r *http.Request) (int, any) {

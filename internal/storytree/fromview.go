@@ -1,6 +1,8 @@
 package storytree
 
 import (
+	"sort"
+
 	"giant/internal/ontology"
 )
 
@@ -11,22 +13,47 @@ import (
 // re-loaded) ontology can form story trees without the mining byproducts
 // the offline pipeline keeps in memory.
 func EventsFromView(v ontology.View) []*EventNode {
+	return FragmentsFromScope(ontology.UnionScope(v))
+}
+
+// FragmentsFromScope extracts the scope's home events as story-tree
+// candidates in ascending union-ID order (see ontology.Scope). A home
+// event's Involve edges are all present in its scope, and entity endpoints
+// carry exact phrases even as ghosts, so each fragment is complete; merging
+// per-scope fragments with MergeFragments reproduces EventsFromView over
+// the union exactly.
+func FragmentsFromScope(scope ontology.Scope) []*EventNode {
 	var out []*EventNode
-	for _, n := range v.Nodes(ontology.Event) {
+	for _, n := range scope.HomeNodes(ontology.Event) {
 		node := &EventNode{
+			ID:       n.ID,
 			Phrase:   n.Phrase,
 			Trigger:  n.Trigger,
 			Location: n.Location,
 			Day:      n.Day,
 		}
-		for _, ch := range v.Children(n.ID, ontology.Involve) {
-			if ch.Type == ontology.Entity {
-				node.Entities = append(node.Entities, ch.Phrase)
+		if _, local, ok := scope.FindHome(ontology.Event, n.Phrase); ok {
+			for _, ch := range scope.View.Children(local, ontology.Involve) {
+				if ch.Type == ontology.Entity {
+					node.Entities = append(node.Entities, ch.Phrase)
+				}
 			}
 		}
 		out = append(out, node)
 	}
 	return out
+}
+
+// MergeFragments combines per-scope fragment lists into the union candidate
+// list, ordered by ascending union ID — the order EventsFromView produces,
+// which story-tree formation (and therefore branch composition) depends on.
+func MergeFragments(parts ...[]*EventNode) []*EventNode {
+	var all []*EventNode
+	for _, p := range parts {
+		all = append(all, p...)
+	}
+	sort.SliceStable(all, func(i, j int) bool { return all[i].ID < all[j].ID })
+	return all
 }
 
 // FormFromView builds the story tree seeded at seedPhrase from the events

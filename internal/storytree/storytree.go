@@ -13,17 +13,23 @@ import (
 	"strings"
 
 	"giant/internal/nlp"
+	"giant/internal/ontology"
 	"giant/internal/phrase"
 )
 
 // EventNode is one event offered to story-tree formation.
 type EventNode struct {
-	Phrase   string
-	Trigger  string
-	Entities []string
-	Location string
-	Day      int
-	Docs     []string // titles of documents tagged with this event
+	// ID is the event's union node ID when extracted from an ontology view
+	// (zero for hand-built nodes). Sharded serving merges per-shard
+	// fragment lists by ascending ID to reproduce the union's candidate
+	// order.
+	ID       ontology.NodeID `json:"id,omitempty"`
+	Phrase   string          `json:"phrase"`
+	Trigger  string          `json:"trigger,omitempty"`
+	Entities []string        `json:"entities,omitempty"`
+	Location string          `json:"location,omitempty"`
+	Day      int             `json:"day,omitempty"`
+	Docs     []string        `json:"docs,omitempty"` // titles of documents tagged with this event
 }
 
 // Encoder supplies dense phrase/word vectors (the BERT / skip-gram

@@ -2,7 +2,6 @@ package tagging
 
 import (
 	"math/rand"
-	"sort"
 
 	"giant/internal/nlp"
 	"giant/internal/nn"
@@ -35,6 +34,16 @@ func docString(doc *Document) []string {
 	return toks
 }
 
+// DocTokens exposes the event-matching token stream (the title plus the
+// first content sentence, lowercased by tokenization) for shard routing: a
+// candidate event or topic needs a positive normalized LCS with this
+// stream, i.e. at least one shared token, and every token of a phrase is a
+// substring of it — so a scope whose term grams hit none of these tokens
+// provably contributes no event candidates.
+func DocTokens(doc *Document) []string {
+	return docString(doc)
+}
+
 func indexByte(s string, b byte) int {
 	for i := 0; i < len(s); i++ {
 		if s[i] == b {
@@ -44,34 +53,11 @@ func indexByte(s string, b byte) int {
 	return -1
 }
 
-// TagEvents returns event/topic tags for a document.
+// TagEvents returns event/topic tags for a document, as the merge of a
+// single partial over the tagger's whole view — the same code path the
+// sharded merge sites run.
 func (t *EventTagger) TagEvents(doc *Document) []Tag {
-	docToks := docString(doc)
-	var tags []Tag
-	for _, typ := range []ontology.NodeType{ontology.Event, ontology.Topic} {
-		for _, node := range t.Onto.Nodes(typ) {
-			pToks := nlp.Tokenize(node.Phrase)
-			if len(pToks) == 0 {
-				continue
-			}
-			l := LCSLen(pToks, docToks)
-			norm := float64(l) / float64(len(pToks))
-			if norm < t.LCSThreshold {
-				continue
-			}
-			if t.Duet != nil && !t.Duet.Match(pToks, docToks) {
-				continue
-			}
-			tags = append(tags, Tag{Phrase: node.Phrase, Type: typ, Score: norm})
-		}
-	}
-	sort.Slice(tags, func(i, j int) bool {
-		if tags[i].Score != tags[j].Score {
-			return tags[i].Score > tags[j].Score
-		}
-		return tags[i].Phrase < tags[j].Phrase
-	})
-	return tags
+	return MergeEventCands(t.Partial(ontology.UnionScope(t.Onto), doc))
 }
 
 // LCSLen is the longest-common-subsequence length between token sequences.

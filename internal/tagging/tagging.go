@@ -6,9 +6,6 @@
 package tagging
 
 import (
-	"sort"
-	"strings"
-
 	"giant/internal/nlp"
 	"giant/internal/ontology"
 	"giant/internal/phrase"
@@ -42,6 +39,8 @@ type ConceptTagger struct {
 	CoherenceThreshold float64
 	// InferThreshold gates the probabilistic fallback of Eq. (12).
 	InferThreshold float64
+
+	index *ConceptIndex
 }
 
 // NewConceptTagger builds the tagger; contextRep may be nil (degrades to
@@ -50,15 +49,17 @@ func NewConceptTagger(onto ontology.View, contextRep map[string][]string) *Conce
 	t := &ConceptTagger{
 		Onto:               onto,
 		ContextRep:         contextRep,
-		TFIDF:              phrase.NewTFIDF(),
-		CoherenceThreshold: 0.05,
-		InferThreshold:     0.05,
+		CoherenceThreshold: DefaultCoherenceThreshold,
+		InferThreshold:     DefaultInferThreshold,
 	}
-	for _, c := range onto.Nodes(ontology.Concept) {
-		t.TFIDF.AddDoc(t.repOf(c.Phrase))
-	}
+	t.index = NewConceptIndex(t.ConceptStats(ontology.UnionScope(onto)))
+	t.TFIDF = t.index.TFIDF
 	return t
 }
+
+// Index exposes the tagger's own view as a merged concept index (the
+// merge-of-one-partial over a UnionScope).
+func (t *ConceptTagger) Index() *ConceptIndex { return t.index }
 
 func (t *ConceptTagger) repOf(conceptPhrase string) []string {
 	if rep, ok := t.ContextRep[conceptPhrase]; ok && len(rep) > 0 {
@@ -75,112 +76,9 @@ func (t *ConceptTagger) repOf(conceptPhrase string) []string {
 // ontology IsA-parents of the document's key entities, scored by TF-IDF
 // coherence between the title and the concept's context-enriched
 // representation; when no parent is known, Eq. (12)–(14) infer concepts from
-// entity context words.
+// entity context words. Implemented as the merge of a single partial over
+// the tagger's whole view, the same code path the sharded merge sites run.
 func (t *ConceptTagger) TagConcepts(doc *Document) []Tag {
-	titleVec := t.TFIDF.Vector(nlp.Tokenize(doc.Title))
-	var tags []Tag
-	seen := map[string]bool{}
-	foundParent := false
-	for _, entName := range doc.Entities {
-		ent, ok := t.Onto.Find(ontology.Entity, entName)
-		if !ok {
-			continue
-		}
-		for _, parent := range t.Onto.Parents(ent.ID, ontology.IsA) {
-			if parent.Type != ontology.Concept || seen[parent.Phrase] {
-				continue
-			}
-			seen[parent.Phrase] = true
-			foundParent = true
-			score := phrase.Cosine(titleVec, t.TFIDF.Vector(t.repOf(parent.Phrase)))
-			if score >= t.CoherenceThreshold {
-				tags = append(tags, Tag{Phrase: parent.Phrase, Type: ontology.Concept, Score: score})
-			}
-		}
-	}
-	if !foundParent {
-		tags = append(tags, t.inferConcepts(doc)...)
-	}
-	sort.Slice(tags, func(i, j int) bool {
-		if tags[i].Score != tags[j].Score {
-			return tags[i].Score > tags[j].Score
-		}
-		return tags[i].Phrase < tags[j].Phrase
-	})
-	return tags
-}
-
-// inferConcepts is the Eq. (12)–(14) fallback: P(pc|d) = Σ_i P(pc|e_i)
-// P(e_i|d), with P(pc|e_i) inferred from the entity's context words x_j
-// (same-sentence co-occurrence) and P(pc|x_j) uniform over concepts
-// containing x_j as a substring.
-func (t *ConceptTagger) inferConcepts(doc *Document) []Tag {
-	if len(doc.Entities) == 0 {
-		return nil
-	}
-	sentences := strings.Split(doc.Content, ".")
-	concepts := t.Onto.Nodes(ontology.Concept)
-
-	// Precompute: context word -> concepts containing it.
-	wordConcepts := map[string][]int{}
-	for ci, c := range concepts {
-		for _, tok := range nlp.Tokenize(c.Phrase) {
-			wordConcepts[tok] = append(wordConcepts[tok], ci)
-		}
-	}
-
-	// P(e|d): entity mention frequency.
-	entFreq := map[string]float64{}
-	total := 0.0
-	content := " " + strings.ToLower(doc.Content) + " "
-	for _, e := range doc.Entities {
-		f := float64(strings.Count(content, " "+strings.ToLower(e)+" "))
-		if f == 0 {
-			f = 1
-		}
-		entFreq[e] = f
-		total += f
-	}
-
-	scores := make([]float64, len(concepts))
-	for _, e := range doc.Entities {
-		pe := entFreq[e] / total
-		// Context words of e: same-sentence tokens.
-		ctxCount := map[string]float64{}
-		ctxTotal := 0.0
-		for _, s := range sentences {
-			ls := strings.ToLower(s)
-			if !strings.Contains(ls, strings.ToLower(e)) {
-				continue
-			}
-			for _, tok := range nlp.Tokenize(s) {
-				if nlp.IsStopWord(tok) {
-					continue
-				}
-				ctxCount[tok]++
-				ctxTotal++
-			}
-		}
-		if ctxTotal == 0 {
-			continue
-		}
-		for x, cnt := range ctxCount {
-			cis := wordConcepts[x]
-			if len(cis) == 0 {
-				continue
-			}
-			pxGivenE := cnt / ctxTotal
-			pcGivenX := 1 / float64(len(cis))
-			for _, ci := range cis {
-				scores[ci] += pcGivenX * pxGivenE * pe
-			}
-		}
-	}
-	var tags []Tag
-	for ci, s := range scores {
-		if s >= t.InferThreshold {
-			tags = append(tags, Tag{Phrase: concepts[ci].Phrase, Type: ontology.Concept, Score: s})
-		}
-	}
-	return tags
+	slots := t.MatchPartial(ontology.UnionScope(t.Onto), doc)
+	return t.index.Tag(doc, slots, t.CoherenceThreshold, t.InferThreshold)
 }
